@@ -1,0 +1,28 @@
+"""Bench X1 — Section 3.5 complexity claims and traversal ablation."""
+
+from repro.experiments import ablation
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        ablation.run,
+        num_objects=4_096,
+        seed=0,
+        dimension=8,
+        query_sizes=(1, 2, 3),
+        queries_per_size=4,
+    )
+    record_result(result)
+    supersets = [r for r in result.rows if str(r["operation"]).startswith("superset")]
+    assert supersets
+    for row in supersets:
+        assert row["same_object_set"] is True
+        assert row["visits"] == row["subcube_size"]  # exhaustive search
+        if row["operation"] == "superset[parallel]":
+            assert row["rounds"] == row["round_bound"]
+    singles = [r for r in result.rows if r["operation"] in ("insert", "pin_search", "delete")]
+    for row in singles:
+        assert row["index_requests"] <= 2

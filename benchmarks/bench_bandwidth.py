@@ -1,0 +1,28 @@
+"""Bench X6 — bandwidth: object references shipped per operation."""
+
+from repro.experiments import bandwidth
+
+from benchmarks.conftest import run_once
+
+
+def test_bandwidth(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        bandwidth.run,
+        num_objects=8_192,
+        seed=0,
+        dimension=10,
+        num_dht_nodes=64,
+        query_sizes=(1, 2, 3),
+        queries_per_size=6,
+    )
+    record_result(result)
+    by_op = {row["operation"]: row for row in result.rows}
+    # Multi-keyword queries: DII ships posting unions, we ship matches.
+    for m in (2, 3):
+        row = by_op[f"query m={m}"]
+        assert row["dii_refs_shipped"] > row["hypercube_refs_shipped"]
+    # Inserts: 1 vs k vs C(k,1)+C(k,2).
+    assert by_op["insert k=7"]["hypercube_refs_shipped"] == 1
+    assert by_op["insert k=7"]["dii_refs_shipped"] == 7
+    assert by_op["insert k=7"]["kss_refs_shipped"] == 28

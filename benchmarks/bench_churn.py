@@ -1,0 +1,29 @@
+"""Bench X7 — recall under continuous churn, with/without maintenance."""
+
+from repro.experiments import churn
+
+from benchmarks.conftest import run_once
+
+
+def test_churn(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        churn.run,
+        num_objects=4_096,
+        seed=0,
+        dimension=8,
+        num_dht_nodes=48,
+        epochs=6,
+        joins_per_epoch=4,
+        leaves_per_epoch=4,
+    )
+    record_result(result)
+    final = {
+        row["scheme"]: row
+        for row in result.rows
+        if row["epoch"] == max(r["epoch"] for r in result.rows)
+    }
+    assert final["maintained"]["mean_recall"] == 1.0
+    assert final["maintained"]["indexed_references"] == 4_096
+    assert final["no-maintenance"]["mean_recall"] < 1.0
+    assert final["no-maintenance"]["indexed_references"] < 4_096

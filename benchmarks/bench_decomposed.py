@@ -1,0 +1,26 @@
+"""Bench X3 — decomposed sub-hypercubes vs one flat hypercube."""
+
+from repro.experiments import decomposed
+
+from benchmarks.conftest import run_once
+
+
+def test_decomposed(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        decomposed.run,
+        num_objects=4_096,
+        seed=0,
+        flat_dimension=12,
+        decompositions=((2, 6), (3, 4)),
+        query_sizes=(1, 2, 3),
+        queries_per_size=5,
+    )
+    record_result(result)
+    by_scheme = {row["scheme"]: row for row in result.rows}
+    flat = by_scheme["flat-12"]
+    for scheme, row in by_scheme.items():
+        if scheme.startswith("decomposed"):
+            assert row["mean_visits"] < flat["mean_visits"]
+            assert row["storage_multiplier"] >= 1.0
+            assert 0 < row["mean_precision"] <= 1.0

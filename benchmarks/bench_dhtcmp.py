@@ -1,0 +1,22 @@
+"""Bench X5 — substrate comparison: Chord / Kademlia / Pastry / HyperCuP."""
+
+from repro.experiments import dhtcmp
+
+from benchmarks.conftest import run_once
+
+
+def test_dhtcmp(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        dhtcmp.run,
+        num_objects=4_096,
+        seed=0,
+        dimension=8,
+        num_dht_nodes=64,
+        num_lookups=200,
+    )
+    record_result(result)
+    for row in result.rows:
+        # DHT choice must not change what the keyword layer computes.
+        assert row["matches_reference"] is True
+        assert row["mean_lookup_hops"] <= 8

@@ -1,0 +1,20 @@
+"""Bench E1 — Equations (1)/(2): balls-in-bins model vs Monte Carlo."""
+
+from repro.experiments import eq1
+
+from benchmarks.conftest import run_once
+
+
+def test_eq1(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        eq1.run,
+        dimensions=(8, 10, 12),
+        set_sizes=(1, 2, 3, 5, 7, 10, 15),
+        trials=20_000,
+        seed=0,
+    )
+    record_result(result)
+    for row in result.rows:
+        assert row["pmf_max_abs_diff"] < 0.02
+        assert abs(row["expected_one_eq2"] - row["expected_one_mc"]) < 0.1

@@ -1,0 +1,30 @@
+"""Bench X2 — fault tolerance: hypercube vs DII under node failures."""
+
+from repro.experiments import fault
+
+from benchmarks.conftest import run_once
+
+
+def test_fault(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        fault.run,
+        num_objects=8_192,
+        seed=0,
+        dimension=10,
+        num_dht_nodes=128,
+        failure_fractions=(0.0, 0.05, 0.1, 0.2, 0.3),
+        num_queries=60,
+    )
+    record_result(result)
+    rows = {(r["scheme"], r["failure_fraction"]): r for r in result.rows}
+    assert rows[("hypercube", 0.0)]["mean_recall"] == 1.0
+    assert rows[("dii", 0.0)]["mean_recall"] == 1.0
+    # Graceful degradation: hypercube recall falls roughly linearly.
+    assert rows[("hypercube", 0.3)]["mean_recall"] > 0.45
+    # DII blocks whole queries at least as often as the hypercube.
+    for fraction in (0.1, 0.2, 0.3):
+        assert (
+            rows[("dii", fraction)]["blocked_fraction"]
+            >= rows[("hypercube", fraction)]["blocked_fraction"] - 1e-9
+        )

@@ -1,0 +1,19 @@
+"""Bench F5 — Figure 5: keyword-set-size distribution of the corpus.
+
+Runs at full paper scale (131,180 objects); the corpus is memoized and
+shared with the other full-scale static benchmarks.
+"""
+
+from repro.experiments import fig5
+from repro.workload.corpus import PAPER_CORPUS_SIZE
+
+from benchmarks.conftest import run_once
+
+
+def test_fig5(benchmark, record_result):
+    result = run_once(benchmark, fig5.run, num_objects=PAPER_CORPUS_SIZE, seed=0)
+    record_result(result)
+    total = sum(row["objects"] for row in result.rows)
+    assert total == PAPER_CORPUS_SIZE
+    mean = sum(row["keyword_set_size"] * row["objects"] for row in result.rows) / total
+    assert abs(mean - 7.3) < 0.1  # the paper's mean

@@ -1,0 +1,37 @@
+"""Bench F6 — Figure 6: ranked load distribution.
+
+Full paper scale: 131,180 objects, hypercube r = 6..16, with the DHT-r
+and DII-r reference curves.  Shape assertions: balance is best near
+r = 10 and degrades in both directions; DII is far worse than the
+hypercube at every shared r; DHT is the lower envelope.
+"""
+
+from repro.experiments import fig6
+from repro.workload.corpus import PAPER_CORPUS_SIZE
+
+from benchmarks.conftest import run_once
+
+
+def _ginis(result) -> dict[str, float]:
+    return {
+        note.split("]")[0].split("[")[1]: float(note.split("= ")[1])
+        for note in result.notes
+    }
+
+
+def test_fig6(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        fig6.run,
+        num_objects=PAPER_CORPUS_SIZE,
+        seed=0,
+        dimensions=(6, 8, 10, 12, 14, 16),
+        dii_dimensions=(10, 12, 14),
+    )
+    record_result(result)
+    ginis = _ginis(result)
+    assert ginis["hypercube-10"] < ginis["hypercube-6"]
+    assert ginis["hypercube-10"] < ginis["hypercube-16"]
+    for r in (10, 12, 14):
+        assert ginis[f"DII-{r}"] > ginis[f"hypercube-{r}"]
+        assert ginis[f"DHT-{r}"] < ginis[f"hypercube-{r}"]

@@ -1,0 +1,30 @@
+"""Bench F7 — Figure 7: object vs node distribution over |One(u)|.
+
+Full paper scale, the eight dimensions of the paper's chart grid.
+Shape assertions: the object and node weight distributions are closest
+around r = 10, and Equation (1) predicts the empirical object curve.
+"""
+
+from repro.experiments import fig7
+from repro.workload.corpus import PAPER_CORPUS_SIZE
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        fig7.run,
+        num_objects=PAPER_CORPUS_SIZE,
+        seed=0,
+        dimensions=(6, 8, 10, 11, 12, 13, 14, 16),
+    )
+    record_result(result)
+    distances = {}
+    for note in result.notes:
+        r = int(note.split(":")[0][2:])
+        distances[r] = float(note.split("TV(object, node) = ")[1].split(",")[0])
+    best = min(distances, key=distances.get)
+    assert best in (10, 11)  # the paper's optimum neighbourhood
+    for row in result.rows:
+        assert abs(row["object_fraction"] - row["object_fraction_eq1"]) < 0.03

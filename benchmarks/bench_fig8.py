@@ -1,0 +1,45 @@
+"""Bench F8 — Figure 8: cacheless superset-search cost vs recall.
+
+The paper's r values (8, 10, 12) and query sizes m = 1..5, over a
+32k-object corpus (scaled from 131k for runtime; the node-fraction
+metric is corpus-size independent — cost is a fraction of 2**r).
+Shape assertions: ≈ 2**-m of nodes at 100% recall for r >= 10; the
+cost grows monotonically (≈ linearly) with the recall rate; more
+query keywords mean fewer nodes.
+"""
+
+from repro.experiments import fig8
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        fig8.run,
+        num_objects=32_768,
+        seed=0,
+        dimensions=(8, 10, 12),
+        query_sizes=(1, 2, 3, 4, 5),
+        queries_per_size=5,
+        recall_points=(0.2, 0.4, 0.6, 0.8, 1.0),
+    )
+    record_result(result)
+
+    full = {
+        (row["dimension"], row["query_size"]): row["node_fraction"]
+        for row in result.rows
+        if row["recall"] == 1.0
+    }
+    for r in (10, 12):
+        for m in (1, 2, 3):
+            assert full[(r, m)] <= 2.0**-m * 1.3
+    # Fewer nodes as the query grows.
+    assert full[(10, 5)] < full[(10, 1)]
+    # Monotone in recall within each (r, m).
+    grouped: dict[tuple, list] = {}
+    for row in result.rows:
+        grouped.setdefault((row["dimension"], row["query_size"]), []).append(row)
+    for rows in grouped.values():
+        costs = [row["node_fraction"] for row in sorted(rows, key=lambda x: x["recall"])]
+        assert all(a <= b + 1e-12 for a, b in zip(costs, costs[1:]))

@@ -1,0 +1,35 @@
+"""Bench F9 — Figure 9: superset-search cost with per-node caches.
+
+Scaled to preserve the paper's ratios (stream much longer than the
+distinct-query pool; cache capacity per node meaningful relative to
+distinct queries per root).  Shape assertions: the cost collapses as α
+grows; at generous α the mean cost approaches one node per query and
+the hit rate approaches 1.
+"""
+
+from repro.experiments import fig9
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        fig9.run,
+        num_objects=16_384,
+        seed=0,
+        dimensions=(10,),
+        recall_rates=(1.0,),
+        alphas=(0.0, 1.0 / 24, 1.0 / 6, 1.0 / 3, 1.0),
+        num_queries=6_000,
+        pool_size=150,
+        baseline_sample=600,
+    )
+    record_result(result)
+    by_alpha = {row["alpha"]: row for row in result.rows}
+    costs = [by_alpha[a]["node_fraction"] for a in sorted(by_alpha)]
+    # Monotone non-increasing in alpha.
+    assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+    # Large cache collapses the cost by more than an order of magnitude.
+    assert by_alpha[1.0]["node_fraction"] < by_alpha[0.0]["node_fraction"] / 10
+    assert by_alpha[1.0]["cache_hit_rate"] > 0.9

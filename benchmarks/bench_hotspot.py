@@ -1,0 +1,28 @@
+"""Bench X4 — hot spots: query-load distribution, hypercube vs DII."""
+
+from repro.experiments import hotspot
+
+from benchmarks.conftest import run_once
+
+
+def test_hotspot(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        hotspot.run,
+        num_objects=8_192,
+        seed=0,
+        dimension=10,
+        num_dht_nodes=128,
+        num_queries=400,
+        pool_size=150,
+    )
+    record_result(result)
+    by_scheme = {row["scheme"]: row for row in result.rows}
+    dii = by_scheme["dii"]
+    for scheme, row in by_scheme.items():
+        if scheme.startswith("hypercube"):
+            # Query load spreads over many nodes: lower inequality and a
+            # far lower peak relative to the mean than DII's per-keyword
+            # hot spots.
+            assert row["gini"] < dii["gini"]
+            assert row["max_to_mean"] < dii["max_to_mean"]

@@ -1,0 +1,14 @@
+"""Bench T1 — Table 1: sample website records."""
+
+from repro.experiments import table1
+
+from benchmarks.conftest import run_once
+
+
+def test_table1(benchmark, record_result):
+    result = run_once(
+        benchmark, table1.run, synthetic_samples=3, num_objects=2_000, seed=0
+    )
+    record_result(result)
+    sources = {row["source"] for row in result.rows}
+    assert sources == {"paper", "synthetic"}

@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (table or figure) via
+its experiment runner, times the end-to-end run with pytest-benchmark
+(single round — these are figure regenerations, not micro-benchmarks),
+and writes the rendered table to ``benchmarks/results/<id>.txt`` so the
+numbers can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.ascii import chart_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# How to draw each experiment's rows as the paper's figure:
+# experiment -> (group_by, x, y).
+CHART_SPECS: dict[str, tuple[str | None, str, str]] = {
+    "fig5": (None, "keyword_set_size", "fraction"),
+    "fig6": ("scheme", "node_fraction", "object_fraction"),
+    "fig7": ("dimension", "weight", "object_fraction"),
+    "fig8": ("query_size", "recall", "node_fraction"),
+    "fig9": ("recall", "alpha", "node_fraction"),
+    "fault": ("scheme", "failure_fraction", "mean_recall"),
+    "churn": ("scheme", "epoch", "mean_recall"),
+}
+
+
+@pytest.fixture()
+def record_result():
+    """Save an ExperimentResult's rendering (plus an ASCII rendition of
+    the corresponding paper figure) under benchmarks/results."""
+
+    def saver(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        rendered = result.render()
+        spec = CHART_SPECS.get(result.experiment)
+        if spec is not None:
+            group_by, x, y = spec
+            rendered += "\n\n" + chart_experiment(result, group_by=group_by, x=x, y=y)
+        path = RESULTS_DIR / f"{result.experiment}.txt"
+        path.write_text(rendered + "\n", encoding="utf-8")
+        return result
+
+    return saver
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with exactly one round/iteration."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: publish objects into the P2P keyword-search layer and query them.
+
+Builds the full stack from the paper's Figure 2 — a simulated physical
+network, a Chord DHT overlay, and the hypercube keyword/attribute
+search layer — then walks through the three service operations:
+publish (Insert), pin search, and superset search.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import KeywordSearchService
+from repro.core.search import TraversalOrder
+
+
+def main() -> None:
+    # A 64-peer Chord overlay carrying a 2**8-node logical hypercube.
+    service = KeywordSearchService.create(
+        dimension=8,
+        num_dht_nodes=64,
+        dht="chord",
+        seed=42,
+    )
+
+    catalogue = {
+        "take-five.mp3": {"mp3", "jazz", "saxophone"},
+        "so-what.mp3": {"mp3", "jazz", "trumpet", "modal"},
+        "moonlight.flac": {"flac", "classical", "piano"},
+        "blue-in-green.mp3": {"mp3", "jazz", "piano", "modal"},
+        "giant-steps.mp3": {"mp3", "jazz", "saxophone", "bebop"},
+    }
+    for object_id, keywords in catalogue.items():
+        service.publish(object_id, keywords)
+    print(f"published {service.published_count()} objects "
+          f"onto {len(service.index.dolr.nodes)} peers\n")
+
+    # Pin search: the exact keyword set resolves to one node, one message.
+    pin = service.pin_search({"mp3", "jazz", "saxophone"})
+    print("pin search {mp3, jazz, saxophone}:")
+    print(f"  objects: {list(pin.object_ids)}")
+    print(f"  answered by logical node {pin.logical_node:#0{4}b} "
+          f"(physical {pin.physical_node}) in {pin.dht_hops} DHT hops\n")
+
+    # Superset search: everything describable by {mp3, jazz}, most
+    # general first (fewest extra keywords — Lemma 3.2's ordering).
+    result = service.superset_search({"mp3", "jazz"})
+    print("superset search {mp3, jazz} (top-down = general first):")
+    for found in result.objects:
+        extra = sorted(found.extra_keywords(result.query))
+        print(f"  {found.object_id:<22} +{len(extra)} extra keywords {extra}")
+    print(f"  contacted {result.logical_nodes_contacted} of "
+          f"{service.cube.num_nodes} hypercube nodes, "
+          f"{result.messages} messages\n")
+
+    # The same query bottom-up returns the most specific objects first.
+    specific = service.superset_search({"mp3", "jazz"}, order=TraversalOrder.BOTTOM_UP)
+    print("same query, bottom-up (specific first):")
+    print(f"  first result: {specific.objects[0].object_id}\n")
+
+    # Thresholded search stops as soon as enough objects are found.
+    two = service.superset_search({"mp3"}, threshold=2)
+    print(f"superset search {{mp3}} with threshold 2: {list(two.object_ids)}")
+    print(f"  visits: {len(two.visits)} (stopped early), complete: {two.complete}")
+
+
+if __name__ == "__main__":
+    main()

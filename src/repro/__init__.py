@@ -1,0 +1,57 @@
+"""repro — reproduction of "Keyword Search in DHT-based Peer-to-Peer Networks".
+
+This package implements, from scratch, the hypercube keyword index and
+search scheme of Joung, Fang and Yang (ICDCS 2005), together with every
+substrate the paper depends on:
+
+* a deterministic discrete-event simulation kernel (:mod:`repro.sim`),
+* Chord, Kademlia and Pastry DHTs behind a generalized DOLR interface,
+  plus a native HyperCuP-style hypercube overlay (:mod:`repro.dht`),
+* r-dimensional hypercube machinery — subhypercubes and spanning
+  binomial trees (:mod:`repro.hypercube`),
+* the keyword index scheme itself: pin search, top-down / bottom-up /
+  parallel superset search, cumulative search, per-node FIFO/LRU
+  caches, replication, decomposition, sampling, ranking, expansion and
+  churn migration (:mod:`repro.core`),
+* baseline schemes the paper compares against — distributed inverted
+  index, keyword-set search, direct DHT hashing (:mod:`repro.baselines`),
+* synthetic PCHome-like corpus and query-log generators
+  (:mod:`repro.workload`),
+* the paper's analytical balls-in-bins model, load metrics, cardinality
+  estimation and latency analysis (:mod:`repro.analysis`),
+* a runner per table/figure of the evaluation (:mod:`repro.experiments`)
+  and a CLI (``python -m repro``).
+
+Quickstart
+----------
+
+>>> from repro import KeywordSearchService
+>>> service = KeywordSearchService.create(dimension=8, num_dht_nodes=64, seed=7)
+>>> record = service.publish("song.mp3", {"mp3", "jazz", "piano"})
+>>> result = service.pin_search({"mp3", "jazz", "piano"})
+>>> sorted(result.object_ids)
+['song.mp3']
+"""
+
+from repro.core.keywords import KeywordHasher, KeywordSetMapper
+from repro.core.index import HypercubeIndex, IndexEntry
+from repro.core.search import SearchResult, SuperSetSearch, TraversalOrder
+from repro.core.service import KeywordSearchService
+from repro.hypercube.hypercube import Hypercube
+from repro.hypercube.sbt import SpanningBinomialTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Hypercube",
+    "HypercubeIndex",
+    "IndexEntry",
+    "KeywordHasher",
+    "KeywordSearchService",
+    "KeywordSetMapper",
+    "SearchResult",
+    "SpanningBinomialTree",
+    "SuperSetSearch",
+    "TraversalOrder",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: a normal way to exit.
+        sys.exit(0)

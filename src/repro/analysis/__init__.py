@@ -1,0 +1,60 @@
+"""Analytical models and measurement helpers.
+
+* :mod:`repro.analysis.balls` — the paper's Equations (1) and (2): the
+  balls-in-bins distribution of ``|One(F_h(K))|``.
+* :mod:`repro.analysis.dimension` — choosing the hypercube dimension r
+  from a keyword-set-size distribution (Section 4's "how r can be
+  determined without experiment").
+* :mod:`repro.analysis.load` — ranked load curves, Gini coefficients
+  and the other balance metrics Figure 6 is read through.
+* :mod:`repro.analysis.recall` — recall-vs-nodes-contacted curves from
+  search traces (Figure 8's axes).
+* :mod:`repro.analysis.estimate` — |O_K| estimation by subcube sampling.
+* :mod:`repro.analysis.latency` — critical-path latency of search
+  traces (Section 3.5's time bounds under heterogeneous links).
+* :mod:`repro.analysis.ascii` — terminal line charts of experiment rows.
+"""
+
+from repro.analysis.balls import (
+    expected_one_count,
+    monte_carlo_one_count,
+    one_count_distribution,
+    one_count_probability,
+)
+from repro.analysis.dimension import (
+    node_weight_distribution,
+    object_weight_distribution,
+    recommend_dimension,
+)
+from repro.analysis.load import (
+    coefficient_of_variation,
+    gini_coefficient,
+    max_to_mean_ratio,
+    ranked_load_curve,
+)
+from repro.analysis.ascii import ascii_chart, chart_experiment
+from repro.analysis.estimate import CountEstimate, estimate_matching_count
+from repro.analysis.latency import critical_path_latency, sequential_latency, speedup
+from repro.analysis.recall import recall_curve
+
+__all__ = [
+    "CountEstimate",
+    "ascii_chart",
+    "chart_experiment",
+    "coefficient_of_variation",
+    "critical_path_latency",
+    "estimate_matching_count",
+    "expected_one_count",
+    "gini_coefficient",
+    "max_to_mean_ratio",
+    "monte_carlo_one_count",
+    "node_weight_distribution",
+    "object_weight_distribution",
+    "one_count_distribution",
+    "one_count_probability",
+    "ranked_load_curve",
+    "recall_curve",
+    "recommend_dimension",
+    "sequential_latency",
+    "speedup",
+]

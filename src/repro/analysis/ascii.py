@@ -1,0 +1,108 @@
+"""ASCII line charts for experiment results.
+
+The paper's artifacts are mostly *figures*; the benchmark harness
+regenerates their data as tables, and this module renders those tables
+as terminal line charts so a run's output is visually comparable to the
+paper without any plotting dependency.
+
+>>> print(ascii_chart({"a": [(0, 0.0), (1, 1.0)]}, width=10, height=4))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_chart", "chart_experiment"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as one ASCII chart.
+
+    Each series gets a marker from a fixed cycle; a legend follows the
+    axes.  Points are mapped onto a ``width`` x ``height`` grid with
+    linear scaling; later series overwrite earlier ones on collisions.
+    """
+    if width < 8 or height < 4:
+        raise ValueError(f"chart needs width >= 8 and height >= 4, got {width}x{height}")
+    points = [
+        (float(x), float(y))
+        for line in series.values()
+        for x, y in line
+    ]
+    if not points:
+        raise ValueError("no points to draw")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        column = round((x - x_low) / x_span * (width - 1))
+        row = height - 1 - round((y - y_low) / y_span * (height - 1))
+        grid[row][column] = marker
+
+    legend = []
+    for index, (label, line) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {label}")
+        for x, y in line:
+            place(float(x), float(y), marker)
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{y_high:>10.4g} |"
+        elif row_index == height - 1:
+            prefix = f"{y_low:>10.4g} |"
+        else:
+            prefix = " " * 10 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    footer = f"{x_low:<.4g}".ljust(width // 2) + f"{x_high:>.4g}".rjust(width // 2)
+    lines.append(" " * 12 + footer)
+    if x_label or y_label:
+        lines.append(" " * 12 + f"x: {x_label}   y: {y_label}".rstrip())
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_experiment(
+    result,
+    *,
+    group_by: str | None,
+    x: str,
+    y: str,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Chart an :class:`~repro.experiments.harness.ExperimentResult`.
+
+    Pivots rows into series by ``group_by`` (None = one series named
+    after the experiment) and renders them; rows with missing values in
+    any used column are skipped.
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in result.rows:
+        group = result.experiment if group_by is None else row.get(group_by)
+        x_value, y_value = row.get(x), row.get(y)
+        if group is None or x_value is None or y_value is None:
+            continue
+        series.setdefault(str(group), []).append((x_value, y_value))
+    if not series:
+        raise ValueError(
+            f"no rows with columns {group_by!r}, {x!r}, {y!r} in {result.experiment}"
+        )
+    return ascii_chart(series, width=width, height=height, x_label=x, y_label=y)

@@ -1,0 +1,99 @@
+"""Equations (1) and (2): the distribution of |One(F_h(K))|.
+
+Hashing m distinct keywords uniformly into r dimensions sets
+``|One(F_h(K))| = j`` exactly when m distinct balls thrown into r
+distinct buckets leave exactly j buckets non-empty.  Equation (1):
+
+    P(|One| = j) = C(r, j) * sum_{i=0}^{j} (-1)^i C(j, i) ((j - i) / r)^m
+
+(the paper writes the summand as ``(1 - (i + r - j)/r)^m``, which is the
+same quantity), and Equation (2) is the corresponding expectation.
+
+Computed with exact rational arithmetic — the alternating sum is
+catastrophically cancellative in floating point for large r, m.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+from repro.util.rng import make_rng
+
+__all__ = [
+    "expected_one_count",
+    "monte_carlo_one_count",
+    "one_count_distribution",
+    "one_count_probability",
+]
+
+
+def _validate(r: int, m: int) -> None:
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+
+
+def one_count_probability(r: int, m: int, j: int) -> float:
+    """Equation (1): P(|One(F_h(K))| = j) for |K| = m over r dimensions.
+
+    >>> one_count_probability(4, 1, 1)
+    1.0
+    >>> abs(one_count_probability(2, 2, 1) - 0.5) < 1e-12
+    True
+    """
+    _validate(r, m)
+    if j < 0 or j > r:
+        raise ValueError(f"j must be in [0, {r}], got {j}")
+    if m == 0:
+        return 1.0 if j == 0 else 0.0
+    if j == 0 or j > m:
+        return 0.0
+    total = Fraction(0)
+    for i in range(j + 1):
+        term = Fraction(j - i, r) ** m * math.comb(j, i)
+        total += term if i % 2 == 0 else -term
+    return float(total * math.comb(r, j))
+
+
+def one_count_distribution(r: int, m: int) -> list[float]:
+    """The full pmf over j = 0..r (sums to 1)."""
+    _validate(r, m)
+    return [one_count_probability(r, m, j) for j in range(r + 1)]
+
+
+def expected_one_count(r: int, m: int) -> float:
+    """Equation (2): E[|One(F_h(K))|].
+
+    Evaluated through the standard closed form
+    ``r * (1 - (1 - 1/r)^m)`` — the expected number of occupied buckets —
+    which equals Equation (2)'s sum but is numerically robust.  Tests
+    verify the identity against the exact Equation (1) pmf.
+    """
+    _validate(r, m)
+    return r * (1.0 - (1.0 - 1.0 / r) ** m)
+
+
+def expected_one_count_by_pmf(r: int, m: int) -> float:
+    """Equation (2) evaluated literally as ``sum j * P(|One| = j)``."""
+    return math.fsum(j * p for j, p in enumerate(one_count_distribution(r, m)))
+
+
+def monte_carlo_one_count(
+    r: int, m: int, *, trials: int = 10_000, seed: int | random.Random | None = 0
+) -> list[float]:
+    """Empirical pmf of |One| from ``trials`` random keyword hashes —
+    the simulation check for Equation (1)."""
+    _validate(r, m)
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    rng = make_rng(seed)
+    counts = [0] * (r + 1)
+    for _ in range(trials):
+        occupied: set[int] = set()
+        for _ in range(m):
+            occupied.add(rng.randrange(r))
+        counts[len(occupied)] += 1
+    return [count / trials for count in counts]

@@ -1,0 +1,91 @@
+"""Choosing the hypercube dimension r (Section 4, Figure 7).
+
+The paper observes that index load balances when the *object*
+distribution over node weights ``|One(u)|`` approaches the *node*
+distribution (binomial, centred at r/2), and that given the
+keyword-set-size distribution, Equation (1) predicts the object
+distribution — "we can calculate an appropriate r ... thereby to
+balance the index load".  :func:`recommend_dimension` automates that:
+sweep r, compute both distributions analytically, return the r whose
+distributions are closest in total-variation distance.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.analysis.balls import one_count_distribution
+
+__all__ = [
+    "distribution_distance",
+    "node_weight_distribution",
+    "object_weight_distribution",
+    "recommend_dimension",
+]
+
+
+def node_weight_distribution(r: int) -> list[float]:
+    """P(|One(u)| = x) for a uniformly random node u of H_r — the
+    binomial(r, 1/2) line of Figure 7."""
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    scale = 2.0**r
+    return [math.comb(r, x) / scale for x in range(r + 1)]
+
+
+def object_weight_distribution(
+    r: int, size_distribution: Mapping[int, float]
+) -> list[float]:
+    """P(object lands on a node of weight x) for keyword-set sizes drawn
+    from ``size_distribution`` (size -> probability) — Figure 7's other
+    line, via Equation (1):
+
+        P(x) = sum_m P(m) * P(|One| = x  |  m keywords, r dims)
+    """
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    total = math.fsum(size_distribution.values())
+    if total <= 0:
+        raise ValueError("size distribution must have positive mass")
+    result = [0.0] * (r + 1)
+    for size, mass in size_distribution.items():
+        if size < 0:
+            raise ValueError(f"keyword-set size must be >= 0, got {size}")
+        pmf = one_count_distribution(r, size)
+        for weight, probability in enumerate(pmf):
+            result[weight] += (mass / total) * probability
+    return result
+
+
+def distribution_distance(p: list[float], q: list[float]) -> float:
+    """Total-variation distance between two pmfs on the same support."""
+    if len(p) != len(q):
+        raise ValueError(f"supports differ: {len(p)} vs {len(q)}")
+    return 0.5 * math.fsum(abs(a - b) for a, b in zip(p, q))
+
+
+def recommend_dimension(
+    size_distribution: Mapping[int, float],
+    *,
+    min_dimension: int = 4,
+    max_dimension: int = 20,
+) -> tuple[int, dict[int, float]]:
+    """The r in [min, max] whose object distribution best matches the
+    node distribution.  Returns (best r, {r: distance}).
+
+    For the paper's corpus (mean 7.3 keywords) this lands near r = 10,
+    matching Figure 6/7's empirical optimum.
+    """
+    if not 1 <= min_dimension <= max_dimension:
+        raise ValueError(
+            f"need 1 <= min <= max, got [{min_dimension}, {max_dimension}]"
+        )
+    distances: dict[int, float] = {}
+    for r in range(min_dimension, max_dimension + 1):
+        distances[r] = distribution_distance(
+            object_weight_distribution(r, size_distribution),
+            node_weight_distribution(r),
+        )
+    best = min(distances, key=lambda r: (distances[r], r))
+    return best, distances

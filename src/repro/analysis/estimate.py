@@ -1,0 +1,119 @@
+"""Estimating |O_K| by sampling the subhypercube.
+
+A user interface often wants "about N results" *before* paying for a
+full superset search.  Because the index spreads a keyword set's
+objects uniformly over the subhypercube induced by ``F_h(K)`` (the
+load-balance property of Figures 6/7), the matching count can be
+estimated by scanning a uniform sample of subcube nodes and scaling:
+
+    |O_K|  ≈  (subcube size / sample size) × matches in sample
+
+The estimator is unbiased (each node's matching count is sampled
+without replacement from the finite population) and its error shrinks
+as the sample grows; :func:`estimate_matching_count` also returns a
+standard-error-based confidence interval so callers can decide whether
+to sample more.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.core.index import HypercubeIndex
+from repro.core.keywords import normalize_keywords
+from repro.hypercube.subcube import SubHypercube
+from repro.util.rng import make_rng
+
+__all__ = ["CountEstimate", "estimate_matching_count"]
+
+
+@dataclass(frozen=True)
+class CountEstimate:
+    """A sampled cardinality estimate for one query."""
+
+    query: frozenset[str]
+    estimate: float
+    stderr: float
+    sampled_nodes: int
+    subcube_size: int
+    exact: bool
+
+    @property
+    def low(self) -> float:
+        """Lower edge of a ~95% confidence interval (never below 0)."""
+        return max(0.0, self.estimate - 1.96 * self.stderr)
+
+    @property
+    def high(self) -> float:
+        """Upper edge of a ~95% confidence interval."""
+        return self.estimate + 1.96 * self.stderr
+
+
+def estimate_matching_count(
+    index: HypercubeIndex,
+    keywords: Iterable[str],
+    *,
+    sample_nodes: int = 32,
+    seed: int | random.Random | None = 0,
+    origin: int | None = None,
+) -> CountEstimate:
+    """Estimate |O_K| from a uniform node sample of the subhypercube.
+
+    Contacts at most ``sample_nodes`` nodes; when the subcube is that
+    small or smaller, the count is exact (the full subcube is scanned).
+    Message cost: one request/reply per sampled node.
+    """
+    if sample_nodes < 1:
+        raise ValueError(f"sample_nodes must be >= 1, got {sample_nodes}")
+    query = normalize_keywords(keywords)
+    dolr = index.dolr
+    origin = dolr.any_address() if origin is None else origin
+    root = index.mapper.node_for(query)
+    sub = SubHypercube(index.cube, root)
+    rng = make_rng(seed)
+
+    if sub.size <= sample_nodes:
+        sampled = list(sub.nodes())
+        exact = True
+    else:
+        compacts = rng.sample(range(sub.size), sample_nodes)
+        sampled = [sub.expand(compact) for compact in compacts]
+        exact = False
+
+    counts = []
+    for logical in sampled:
+        physical = index.mapping.physical_owner(logical)
+        reply = dolr.rpc_at(
+            origin,
+            physical,
+            "hindex.scan",
+            {
+                "namespace": index.namespace,
+                "logical": logical,
+                "keywords": query,
+                "limit": None,
+            },
+        )
+        counts.append(sum(len(ids) for _, ids in reply["matches"]))
+
+    n = len(counts)
+    mean = sum(counts) / n
+    estimate = mean * sub.size
+    if exact or n < 2:
+        stderr = 0.0
+    else:
+        variance = sum((c - mean) ** 2 for c in counts) / (n - 1)
+        # Finite-population correction: sampling without replacement.
+        fpc = (sub.size - n) / (sub.size - 1)
+        stderr = sub.size * math.sqrt(variance / n * fpc)
+    return CountEstimate(
+        query=query,
+        estimate=estimate,
+        stderr=stderr,
+        sampled_nodes=n,
+        subcube_size=sub.size,
+        exact=exact,
+    )

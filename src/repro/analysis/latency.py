@@ -1,0 +1,72 @@
+"""Critical-path latency of a search trace (Section 3.5's time claims).
+
+The simulator executes protocol steps serially, so the virtual clock
+measures *message count × delay*, not the concurrency a real network
+exploits.  This module reconstructs wall-clock estimates from a search
+trace and a latency model:
+
+* sequential (the paper's queue protocol): the root waits for each
+  node's reply before querying the next — total time is the sum of
+  round trips;
+* level-parallel (Section 3.5's speed-up): all nodes of a tree level
+  are queried concurrently — each level costs its *slowest* round trip,
+  and the total is the sum over levels, realizing the
+  ``r − |One(F_h(K))|`` time bound with heterogeneous links.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.search import NodeVisit, SearchResult
+from repro.sim.latency import LatencyModel
+
+__all__ = ["critical_path_latency", "sequential_latency", "speedup"]
+
+
+def _round_trip(model: LatencyModel, a: int, b: int) -> float:
+    if a == b:
+        return 0.0
+    return model.delay(a, b) + model.delay(b, a)
+
+
+def sequential_latency(
+    result: SearchResult, model: LatencyModel, *, root: int | None = None
+) -> float:
+    """Total time of the one-at-a-time walk: sum of per-visit round
+    trips from the root's physical node."""
+    root = result.root_physical if root is None else root
+    return sum(_round_trip(model, root, visit.physical) for visit in result.visits)
+
+
+def critical_path_latency(
+    result: SearchResult, model: LatencyModel, *, root: int | None = None
+) -> float:
+    """Total time of the level-parallel walk: per tree level, the
+    slowest round trip; summed over levels."""
+    root = result.root_physical if root is None else root
+    by_depth: dict[int, list[NodeVisit]] = {}
+    for visit in result.visits:
+        by_depth.setdefault(visit.depth, []).append(visit)
+    total = 0.0
+    for depth in sorted(by_depth):
+        total += max(
+            _round_trip(model, root, visit.physical) for visit in by_depth[depth]
+        )
+    return total
+
+
+def speedup(result: SearchResult, model: LatencyModel) -> float:
+    """Sequential over parallel latency for one trace (>= 1 for any
+    exhaustive walk; 0/0 → 1 for empty traces)."""
+    parallel = critical_path_latency(result, model)
+    if parallel == 0.0:
+        return 1.0
+    return sequential_latency(result, model) / parallel
+
+
+def mean_speedup(results: Sequence[SearchResult], model: LatencyModel) -> float:
+    """Mean speedup over several traces."""
+    if not results:
+        raise ValueError("need at least one trace")
+    return sum(speedup(result, model) for result in results) / len(results)

@@ -1,0 +1,101 @@
+"""Load-balance metrics for Figure 6.
+
+Figure 6 ranks node loads from heavy to light and plots the cumulative
+percentage of objects against the percentage of nodes; a perfectly
+balanced scheme is the diagonal.  :func:`ranked_load_curve` produces
+exactly that curve; the scalar summaries (Gini, CV, max/mean) make the
+comparisons in tests and EXPERIMENTS.md quantitative.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = [
+    "coefficient_of_variation",
+    "gini_coefficient",
+    "load_values",
+    "max_to_mean_ratio",
+    "ranked_load_curve",
+]
+
+
+def load_values(loads: Mapping[int, int] | Iterable[int]) -> list[int]:
+    """Normalize a load mapping or iterable into a list of counts."""
+    if isinstance(loads, Mapping):
+        return list(loads.values())
+    return list(loads)
+
+
+def ranked_load_curve(
+    loads: Mapping[int, int] | Iterable[int], points: Sequence[float] = ()
+) -> list[tuple[float, float]]:
+    """Figure 6's curve: (fraction of nodes, fraction of objects) with
+    nodes ranked heaviest first.
+
+    When ``points`` is given, the curve is sampled at those node
+    fractions (by linear interpolation on the rank axis); otherwise one
+    point per node is returned.
+
+    >>> ranked_load_curve([3, 1, 0, 0])
+    [(0.25, 0.75), (0.5, 1.0), (0.75, 1.0), (1.0, 1.0)]
+    """
+    values = sorted(load_values(loads), reverse=True)
+    if not values:
+        raise ValueError("loads must not be empty")
+    total = sum(values)
+    count = len(values)
+    cumulative: list[float] = []
+    running = 0
+    for value in values:
+        running += value
+        cumulative.append(running / total if total else 0.0)
+    if not points:
+        return [((rank + 1) / count, share) for rank, share in enumerate(cumulative)]
+    sampled: list[tuple[float, float]] = []
+    for fraction in points:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"node fraction must be in [0, 1], got {fraction}")
+        position = fraction * count
+        index = min(count - 1, max(0, math.ceil(position) - 1))
+        sampled.append((fraction, cumulative[index] if fraction > 0 else 0.0))
+    return sampled
+
+
+def gini_coefficient(loads: Mapping[int, int] | Iterable[int]) -> float:
+    """Gini of the load distribution: 0 = perfectly balanced.
+
+    >>> gini_coefficient([1, 1, 1, 1])
+    0.0
+    """
+    values = sorted(load_values(loads))
+    count = len(values)
+    if count == 0:
+        raise ValueError("loads must not be empty")
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    weighted = sum((index + 1) * value for index, value in enumerate(values))
+    return (2.0 * weighted) / (count * total) - (count + 1.0) / count
+
+
+def coefficient_of_variation(loads: Mapping[int, int] | Iterable[int]) -> float:
+    """Standard deviation over mean of the loads."""
+    values = load_values(loads)
+    if not values:
+        raise ValueError("loads must not be empty")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    variance = sum((value - mean) ** 2 for value in values) / len(values)
+    return math.sqrt(variance) / mean
+
+
+def max_to_mean_ratio(loads: Mapping[int, int] | Iterable[int]) -> float:
+    """Peak load relative to the mean — the hot-spot indicator."""
+    values = load_values(loads)
+    if not values:
+        raise ValueError("loads must not be empty")
+    mean = sum(values) / len(values)
+    return max(values) / mean if mean else 0.0

@@ -1,0 +1,65 @@
+"""Recall-vs-cost curves from search traces (Figure 8's axes).
+
+Figure 8 plots, for queries of m keywords on an r-cube, the percentage
+of hypercube nodes that must be contacted to reach a given recall rate.
+A :class:`~repro.core.search.SearchResult` records the visit order and
+how many objects each visit returned, which is exactly the data needed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.search import SearchResult
+
+__all__ = ["recall_curve", "average_recall_curve"]
+
+DEFAULT_RECALL_POINTS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def recall_curve(
+    result: SearchResult,
+    total_matching: int,
+    total_nodes: int,
+    recall_points: Sequence[float] = DEFAULT_RECALL_POINTS,
+) -> list[tuple[float, float]]:
+    """(recall rate, fraction of nodes contacted) for one search.
+
+    ``total_matching`` is the ground-truth |O_K| (the search itself must
+    have run uncapped so its trace reaches 100% recall);
+    ``total_nodes`` is 2**r.
+    """
+    if total_nodes < 1:
+        raise ValueError(f"total_nodes must be >= 1, got {total_nodes}")
+    if total_matching < 0:
+        raise ValueError(f"total_matching must be >= 0, got {total_matching}")
+    if len(result.objects) < total_matching:
+        raise ValueError(
+            f"trace returned {len(result.objects)} objects but |O_K| = "
+            f"{total_matching}; run the search without a threshold"
+        )
+    curve = []
+    for fraction in recall_points:
+        contacted = result.nodes_contacted_for_recall(fraction, total_matching)
+        curve.append((fraction, contacted / total_nodes))
+    return curve
+
+
+def average_recall_curve(
+    curves: Sequence[Sequence[tuple[float, float]]]
+) -> list[tuple[float, float]]:
+    """Pointwise mean of per-query recall curves (Figure 8 averages over
+    the sampled popular keyword sets)."""
+    if not curves:
+        raise ValueError("need at least one curve")
+    points = len(curves[0])
+    if any(len(curve) != points for curve in curves):
+        raise ValueError("curves must share their recall points")
+    averaged = []
+    for index in range(points):
+        recall = curves[0][index][0]
+        if any(curve[index][0] != recall for curve in curves):
+            raise ValueError("curves must share their recall points")
+        mean_cost = sum(curve[index][1] for curve in curves) / len(curves)
+        averaged.append((recall, mean_cost))
+    return averaged

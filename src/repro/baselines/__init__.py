@@ -1,0 +1,27 @@
+"""Baseline index schemes the paper compares against.
+
+* :mod:`repro.baselines.direct` — hash objects straight to nodes, the
+  "DHT-r" reference lines of Figure 6 (the load balance a plain DHT
+  achieves, which the hypercube scheme aims to match).
+* :mod:`repro.baselines.dii` — the distributed inverted index ("DII-r"
+  in Figure 6): one node per keyword, posting lists of every object
+  containing it.  Severely unbalanced under Zipfian keyword popularity,
+  k messages per object insert/delete, single point of failure per
+  keyword.
+* :mod:`repro.baselines.kss` — keyword-set search (Gnawali's KSS):
+  index an object under every keyword subset up to a window size,
+  trading storage blow-up for single-lookup multi-keyword queries.
+"""
+
+from repro.baselines.dii import DiiApplication, DiiPlacement, DistributedInvertedIndex
+from repro.baselines.direct import DirectHashPlacement
+from repro.baselines.kss import KeywordSetIndex, KssPlacement
+
+__all__ = [
+    "DiiApplication",
+    "DiiPlacement",
+    "DirectHashPlacement",
+    "DistributedInvertedIndex",
+    "KeywordSetIndex",
+    "KssPlacement",
+]

@@ -1,0 +1,199 @@
+"""Distributed inverted index — the "DII-r" baseline of Figure 6.
+
+The straightforward decentralization of an inverted index (Section 1,
+and [8, 14] of the paper): each keyword is hashed to a single node,
+which stores references to *every* object containing that keyword.
+Consequences the paper criticizes, all reproduced here:
+
+* load follows keyword popularity — Zipfian, hence severely unbalanced
+  (:class:`DiiPlacement` quantifies it for Figure 6);
+* an object with k keywords costs k routed messages to insert or
+  delete (:meth:`DistributedInvertedIndex.insert`);
+* a multi-keyword query contacts one node per keyword and intersects
+  posting lists at the requester, shipping the full lists;
+* each keyword is handled by exactly one node, so a single failure
+  blocks every query involving that keyword (the fault-tolerance
+  experiment exercises this).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.keywords import normalize_keyword, normalize_keywords
+from repro.dht.dolr import DolrNetwork, DolrNode
+from repro.sim.network import Message
+from repro.util.hashing import stable_hash_to_range
+
+__all__ = ["DiiApplication", "DiiPlacement", "DiiQueryResult", "DistributedInvertedIndex"]
+
+
+class DiiPlacement:
+    """Static keyword-to-node placement over ``2**r`` nodes, for the
+    load-distribution comparison (no network involved)."""
+
+    def __init__(self, dimension: int, *, salt: str = "dii"):
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.dimension = dimension
+        self.num_nodes = 1 << dimension
+        self.salt = salt
+
+    def node_for(self, keyword: str) -> int:
+        return stable_hash_to_range(
+            normalize_keyword(keyword), self.num_nodes, salt=f"dii/{self.salt}"
+        )
+
+    def load_by_node(self, keyword_sets: Iterable[Iterable[str]]) -> dict[int, int]:
+        """Object references stored per node when every object is posted
+        under each of its keywords — the paper's DII-r curve."""
+        loads = dict.fromkeys(range(self.num_nodes), 0)
+        for keywords in keyword_sets:
+            for keyword in normalize_keywords(keywords):
+                loads[self.node_for(keyword)] += 1
+        return loads
+
+    def storage_per_object(self, keyword_sets: Iterable[Iterable[str]]) -> float:
+        """Mean index entries per object (= mean keyword-set size) — the
+        redundancy factor versus the hypercube scheme's constant 1."""
+        sizes = [len(normalize_keywords(k)) for k in keyword_sets]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+
+@dataclass(frozen=True)
+class DiiQueryResult:
+    """Outcome of a DII multi-keyword query."""
+
+    query: frozenset[str]
+    object_ids: tuple[str, ...]
+    nodes_contacted: int
+    postings_shipped: int
+
+
+class DiiApplication:
+    """Per-node posting lists (message prefix ``dii``)."""
+
+    prefix = "dii"
+
+    def __init__(self) -> None:
+        self.postings: dict[str, set[str]] = {}
+
+    def handle(self, node: DolrNode, message: Message):
+        payload = message.payload
+        if message.kind == "dii.post":
+            self.postings.setdefault(payload["keyword"], set()).add(payload["object_id"])
+            return {}
+        if message.kind == "dii.unpost":
+            objects = self.postings.get(payload["keyword"])
+            if objects is not None:
+                objects.discard(payload["object_id"])
+                if not objects:
+                    del self.postings[payload["keyword"]]
+            return {}
+        if message.kind == "dii.fetch":
+            return {"object_ids": sorted(self.postings.get(payload["keyword"], ()))}
+        raise LookupError(f"unknown dii message kind {message.kind!r}")
+
+    def load(self) -> int:
+        return sum(len(objects) for objects in self.postings.values())
+
+
+class DistributedInvertedIndex:
+    """The DII scheme running over a DOLR network."""
+
+    def __init__(self, dolr: DolrNetwork, *, salt: str = "dii"):
+        self.dolr = dolr
+        self.salt = salt
+        dolr.ensure_application(lambda node: DiiApplication(), "dii")
+
+    def keyword_key(self, keyword: str) -> int:
+        """The DHT key owning ``keyword``'s posting list."""
+        return self.dolr.space.hash_name(normalize_keyword(keyword), salt=f"dii.key/{self.salt}")
+
+    def owner_of(self, keyword: str) -> int:
+        return self.dolr.local_owner(self.keyword_key(keyword))
+
+    # -- operations -----------------------------------------------------
+
+    def bulk_load(self, items: Iterable[tuple[str, Iterable[str]]]) -> int:
+        """Load postings directly into node applications (out-of-band
+        bootstrap for query experiments; placement identical to
+        :meth:`insert`).  Returns the number of postings written."""
+        applications: dict[int, DiiApplication] = {}
+        for address in self.dolr.addresses():
+            application = self.dolr.node(address).application("dii")
+            assert isinstance(application, DiiApplication)
+            applications[address] = application
+        owner_cache: dict[str, int] = {}
+        posted = 0
+        for object_id, keywords in items:
+            for keyword in normalize_keywords(keywords):
+                owner = owner_cache.get(keyword)
+                if owner is None:
+                    owner = self.owner_of(keyword)
+                    owner_cache[keyword] = owner
+                applications[owner].postings.setdefault(keyword, set()).add(object_id)
+                posted += 1
+        return posted
+
+    def insert(self, object_id: str, keywords: Iterable[str], holder: int) -> int:
+        """Post the object under each keyword: k routed messages."""
+        first_copy = self.dolr.insert(object_id, holder)
+        if not first_copy:
+            return 0
+        posted = 0
+        for keyword in sorted(normalize_keywords(keywords)):
+            self.dolr.route_rpc(
+                self.keyword_key(keyword),
+                "dii.post",
+                {"keyword": keyword, "object_id": object_id},
+                origin=holder,
+            )
+            posted += 1
+        return posted
+
+    def delete(self, object_id: str, keywords: Iterable[str], holder: int) -> int:
+        """Remove the object's postings: k routed messages."""
+        last_copy = self.dolr.delete(object_id, holder)
+        if not last_copy:
+            return 0
+        removed = 0
+        for keyword in sorted(normalize_keywords(keywords)):
+            self.dolr.route_rpc(
+                self.keyword_key(keyword),
+                "dii.unpost",
+                {"keyword": keyword, "object_id": object_id},
+                origin=holder,
+            )
+            removed += 1
+        return removed
+
+    def query(self, keywords: Iterable[str], *, origin: int | None = None) -> DiiQueryResult:
+        """Fetch each keyword's posting list, intersect at the requester.
+
+        Raises :class:`~repro.sim.network.NodeUnreachableError` when any
+        keyword's node is down — the availability weakness the paper
+        points out.
+        """
+        query = normalize_keywords(keywords)
+        origin = self.dolr.any_address() if origin is None else origin
+        intersection: set[str] | None = None
+        shipped = 0
+        for keyword in sorted(query):
+            result, _ = self.dolr.route_rpc(
+                self.keyword_key(keyword),
+                "dii.fetch",
+                {"keyword": keyword},
+                origin=origin,
+            )
+            posting = set(result["object_ids"])
+            shipped += len(posting)
+            intersection = posting if intersection is None else intersection & posting
+        assert intersection is not None
+        return DiiQueryResult(
+            query=query,
+            object_ids=tuple(sorted(intersection)),
+            nodes_contacted=len(query),
+            postings_shipped=shipped,
+        )

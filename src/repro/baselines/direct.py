@@ -1,0 +1,37 @@
+"""Direct object-to-node hashing — the "DHT-r" reference of Figure 6.
+
+A typical DHT hashes objects by name to determine their handling nodes;
+Figure 6 uses the resulting ranked load curve as the balance guideline
+the hypercube scheme should approach.  This baseline has no search
+capability at all — it exists purely as the load-distribution yardstick.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.util.hashing import stable_hash_to_range
+
+__all__ = ["DirectHashPlacement"]
+
+
+class DirectHashPlacement:
+    """Uniform placement of objects onto ``2**r`` nodes by hashing IDs."""
+
+    def __init__(self, dimension: int, *, salt: str = "direct"):
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.dimension = dimension
+        self.num_nodes = 1 << dimension
+        self.salt = salt
+
+    def node_for(self, object_id: str) -> int:
+        """The node handling ``object_id``."""
+        return stable_hash_to_range(object_id, self.num_nodes, salt=f"direct/{self.salt}")
+
+    def load_by_node(self, object_ids: Iterable[str]) -> dict[int, int]:
+        """Objects handled per node, zero-load nodes included."""
+        loads = dict.fromkeys(range(self.num_nodes), 0)
+        for object_id in object_ids:
+            loads[self.node_for(object_id)] += 1
+        return loads

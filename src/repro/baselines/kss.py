@@ -1,0 +1,209 @@
+"""Keyword-set search (KSS) — Gnawali's scheme, the paper's reference [2].
+
+KSS indexes an object under *every subset* of its keyword set up to a
+window size w (singletons, pairs, ...), so a query of at most w
+keywords is a single lookup.  The price is combinatorial storage: an
+object with k keywords costs ``C(k,1) + ... + C(k,w)`` index entries —
+the redundancy problem the paper's Section 1 highlights ("information
+about the object is repeatedly stored at k (or more) different
+places").  This implementation provides both the static placement
+analysis (storage blow-up, load distribution) and a runnable index over
+a DOLR network.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.keywords import normalize_keywords
+from repro.dht.dolr import DolrNetwork, DolrNode
+from repro.sim.network import Message
+from repro.util.hashing import stable_hash_to_range
+
+__all__ = ["KssApplication", "KssPlacement", "KssQueryResult", "KeywordSetIndex"]
+
+
+def _subset_label(subset: tuple[str, ...]) -> str:
+    return "\x1f".join(subset)
+
+
+def _window_subsets(keywords: frozenset[str], window: int) -> list[tuple[str, ...]]:
+    ordered = sorted(keywords)
+    subsets: list[tuple[str, ...]] = []
+    for size in range(1, min(window, len(ordered)) + 1):
+        subsets.extend(itertools.combinations(ordered, size))
+    return subsets
+
+
+class KssPlacement:
+    """Static keyword-subset-to-node placement over ``2**r`` nodes."""
+
+    def __init__(self, dimension: int, *, window: int = 2, salt: str = "kss"):
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.dimension = dimension
+        self.num_nodes = 1 << dimension
+        self.window = window
+        self.salt = salt
+
+    def node_for(self, subset: Iterable[str]) -> int:
+        ordered = tuple(sorted(normalize_keywords(subset)))
+        return stable_hash_to_range(
+            _subset_label(ordered), self.num_nodes, salt=f"kss/{self.salt}"
+        )
+
+    def entries_per_object(self, keyword_count: int) -> int:
+        """C(k,1) + ... + C(k,w): the storage multiplier."""
+        return sum(
+            math.comb(keyword_count, size)
+            for size in range(1, min(self.window, keyword_count) + 1)
+        )
+
+    def load_by_node(self, keyword_sets: Iterable[Iterable[str]]) -> dict[int, int]:
+        loads = dict.fromkeys(range(self.num_nodes), 0)
+        for keywords in keyword_sets:
+            normalized = normalize_keywords(keywords)
+            for subset in _window_subsets(normalized, self.window):
+                loads[
+                    stable_hash_to_range(
+                        _subset_label(subset), self.num_nodes, salt=f"kss/{self.salt}"
+                    )
+                ] += 1
+        return loads
+
+    def storage_per_object(self, keyword_sets: Iterable[Iterable[str]]) -> float:
+        sizes = [len(normalize_keywords(k)) for k in keyword_sets]
+        if not sizes:
+            return 0.0
+        return sum(self.entries_per_object(size) for size in sizes) / len(sizes)
+
+
+@dataclass(frozen=True)
+class KssQueryResult:
+    """Outcome of a KSS query."""
+
+    query: frozenset[str]
+    object_ids: tuple[str, ...]
+    candidates: int
+    nodes_contacted: int
+
+
+class KssApplication:
+    """Per-node subset postings (message prefix ``kss``).
+
+    Entries store the object's full keyword set so over-window queries
+    can be verified at the requester."""
+
+    prefix = "kss"
+
+    def __init__(self) -> None:
+        self.postings: dict[str, dict[str, tuple[str, ...]]] = {}
+
+    def handle(self, node: DolrNode, message: Message):
+        payload = message.payload
+        if message.kind == "kss.post":
+            bucket = self.postings.setdefault(payload["subset"], {})
+            bucket[payload["object_id"]] = tuple(payload["keywords"])
+            return {}
+        if message.kind == "kss.unpost":
+            bucket = self.postings.get(payload["subset"])
+            if bucket is not None:
+                bucket.pop(payload["object_id"], None)
+                if not bucket:
+                    del self.postings[payload["subset"]]
+            return {}
+        if message.kind == "kss.fetch":
+            bucket = self.postings.get(payload["subset"], {})
+            return {
+                "entries": sorted(
+                    (object_id, list(keywords)) for object_id, keywords in bucket.items()
+                )
+            }
+        raise LookupError(f"unknown kss message kind {message.kind!r}")
+
+    def load(self) -> int:
+        return sum(len(bucket) for bucket in self.postings.values())
+
+
+class KeywordSetIndex:
+    """The KSS scheme running over a DOLR network."""
+
+    def __init__(self, dolr: DolrNetwork, *, window: int = 2, salt: str = "kss"):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.dolr = dolr
+        self.window = window
+        self.salt = salt
+        dolr.ensure_application(lambda node: KssApplication(), "kss")
+
+    def subset_key(self, subset: tuple[str, ...]) -> int:
+        return self.dolr.space.hash_name(_subset_label(subset), salt=f"kss.key/{self.salt}")
+
+    # -- operations -----------------------------------------------------
+
+    def insert(self, object_id: str, keywords: Iterable[str], holder: int) -> int:
+        """Post the object under every window subset; returns the entry
+        count (the storage blow-up, live)."""
+        normalized = normalize_keywords(keywords)
+        first_copy = self.dolr.insert(object_id, holder)
+        if not first_copy:
+            return 0
+        posted = 0
+        for subset in _window_subsets(normalized, self.window):
+            self.dolr.route_rpc(
+                self.subset_key(subset),
+                "kss.post",
+                {
+                    "subset": _subset_label(subset),
+                    "object_id": object_id,
+                    "keywords": sorted(normalized),
+                },
+                origin=holder,
+            )
+            posted += 1
+        return posted
+
+    def delete(self, object_id: str, keywords: Iterable[str], holder: int) -> int:
+        normalized = normalize_keywords(keywords)
+        last_copy = self.dolr.delete(object_id, holder)
+        if not last_copy:
+            return 0
+        removed = 0
+        for subset in _window_subsets(normalized, self.window):
+            self.dolr.route_rpc(
+                self.subset_key(subset),
+                "kss.unpost",
+                {"subset": _subset_label(subset), "object_id": object_id},
+                origin=holder,
+            )
+            removed += 1
+        return removed
+
+    def query(self, keywords: Iterable[str], *, origin: int | None = None) -> KssQueryResult:
+        """One lookup when |K| <= window; otherwise fetch the first
+        window-sized subset and verify candidates at the requester."""
+        query = normalize_keywords(keywords)
+        origin = self.dolr.any_address() if origin is None else origin
+        probe = tuple(sorted(query))[: self.window]
+        result, _ = self.dolr.route_rpc(
+            self.subset_key(probe),
+            "kss.fetch",
+            {"subset": _subset_label(probe)},
+            origin=origin,
+        )
+        matches = [
+            object_id
+            for object_id, full_keywords in result["entries"]
+            if query <= frozenset(full_keywords)
+        ]
+        return KssQueryResult(
+            query=query,
+            object_ids=tuple(sorted(matches)),
+            candidates=len(result["entries"]),
+            nodes_contacted=1,
+        )

@@ -1,0 +1,156 @@
+"""Command-line interface: run any experiment from the shell.
+
+    python -m repro list
+    python -m repro run fig6 --num-objects 20000 --dimensions 6,10,14
+    python -m repro run fig9 --alphas 0,0.1667,1.0 --output fig9.txt
+
+``run`` introspects the chosen runner's signature and coerces each
+``--key value`` option to the parameter's annotated type: integers,
+floats, strings, booleans, and comma-separated tuples of numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+from typing import Any
+
+__all__ = ["EXPERIMENTS", "build_parser", "coerce_value", "main"]
+
+EXPERIMENTS = (
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "eq1",
+    "ablation",
+    "fault",
+    "hotspot",
+    "decomposed",
+    "dhtcmp",
+    "bandwidth",
+    "churn",
+)
+
+
+def coerce_value(raw: str, parameter: inspect.Parameter) -> Any:
+    """Convert a CLI string to the type suggested by the parameter.
+
+    Defaults drive the inference: tuples become tuples of the element
+    type, ints/floats/bools parse directly, None-defaults accept ints.
+    Comma-separated values always produce a tuple.
+    """
+    default = parameter.default
+    if "," in raw or isinstance(default, tuple):
+        parts = [part for part in raw.split(",") if part != ""]
+        return tuple(_scalar(part) for part in parts)
+    if isinstance(default, bool):
+        lowered = raw.lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ValueError(f"expected a boolean for --{parameter.name}, got {raw!r}")
+    if isinstance(default, int):
+        return int(raw)
+    if isinstance(default, float):
+        return float(raw)
+    if isinstance(default, str):
+        return raw
+    return _scalar(raw)
+
+
+def _scalar(raw: str) -> Any:
+    for caster in (int, float):
+        try:
+            return caster(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Keyword Search in DHT-based P2P Networks' (ICDCS 2005)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list available experiments")
+    runner = commands.add_parser("run", help="run one experiment")
+    runner.add_argument("experiment", choices=EXPERIMENTS)
+    runner.add_argument(
+        "--output", help="also write the rendered table to this file", default=None
+    )
+    runner.add_argument(
+        "--chart",
+        default=None,
+        metavar="GROUP,X,Y",
+        help="also draw an ASCII chart: series column (or '-'), x column, y column",
+    )
+    runner.add_argument("--csv", default=None, help="write the rows as CSV to this file")
+    runner.add_argument("--json", default=None, help="write the full result as JSON to this file")
+    return parser
+
+
+def _parse_options(tokens: list[str], signature: inspect.Signature) -> dict[str, Any]:
+    options: dict[str, Any] = {}
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if not token.startswith("--"):
+            raise SystemExit(f"expected an option (--name), got {token!r}")
+        name = token[2:].replace("-", "_")
+        if name not in signature.parameters:
+            valid = ", ".join(sorted(signature.parameters))
+            raise SystemExit(f"unknown option --{token[2:]}; valid: {valid}")
+        if index + 1 >= len(tokens):
+            raise SystemExit(f"option {token} is missing a value")
+        try:
+            options[name] = coerce_value(tokens[index + 1], signature.parameters[name])
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+        index += 2
+    return options
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments, extra = build_parser().parse_known_args(argv)
+    if arguments.command == "list":
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<12} {summary}")
+        return 0
+
+    module = importlib.import_module(f"repro.experiments.{arguments.experiment}")
+    signature = inspect.signature(module.run)
+    options = _parse_options(extra, signature)
+    result = module.run(**options)
+    rendered = result.render()
+    if arguments.chart:
+        from repro.analysis.ascii import chart_experiment
+
+        parts = arguments.chart.split(",")
+        if len(parts) != 3:
+            raise SystemExit("--chart expects GROUP,X,Y (use '-' for no grouping)")
+        group_by = None if parts[0] == "-" else parts[0]
+        rendered += "\n\n" + chart_experiment(result, group_by=group_by, x=parts[1], y=parts[2])
+    print(rendered)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    if arguments.csv:
+        with open(arguments.csv, "w", encoding="utf-8") as handle:
+            handle.write(result.to_csv())
+    if arguments.json:
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""The hypercube keyword index and search scheme (Section 3).
+
+* :mod:`repro.core.keywords` — the hash ``h`` and the mapping
+  ``F_h : 2^W → V`` from keyword sets to hypercube nodes.
+* :mod:`repro.core.mapping` — the hash ``g`` mapping logical hypercube
+  nodes to physical DHT nodes (Section 3.2).
+* :mod:`repro.core.index` — per-node index shards and the Insert /
+  Delete / Pin operations (Section 3.3).
+* :mod:`repro.core.search` — the T_QUERY superset-search protocol:
+  top-down, bottom-up, and level-parallel traversals.
+* :mod:`repro.core.cumulative` — cumulative search sessions (the root
+  keeps the frontier queue between requests).
+* :mod:`repro.core.cache` — per-node query-result caches (Section 4,
+  third experiment).
+* :mod:`repro.core.decomposed` — decomposed multi-hypercube indexes
+  (Section 3.4, last remark).
+* :mod:`repro.core.replication` — k-way index replication through
+  secondary hypercubes (Section 3.4).
+* :mod:`repro.core.sampling` — per-category sampling and query
+  refinement suggestions (Section 1's ranking sketch).
+* :mod:`repro.core.ranking` — order/group/interleave results by
+  specificity and category (Section 1).
+* :mod:`repro.core.expansion` — application-side query expansion from
+  samples and user preferences (Section 3.4's hot-spot mitigation).
+* :mod:`repro.core.service` — the high-level façade tying a DHT, the
+  mapping, and the index together.
+"""
+
+from repro.core.cache import FifoQueryCache, LruQueryCache, QueryCache
+from repro.core.cumulative import CumulativeSearchSession
+from repro.core.decomposed import DecomposedIndex
+from repro.core.index import HypercubeIndex, IndexEntry, IndexShard
+from repro.core.keywords import KeywordHasher, KeywordSetMapper, normalize_keyword
+from repro.core.expansion import ExpandedQuery, QueryExpander
+from repro.core.mapping import HypercubeMapping
+from repro.core.ranking import RankOrder, group_by_category, interleave_categories, rank_results
+from repro.core.replication import ReplicatedHypercubeIndex, ReplicatedSuperSetSearch
+from repro.core.sampling import Refinement, SampledSearch, SampleResult, suggest_refinements
+from repro.core.search import NodeVisit, SearchResult, SuperSetSearch, TraversalOrder
+from repro.core.service import KeywordSearchService
+
+__all__ = [
+    "CumulativeSearchSession",
+    "DecomposedIndex",
+    "FifoQueryCache",
+    "HypercubeIndex",
+    "HypercubeMapping",
+    "IndexEntry",
+    "IndexShard",
+    "KeywordHasher",
+    "KeywordSearchService",
+    "KeywordSetMapper",
+    "LruQueryCache",
+    "ExpandedQuery",
+    "NodeVisit",
+    "QueryCache",
+    "QueryExpander",
+    "RankOrder",
+    "Refinement",
+    "ReplicatedHypercubeIndex",
+    "ReplicatedSuperSetSearch",
+    "SampleResult",
+    "SampledSearch",
+    "SearchResult",
+    "SuperSetSearch",
+    "TraversalOrder",
+    "group_by_category",
+    "interleave_categories",
+    "normalize_keyword",
+    "rank_results",
+    "suggest_refinements",
+]

@@ -1,0 +1,158 @@
+"""Per-node query-result caches (Section 4, third experiment).
+
+The paper installs a cache at each node, managed FIFO, with capacity
+``α × |O| / 2**r`` — a fraction α of the average index size per node.
+Because every query for keyword set K roots at the same node
+``F_h(K)``, caching complete result sets at the root lets repeated
+popular queries (the bulk of real streams) be answered by contacting
+that single node.
+
+A cache entry maps a query keyword set to the ordered results collected
+by a previous search, together with a completeness flag: a search that
+exhausted the subhypercube caches a *complete* set, usable at any
+requested threshold; a threshold-limited search caches a partial set,
+usable only when it already covers the new request.  Capacity is
+accounted in object references, the same unit as index-table size, so α
+is directly comparable to the paper's.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+__all__ = ["CachedResult", "FifoQueryCache", "LruQueryCache", "QueryCache"]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """Results of one earlier query: (object_id, keyword_set) in the
+    order the search returned them, plus completeness."""
+
+    results: tuple[tuple[str, frozenset[str]], ...]
+    complete: bool
+
+    @property
+    def size(self) -> int:
+        """Cache-capacity units consumed (object references)."""
+        return len(self.results)
+
+    def satisfies(self, threshold: int | None) -> bool:
+        """Can this entry answer a request for ``threshold`` results
+        (None = all)?"""
+        if self.complete:
+            return True
+        return threshold is not None and len(self.results) >= threshold
+
+
+class QueryCache(abc.ABC):
+    """Bounded cache of query results with a pluggable eviction policy.
+
+    ``unit`` selects how capacity is accounted:
+
+    * ``"entries"`` (default) — one unit per cached query, mirroring the
+      index table's ⟨K, O⟩ entry granularity.  This is the reading under
+      which the paper's Figure 9 is reproducible: a root node needs to
+      retain one entry per distinct query it roots, and the number of
+      distinct queries per root is small even for huge streams.
+    * ``"references"`` — one unit per cached object reference, for the
+      stricter-accounting ablation.
+    """
+
+    def __init__(self, capacity: int, *, unit: str = "entries"):
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        if unit not in ("entries", "references"):
+            raise ValueError(f"unit must be 'entries' or 'references', got {unit!r}")
+        self.capacity = capacity
+        self.unit = unit
+        self._entries: OrderedDict[Hashable, CachedResult] = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _size_of(self, entry: CachedResult) -> int:
+        return 1 if self.unit == "entries" else entry.size
+
+    # -- policy hook ------------------------------------------------------
+
+    @abc.abstractmethod
+    def _touch(self, key: Hashable) -> None:
+        """Update recency bookkeeping after a hit on ``key``."""
+
+    # -- operations ---------------------------------------------------------
+
+    def get(self, query: Hashable, threshold: int | None) -> CachedResult | None:
+        """Return a cached result able to answer ``threshold``, or None."""
+        entry = self._entries.get(query)
+        if entry is None or not entry.satisfies(threshold):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(query)
+        return entry
+
+    def put(
+        self,
+        query: Hashable,
+        results: tuple[tuple[str, frozenset[str]], ...],
+        *,
+        complete: bool,
+    ) -> bool:
+        """Insert (or refresh) an entry, evicting in policy order until it
+        fits.  Returns False when the entry alone exceeds capacity (it is
+        then not cached at all)."""
+        entry = CachedResult(results, complete)
+        size = self._size_of(entry)
+        if size > self.capacity:
+            self._evict_key(query)
+            return False
+        self._evict_key(query)
+        while self._used + size > self.capacity and self._entries:
+            self._evict_oldest()
+        self._entries[query] = entry
+        self._used += size
+        return True
+
+    def _evict_key(self, query: Hashable) -> None:
+        previous = self._entries.pop(query, None)
+        if previous is not None:
+            self._used -= self._size_of(previous)
+
+    def _evict_oldest(self) -> None:
+        _, evicted = self._entries.popitem(last=False)
+        self._used -= self._size_of(evicted)
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, query: Hashable) -> bool:
+        return query in self._entries
+
+    @property
+    def used(self) -> int:
+        """Capacity units currently occupied."""
+        return self._used
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FifoQueryCache(QueryCache):
+    """The paper's policy: evict in insertion order, hits do not refresh."""
+
+    def _touch(self, key: Hashable) -> None:
+        return None
+
+
+class LruQueryCache(QueryCache):
+    """Least-recently-used variant, for the cache-policy ablation."""
+
+    def _touch(self, key: Hashable) -> None:
+        self._entries.move_to_end(key)

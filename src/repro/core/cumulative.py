@@ -1,0 +1,163 @@
+"""Cumulative superset search (Sections 2.2 and 3.3).
+
+"Superset search can be designated as *cumulative*, where the results
+returned by consecutive searches with the same keyword set must be
+different" — the browse-through-pages behaviour of large information
+systems.  The paper implements it by letting the root node keep the
+frontier queue ``U`` between queries; a session object plays that role
+here: each :meth:`next_batch` resumes the T_QUERY walk exactly where the
+previous one stopped, including mid-node (a node whose scan was
+truncated is re-scanned and its already-served prefix skipped).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.index import HypercubeIndex
+from repro.core.keywords import normalize_keywords
+from repro.core.search import FoundObject, NodeVisit
+from repro.util import bitops
+
+__all__ = ["CumulativeBatch", "CumulativeSearchSession"]
+
+
+@dataclass(frozen=True)
+class CumulativeBatch:
+    """One page of results from a cumulative session."""
+
+    objects: tuple[FoundObject, ...]
+    visits: tuple[NodeVisit, ...]
+    exhausted: bool
+
+
+class CumulativeSearchSession:
+    """A stateful superset search rooted at ``F_h(K)``.
+
+    State kept across batches (conceptually at the root node): the FIFO
+    queue ``U``, the node currently being drained, and how many of its
+    objects have been served.
+    """
+
+    def __init__(
+        self,
+        index: HypercubeIndex,
+        keywords: Iterable[str],
+        *,
+        origin: int | None = None,
+    ):
+        self.index = index
+        self.query = normalize_keywords(keywords)
+        self.origin = index.dolr.any_address() if origin is None else origin
+        self.root_logical = index.mapper.node_for(self.query)
+        route = index.mapping.route_to(self.root_logical, origin=self.origin)
+        self.root_physical = route.owner
+        dimension = index.cube.dimension
+        self._queue: deque[tuple[int, int]] = deque([(self.root_logical, dimension)])
+        self._current: tuple[int, int] | None = None
+        self._served_of_current = 0
+        self._exhausted = False
+        self._visit_counter = 0
+        self._total_served = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the whole subhypercube has been drained."""
+        return self._exhausted
+
+    @property
+    def total_served(self) -> int:
+        return self._total_served
+
+    def next_batch(self, count: int) -> CumulativeBatch:
+        """Serve the next ``count`` objects (fewer iff exhausted)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        objects: list[FoundObject] = []
+        visits: list[NodeVisit] = []
+        while len(objects) < count and not self._exhausted:
+            if self._current is None:
+                if not self._queue:
+                    self._exhausted = True
+                    break
+                self._current = self._queue.popleft()
+                self._served_of_current = 0
+            node, d = self._current
+            need = count - len(objects)
+            found, drained = self._scan_node(node, self._served_of_current, need)
+            objects.extend(found)
+            self._served_of_current += len(found)
+            self._total_served += len(found)
+            visits.append(
+                NodeVisit(
+                    self._visit_counter,
+                    node,
+                    self.index.mapping.physical_owner(node),
+                    bitops.popcount(node ^ self.root_logical),
+                    len(found),
+                    0,
+                )
+            )
+            self._visit_counter += 1
+            if drained:
+                self._enqueue_children(node, d)
+                self._current = None
+        if not self._queue and self._current is None:
+            self._exhausted = True
+        return CumulativeBatch(tuple(objects), tuple(visits), self._exhausted)
+
+    def drain(self, batch_size: int = 64) -> list[FoundObject]:
+        """Serve everything remaining, for tests and small cubes."""
+        everything: list[FoundObject] = []
+        while not self._exhausted:
+            batch = self.next_batch(batch_size)
+            everything.extend(batch.objects)
+            if not batch.objects and batch.exhausted:
+                break
+        return everything
+
+    # -- internals ------------------------------------------------------
+
+    def _scan_node(
+        self, logical: int, skip: int, need: int
+    ) -> tuple[list[FoundObject], bool]:
+        """Scan one node, skipping the ``skip`` objects served earlier.
+
+        Returns (newly served objects, node fully drained?).  The skip
+        re-reads previously returned IDs — the price of keeping only a
+        cursor at the root, as the paper's design implies.
+        """
+        dolr = self.index.dolr
+        physical = self.index.mapping.physical_owner(logical)
+        sender = self.root_physical
+        reply = dolr.rpc_at(
+            sender,
+            physical,
+            "hindex.scan",
+            {
+                "namespace": self.index.namespace,
+                "logical": logical,
+                "keywords": self.query,
+                "limit": skip + need,
+            },
+        )
+        flat = [
+            FoundObject(object_id, entry_keywords)
+            for entry_keywords, object_ids in reply["matches"]
+            for object_id in object_ids
+        ]
+        fresh = flat[skip:]
+        drained = not reply["truncated"] and len(flat) <= skip + need
+        if fresh and physical != self.origin:
+            dolr.network.send(
+                physical, self.origin, "hindex.results", {"count": len(fresh)}, deliver=False
+            )
+        return fresh, drained
+
+    def _enqueue_children(self, node: int, d: int) -> None:
+        dimension = self.index.cube.dimension
+        for i in range(dimension - 1, -1, -1):
+            if i < d and not (node >> i) & 1:
+                self._queue.append((node | (1 << i), i))

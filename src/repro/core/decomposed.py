@@ -1,0 +1,217 @@
+"""Decomposed multi-hypercube indexes (Section 3.4, final remark).
+
+"Instead of using a single large hypercube to index objects, we can
+divide the entire keyword set into smaller, disjoint subsets, and then
+use a hypercube for each subset" — useful when objects carry several
+attribute groups of very different query frequency, and because a
+smaller dimension means a smaller subhypercube to search.
+
+Keywords are partitioned into ``groups`` disjoint sub-vocabularies —
+either by an explicit classifier (e.g. attribute name prefixes) or by a
+uniform hash.  An object is indexed in every group its keyword set
+touches, under the *projection* of the set onto that group.  A query is
+answered from the group with the most selective projection (the one
+occupying the most dimensions), and candidates are verified against the
+full query using the object metadata fetched through the DOLR layer —
+each group's entry stores the object's full keyword set for exactly
+that purpose.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.core.index import HypercubeIndex
+from repro.core.keywords import KeywordHasher, KeywordSetMapper, normalize_keywords
+from repro.core.mapping import HypercubeMapping
+from repro.core.search import FoundObject, SearchResult, SuperSetSearch, TraversalOrder
+from repro.dht.dolr import DolrNetwork
+from repro.hypercube.hypercube import Hypercube
+from repro.util.hashing import stable_hash_to_range
+
+__all__ = ["DecomposedIndex", "DecomposedSearchResult"]
+
+
+@dataclass(frozen=True)
+class DecomposedSearchResult:
+    """Outcome of a search against a decomposed index."""
+
+    query: frozenset[str]
+    group: int
+    projection: frozenset[str]
+    objects: tuple[FoundObject, ...]
+    candidates: int
+    inner: SearchResult
+
+    @property
+    def object_ids(self) -> tuple[str, ...]:
+        return tuple(found.object_id for found in self.objects)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of candidates that survived full-query verification."""
+        return len(self.objects) / self.candidates if self.candidates else 1.0
+
+
+class DecomposedIndex:
+    """Several smaller hypercube indexes over a partitioned vocabulary.
+
+    Entries are keyed by the *projection* of an object's keyword set but
+    carry the full set (as extra "shadow" keywords folded into the entry
+    keyword set would misplace the entry, the full set is stored in a
+    registry shard alongside — here, for simulation economy, in the
+    orchestrator's metadata map, standing in for a DOLR metadata fetch).
+    """
+
+    def __init__(
+        self,
+        dolr: DolrNetwork,
+        *,
+        groups: int,
+        dimension_per_group: int,
+        classifier: Callable[[str], int] | None = None,
+        salt: str = "decomposed",
+    ):
+        if groups < 1:
+            raise ValueError(f"groups must be >= 1, got {groups}")
+        self.dolr = dolr
+        self.groups = groups
+        self.salt = salt
+        self._classifier = classifier
+        self.indexes: list[HypercubeIndex] = []
+        for group in range(groups):
+            cube = Hypercube(dimension_per_group)
+            mapper = KeywordSetMapper(cube, KeywordHasher(dimension_per_group, salt=f"{salt}/{group}"))
+            mapping = HypercubeMapping(cube, dolr, salt=f"{salt}/{group}")
+            self.indexes.append(
+                HypercubeIndex(
+                    cube, dolr, mapper=mapper, mapping=mapping, namespace=f"{salt}/g{group}"
+                )
+            )
+        self.full_keywords: dict[str, frozenset[str]] = {}
+
+    # -- partitioning -----------------------------------------------------
+
+    def group_of(self, keyword: str) -> int:
+        """Which sub-vocabulary a keyword belongs to."""
+        if self._classifier is not None:
+            group = self._classifier(keyword)
+            if not 0 <= group < self.groups:
+                raise ValueError(
+                    f"classifier returned group {group}, expected [0, {self.groups})"
+                )
+            return group
+        return stable_hash_to_range(keyword, self.groups, salt=f"{self.salt}/partition")
+
+    def project(self, keywords: Iterable[str]) -> dict[int, frozenset[str]]:
+        """Split a keyword set into its non-empty per-group projections."""
+        projections: dict[int, set[str]] = {}
+        for keyword in normalize_keywords(keywords):
+            projections.setdefault(self.group_of(keyword), set()).add(keyword)
+        return {group: frozenset(parts) for group, parts in projections.items()}
+
+    # -- operations ---------------------------------------------------------
+
+    def insert(self, object_id: str, keywords: Iterable[str], holder: int) -> int:
+        """Index the object in every touched group; returns the number of
+        groups written (the per-object storage multiplier)."""
+        normalized = normalize_keywords(keywords)
+        projections = self.project(normalized)
+        self.full_keywords[object_id] = normalized
+        first_copy = self.dolr.insert(object_id, holder)
+        if not first_copy:
+            return 0
+        written = 0
+        for group, projection in projections.items():
+            index = self.indexes[group]
+            logical = index.mapper.node_for(projection)
+            index.dolr.route_rpc(
+                index.mapping.dht_key(logical),
+                "hindex.put",
+                {
+                    "namespace": index.namespace,
+                    "logical": logical,
+                    "keywords": sorted(projection),
+                    "object_id": object_id,
+                },
+                origin=holder,
+            )
+            written += 1
+        return written
+
+    def delete(self, object_id: str, holder: int) -> int:
+        """Remove the object from every group it was indexed in."""
+        normalized = self.full_keywords.get(object_id)
+        if normalized is None:
+            return 0
+        last_copy = self.dolr.delete(object_id, holder)
+        if not last_copy:
+            return 0
+        self.full_keywords.pop(object_id, None)
+        removed = 0
+        for group, projection in self.project(normalized).items():
+            index = self.indexes[group]
+            logical = index.mapper.node_for(projection)
+            index.dolr.route_rpc(
+                index.mapping.dht_key(logical),
+                "hindex.remove",
+                {
+                    "namespace": index.namespace,
+                    "logical": logical,
+                    "keywords": sorted(projection),
+                    "object_id": object_id,
+                },
+                origin=holder,
+            )
+            removed += 1
+        return removed
+
+    def superset_search(
+        self,
+        keywords: Iterable[str],
+        threshold: int | None = None,
+        *,
+        origin: int | None = None,
+        order: TraversalOrder = TraversalOrder.TOP_DOWN,
+    ) -> DecomposedSearchResult:
+        """Search the most selective group, verify against the full query."""
+        query = normalize_keywords(keywords)
+        projections = self.project(query)
+        group = max(
+            projections,
+            key=lambda g: (self.indexes[g].mapper.one_count(projections[g]), -g),
+        )
+        projection = projections[group]
+        searcher = SuperSetSearch(self.indexes[group])
+        # Verification needs every candidate, so the group search cannot
+        # be thresholded by the caller's t (a candidate may fail
+        # verification); it streams until `threshold` *verified* objects.
+        inner = searcher.run(projection, None, origin=origin, order=order)
+        verified: list[FoundObject] = []
+        candidates = 0
+        for found in inner.objects:
+            candidates += 1
+            full = self.full_keywords.get(found.object_id, found.keywords)
+            if query <= full:
+                verified.append(FoundObject(found.object_id, full))
+                if threshold is not None and len(verified) >= threshold:
+                    break
+        return DecomposedSearchResult(
+            query=query,
+            group=group,
+            projection=projection,
+            objects=tuple(verified),
+            candidates=candidates,
+            inner=inner,
+        )
+
+    # -- accounting -----------------------------------------------------------
+
+    def storage_multiplier(self) -> float:
+        """Mean number of group entries per object — the redundancy the
+        decomposition trades for smaller search spaces."""
+        if not self.full_keywords:
+            return 0.0
+        total = sum(len(self.project(k)) for k in self.full_keywords.values())
+        return total / len(self.full_keywords)

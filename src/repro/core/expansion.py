@@ -1,0 +1,122 @@
+"""Query expansion (Section 3.4's hot-spot mitigation).
+
+Popular few-keyword queries all root at the same handful of nodes.
+The paper's remedy: "query expansion can be used to expand keyword
+sets.  Moreover, the applications can add some keywords, based on,
+say, the user's preference or his past logs, to help him locate his
+interest.  This customization not only improves search quality, but
+also alleviates the potential hot spot."
+
+:class:`QueryExpander` implements that application-side policy with no
+global knowledge: a cheap category sample of the original query yields
+candidate extra keywords; the expander picks the candidate that (a)
+matches the user's preference profile where possible and (b) actually
+shrinks the search space (hashes into a new dimension), and issues the
+*expanded* query.  Expanded queries root deeper in the subcube
+(Lemma 3.3), spreading load off the popular roots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.index import HypercubeIndex
+from repro.core.keywords import normalize_keywords
+from repro.core.sampling import SampledSearch, suggest_refinements
+
+__all__ = ["ExpandedQuery", "QueryExpander"]
+
+
+@dataclass(frozen=True)
+class ExpandedQuery:
+    """An expansion decision."""
+
+    original: frozenset[str]
+    expanded: frozenset[str]
+    added: frozenset[str]
+    sample_visits: int
+
+    @property
+    def changed(self) -> bool:
+        return self.expanded != self.original
+
+
+class QueryExpander:
+    """Application-side query expansion from samples and preferences."""
+
+    def __init__(
+        self,
+        index: HypercubeIndex,
+        *,
+        sample_visits: int = 12,
+        per_category: int = 2,
+        max_categories: int = 12,
+    ):
+        if sample_visits < 1:
+            raise ValueError(f"sample_visits must be >= 1, got {sample_visits}")
+        self.index = index
+        self.sample_visits = sample_visits
+        self.per_category = per_category
+        self.max_categories = max_categories
+        self._sampler = SampledSearch(index)
+
+    def expand(
+        self,
+        keywords: Iterable[str],
+        *,
+        preferences: Mapping[str, float] | Iterable[str] = (),
+        max_added: int = 1,
+        origin: int | None = None,
+    ) -> ExpandedQuery:
+        """Expand a query by up to ``max_added`` keywords.
+
+        ``preferences`` weights candidate keywords (a mapping keyword →
+        weight, or an iterable treated as weight 1 each) — the "user's
+        preference or past logs" of the paper.  Candidates that do not
+        occupy a new hypercube dimension are skipped (they would not
+        shrink the search space).  When nothing qualifies, the original
+        query is returned unchanged.
+        """
+        if max_added < 0:
+            raise ValueError(f"max_added must be >= 0, got {max_added}")
+        query = normalize_keywords(keywords)
+        if max_added == 0:
+            return ExpandedQuery(query, query, frozenset(), 0)
+        if isinstance(preferences, Mapping):
+            weights = {k: float(v) for k, v in preferences.items()}
+        else:
+            weights = {k: 1.0 for k in preferences}
+        weights = {
+            normalized: weight
+            for keyword, weight in weights.items()
+            for normalized in [next(iter(normalize_keywords([keyword])))]
+        }
+
+        sample = self._sampler.run(
+            query,
+            per_category=self.per_category,
+            max_categories=self.max_categories,
+            max_visits=self.sample_visits,
+            origin=origin,
+        )
+        suggestions = suggest_refinements(sample, self.index, limit=16)
+        current = query
+        added: set[str] = set()
+        for _ in range(max_added):
+            best = None
+            best_score = 0.0
+            for suggestion in suggestions:
+                if suggestion.keyword in current or suggestion.keyword in added:
+                    continue
+                if suggestion.subcube_reduction <= 0.0:
+                    continue  # hashes into an occupied dimension
+                preference = 1.0 + weights.get(suggestion.keyword, 0.0)
+                score = suggestion.score * preference
+                if score > best_score:
+                    best, best_score = suggestion, score
+            if best is None:
+                break
+            added.add(best.keyword)
+            current = frozenset(current | {best.keyword})
+        return ExpandedQuery(query, current, frozenset(added), sample.visits)

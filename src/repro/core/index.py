@@ -1,0 +1,473 @@
+"""The hypercube index: per-node shards and Insert / Delete / Pin.
+
+Every logical hypercube node ``u`` keeps an index table ``Tbl_u`` of
+entries ``⟨keyword_set, {object ids}⟩`` (Section 3.3).  A physical DHT
+node may play several logical nodes (when r exceeds log2 of the network
+size), so its :class:`IndexShard` keys tables by ``(namespace, logical
+node)`` — the namespace isolates coexisting indexes (e.g. the groups of
+a decomposed index, Section 3.4) and a superset scan is always scoped
+to one logical node of one namespace, which keeps results exact and
+duplicate-free even under heavy logical-to-physical sharing.
+
+:class:`HypercubeIndex` is the network-facing orchestrator.  Operations
+follow the paper's flow: an object publish first records the replica
+reference at ``L(σ)`` through the DOLR layer; only the *first* copy
+triggers index insertion at ``g(F_h(K_σ))``.  Pin search routes one
+message to the responsible node.  (Superset search lives in
+:mod:`repro.core.search`.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.core.cache import FifoQueryCache, QueryCache
+from repro.core.keywords import KeywordSetMapper, normalize_keywords
+from repro.core.mapping import HypercubeMapping
+from repro.dht.dolr import DolrNetwork, DolrNode
+from repro.hypercube.hypercube import Hypercube
+from repro.sim.network import Message
+
+__all__ = ["HypercubeIndex", "IndexEntry", "IndexShard", "PinResult"]
+
+TableKey = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One index-table entry ⟨K, {σ_1, ..., σ_n}⟩."""
+
+    keywords: frozenset[str]
+    object_ids: frozenset[str]
+
+
+@dataclass(frozen=True)
+class PinResult:
+    """Outcome of a pin search."""
+
+    keywords: frozenset[str]
+    object_ids: tuple[str, ...]
+    logical_node: int
+    physical_node: int
+    dht_hops: int
+
+
+def _entry_sort_key(item: tuple[frozenset[str], set[str]]) -> tuple[int, tuple[str, ...]]:
+    keywords, _ = item
+    return (len(keywords), tuple(sorted(keywords)))
+
+
+class IndexShard:
+    """Per-physical-node application holding the index tables of every
+    logical node that physical node plays, plus the query cache.
+
+    Message kinds (prefix ``hindex``):
+
+    * ``hindex.put`` / ``hindex.remove`` — entry maintenance,
+    * ``hindex.pin`` — exact-set lookup,
+    * ``hindex.scan`` — superset scan at one logical node (the body of a
+      T_QUERY step),
+    * ``hindex.results`` — receipt of directly-forwarded result IDs,
+    * ``hindex.transfer`` — bulk table hand-off for churn maintenance,
+    * ``hindex.cache_get`` / ``hindex.cache_put`` — root-side result
+      cache for repeated queries.
+    """
+
+    prefix = "hindex"
+
+    def __init__(self, cache_factory=None, cache_capacity: int = 0):
+        self.tables: dict[TableKey, dict[frozenset[str], set[str]]] = {}
+        # One query cache per *logical* node (the paper installs a cache
+        # at each hypercube node); created lazily on first use.
+        self.cache_factory = cache_factory if cache_factory is not None else FifoQueryCache
+        self.cache_capacity = cache_capacity
+        self.caches: dict[TableKey, QueryCache] = {}
+        # Scans iterate entries in sorted order; the order is cached per
+        # table and invalidated on mutation (scans vastly outnumber
+        # mutations in the query experiments).
+        self._scan_order: dict[TableKey, list[frozenset[str]]] = {}
+
+    def cache_for(self, key: TableKey) -> QueryCache:
+        """The query cache of one logical node (lazily created)."""
+        cache = self.caches.get(key)
+        if cache is None:
+            cache = self.cache_factory(self.cache_capacity)
+            self.caches[key] = cache
+        return cache
+
+    def cache_stats(self) -> tuple[int, int]:
+        """(hits, misses) summed over this shard's logical nodes."""
+        hits = sum(cache.hits for cache in self.caches.values())
+        misses = sum(cache.misses for cache in self.caches.values())
+        return hits, misses
+
+    # -- local operations (also the handler bodies) -----------------------
+
+    def put(self, key: TableKey, keywords: frozenset[str], object_id: str) -> None:
+        table = self.tables.setdefault(key, {})
+        table.setdefault(keywords, set()).add(object_id)
+        self._scan_order.pop(key, None)
+
+    def remove(self, key: TableKey, keywords: frozenset[str], object_id: str) -> bool:
+        table = self.tables.get(key)
+        if table is None or keywords not in table:
+            return False
+        objects = table[keywords]
+        objects.discard(object_id)
+        if not objects:
+            del table[keywords]
+            if not table:
+                del self.tables[key]
+        self._scan_order.pop(key, None)
+        return True
+
+    def pin(self, key: TableKey, keywords: frozenset[str]) -> tuple[str, ...]:
+        table = self.tables.get(key, {})
+        return tuple(sorted(table.get(keywords, ())))
+
+    def scan(
+        self, key: TableKey, keywords: frozenset[str], limit: int | None
+    ) -> tuple[list[tuple[frozenset[str], tuple[str, ...]]], bool]:
+        """Entries at ``key`` whose keyword set contains ``keywords``,
+        smallest/lexicographically-first keyword sets first, truncated to
+        ``limit`` object ids.  Returns (matches, truncated)."""
+        table = self.tables.get(key)
+        if table is None:
+            return [], False
+        order = self._scan_order.get(key)
+        if order is None:
+            order = sorted(table, key=lambda k: (len(k), tuple(sorted(k))))
+            self._scan_order[key] = order
+        matches: list[tuple[frozenset[str], tuple[str, ...]]] = []
+        budget = limit
+        truncated = False
+        for entry_keywords in order:
+            if not keywords <= entry_keywords:
+                continue
+            ordered = tuple(sorted(table[entry_keywords]))
+            if budget is not None:
+                if budget <= 0:
+                    truncated = True
+                    break
+                if len(ordered) > budget:
+                    ordered = ordered[:budget]
+                    truncated = True
+                budget -= len(ordered)
+            matches.append((entry_keywords, ordered))
+        return matches, truncated
+
+    # -- introspection ------------------------------------------------------
+
+    def entries(self, key: TableKey) -> list[IndexEntry]:
+        table = self.tables.get(key, {})
+        return [
+            IndexEntry(keywords, frozenset(objects))
+            for keywords, objects in sorted(table.items(), key=_entry_sort_key)
+        ]
+
+    def load(self, key: TableKey | None = None, *, namespace: str | None = None) -> int:
+        """Object references stored — for one table, one namespace, or in
+        total."""
+        if key is not None:
+            return sum(len(objects) for objects in self.tables.get(key, {}).values())
+        return sum(
+            len(objects)
+            for (table_namespace, _), table in self.tables.items()
+            if namespace is None or table_namespace == namespace
+            for objects in table.values()
+        )
+
+    # -- message handling ---------------------------------------------------
+
+    def handle(self, node: DolrNode, message: Message):
+        payload = message.payload
+        if message.kind in ("hindex.put", "hindex.remove", "hindex.pin", "hindex.scan"):
+            key = (payload["namespace"], payload["logical"])
+            keywords = frozenset(payload["keywords"])
+            if message.kind == "hindex.put":
+                self.put(key, keywords, payload["object_id"])
+                return {}
+            if message.kind == "hindex.remove":
+                return {"removed": self.remove(key, keywords, payload["object_id"])}
+            if message.kind == "hindex.pin":
+                return {"object_ids": self.pin(key, keywords)}
+            matches, truncated = self.scan(key, keywords, payload.get("limit"))
+            # Payloads stay in-process: entries cross as (frozenset,
+            # tuple) pairs without serialization round-trips.
+            return {"matches": matches, "truncated": truncated}
+        if message.kind == "hindex.transfer":
+            key = (payload["namespace"], payload["logical"])
+            for keywords, object_ids in payload["table"]:
+                for object_id in object_ids:
+                    self.put(key, frozenset(keywords), object_id)
+            return {"accepted": sum(len(ids) for _, ids in payload["table"])}
+        if message.kind == "hindex.results":
+            # Receipt of object IDs a queried node forwarded directly to
+            # the requester; the requester-side driver already collected
+            # them, so this is accounting-only.
+            return {}
+        if message.kind == "hindex.cache_get":
+            cache = self.cache_for((payload["namespace"], payload["logical"]))
+            entry = cache.get(frozenset(payload["keywords"]), payload.get("threshold"))
+            if entry is None:
+                return {"hit": False}
+            return {"hit": True, "complete": entry.complete, "results": entry.results}
+        if message.kind == "hindex.cache_put":
+            cache = self.cache_for((payload["namespace"], payload["logical"]))
+            stored = cache.put(
+                frozenset(payload["keywords"]),
+                tuple(payload["results"]),
+                complete=payload["complete"],
+            )
+            return {"stored": stored}
+        raise LookupError(f"unknown hindex message kind {message.kind!r}")
+
+
+class HypercubeIndex:
+    """The keyword index over a hypercube mapped onto a DOLR network."""
+
+    def __init__(
+        self,
+        cube: Hypercube,
+        dolr: DolrNetwork,
+        *,
+        mapper: KeywordSetMapper | None = None,
+        mapping: HypercubeMapping | None = None,
+        namespace: str = "main",
+        cache_capacity: int = 0,
+        cache_factory=FifoQueryCache,
+    ):
+        self.cube = cube
+        self.dolr = dolr
+        self.mapper = mapper if mapper is not None else KeywordSetMapper(cube)
+        self.mapping = mapping if mapping is not None else HypercubeMapping(cube, dolr)
+        self.namespace = namespace
+        self.cache_capacity = cache_capacity
+        dolr.ensure_application(
+            lambda node: IndexShard(cache_factory, cache_capacity), "hindex"
+        )
+
+    # -- shard access -------------------------------------------------------
+
+    def shard_at(self, physical: int) -> IndexShard:
+        shard = self.dolr.node(physical).application("hindex")
+        assert isinstance(shard, IndexShard)
+        return shard
+
+    def shard_for_logical(self, logical: int) -> IndexShard:
+        return self.shard_at(self.mapping.physical_owner(logical))
+
+    def table_key(self, logical: int) -> TableKey:
+        return (self.namespace, logical)
+
+    # -- the paper's operations ------------------------------------------------
+
+    def insert(
+        self, object_id: str, keywords: Iterable[str], holder: int, *, origin: int | None = None
+    ) -> bool:
+        """Publish a replica of ``object_id`` held at node ``holder``.
+
+        The reference is recorded at L(σ); if this was the first copy,
+        the index entry ⟨K_σ, σ⟩ is placed at g(F_h(K_σ)).  Returns True
+        when the index entry was created (first copy).
+        """
+        normalized = normalize_keywords(keywords)
+        first_copy = self.dolr.insert(object_id, holder, origin=origin)
+        if not first_copy:
+            return False
+        logical = self.mapper.node_for(normalized)
+        reference_owner = self.dolr.local_owner(self.dolr.object_key(object_id))
+        self.dolr.route_rpc(
+            self.mapping.dht_key(logical),
+            "hindex.put",
+            {
+                "namespace": self.namespace,
+                "logical": logical,
+                "keywords": sorted(normalized),
+                "object_id": object_id,
+            },
+            origin=reference_owner,
+        )
+        return True
+
+    def delete(
+        self, object_id: str, keywords: Iterable[str], holder: int, *, origin: int | None = None
+    ) -> bool:
+        """Withdraw a replica; the index entry is removed with the last
+        copy.  Returns True when the index entry was removed."""
+        normalized = normalize_keywords(keywords)
+        last_copy = self.dolr.delete(object_id, holder, origin=origin)
+        if not last_copy:
+            return False
+        logical = self.mapper.node_for(normalized)
+        reference_owner = self.dolr.local_owner(self.dolr.object_key(object_id))
+        self.dolr.route_rpc(
+            self.mapping.dht_key(logical),
+            "hindex.remove",
+            {
+                "namespace": self.namespace,
+                "logical": logical,
+                "keywords": sorted(normalized),
+                "object_id": object_id,
+            },
+            origin=reference_owner,
+        )
+        return True
+
+    def pin_search(self, keywords: Iterable[str], *, origin: int | None = None) -> PinResult:
+        """Exact-keyword-set search: one routed message to F_h(K)."""
+        normalized = normalize_keywords(keywords)
+        logical = self.mapper.node_for(normalized)
+        result, route = self.dolr.route_rpc(
+            self.mapping.dht_key(logical),
+            "hindex.pin",
+            {
+                "namespace": self.namespace,
+                "logical": logical,
+                "keywords": sorted(normalized),
+            },
+            origin=origin,
+        )
+        return PinResult(
+            keywords=normalized,
+            object_ids=tuple(result["object_ids"]),
+            logical_node=logical,
+            physical_node=route.owner,
+            dht_hops=route.hops,
+        )
+
+    # -- churn maintenance -------------------------------------------------
+
+    def rebalance(self) -> int:
+        """Move misplaced index tables to their current owners.
+
+        After nodes *join*, keys change owners but data does not move by
+        itself (the DHT layer stores what it is given).  This sweep
+        transfers every table of this namespace hosted on the wrong node
+        to the right one, one ``hindex.transfer`` message per (logical
+        node, destination).  Returns the number of object references
+        moved.
+        """
+        self.mapping.invalidate_placement_cache()
+        moved = 0
+        for address in list(self.dolr.addresses()):
+            moved += self._push_misplaced_tables(address)
+        return moved
+
+    def evacuate(self, leaving: int) -> int:
+        """Hand off a departing node's tables before a graceful leave.
+
+        Owners are computed *as if* ``leaving`` were already gone, so
+        the data lands exactly where post-departure lookups will go.
+        Call this, then ``dolr.leave(leaving)``.  Returns the number of
+        object references moved.
+        """
+        if leaving not in self.dolr.nodes:
+            raise ValueError(f"unknown node {leaving}")
+        shard = self.shard_at(leaving)
+        node = self.dolr.nodes.pop(leaving)  # simulate absence for placement
+        try:
+            self.mapping.invalidate_placement_cache()
+            moved = self._push_misplaced_tables(leaving, shard=shard)
+        finally:
+            self.dolr.nodes[leaving] = node
+            self.mapping.invalidate_placement_cache()
+        return moved
+
+    def _push_misplaced_tables(self, address: int, shard: IndexShard | None = None) -> int:
+        shard = self.shard_at(address) if shard is None else shard
+        moved = 0
+        for key in [k for k in shard.tables if k[0] == self.namespace]:
+            _, logical = key
+            owner = self.mapping.physical_owner(logical)
+            if owner == address:
+                continue
+            table = shard.tables.pop(key)
+            shard._scan_order.pop(key, None)
+            payload_table = [
+                (sorted(keywords), sorted(object_ids))
+                for keywords, object_ids in table.items()
+            ]
+            self.dolr.network.rpc(
+                address,
+                owner,
+                "hindex.transfer",
+                {"namespace": self.namespace, "logical": logical, "table": payload_table},
+            )
+            moved += sum(len(ids) for _, ids in payload_table)
+        return moved
+
+    # -- bulk/introspection helpers for experiments ---------------------------
+
+    def reset_caches(self, cache_capacity: int | None = None, cache_factory=None) -> None:
+        """Drop every node's query caches (optionally re-configuring
+        capacity/policy) — lets experiments sweep cache parameters
+        without rebuilding the index."""
+        if cache_capacity is not None:
+            self.cache_capacity = cache_capacity
+        for address in self.dolr.addresses():
+            shard = self.shard_at(address)
+            shard.caches.clear()
+            if cache_capacity is not None:
+                shard.cache_capacity = cache_capacity
+            if cache_factory is not None:
+                shard.cache_factory = cache_factory
+
+    def cache_stats(self) -> tuple[int, int]:
+        """(hits, misses) aggregated over all shards."""
+        hits = misses = 0
+        for address in self.dolr.addresses():
+            shard_hits, shard_misses = self.shard_at(address).cache_stats()
+            hits += shard_hits
+            misses += shard_misses
+        return hits, misses
+
+    def bulk_load(self, items: Iterable[tuple[str, Iterable[str]]]) -> int:
+        """Load index entries directly into shards, bypassing the
+        network protocol.
+
+        An out-of-band bootstrap for experiments that study *query*
+        behaviour over a large pre-built index: placement is identical
+        to :meth:`insert` (same ``F_h`` and ``g``), only the per-object
+        routed messages are skipped.  Returns the number of entries
+        loaded.  Replica references are *not* registered.
+        """
+        placement = self.mapping.placement()
+        shards = {address: self.shard_at(address) for address in self.dolr.addresses()}
+        count = 0
+        for object_id, keywords in items:
+            normalized = normalize_keywords(keywords)
+            logical = self.mapper.node_for(normalized)
+            shards[placement[logical]].put(self.table_key(logical), normalized, object_id)
+            count += 1
+        return count
+
+    def load_by_logical_node(self) -> dict[int, int]:
+        """Object references indexed per logical node of this namespace
+        (zero-load nodes included).  O(2**r) — experiment scale only."""
+        loads = dict.fromkeys(self.cube.nodes(), 0)
+        for address in self.dolr.addresses():
+            node = self.dolr.node(address)
+            if not node.has_application("hindex"):
+                continue
+            shard = node.application("hindex")
+            assert isinstance(shard, IndexShard)
+            for (namespace, logical), table in shard.tables.items():
+                if namespace == self.namespace:
+                    loads[logical] += sum(len(objects) for objects in table.values())
+        return loads
+
+    def load_by_physical_node(self) -> dict[int, int]:
+        """Object references of this namespace indexed per physical node."""
+        loads = dict.fromkeys(self.dolr.addresses(), 0)
+        for address in self.dolr.addresses():
+            node = self.dolr.node(address)
+            if node.has_application("hindex"):
+                shard = node.application("hindex")
+                assert isinstance(shard, IndexShard)
+                loads[address] = shard.load(namespace=self.namespace)
+        return loads
+
+    def total_indexed(self) -> int:
+        return sum(self.load_by_physical_node().values())

@@ -1,0 +1,118 @@
+"""Keyword hashing and the mapping F_h (Section 3.3).
+
+``h : W → {0, ..., r-1}`` uniformly hashes each keyword to a hypercube
+dimension; ``F_h(K)`` is the node whose one bits are exactly
+``{h(w) | w ∈ K}``.  The node ``F_h(K)`` is *responsible* for K, and an
+object σ with keyword set ``K_σ`` is indexed at ``F_h(K_σ)``.
+
+Keywords are normalized (NFKC, casefold, stripped) before hashing so
+that "MP3 " and "mp3" resolve to the same dimension on every peer.
+"""
+
+from __future__ import annotations
+
+import functools
+import unicodedata
+from collections.abc import Iterable
+
+from repro.hypercube.hypercube import Hypercube
+from repro.util.hashing import stable_hash
+
+__all__ = ["KeywordHasher", "KeywordSetMapper", "normalize_keyword", "normalize_keywords"]
+
+
+@functools.lru_cache(maxsize=1 << 20)
+def normalize_keyword(keyword: str) -> str:
+    """Canonicalize one keyword: NFKC normalization, casefold, strip.
+
+    Cached — experiments normalize the same vocabulary millions of
+    times.
+
+    >>> normalize_keyword("  MP3 ")
+    'mp3'
+    """
+    if not isinstance(keyword, str):
+        raise TypeError(f"keyword must be a string, got {type(keyword).__name__}")
+    canonical = unicodedata.normalize("NFKC", keyword).casefold().strip()
+    if not canonical:
+        raise ValueError(f"keyword {keyword!r} is empty after normalization")
+    return canonical
+
+
+@functools.lru_cache(maxsize=1 << 20)
+def _raw_keyword_hash(salt: str, keyword: str) -> int:
+    """The full 160-bit digest of a normalized keyword under one salt.
+
+    Shared across :class:`KeywordHasher` instances so sweeping the
+    dimension r (as the load experiments do) hashes each vocabulary
+    word only once."""
+    return stable_hash(keyword, salt=f"keyword.h/{salt}", bits=160)
+
+
+def normalize_keywords(keywords: Iterable[str]) -> frozenset[str]:
+    """Canonicalize a keyword set.
+
+    >>> sorted(normalize_keywords(["Jazz", "  mp3"]))
+    ['jazz', 'mp3']
+    """
+    result = frozenset(normalize_keyword(k) for k in keywords)
+    if not result:
+        raise ValueError("keyword set must not be empty")
+    return result
+
+
+class KeywordHasher:
+    """The uniform hash ``h : W → {0, ..., r-1}``.
+
+    ``salt`` selects one member of a hash family, letting experiments
+    average over independent choices of ``h``.
+    """
+
+    def __init__(self, dimension: int, *, salt: str = "h"):
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.dimension = dimension
+        self.salt = salt
+
+    def __call__(self, keyword: str) -> int:
+        """h(keyword) — the dimension assigned to ``keyword``."""
+        return _raw_keyword_hash(self.salt, normalize_keyword(keyword)) % self.dimension
+
+    def dimensions_of(self, keywords: Iterable[str]) -> dict[str, int]:
+        """Map each (normalized) keyword to its dimension."""
+        return {normalized: self(normalized) for normalized in normalize_keywords(keywords)}
+
+
+class KeywordSetMapper:
+    """The mapping ``F_h : 2^W → V`` onto hypercube nodes.
+
+    >>> mapper = KeywordSetMapper(Hypercube(8))
+    >>> node = mapper.node_for({"mp3", "jazz"})
+    >>> mapper.cube.contains_node(node, mapper.node_for({"jazz"}))
+    True
+    """
+
+    def __init__(self, cube: Hypercube, hasher: KeywordHasher | None = None):
+        if hasher is not None and hasher.dimension != cube.dimension:
+            raise ValueError(
+                f"hasher dimension {hasher.dimension} != cube dimension {cube.dimension}"
+            )
+        self.cube = cube
+        self.hasher = hasher if hasher is not None else KeywordHasher(cube.dimension)
+
+    def node_for(self, keywords: Iterable[str]) -> int:
+        """``F_h(K)``: the hypercube node responsible for keyword set K."""
+        node = 0
+        for keyword in normalize_keywords(keywords):
+            node |= 1 << self.hasher(keyword)
+        return node
+
+    def one_count(self, keywords: Iterable[str]) -> int:
+        """|One(F_h(K))| — the number of distinct dimensions K occupies,
+        the quantity Equation (1) models."""
+        return self.cube.weight(self.node_for(keywords))
+
+    def describes(self, query: Iterable[str], target: Iterable[str]) -> bool:
+        """True iff ``query`` can describe ``target`` (query ⊆ target),
+        the paper's describability relation on keyword sets."""
+        return normalize_keywords(query) <= normalize_keywords(target)

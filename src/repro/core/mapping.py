@@ -1,0 +1,105 @@
+"""Mapping the logical hypercube onto the physical DHT (Section 3.2).
+
+``g : V → V'`` hashes each logical hypercube node to a key of the DHT
+identifier space; the physical node responsible for that key (by the
+DHT's surrogate routing) plays the logical node.  The hypercube
+dimension ``r`` is free to differ from the DHT identifier size ``a``:
+with ``r`` large, many logical nodes share a physical node; with ``r``
+small, only some physical nodes carry index shards.
+"""
+
+from __future__ import annotations
+
+from repro.dht.dolr import DolrNetwork, LookupResult
+from repro.hypercube.hypercube import Hypercube
+
+__all__ = ["HypercubeMapping"]
+
+
+class HypercubeMapping:
+    """Binds a hypercube to a DOLR network through the hash ``g``."""
+
+    def __init__(
+        self,
+        cube: Hypercube,
+        dolr: DolrNetwork,
+        *,
+        salt: str = "g",
+        identity: bool = False,
+    ):
+        """``identity=True`` makes ``g`` the identity map — for native
+        hypercube overlays (Section 3.2's "physical hypercube" option,
+        :class:`repro.dht.hypercup.HypercubeOverlay`), where logical
+        hypercube nodes *are* the physical vertices.  Requires the cube
+        dimension to equal the overlay's identifier width."""
+        if identity and cube.dimension != dolr.space.bits:
+            raise ValueError(
+                f"identity mapping needs cube dimension ({cube.dimension}) == "
+                f"DHT bits ({dolr.space.bits})"
+            )
+        self.cube = cube
+        self.dolr = dolr
+        self.salt = salt
+        self.identity = identity
+        self._key_cache: dict[int, int] = {}
+        self._placement_cache: dict[int, int] | None = None
+
+    def dht_key(self, logical: int) -> int:
+        """``g(u)``: the DHT key standing for logical node ``u``."""
+        if self.identity:
+            return self.cube.check_node(logical)
+        cached = self._key_cache.get(logical)
+        if cached is not None:
+            return cached
+        self.cube.check_node(logical)
+        key = self.dolr.space.hash_name(
+            f"hypercube/{self.cube.dimension}/{logical}", salt=f"mapping.g/{self.salt}"
+        )
+        self._key_cache[logical] = key
+        return key
+
+    def physical_owner(self, logical: int) -> int:
+        """The physical node playing ``u``, from global knowledge."""
+        if self._placement_cache is not None:
+            owner = self._placement_cache.get(logical)
+            if owner is not None:
+                return owner
+        owner = self.dolr.local_owner(self.dht_key(logical))
+        if self._placement_cache is not None:
+            self._placement_cache[logical] = owner
+        return owner
+
+    def enable_placement_cache(self) -> None:
+        """Memoize logical→physical ownership.  Call only while DHT
+        membership is static; :meth:`invalidate_placement_cache` after
+        any join/leave."""
+        if self._placement_cache is None:
+            self._placement_cache = {}
+
+    def invalidate_placement_cache(self) -> None:
+        """Drop memoized ownership after a membership change."""
+        if self._placement_cache is not None:
+            self._placement_cache = {}
+
+    def route_to(self, logical: int, origin: int | None = None) -> LookupResult:
+        """Route to the physical node playing ``u``, paying DHT hops."""
+        return self.dolr.lookup(self.dht_key(logical), origin=origin)
+
+    def placement(self) -> dict[int, int]:
+        """logical node -> physical owner for the whole cube.
+
+        Materializes 2**r entries; fine for the experiment range
+        (r ≤ 16) but avoid for very large cubes.
+        """
+        return {
+            logical: self.physical_owner(logical) for logical in self.cube.nodes()
+        }
+
+    def logical_nodes_of(self, physical: int) -> list[int]:
+        """All logical nodes a physical node plays (inverse of ``g``
+        composed with ownership).  O(2**r)."""
+        return [
+            logical
+            for logical in self.cube.nodes()
+            if self.physical_owner(logical) == physical
+        ]

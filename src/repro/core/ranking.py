@@ -1,0 +1,85 @@
+"""Result ranking (the ordering sketch of Section 1).
+
+The index scheme "allows upper level applications to retrieve objects
+in the order they wish": by fewest extra keywords (general first), by
+most (specific first), or grouped by extra-keyword category with
+round-robin interleaving.  These pure functions operate on the
+:class:`~repro.core.search.FoundObject` lists a search returns; no
+network traffic, no global knowledge.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from collections.abc import Sequence
+
+from repro.core.search import FoundObject
+
+__all__ = ["RankOrder", "group_by_category", "interleave_categories", "rank_results"]
+
+
+class RankOrder(enum.Enum):
+    """How to order matched objects relative to the query."""
+
+    GENERAL_FIRST = "general_first"
+    SPECIFIC_FIRST = "specific_first"
+
+
+def rank_results(
+    results: Sequence[FoundObject],
+    query: frozenset[str],
+    order: RankOrder = RankOrder.GENERAL_FIRST,
+) -> list[FoundObject]:
+    """Stable sort by specificity (number of extra keywords).
+
+    Ties keep the search's arrival order, which already reflects tree
+    depth, so within a specificity class the root-ward objects stay
+    first.
+    """
+    reverse = order is RankOrder.SPECIFIC_FIRST
+    return sorted(results, key=lambda found: found.specificity(query), reverse=reverse)
+
+
+def group_by_category(
+    results: Sequence[FoundObject], query: frozenset[str]
+) -> "OrderedDict[frozenset[str], list[FoundObject]]":
+    """Group results by their extra-keyword set (the paper's categories:
+    K plus σ1, K plus σ2, K plus σ1 and σ2, ...), smallest categories
+    first, then lexicographically."""
+    groups: dict[frozenset[str], list[FoundObject]] = {}
+    for found in results:
+        groups.setdefault(found.extra_keywords(query), []).append(found)
+    ordered = OrderedDict()
+    for extra in sorted(groups, key=lambda e: (len(e), sorted(e))):
+        ordered[extra] = groups[extra]
+    return ordered
+
+
+def interleave_categories(
+    results: Sequence[FoundObject],
+    query: frozenset[str],
+    *,
+    limit: int | None = None,
+) -> list[FoundObject]:
+    """Round-robin over categories — one object per category per pass —
+    so a short result page shows the *variety* of matches rather than
+    one dominant category.  ``limit`` caps the output length."""
+    if limit is not None and limit < 0:
+        raise ValueError(f"limit must be >= 0 or None, got {limit}")
+    if limit == 0:
+        return []
+    groups = list(group_by_category(results, query).values())
+    interleaved: list[FoundObject] = []
+    depth = 0
+    while True:
+        emitted = False
+        for group in groups:
+            if depth < len(group):
+                interleaved.append(group[depth])
+                emitted = True
+                if limit is not None and len(interleaved) >= limit:
+                    return interleaved
+        if not emitted:
+            return interleaved
+        depth += 1

@@ -1,0 +1,485 @@
+"""Superset search over the hypercube index (Section 3.3).
+
+Given keyword set K and threshold t, return min(t, |O_K|) objects whose
+keyword sets contain K.  By Lemma 3.1 the search space is the
+subhypercube induced by ``F_h(K)``; the protocol explores its spanning
+binomial tree so results arrive ordered by how many *extra* keywords
+they carry (Lemma 3.2).
+
+Three traversal orders are provided:
+
+* ``TOP_DOWN`` — the paper's T_QUERY protocol, verbatim: the root keeps
+  a FIFO queue ``U`` of ``(node, dimension)`` pairs, sends one query at
+  a time, and every queried node w returns its matches (directly to the
+  requester) plus its continuation list
+  ``L = {(x, i) | i < d, i ∈ Zero(w)}`` — exactly the children of w in
+  the induced spanning binomial tree.  General objects come back first.
+* ``BOTTOM_UP`` — the variant sketched in Section 3.3: levels of the
+  tree are visited deepest-first, so the most specific objects come
+  back first.
+* ``PARALLEL`` — Section 3.5's speed-up: all nodes of a tree level are
+  queried in one round, reducing time complexity from
+  ``2**(r-|One|)`` to ``r - |One|`` rounds at the same message cost.
+
+Contact modes: ``direct`` assumes the root reaches tree nodes by their
+cached physical contacts (Section 3.4 observes each hypercube message
+maps to one DHT message); ``routed`` pays a full DHT lookup per contact
+instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from repro.core.index import HypercubeIndex
+from repro.core.keywords import normalize_keywords
+from repro.sim.network import NodeUnreachableError
+from repro.hypercube.sbt import SpanningBinomialTree
+from repro.util import bitops
+
+__all__ = ["FoundObject", "NodeVisit", "SearchResult", "SuperSetSearch", "TraversalOrder"]
+
+
+class TraversalOrder(enum.Enum):
+    """How the spanning binomial tree is explored."""
+
+    TOP_DOWN = "top_down"
+    BOTTOM_UP = "bottom_up"
+    PARALLEL = "parallel"
+
+
+@dataclass(frozen=True)
+class FoundObject:
+    """One matching object with the keyword set it is indexed under."""
+
+    object_id: str
+    keywords: frozenset[str]
+
+    def extra_keywords(self, query: frozenset[str]) -> frozenset[str]:
+        """Keywords beyond the query — the refinement hints Section 1
+        proposes returning alongside sampled objects."""
+        return self.keywords - query
+
+    def specificity(self, query: frozenset[str]) -> int:
+        """Number of extra keywords (the ranking signal of Lemma 3.2)."""
+        return len(self.keywords - query)
+
+
+@dataclass(frozen=True)
+class NodeVisit:
+    """One visited tree node, in visit order."""
+
+    order: int
+    logical: int
+    physical: int
+    depth: int
+    returned: int
+    dht_hops: int
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one superset search."""
+
+    query: frozenset[str]
+    threshold: int | None
+    order: TraversalOrder
+    root_logical: int
+    root_physical: int
+    objects: tuple[FoundObject, ...]
+    visits: tuple[NodeVisit, ...]
+    complete: bool
+    messages: int
+    rounds: int
+    cache_hit: bool
+
+    @property
+    def object_ids(self) -> tuple[str, ...]:
+        return tuple(found.object_id for found in self.objects)
+
+    @property
+    def logical_nodes_contacted(self) -> int:
+        """Distinct hypercube nodes contacted — the paper's cost metric."""
+        return len({visit.logical for visit in self.visits})
+
+    @property
+    def physical_nodes_contacted(self) -> int:
+        return len({visit.physical for visit in self.visits})
+
+    def nodes_contacted_for_recall(self, fraction: float, total_matching: int) -> int:
+        """Visits needed before ``fraction`` of ``total_matching`` objects
+        had been returned — the x-axis/y-axis relation of Figure 8."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        needed = fraction * total_matching
+        collected = 0
+        for count, visit in enumerate(self.visits, start=1):
+            collected += visit.returned
+            if collected >= needed:
+                return count
+        return len(self.visits)
+
+
+class SuperSetSearch:
+    """Executor for superset searches against a :class:`HypercubeIndex`."""
+
+    def __init__(
+        self,
+        index: HypercubeIndex,
+        *,
+        contact_mode: str = "direct",
+        skip_unreachable: bool = False,
+    ):
+        if contact_mode not in ("direct", "routed"):
+            raise ValueError(f"contact_mode must be 'direct' or 'routed', got {contact_mode!r}")
+        self.index = index
+        self.contact_mode = contact_mode
+        self.skip_unreachable = skip_unreachable
+
+    # -- public API -----------------------------------------------------
+
+    def run(
+        self,
+        keywords: Iterable[str],
+        threshold: int | None = None,
+        *,
+        origin: int | None = None,
+        order: TraversalOrder = TraversalOrder.TOP_DOWN,
+        use_cache: bool = False,
+    ) -> SearchResult:
+        """Execute one superset search and return its full trace."""
+        if threshold is not None and threshold < 1:
+            raise ValueError(f"threshold must be >= 1 or None, got {threshold}")
+        query = normalize_keywords(keywords)
+        index = self.index
+        dolr = index.dolr
+        origin = dolr.any_address() if origin is None else origin
+        root_logical = index.mapper.node_for(query)
+
+        with dolr.network.trace() as trace:
+            route = index.mapping.route_to(root_logical, origin=origin)
+            root_physical = route.owner
+
+            if use_cache:
+                cached = dolr.rpc_at(
+                    origin,
+                    root_physical,
+                    "hindex.cache_get",
+                    {
+                        "namespace": index.namespace,
+                        "logical": root_logical,
+                        "keywords": query,
+                        "threshold": threshold,
+                    },
+                )
+                if cached["hit"]:
+                    objects = tuple(
+                        FoundObject(obj, keywords) for obj, keywords in cached["results"]
+                    )
+                    if threshold is not None:
+                        objects = objects[:threshold]
+                    visit = NodeVisit(0, root_logical, root_physical, 0, len(objects), route.hops)
+                    return SearchResult(
+                        query=query,
+                        threshold=threshold,
+                        order=order,
+                        root_logical=root_logical,
+                        root_physical=root_physical,
+                        objects=objects,
+                        visits=(visit,),
+                        complete=bool(cached["complete"]),
+                        messages=trace.message_count,
+                        rounds=1,
+                        cache_hit=True,
+                    )
+
+            walker = {
+                TraversalOrder.TOP_DOWN: self._walk_top_down,
+                TraversalOrder.BOTTOM_UP: self._walk_bottom_up,
+                TraversalOrder.PARALLEL: self._walk_parallel,
+            }[order]
+            objects, visits, complete, rounds = walker(
+                query, threshold, origin, root_logical, root_physical, route.hops
+            )
+
+            if use_cache:
+                dolr.rpc_at(
+                    root_physical,
+                    root_physical,
+                    "hindex.cache_put",
+                    {
+                        "namespace": index.namespace,
+                        "logical": root_logical,
+                        "keywords": query,
+                        "results": [(f.object_id, f.keywords) for f in objects],
+                        "complete": complete,
+                    },
+                )
+            messages = trace.message_count
+
+        return SearchResult(
+            query=query,
+            threshold=threshold,
+            order=order,
+            root_logical=root_logical,
+            root_physical=root_physical,
+            objects=tuple(objects),
+            visits=tuple(visits),
+            complete=complete,
+            messages=messages,
+            rounds=rounds,
+            cache_hit=False,
+        )
+
+    # -- traversals -----------------------------------------------------
+
+    def _walk_top_down(
+        self,
+        query: frozenset[str],
+        threshold: int | None,
+        origin: int,
+        root_logical: int,
+        root_physical: int,
+        root_hops: int,
+    ) -> tuple[list[FoundObject], list[NodeVisit], bool, int]:
+        """The paper's T_QUERY protocol.
+
+        The queue ``U`` holds ``(node, d)`` pairs; popping FIFO yields a
+        breadth-first walk of ``SBT_{H_r}(root)``.  The continuation
+        list a visited node w would return is
+        ``{(neighbour_i(w), i) | i < d, i ∈ Zero(w)}`` — computed here
+        from w's identifier, which root knows (the bits are the message
+        content either way).
+        """
+        dimension = self.index.cube.dimension
+        objects: list[FoundObject] = []
+        visits: list[NodeVisit] = []
+
+        remaining = threshold
+        truncated = False
+
+        # Root examines its own table first (the initial T_QUERY).
+        returned, hops = self._visit(
+            query, remaining, origin, root_logical, root_physical, responder_hops=root_hops
+        )
+        objects.extend(returned)
+        visits.append(
+            NodeVisit(0, root_logical, root_physical, 0, len(returned), hops)
+        )
+        if remaining is not None:
+            remaining -= len(returned)
+            if remaining <= 0:
+                return objects, visits, False, len(visits)
+
+        queue: deque[tuple[int, int]] = deque(
+            (root_logical | (1 << i), i)
+            for i in self._descending_zero_dims(root_logical, dimension)
+        )
+        while queue:
+            w, d = queue.popleft()
+            returned, hops = self._visit(query, remaining, origin, w, None, via=root_physical)
+            physical = self._physical_of(w)
+            objects.extend(returned)
+            visits.append(
+                NodeVisit(
+                    len(visits),
+                    w,
+                    physical,
+                    bitops.popcount(w ^ root_logical),
+                    len(returned),
+                    hops,
+                )
+            )
+            if remaining is not None:
+                remaining -= len(returned)
+                if remaining <= 0:
+                    truncated = True
+                    break  # w answers T_STOP; root drops U.
+            queue.extend(
+                (w | (1 << i), i)
+                for i in self._descending_zero_dims(w, dimension)
+                if i < d
+            )
+        return objects, visits, not truncated, len(visits)
+
+    def _walk_bottom_up(
+        self,
+        query: frozenset[str],
+        threshold: int | None,
+        origin: int,
+        root_logical: int,
+        root_physical: int,
+        root_hops: int,
+    ) -> tuple[list[FoundObject], list[NodeVisit], bool, int]:
+        """Deepest level first: most specific objects returned first."""
+        tree = SpanningBinomialTree.induced(self.index.cube, root_logical)
+        objects: list[FoundObject] = []
+        visits: list[NodeVisit] = []
+        remaining = threshold
+        truncated = False
+        first = True
+        for node, depth in tree.bfs_bottom_up():
+            hops_for = root_hops if first else 0
+            returned, hops = self._visit(
+                query,
+                remaining,
+                origin,
+                node,
+                root_physical if node == root_logical else None,
+                via=root_physical,
+                responder_hops=hops_for,
+            )
+            first = False
+            objects.extend(returned)
+            visits.append(
+                NodeVisit(len(visits), node, self._physical_of(node), depth, len(returned), hops)
+            )
+            if remaining is not None:
+                remaining -= len(returned)
+                if remaining <= 0:
+                    truncated = True
+                    break
+        return objects, visits, not truncated, len(visits)
+
+    def _walk_parallel(
+        self,
+        query: frozenset[str],
+        threshold: int | None,
+        origin: int,
+        root_logical: int,
+        root_physical: int,
+        root_hops: int,
+    ) -> tuple[list[FoundObject], list[NodeVisit], bool, int]:
+        """Level-synchronized top-down: whole tree levels are queried per
+        round, so a round that crosses the threshold still pays for its
+        entire level (the latency/message trade of Section 3.5)."""
+        tree = SpanningBinomialTree.induced(self.index.cube, root_logical)
+        objects: list[FoundObject] = []
+        visits: list[NodeVisit] = []
+        remaining = threshold
+        truncated = False
+        rounds = 0
+        for depth in range(tree.height + 1):
+            level_nodes = list(tree.level(depth))
+            if not level_nodes:
+                continue
+            rounds += 1
+            for node in level_nodes:
+                returned, hops = self._visit(
+                    query,
+                    remaining,
+                    origin,
+                    node,
+                    root_physical if node == root_logical else None,
+                    via=root_physical,
+                    responder_hops=root_hops if depth == 0 else 0,
+                )
+                objects.extend(returned)
+                visits.append(
+                    NodeVisit(
+                        len(visits), node, self._physical_of(node), depth, len(returned), hops
+                    )
+                )
+                if remaining is not None:
+                    remaining -= len(returned)
+            if remaining is not None and remaining <= 0:
+                truncated = True
+                break
+        return objects, visits, not truncated, rounds
+
+    # -- mechanics --------------------------------------------------------
+
+    def _visit(
+        self,
+        query: frozenset[str],
+        remaining: int | None,
+        origin: int,
+        logical: int,
+        physical: int | None,
+        *,
+        via: int | None = None,
+        responder_hops: int = 0,
+    ) -> tuple[list[FoundObject], int]:
+        """Deliver one T_QUERY to ``logical`` and collect its matches.
+
+        Returns (found objects, DHT hops paid to reach the node).
+        Matches are also forwarded directly to the requester, as the
+        protocol specifies (one extra message when non-empty).  With
+        ``skip_unreachable`` set, a dead node yields no results instead
+        of aborting the search — the fault-tolerance behaviour
+        Section 3.4 claims (no single failure blocks a keyword).
+        """
+        dolr = self.index.dolr
+        hops = responder_hops
+        if physical is None:
+            if self.contact_mode == "routed":
+                route = self.index.mapping.route_to(logical, origin=via)
+                physical = route.owner
+                hops += route.hops
+            else:
+                physical = self._physical_of(logical)
+        sender = via if via is not None else origin
+        try:
+            found = self._scan_rpc(
+                sender, physical, self.index.namespace, logical, query, remaining
+            )
+        except NodeUnreachableError:
+            fallback = self._visit_fallback(sender, logical, query, remaining)
+            if fallback is not None:
+                found = fallback
+            elif self.skip_unreachable:
+                return [], hops
+            else:
+                raise
+        if found and physical != origin:
+            dolr.network.send(
+                physical, origin, "hindex.results", {"count": len(found)}, deliver=False
+            )
+        return found, hops
+
+    def _scan_rpc(
+        self,
+        sender: int,
+        physical: int,
+        namespace: str,
+        logical: int,
+        query: frozenset[str],
+        remaining: int | None,
+    ) -> list[FoundObject]:
+        """One hindex.scan request/reply, decoded to FoundObjects."""
+        reply = self.index.dolr.rpc_at(
+            sender,
+            physical,
+            "hindex.scan",
+            {
+                "namespace": namespace,
+                "logical": logical,
+                "keywords": query,
+                "limit": remaining,
+            },
+        )
+        return [
+            FoundObject(object_id, entry_keywords)
+            for entry_keywords, object_ids in reply["matches"]
+            for object_id in object_ids
+        ]
+
+    def _visit_fallback(
+        self, sender: int, logical: int, query: frozenset[str], remaining: int | None
+    ) -> list[FoundObject] | None:
+        """Hook for replicated indexes: produce the visit's results from
+        a replica when the primary node is unreachable.  The base search
+        has no replicas, so there is no fallback."""
+        return None
+
+    def _physical_of(self, logical: int) -> int:
+        return self.index.mapping.physical_owner(logical)
+
+    @staticmethod
+    def _descending_zero_dims(node: int, dimension: int) -> Iterator[int]:
+        for i in range(dimension - 1, -1, -1):
+            if not (node >> i) & 1:
+                yield i

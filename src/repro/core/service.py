@@ -1,0 +1,180 @@
+"""High-level façade: the keyword/attribute search layer of Figure 2.
+
+:class:`KeywordSearchService` wires the four-layer architecture the
+paper draws — application / keyword-search layer / P2P overlay /
+physical network — into one object: pick a DHT (Chord, Kademlia or
+Pastry), choose the hypercube dimension, and publish / search objects
+through a small, stable API.  Examples and downstream applications
+should only need this module.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.cache import FifoQueryCache, LruQueryCache
+from repro.core.cumulative import CumulativeSearchSession
+from repro.core.index import HypercubeIndex, PinResult
+from repro.core.keywords import normalize_keywords
+from repro.core.search import SearchResult, SuperSetSearch, TraversalOrder
+from repro.dht.chord import ChordNetwork
+from repro.dht.dolr import DolrNetwork
+from repro.dht.kademlia import KademliaNetwork
+from repro.dht.pastry import PastryNetwork
+from repro.hypercube.hypercube import Hypercube
+from repro.sim.network import SimulatedNetwork
+from repro.util.rng import make_rng
+
+__all__ = ["KeywordSearchService", "PublishedObject"]
+
+_DHT_BUILDERS = {
+    "chord": ChordNetwork.build,
+    "kademlia": KademliaNetwork.build,
+    "pastry": PastryNetwork.build,
+}
+
+_CACHE_FACTORIES = {
+    "fifo": FifoQueryCache,
+    "lru": LruQueryCache,
+}
+
+
+@dataclass(frozen=True)
+class PublishedObject:
+    """Record of one published object, as the service tracks it."""
+
+    object_id: str
+    keywords: frozenset[str]
+    holder: int
+
+
+class KeywordSearchService:
+    """The keyword/attribute search layer, end to end.
+
+    >>> service = KeywordSearchService.create(dimension=6, num_dht_nodes=16, seed=3)
+    >>> record = service.publish("paper.pdf", {"dht", "search", "p2p"})
+    >>> service.pin_search({"dht", "search", "p2p"}).object_ids
+    ('paper.pdf',)
+    >>> [f.object_id for f in service.superset_search({"dht"}).objects]
+    ['paper.pdf']
+    """
+
+    def __init__(self, index: HypercubeIndex, *, contact_mode: str = "direct"):
+        self.index = index
+        self.dolr = index.dolr
+        self.searcher = SuperSetSearch(index, contact_mode=contact_mode)
+        self._published: dict[tuple[str, int], PublishedObject] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        dimension: int,
+        num_dht_nodes: int,
+        dht: str = "chord",
+        dht_bits: int = 32,
+        seed: int | random.Random | None = 0,
+        cache_capacity: int = 0,
+        cache_policy: str = "fifo",
+        contact_mode: str = "direct",
+        network: SimulatedNetwork | None = None,
+    ) -> "KeywordSearchService":
+        """Build the full stack: simulated network, DHT, hypercube index.
+
+        ``dimension`` is the hypercube dimension r (Section 3's central
+        tuning knob); ``num_dht_nodes`` the physical overlay size;
+        ``cache_capacity`` the per-logical-node query cache in entry
+        units (0 disables caching).
+        """
+        if dht not in _DHT_BUILDERS:
+            raise ValueError(f"dht must be one of {sorted(_DHT_BUILDERS)}, got {dht!r}")
+        if cache_policy not in _CACHE_FACTORIES:
+            raise ValueError(
+                f"cache_policy must be one of {sorted(_CACHE_FACTORIES)}, got {cache_policy!r}"
+            )
+        rng = make_rng(seed)
+        dolr: DolrNetwork = _DHT_BUILDERS[dht](
+            bits=dht_bits, num_nodes=num_dht_nodes, seed=rng, network=network
+        )
+        index = HypercubeIndex(
+            Hypercube(dimension),
+            dolr,
+            cache_capacity=cache_capacity,
+            cache_factory=_CACHE_FACTORIES[cache_policy],
+        )
+        return cls(index, contact_mode=contact_mode)
+
+    # -- publishing -------------------------------------------------------
+
+    def publish(
+        self, object_id: str, keywords: Iterable[str], *, holder: int | None = None
+    ) -> PublishedObject:
+        """Share an object: register the replica and index its keyword set."""
+        normalized = normalize_keywords(keywords)
+        holder = self.dolr.any_address() if holder is None else holder
+        existing = self._published.get((object_id, holder))
+        if existing is not None:
+            raise ValueError(f"{object_id!r} already published by node {holder}")
+        self.index.insert(object_id, normalized, holder)
+        record = PublishedObject(object_id, normalized, holder)
+        self._published[(object_id, holder)] = record
+        return record
+
+    def unpublish(self, object_id: str, *, holder: int) -> None:
+        """Withdraw one replica of an object."""
+        record = self._published.pop((object_id, holder), None)
+        if record is None:
+            raise KeyError(f"{object_id!r} was not published by node {holder}")
+        self.index.delete(object_id, record.keywords, holder)
+
+    def published_count(self) -> int:
+        return len(self._published)
+
+    # -- search ------------------------------------------------------------
+
+    def pin_search(self, keywords: Iterable[str], *, origin: int | None = None) -> PinResult:
+        """Objects whose keyword set is *exactly* K (Section 2.2)."""
+        return self.index.pin_search(keywords, origin=origin)
+
+    def superset_search(
+        self,
+        keywords: Iterable[str],
+        threshold: int | None = None,
+        *,
+        origin: int | None = None,
+        order: TraversalOrder = TraversalOrder.TOP_DOWN,
+        use_cache: bool | None = None,
+    ) -> SearchResult:
+        """min(t, |O_K|) objects describable by K (Section 2.2)."""
+        if use_cache is None:
+            use_cache = self.index.cache_capacity > 0
+        return self.searcher.run(
+            keywords, threshold, origin=origin, order=order, use_cache=use_cache
+        )
+
+    def cumulative_search(
+        self, keywords: Iterable[str], *, origin: int | None = None
+    ) -> CumulativeSearchSession:
+        """A browse-style session over a large matching set."""
+        return CumulativeSearchSession(self.index, keywords, origin=origin)
+
+    def read(self, object_id: str, *, origin: int | None = None) -> list[int]:
+        """The DOLR Read: replica holders of an object."""
+        return self.dolr.read(object_id, origin=origin)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def cube(self) -> Hypercube:
+        return self.index.cube
+
+    @property
+    def network(self) -> SimulatedNetwork:
+        return self.dolr.network
+
+    def messages_sent(self) -> int:
+        return self.network.metrics.counter("network.messages")

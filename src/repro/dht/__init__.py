@@ -1,0 +1,35 @@
+"""DHT substrate: a generalized DOLR model with Chord and Kademlia.
+
+Section 2.1 of the paper assumes only a *generalized* DHT: an a-bit
+identifier space, a deterministic mapping from objects to nodes, a
+routing mechanism, surrogate routing for absent identifiers, and three
+object operations (Insert / Delete / Read).  :mod:`repro.dht.dolr`
+captures that contract; :mod:`repro.dht.chord`,
+:mod:`repro.dht.kademlia` and :mod:`repro.dht.pastry` are three
+complete, from-scratch realizations over the simulated network,
+demonstrating that the keyword layer is DHT-agnostic, and
+:mod:`repro.dht.hypercup` is the paper's §3.2 alternative — a native
+physical hypercube overlay where the mapping g is the identity.
+"""
+
+from repro.dht.dolr import DolrNetwork, LookupResult, ObjectReference
+from repro.dht.chord import ChordNetwork, ChordNode
+from repro.dht.hypercup import HypercubeOverlay, HypercubeOverlayNode
+from repro.dht.ids import IdSpace
+from repro.dht.kademlia import KademliaNetwork, KademliaNode
+from repro.dht.pastry import PastryNetwork, PastryNode
+
+__all__ = [
+    "ChordNetwork",
+    "ChordNode",
+    "DolrNetwork",
+    "HypercubeOverlay",
+    "HypercubeOverlayNode",
+    "IdSpace",
+    "KademliaNetwork",
+    "KademliaNode",
+    "LookupResult",
+    "ObjectReference",
+    "PastryNetwork",
+    "PastryNode",
+]

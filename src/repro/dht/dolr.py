@@ -1,0 +1,267 @@
+"""The generalized DOLR (distributed object location and routing) model.
+
+Section 2.1 of the paper abstracts the DHT layer into:
+
+* a mapping ``L`` that deterministically and uniformly maps each object
+  (by its ID) to exactly one node of the a-bit identifier space,
+* a routing mechanism providing a path between any two nodes,
+* surrogate routing, so that a message to an absent identifier reaches
+  the live node standing in for it, and
+* three operations — ``Insert``, ``Delete``, ``Read`` — on object
+  *references* (σ, u), where u is a node holding a replica of σ.
+
+``DolrNetwork`` is that contract.  ``DolrNode`` is the per-node half:
+local reference table ``Refs_v`` plus a pluggable *application* slot the
+keyword-search layer (and the baselines) install their per-node state
+and message handlers into.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+from repro.dht.ids import IdSpace
+from repro.sim.network import Message, SimulatedNetwork
+
+__all__ = [
+    "DolrNetwork",
+    "DolrNode",
+    "LookupResult",
+    "NodeApplication",
+    "ObjectReference",
+]
+
+
+@dataclass(frozen=True)
+class ObjectReference:
+    """A reference (σ, u): object ``object_id`` has a replica at node
+    ``holder``.  The paper's ``(σ, u)`` pairs."""
+
+    object_id: str
+    holder: int
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of routing a key to its owner."""
+
+    key: int
+    owner: int
+    hops: int
+    path: tuple[int, ...]
+
+
+class NodeApplication(Protocol):
+    """Application state installed on a DHT node (e.g. a hypercube index
+    shard).  ``handle`` receives every message whose kind starts with the
+    application's prefix."""
+
+    prefix: str
+
+    def handle(self, node: "DolrNode", message: Message) -> Any: ...
+
+
+class DolrNode:
+    """A physical node: address, reference table, installed applications.
+
+    Message kinds are namespaced by a dotted prefix; ``dolr.*`` kinds are
+    handled here, anything else is dispatched to the application whose
+    prefix matches the first dotted component.
+    """
+
+    def __init__(self, address: int, space: IdSpace, network: SimulatedNetwork):
+        space.check(address)
+        self.address = address
+        self.space = space
+        self.network = network
+        self.refs: dict[str, set[int]] = {}
+        self._applications: dict[str, NodeApplication] = {}
+        network.register(address, self._on_message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(address={self.address})"
+
+    # -- applications ---------------------------------------------------
+
+    def install(self, application: NodeApplication) -> None:
+        """Install an application; replaces any with the same prefix."""
+        self._applications[application.prefix] = application
+
+    def application(self, prefix: str) -> NodeApplication:
+        return self._applications[prefix]
+
+    def has_application(self, prefix: str) -> bool:
+        return prefix in self._applications
+
+    # -- message dispatch -------------------------------------------------
+
+    def _on_message(self, message: Message) -> Any:
+        prefix, _, _ = message.kind.partition(".")
+        if prefix == "dolr":
+            return self._handle_dolr(message)
+        application = self._applications.get(prefix)
+        if application is None:
+            raise LookupError(
+                f"node {self.address} has no application for message kind {message.kind!r}"
+            )
+        return application.handle(self, message)
+
+    def _handle_dolr(self, message: Message) -> Any:
+        payload = message.payload
+        if message.kind == "dolr.insert_ref":
+            holders = self.refs.setdefault(payload["object_id"], set())
+            existed = bool(holders)
+            holders.add(payload["holder"])
+            return {"already_present": existed}
+        if message.kind == "dolr.delete_ref":
+            holders = self.refs.get(payload["object_id"], set())
+            holders.discard(payload["holder"])
+            remaining = bool(holders)
+            if not holders:
+                self.refs.pop(payload["object_id"], None)
+            return {"copies_remain": remaining}
+        if message.kind == "dolr.read_ref":
+            return {"holders": sorted(self.refs.get(payload["object_id"], set()))}
+        raise LookupError(f"unknown dolr message kind {message.kind!r}")
+
+
+class DolrNetwork(abc.ABC):
+    """The generalized DHT contract the keyword layer is written against."""
+
+    def __init__(self, space: IdSpace, network: SimulatedNetwork):
+        self.space = space
+        self.network = network
+        self.nodes: dict[int, DolrNode] = {}
+        self._application_factories: list[Any] = []
+
+    # -- abstract routing -------------------------------------------------
+
+    @abc.abstractmethod
+    def lookup(self, key: int, origin: int | None = None) -> LookupResult:
+        """Route ``key`` from ``origin`` to its owning node, paying one
+        RPC per hop.  Surrogate routing is implied: every key has a live
+        owner as long as any node is alive."""
+
+    @abc.abstractmethod
+    def local_owner(self, key: int) -> int:
+        """The owner of ``key`` computed from global knowledge (no
+        messages).  Used by experiments that only need placement, and by
+        tests as the routing oracle."""
+
+    # -- membership ---------------------------------------------------
+
+    def addresses(self) -> list[int]:
+        """All node addresses, ascending."""
+        return sorted(self.nodes)
+
+    def live_addresses(self) -> list[int]:
+        return [a for a in self.addresses() if self.network.is_alive(a)]
+
+    def node(self, address: int) -> DolrNode:
+        return self.nodes[address]
+
+    def any_address(self) -> int:
+        if not self.nodes:
+            raise RuntimeError("network has no nodes")
+        return self.addresses()[0]
+
+    # -- the mapping L and the three object operations ----------------
+
+    def object_key(self, object_id: str) -> int:
+        """The paper's mapping L: object ID -> identifier space."""
+        return self.space.hash_name(object_id, salt="dolr.L")
+
+    def insert(self, object_id: str, holder: int, origin: int | None = None) -> bool:
+        """Publish a replica: place the reference (σ, holder) at L(σ).
+
+        Returns True if this was the *first* copy of the object — the
+        signal the keyword layer uses to decide whether to index it.
+        """
+        origin = holder if origin is None else origin
+        result, _ = self.route_rpc(
+            self.object_key(object_id),
+            "dolr.insert_ref",
+            {"object_id": object_id, "holder": holder},
+            origin=origin,
+        )
+        return not result["already_present"]
+
+    def delete(self, object_id: str, holder: int, origin: int | None = None) -> bool:
+        """Remove a replica's reference.  Returns True if it was the last
+        copy (so the keyword index entry should be removed too)."""
+        origin = holder if origin is None else origin
+        result, _ = self.route_rpc(
+            self.object_key(object_id),
+            "dolr.delete_ref",
+            {"object_id": object_id, "holder": holder},
+            origin=origin,
+        )
+        return not result["copies_remain"]
+
+    def read(self, object_id: str, origin: int | None = None) -> list[int]:
+        """Return the replica holders of an object (possibly empty)."""
+        origin = self.any_address() if origin is None else origin
+        result, _ = self.route_rpc(
+            self.object_key(object_id),
+            "dolr.read_ref",
+            {"object_id": object_id},
+            origin=origin,
+        )
+        return result["holders"]
+
+    # -- generic routed / direct RPC for upper layers ------------------
+
+    def route_rpc(
+        self,
+        key: int,
+        kind: str,
+        payload: dict[str, Any],
+        origin: int | None = None,
+    ) -> tuple[Any, LookupResult]:
+        """Route ``key`` to its owner, then deliver one RPC there."""
+        origin = self.any_address() if origin is None else origin
+        route = self.lookup(key, origin=origin)
+        result = self.network.rpc(origin, route.owner, kind, payload)
+        return result, route
+
+    def rpc_at(self, src: int, dst: int, kind: str, payload: dict[str, Any]) -> Any:
+        """Direct contact with a known node (a cached neighbour): one
+        request/reply, no routing."""
+        return self.network.rpc(src, dst, kind, payload)
+
+    def install_everywhere(self, factory: Any) -> None:
+        """Install ``factory(node)`` as an application on every node,
+        and remember the factory so nodes joining later are provisioned
+        the same way."""
+        self._application_factories.append(factory)
+        for node in self.nodes.values():
+            node.install(factory(node))
+
+    def ensure_application(self, factory: Any, prefix: str) -> None:
+        """Like :meth:`install_everywhere`, but keeps an existing
+        application with the same prefix (so coexisting indexes share
+        one shard instead of clobbering each other)."""
+        self._application_factories.append(
+            lambda node: node.application(prefix)
+            if node.has_application(prefix)
+            else factory(node)
+        )
+        for node in self.nodes.values():
+            if not node.has_application(prefix):
+                node.install(factory(node))
+
+    def provision_node(self, node: DolrNode) -> None:
+        """Install every registered application on a (new) node."""
+        for factory in self._application_factories:
+            application = factory(node)
+            if not node.has_application(application.prefix):
+                node.install(application)
+
+    # -- convenience for experiments -----------------------------------
+
+    def owners_of(self, keys: Iterable[int]) -> dict[int, int]:
+        """Placement map key -> owner using global knowledge."""
+        return {key: self.local_owner(key) for key in keys}

@@ -1,0 +1,87 @@
+"""Identifier-space arithmetic shared by the DHT implementations.
+
+An ``IdSpace(bits)`` is the ring {0, ..., 2**bits - 1}.  Chord needs
+clockwise distance and interval membership on the ring; Kademlia needs
+the XOR metric.  Both also need a uniform way to hash arbitrary names
+(object IDs, keywords, logical hypercube nodes) into the space.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.util.hashing import stable_hash
+from repro.util.rng import make_rng
+
+__all__ = ["IdSpace"]
+
+
+@dataclass(frozen=True)
+class IdSpace:
+    """The identifier ring {0, ..., 2**bits - 1}."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 160:
+            raise ValueError(f"bits must be in [1, 160], got {self.bits}")
+
+    @property
+    def size(self) -> int:
+        return 1 << self.bits
+
+    def contains(self, identifier: int) -> bool:
+        return 0 <= identifier < self.size
+
+    def check(self, identifier: int) -> int:
+        if not self.contains(identifier):
+            raise ValueError(f"identifier {identifier} outside {self.bits}-bit space")
+        return identifier
+
+    def hash_name(self, name: str, *, salt: str = "dht") -> int:
+        """Uniformly hash a name into the space (the paper's mapping L)."""
+        return stable_hash(name, salt=salt, bits=self.bits)
+
+    def random_id(self, rng: int | random.Random | None = None) -> int:
+        return make_rng(rng).randrange(self.size)
+
+    # -- ring (Chord) geometry ----------------------------------------
+
+    def clockwise_distance(self, src: int, dst: int) -> int:
+        """Steps clockwise (increasing IDs, wrapping) from src to dst."""
+        self.check(src)
+        self.check(dst)
+        return (dst - src) % self.size
+
+    def in_open_interval(self, x: int, left: int, right: int) -> bool:
+        """True iff ``x`` lies in the clockwise-open interval (left, right).
+
+        When ``left == right`` the interval is the whole ring minus the
+        endpoint, matching Chord's conventions for a 1-node ring.
+        """
+        self.check(x)
+        if left == right:
+            return x != left
+        return self.clockwise_distance(left, x) < self.clockwise_distance(left, right) and x != left
+
+    def in_half_open_interval(self, x: int, left: int, right: int) -> bool:
+        """True iff ``x`` lies in the clockwise interval (left, right]."""
+        if x == right:
+            return True
+        return self.in_open_interval(x, left, right)
+
+    # -- XOR (Kademlia) geometry --------------------------------------
+
+    def xor_distance(self, u: int, v: int) -> int:
+        """Kademlia's symmetric distance metric."""
+        self.check(u)
+        self.check(v)
+        return u ^ v
+
+    def bucket_index(self, node: int, other: int) -> int:
+        """The k-bucket at ``node`` that ``other`` falls into: the index
+        of the highest differing bit.  Undefined for ``node == other``."""
+        if node == other:
+            raise ValueError("a node has no bucket for itself")
+        return (self.xor_distance(node, other)).bit_length() - 1

@@ -1,0 +1,30 @@
+"""Experiment runners — one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning an
+:class:`~repro.experiments.harness.ExperimentResult` whose rows are the
+numbers the corresponding paper artifact plots, printable with
+``result.table()``.  Default parameters are scaled for minutes-level
+runtimes; every runner accepts the paper's full-scale parameters (see
+EXPERIMENTS.md for the mapping and for the recorded outcomes).
+
+* :mod:`repro.experiments.table1` — sample records (Table 1)
+* :mod:`repro.experiments.fig5` — keyword-set-size distribution
+* :mod:`repro.experiments.fig6` — ranked load distribution
+* :mod:`repro.experiments.fig7` — object vs node weight distributions
+* :mod:`repro.experiments.fig8` — cacheless superset-search cost
+* :mod:`repro.experiments.fig9` — superset-search cost with caches
+* :mod:`repro.experiments.eq1` — Equations (1)/(2) vs Monte Carlo
+* :mod:`repro.experiments.ablation` — Section 3.5 complexity claims
+* :mod:`repro.experiments.fault` — failure tolerance vs the DII
+  baseline, with and without secondary-hypercube replication
+* :mod:`repro.experiments.hotspot` — query-load distribution (hot spots)
+* :mod:`repro.experiments.decomposed` — decomposed-index trade-offs
+* :mod:`repro.experiments.dhtcmp` — the four overlay substrates compared
+* :mod:`repro.experiments.bandwidth` — references shipped per operation
+* :mod:`repro.experiments.churn` — recall under continuous churn with
+  maintenance (rebalance / evacuate)
+"""
+
+from repro.experiments.harness import ExperimentResult, default_corpus
+
+__all__ = ["ExperimentResult", "default_corpus"]

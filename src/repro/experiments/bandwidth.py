@@ -1,0 +1,105 @@
+"""Bandwidth comparison: result references shipped per operation.
+
+Section 1 criticizes distributed inverted indexes for shipping whole
+posting lists: a multi-keyword DII query moves every posting of every
+query keyword to the requester before intersecting, while the hypercube
+scheme ships each *matching* object reference once (plus per-node
+control messages).  Insert cost differs the same way: DII posts an
+object k times, KSS ``C(k,1)+...+C(k,w)`` times, the hypercube once.
+
+Measured units: object references crossing the network per operation —
+the dominant payload in all three schemes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.dii import DistributedInvertedIndex
+from repro.baselines.kss import KeywordSetIndex
+from repro.core.search import SuperSetSearch
+from repro.experiments.harness import ExperimentResult, build_loaded_index, default_corpus
+from repro.workload.queries import QueryLogGenerator
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    num_objects: int = 8_192,
+    seed: int = 0,
+    dimension: int = 10,
+    num_dht_nodes: int = 64,
+    query_sizes: Sequence[int] = (1, 2, 3),
+    queries_per_size: int = 6,
+    kss_window: int = 2,
+) -> ExperimentResult:
+    """References shipped per query and per insert, per scheme."""
+    corpus = default_corpus(num_objects, seed)
+    index = build_loaded_index(corpus, dimension, num_dht_nodes=num_dht_nodes, seed=seed)
+    dii = DistributedInvertedIndex(index.dolr)
+    dii.bulk_load((record.object_id, record.keywords) for record in corpus.records)
+    kss = KeywordSetIndex(index.dolr, window=kss_window)
+    searcher = SuperSetSearch(index)
+    generator = QueryLogGenerator(corpus, seed=seed + 1)
+    origin = index.dolr.any_address()
+
+    rows: list[dict] = []
+    for m in query_sizes:
+        queries = generator.popular_sets(m, queries_per_size)
+        if not queries:
+            continue
+        hypercube_shipped = []
+        dii_shipped = []
+        matches = []
+        for query in queries:
+            result = searcher.run(query, origin=origin)
+            hypercube_shipped.append(len(result.objects))
+            matches.append(len(result.objects))
+            dii_result = dii.query(query, origin=origin)
+            dii_shipped.append(dii_result.postings_shipped)
+        rows.append(
+            {
+                "operation": f"query m={m}",
+                "mean_matches": sum(matches) / len(matches),
+                "hypercube_refs_shipped": sum(hypercube_shipped) / len(queries),
+                "dii_refs_shipped": sum(dii_shipped) / len(queries),
+                "dii_overhead_factor": (
+                    sum(dii_shipped) / max(1, sum(hypercube_shipped))
+                ),
+            }
+        )
+
+    # Insert cost: index writes per object, by keyword count — measured
+    # live against each scheme's insert path.
+    holder = index.dolr.any_address()
+    for k in (3, 7, 12):
+        sample = next(r for r in corpus.records if r.keyword_count >= k)
+        keywords = frozenset(sorted(sample.keywords)[:k])
+        object_id = f"bandwidth-probe-{k}"
+        hypercube_writes = 1 if index.insert(object_id, keywords, holder) else 0
+        index.delete(object_id, keywords, holder)
+        dii_writes = dii.insert(object_id, keywords, holder)
+        dii.delete(object_id, keywords, holder)
+        kss_writes = kss.insert(object_id, keywords, holder)
+        kss.delete(object_id, keywords, holder)
+        rows.append(
+            {
+                "operation": f"insert k={k}",
+                "hypercube_refs_shipped": hypercube_writes,
+                "dii_refs_shipped": dii_writes,
+                "kss_refs_shipped": kss_writes,
+            }
+        )
+    return ExperimentResult(
+        experiment="bandwidth",
+        description="Object references shipped per query/insert, per scheme",
+        parameters={
+            "num_objects": num_objects,
+            "seed": seed,
+            "dimension": dimension,
+            "query_sizes": tuple(query_sizes),
+            "kss_window": kss_window,
+        },
+        rows=rows,
+    )

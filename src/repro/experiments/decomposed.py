@@ -1,0 +1,95 @@
+"""Decomposed-index trade-offs (Section 3.4, final remark).
+
+The paper notes the scheme is decomposable: split the vocabulary into
+disjoint subsets and run one smaller hypercube per subset, shrinking
+the subhypercube a query must search at the price of indexing an object
+once per touched group.  This experiment compares a flat r-cube against
+decompositions of the same total dimensionality and reports the
+trade-off triple: mean nodes visited per query, storage multiplier, and
+verification precision (candidates that survive the full-query check).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.decomposed import DecomposedIndex
+from repro.core.search import SuperSetSearch
+from repro.experiments.harness import ExperimentResult, build_loaded_index, default_corpus
+from repro.workload.queries import QueryLogGenerator
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    num_objects: int = 4_096,
+    seed: int = 0,
+    flat_dimension: int = 12,
+    decompositions: Sequence[tuple[int, int]] = ((2, 6), (3, 4)),
+    query_sizes: Sequence[int] = (1, 2, 3),
+    queries_per_size: int = 5,
+) -> ExperimentResult:
+    """Flat cube vs (groups × dimension) decompositions."""
+    corpus = default_corpus(num_objects, seed)
+    generator = QueryLogGenerator(corpus, seed=seed + 1)
+    queries = [
+        query
+        for m in query_sizes
+        for query in generator.popular_sets(m, queries_per_size)
+    ]
+
+    rows: list[dict] = []
+
+    flat_index = build_loaded_index(corpus, flat_dimension, seed=seed)
+    flat_searcher = SuperSetSearch(flat_index)
+    flat_visits = []
+    for query in queries:
+        flat_visits.append(len(flat_searcher.run(query).visits))
+    rows.append(
+        {
+            "scheme": f"flat-{flat_dimension}",
+            "mean_visits": sum(flat_visits) / len(flat_visits),
+            "storage_multiplier": 1.0,
+            "mean_precision": 1.0,
+        }
+    )
+
+    for groups, dimension in decompositions:
+        # Each decomposition gets its own DHT so replica-reference state
+        # from previous schemes cannot suppress its index inserts.
+        from repro.dht.chord import ChordNetwork
+
+        dolr = ChordNetwork.build(bits=32, num_nodes=64, seed=seed)
+        decomposed = DecomposedIndex(
+            dolr, groups=groups, dimension_per_group=dimension,
+            salt=f"dec-{groups}x{dimension}",
+        )
+        holder = dolr.any_address()
+        for record in corpus.records:
+            decomposed.insert(record.object_id, record.keywords, holder)
+        visits = []
+        precisions = []
+        for query in queries:
+            result = decomposed.superset_search(query)
+            visits.append(len(result.inner.visits))
+            precisions.append(result.precision)
+        rows.append(
+            {
+                "scheme": f"decomposed-{groups}x{dimension}",
+                "mean_visits": sum(visits) / len(visits),
+                "storage_multiplier": decomposed.storage_multiplier(),
+                "mean_precision": sum(precisions) / len(precisions),
+            }
+        )
+    return ExperimentResult(
+        experiment="decomposed",
+        description="Flat hypercube vs decomposed sub-hypercubes",
+        parameters={
+            "num_objects": num_objects,
+            "seed": seed,
+            "flat_dimension": flat_dimension,
+            "decompositions": tuple(decompositions),
+        },
+        rows=rows,
+    )

@@ -1,0 +1,145 @@
+"""Fault tolerance: hypercube index vs distributed inverted index.
+
+Section 3.4 argues that because a popular keyword's objects are spread
+over many hypercube nodes, "no single node failure can block all
+queries involving the keyword" — whereas in DII each keyword lives on
+exactly one node.  This experiment fails a growing fraction of physical
+nodes and measures, per scheme, the recall queries still achieve:
+
+* hypercube — the search (with ``skip_unreachable``) loses only the
+  entries hosted on dead nodes: recall degrades gracefully, roughly
+  linearly in the failure fraction;
+* DII — a query loses *everything* whenever any of its keywords' single
+  home nodes is dead: the blocked fraction grows like 1-(1-f)^m;
+* hypercube+replica — Section 3.4's secondary-hypercube replication:
+  a dead node's entries are served from the replica, so recall stays
+  near 1 until both hosts of an entry die.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.dii import DistributedInvertedIndex
+from repro.core.replication import ReplicatedHypercubeIndex
+from repro.core.search import SuperSetSearch
+from repro.dht.chord import RoutingError
+from repro.experiments.harness import ExperimentResult, build_loaded_index, default_corpus
+from repro.sim.network import NodeUnreachableError
+from repro.util.rng import make_rng
+from repro.workload.queries import QueryLogGenerator
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    num_objects: int = 8_192,
+    seed: int = 0,
+    dimension: int = 10,
+    num_dht_nodes: int = 128,
+    failure_fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3),
+    num_queries: int = 60,
+    replicas: int = 2,
+) -> ExperimentResult:
+    """Mean recall and blocked-query fraction vs failure fraction."""
+    corpus = default_corpus(num_objects, seed)
+    index = build_loaded_index(corpus, dimension, num_dht_nodes=num_dht_nodes, seed=seed)
+    dii = DistributedInvertedIndex(index.dolr)
+    dii.bulk_load((record.object_id, record.keywords) for record in corpus.records)
+    searcher = SuperSetSearch(index, skip_unreachable=True)
+    from repro.hypercube.hypercube import Hypercube
+
+    replicated = ReplicatedHypercubeIndex(
+        Hypercube(dimension), index.dolr, replicas=replicas
+    )
+    replicated.bulk_load((record.object_id, record.keywords) for record in corpus.records)
+    replicated_searcher = replicated.searcher()
+
+    generator = QueryLogGenerator(corpus, seed=seed + 1)
+    queries = [q.keywords for q in generator.generate(num_queries)]
+    postings = corpus.inverted_index()
+    truth = {
+        query: frozenset.intersection(*(postings.get(k, frozenset()) for k in query))
+        for query in set(queries)
+    }
+    queries = [q for q in queries if truth[q]]
+
+    network = index.dolr.network
+    rng = make_rng(seed + 2)
+    addresses = index.dolr.addresses()
+    rows: list[dict] = []
+    for fraction in failure_fractions:
+        failed = rng.sample(addresses, int(round(fraction * len(addresses))))
+        # Never fail every node, and keep at least one live origin.
+        failed = failed[: max(0, len(addresses) - 2)]
+        for address in failed:
+            network.fail(address)
+        origin = next(a for a in addresses if network.is_alive(a))
+        try:
+            rows.append(
+                _measure("hypercube", fraction, queries, truth, origin, searcher=searcher)
+            )
+            rows.append(
+                _measure(
+                    f"hypercube+{replicas}x",
+                    fraction,
+                    queries,
+                    truth,
+                    origin,
+                    searcher=replicated_searcher,
+                )
+            )
+            rows.append(_measure("dii", fraction, queries, truth, origin, dii=dii))
+        finally:
+            for address in failed:
+                network.recover(address)
+    return ExperimentResult(
+        experiment="fault",
+        description="Query recall under node failures: hypercube vs DII",
+        parameters={
+            "num_objects": num_objects,
+            "seed": seed,
+            "dimension": dimension,
+            "num_dht_nodes": num_dht_nodes,
+            "num_queries": len(queries),
+        },
+        rows=rows,
+    )
+
+
+def _measure(
+    scheme: str,
+    fraction: float,
+    queries,
+    truth,
+    origin: int,
+    *,
+    searcher: SuperSetSearch | None = None,
+    dii: DistributedInvertedIndex | None = None,
+) -> dict:
+    recalls = []
+    blocked = 0
+    for query in queries:
+        expected = truth[query]
+        if searcher is not None:
+            try:
+                result = searcher.run(query, origin=origin)
+                found = set(result.object_ids)
+            except (NodeUnreachableError, RoutingError):
+                found = set()
+        else:
+            assert dii is not None
+            try:
+                found = set(dii.query(query, origin=origin).object_ids)
+            except (NodeUnreachableError, RoutingError):
+                found = set()
+        recall = len(found & expected) / len(expected)
+        recalls.append(recall)
+        blocked += recall == 0.0
+    return {
+        "scheme": scheme,
+        "failure_fraction": fraction,
+        "mean_recall": sum(recalls) / len(recalls),
+        "blocked_fraction": blocked / len(queries),
+    }

@@ -1,0 +1,87 @@
+"""Figure 8: superset-search cost without caches.
+
+For r in {8, 10, 12} and query sizes m = 1..5, popular keyword sets are
+drawn from the query pool and searched exhaustively; the trace gives
+the fraction of hypercube nodes contacted at each recall rate.
+
+Expected shape (the paper's): at 100% recall roughly ``2**-m`` of the
+nodes are contacted for r = 10 and 12 (higher for r = 8 and m > 1
+because the cube is too small), and cost grows about linearly with the
+recall rate because the index load is evenly spread.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.recall import average_recall_curve, recall_curve
+from repro.core.search import SuperSetSearch
+from repro.experiments.harness import ExperimentResult, build_loaded_index, default_corpus
+from repro.workload.queries import QueryLogGenerator
+
+__all__ = ["run"]
+
+DEFAULT_RECALL_POINTS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def run(
+    *,
+    num_objects: int = 32_768,
+    seed: int = 0,
+    dimensions: Sequence[int] = (8, 10, 12),
+    query_sizes: Sequence[int] = (1, 2, 3, 4, 5),
+    queries_per_size: int = 8,
+    recall_points: Sequence[float] = DEFAULT_RECALL_POINTS,
+    num_dht_nodes: int = 64,
+) -> ExperimentResult:
+    """Percentage of nodes contacted vs recall rate, per (r, m)."""
+    corpus = default_corpus(num_objects, seed)
+    generator = QueryLogGenerator(corpus, seed=seed + 1)
+    rows: list[dict] = []
+    notes: list[str] = []
+    for r in dimensions:
+        index = build_loaded_index(corpus, r, seed=seed)
+        searcher = SuperSetSearch(index)
+        total_nodes = index.cube.num_nodes
+        for m in query_sizes:
+            queries = generator.popular_sets(m, queries_per_size)
+            if not queries:
+                notes.append(f"r={r}, m={m}: no queries of this size in the pool")
+                continue
+            curves = []
+            one_counts = []
+            for query in queries:
+                result = searcher.run(query)
+                curves.append(
+                    recall_curve(result, len(result.objects), total_nodes, recall_points)
+                )
+                one_counts.append(index.cube.weight(result.root_logical))
+            averaged = average_recall_curve(curves)
+            for recall, fraction in averaged:
+                rows.append(
+                    {
+                        "dimension": r,
+                        "query_size": m,
+                        "recall": recall,
+                        "node_fraction": fraction,
+                        "reference_2^-m": 2.0**-m if recall == 1.0 else None,
+                    }
+                )
+            notes.append(
+                f"r={r}, m={m}: mean |One(F_h(K))| = "
+                f"{sum(one_counts) / len(one_counts):.2f} over {len(queries)} queries"
+            )
+    return ExperimentResult(
+        experiment="fig8",
+        description="Cacheless superset-search cost (fraction of nodes vs recall)",
+        parameters={
+            "num_objects": num_objects,
+            "seed": seed,
+            "dimensions": tuple(dimensions),
+            "query_sizes": tuple(query_sizes),
+            "queries_per_size": queries_per_size,
+            "num_dht_nodes": num_dht_nodes,
+        },
+        rows=rows,
+        notes=notes,
+    )

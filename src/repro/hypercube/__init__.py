@@ -1,0 +1,15 @@
+"""r-dimensional hypercube machinery (Section 3.1 of the paper).
+
+:class:`~repro.hypercube.hypercube.Hypercube` is the vector space
+``H_r``; :class:`~repro.hypercube.subcube.SubHypercube` is the induced
+subhypercube ``H_r(u)`` of all nodes containing ``u``; and
+:class:`~repro.hypercube.sbt.SpanningBinomialTree` realizes
+Definition 3.2's spanning binomial trees, both over the full cube and
+induced over a subcube — the structure the superset search walks.
+"""
+
+from repro.hypercube.hypercube import Hypercube
+from repro.hypercube.sbt import SpanningBinomialTree
+from repro.hypercube.subcube import SubHypercube
+
+__all__ = ["Hypercube", "SpanningBinomialTree", "SubHypercube"]

@@ -1,0 +1,145 @@
+"""The r-dimensional hypercube H_r (Section 3.1).
+
+Nodes are r-bit integers; two nodes share an edge iff they differ in
+exactly one bit.  All operations are O(r) or better and allocation-free
+where possible — experiments iterate over cubes with up to 2**16 nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.util import bitops
+
+__all__ = ["Hypercube"]
+
+_MAX_DIMENSION = 24
+
+
+class Hypercube:
+    """The hypercube ``H_r`` as a value object.
+
+    >>> cube = Hypercube(4)
+    >>> cube.num_nodes
+    16
+    >>> cube.neighbors(0b0100)
+    (5, 6, 0, 12)
+    >>> cube.contains_node(0b0110, 0b0100)
+    True
+    """
+
+    def __init__(self, dimension: int):
+        if not 0 <= dimension <= _MAX_DIMENSION:
+            raise ValueError(
+                f"dimension must be in [0, {_MAX_DIMENSION}] "
+                f"(2**r nodes are materialized by experiments), got {dimension}"
+            )
+        self.dimension = dimension
+        self.mask = bitops.mask_of(dimension)
+
+    # -- basics ---------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self.dimension
+
+    @property
+    def num_edges(self) -> int:
+        """r * 2**(r-1) edges."""
+        if self.dimension == 0:
+            return 0
+        return self.dimension << (self.dimension - 1)
+
+    def check_node(self, node: int) -> int:
+        if not 0 <= node <= self.mask:
+            raise ValueError(f"node {node} outside H_{self.dimension}")
+        return node
+
+    def nodes(self) -> range:
+        """All node identifiers."""
+        return range(self.num_nodes)
+
+    def neighbor(self, node: int, dimension: int) -> int:
+        """The neighbour of ``node`` across ``dimension``."""
+        self.check_node(node)
+        if not 0 <= dimension < self.dimension:
+            raise ValueError(f"dimension must be in [0, {self.dimension}), got {dimension}")
+        return node ^ (1 << dimension)
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """All r neighbours of ``node``, by ascending dimension."""
+        self.check_node(node)
+        return tuple(node ^ (1 << d) for d in range(self.dimension))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """All undirected edges as (low, high) pairs."""
+        for node in self.nodes():
+            for dimension in range(self.dimension):
+                other = node ^ (1 << dimension)
+                if node < other:
+                    yield (node, other)
+
+    # -- paper vocabulary --------------------------------------------------
+
+    def one(self, node: int) -> tuple[int, ...]:
+        """``One(node)`` — positions of one bits (Section 3.1)."""
+        self.check_node(node)
+        return bitops.one_positions(node, self.dimension)
+
+    def zero(self, node: int) -> tuple[int, ...]:
+        """``Zero(node)`` — positions of zero bits."""
+        self.check_node(node)
+        return bitops.zero_positions(node, self.dimension)
+
+    def contains_node(self, container: int, contained: int) -> bool:
+        """True iff ``container`` contains ``contained``:
+        ``One(contained) ⊆ One(container)``."""
+        self.check_node(container)
+        self.check_node(contained)
+        return bitops.contains(container, contained)
+
+    def hamming(self, u: int, v: int) -> int:
+        self.check_node(u)
+        self.check_node(v)
+        return bitops.hamming_distance(u, v)
+
+    def weight(self, node: int) -> int:
+        """|One(node)| — the node's Hamming weight."""
+        self.check_node(node)
+        return bitops.popcount(node)
+
+    # -- subcube geometry ----------------------------------------------------
+
+    def subcube_dimension(self, inducer: int) -> int:
+        """Dimension of the subhypercube induced by ``inducer``:
+        |Zero(inducer)|."""
+        self.check_node(inducer)
+        return self.dimension - bitops.popcount(inducer)
+
+    def subcube_size(self, inducer: int) -> int:
+        """Number of nodes in H_r(inducer): 2**|Zero(inducer)|."""
+        return 1 << self.subcube_dimension(inducer)
+
+    def nodes_of_weight(self, weight: int) -> Iterator[int]:
+        """All nodes with exactly ``weight`` one bits, ascending.
+
+        Gosper's hack enumerates same-weight bit patterns in order
+        without scanning all 2**r nodes.
+        """
+        if not 0 <= weight <= self.dimension:
+            raise ValueError(
+                f"weight must be in [0, {self.dimension}], got {weight}"
+            )
+        if weight == 0:
+            yield 0
+            return
+        value = (1 << weight) - 1
+        while value <= self.mask:
+            yield value
+            lowest = value & -value
+            ripple = value + lowest
+            value = ripple | (((value ^ ripple) >> 2) // lowest)
+
+    def format_node(self, node: int) -> str:
+        """Render a node as its r-bit binary string."""
+        return bitops.bit_string(self.check_node(node), self.dimension)

@@ -1,0 +1,127 @@
+"""Induced subhypercubes H_r(u) (Definition 3.1).
+
+``H_r(u)`` contains every node ``w`` that contains ``u`` (every one bit
+of ``u`` is set in ``w``), and is isomorphic to a |Zero(u)|-dimensional
+hypercube obtained by masking out the fixed one bits.  The superset
+search space for a keyword set K is exactly ``H_r(F_h(K))``
+(Lemma 3.1), and Lemma 3.3's refinement property —
+``K1 ⊆ K2  ⇒  H_r(F_h(K2)) ⊆ H_r(F_h(K1))`` — falls out of
+:meth:`SubHypercube.is_subcube_of`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.hypercube.hypercube import Hypercube
+from repro.util import bitops
+
+__all__ = ["SubHypercube"]
+
+
+class SubHypercube:
+    """The subhypercube of ``cube`` induced by ``inducer``.
+
+    >>> sub = SubHypercube(Hypercube(4), 0b0100)
+    >>> sub.size
+    8
+    >>> sorted(sub.nodes()) == [n for n in range(16) if n & 0b0100 == 0b0100]
+    True
+    """
+
+    def __init__(self, cube: Hypercube, inducer: int):
+        cube.check_node(inducer)
+        self.cube = cube
+        self.inducer = inducer
+        self.free_mask = cube.mask & ~inducer
+        self.free_dimensions = bitops.one_positions(self.free_mask, cube.dimension)
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        """|Zero(inducer)| — the dimension of the isomorphic cube."""
+        return len(self.free_dimensions)
+
+    @property
+    def size(self) -> int:
+        return 1 << self.dimension
+
+    def __contains__(self, node: int) -> bool:
+        return 0 <= node <= self.cube.mask and bitops.contains(node, self.inducer)
+
+    def nodes(self) -> Iterator[int]:
+        """All member nodes, by enumerating subsets of the free mask.
+
+        Uses the standard submask-enumeration trick so each node costs
+        O(1); order is descending in the free bits then the inducer last.
+        """
+        submask = self.free_mask
+        while True:
+            yield self.inducer | submask
+            if submask == 0:
+                return
+            submask = (submask - 1) & self.free_mask
+
+    def nodes_at_depth(self, depth: int) -> Iterator[int]:
+        """Members whose Hamming distance from the inducer is ``depth``
+        (i.e. ``depth`` extra one bits among the free dimensions)."""
+        if not 0 <= depth <= self.dimension:
+            raise ValueError(f"depth must be in [0, {self.dimension}], got {depth}")
+        free = self.free_dimensions
+        if depth == 0:
+            yield self.inducer
+            return
+        # Enumerate combinations of free dimensions via Gosper over the
+        # compact (masked) index space, then expand.
+        compact = (1 << depth) - 1
+        limit = 1 << self.dimension
+        while compact < limit:
+            expanded = 0
+            remaining = compact
+            while remaining:
+                low = remaining & -remaining
+                expanded |= 1 << free[low.bit_length() - 1]
+                remaining ^= low
+            yield self.inducer | expanded
+            lowest = compact & -compact
+            ripple = compact + lowest
+            compact = ripple | (((compact ^ ripple) >> 2) // lowest)
+
+    def depth_of(self, node: int) -> int:
+        """Hamming distance of a member from the inducer."""
+        if node not in self:
+            raise ValueError(
+                f"node {node} not in subcube induced by {self.inducer}"
+            )
+        return bitops.popcount(node ^ self.inducer)
+
+    def is_subcube_of(self, other: "SubHypercube") -> bool:
+        """Lemma 3.3: this subcube is contained in ``other`` iff our
+        inducer contains theirs."""
+        if self.cube.dimension != other.cube.dimension:
+            return False
+        return bitops.contains(self.inducer, other.inducer)
+
+    # -- compact isomorphism (masking the fixed bits) ----------------------
+
+    def compact(self, node: int) -> int:
+        """Map a member to the isomorphic |Zero(u)|-bit cube by dropping
+        the fixed one bits."""
+        if node not in self:
+            raise ValueError(f"node {node} not in subcube")
+        compact = 0
+        for index, dimension in enumerate(self.free_dimensions):
+            if (node >> dimension) & 1:
+                compact |= 1 << index
+        return compact
+
+    def expand(self, compact: int) -> int:
+        """Inverse of :meth:`compact`."""
+        if not 0 <= compact < self.size:
+            raise ValueError(f"compact id {compact} outside {self.dimension}-bit cube")
+        node = self.inducer
+        for index, dimension in enumerate(self.free_dimensions):
+            if (compact >> index) & 1:
+                node |= 1 << dimension
+        return node

@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation kernel.
+
+The paper evaluates its scheme by simulation; this package provides the
+substrate: a heap-based event scheduler with a virtual clock
+(:mod:`repro.sim.events`), pluggable link-latency models
+(:mod:`repro.sim.latency`), a message-passing network with synchronous
+RPC, one-way sends, failure injection and full message/hop accounting
+(:mod:`repro.sim.network`), and a metrics registry
+(:mod:`repro.sim.metrics`).
+"""
+
+from repro.sim.events import EventScheduler, ScheduledEvent
+from repro.sim.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Message, NetworkError, NodeUnreachableError, SimulatedNetwork
+
+__all__ = [
+    "ConstantLatency",
+    "EventScheduler",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Message",
+    "MetricsRegistry",
+    "NetworkError",
+    "NodeUnreachableError",
+    "ScheduledEvent",
+    "SimulatedNetwork",
+    "UniformLatency",
+]

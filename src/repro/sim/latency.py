@@ -1,0 +1,76 @@
+"""Link-latency models for the simulated network.
+
+Latencies are in milliseconds of virtual time.  Models are deterministic
+functions of the endpoint pair plus an explicit seed, so the same
+(src, dst) link always has the same base delay within a run — as in a
+real overlay, where the underlying path is stable on short timescales.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.util.hashing import stable_hash
+
+__all__ = ["ConstantLatency", "LatencyModel", "LogNormalLatency", "UniformLatency"]
+
+
+class LatencyModel(abc.ABC):
+    """Maps a (source, destination) pair to a one-way delay."""
+
+    @abc.abstractmethod
+    def delay(self, src: int, dst: int) -> float:
+        """Return the one-way latency from ``src`` to ``dst`` in ms."""
+
+    def _link_rng(self, src: int, dst: int, seed: int) -> random.Random:
+        """A per-link RNG, symmetric in the endpoints."""
+        low, high = (src, dst) if src <= dst else (dst, src)
+        return random.Random(stable_hash(f"link:{low}:{high}:{seed}"))
+
+
+class ConstantLatency(LatencyModel):
+    """Every link has the same delay.  The default for experiments, where
+    only message/hop *counts* matter (as in the paper)."""
+
+    def __init__(self, delay_ms: float = 1.0):
+        if delay_ms < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_ms}")
+        self._delay = delay_ms
+
+    def delay(self, src: int, dst: int) -> float:
+        return self._delay
+
+
+class UniformLatency(LatencyModel):
+    """Per-link delay drawn once, uniformly from [low, high]."""
+
+    def __init__(self, low_ms: float = 10.0, high_ms: float = 100.0, *, seed: int = 0):
+        if not 0 <= low_ms <= high_ms:
+            raise ValueError(f"need 0 <= low <= high, got [{low_ms}, {high_ms}]")
+        self._low = low_ms
+        self._high = high_ms
+        self._seed = seed
+
+    def delay(self, src: int, dst: int) -> float:
+        return self._link_rng(src, dst, self._seed).uniform(self._low, self._high)
+
+
+class LogNormalLatency(LatencyModel):
+    """Per-link delay drawn once from a log-normal — the classic
+    heavy-tailed shape of wide-area round-trip times."""
+
+    def __init__(self, median_ms: float = 50.0, sigma: float = 0.5, *, seed: int = 0):
+        if median_ms <= 0:
+            raise ValueError(f"median must be positive, got {median_ms}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self._median = median_ms
+        self._sigma = sigma
+        self._seed = seed
+
+    def delay(self, src: int, dst: int) -> float:
+        import math
+
+        rng = self._link_rng(src, dst, self._seed)
+        return self._median * math.exp(rng.gauss(0.0, self._sigma))

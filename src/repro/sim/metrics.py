@@ -1,0 +1,129 @@
+"""Counters and histograms for simulation accounting.
+
+Experiments in the paper report message counts, nodes contacted, and
+load distributions.  ``MetricsRegistry`` is the single collection point:
+protocol code increments named counters and records samples; experiment
+runners read them out.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+__all__ = ["HistogramSummary", "MetricsRegistry"]
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Summary statistics of a recorded sample series."""
+
+    count: int
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @staticmethod
+    def empty() -> "HistogramSummary":
+        return HistogramSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile on a pre-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, math.ceil(fraction * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+class MetricsRegistry:
+    """Named counters and sample series.
+
+    >>> metrics = MetricsRegistry()
+    >>> metrics.increment("messages.sent")
+    >>> metrics.increment("messages.sent", 2)
+    >>> metrics.counter("messages.sent")
+    3
+    >>> metrics.record("lookup.hops", 4.0)
+    >>> metrics.summary("lookup.hops").mean
+    4.0
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = defaultdict(int)
+        self._series: dict[str, list[float]] = defaultdict(list)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self._counters[name] += amount
+
+    def counter(self, name: str) -> int:
+        """Read counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        """A snapshot of all counters."""
+        return dict(self._counters)
+
+    def record(self, name: str, value: float) -> None:
+        """Append a sample to series ``name``."""
+        self._series[name].append(value)
+
+    def samples(self, name: str) -> list[float]:
+        """The raw samples of series ``name`` (copy)."""
+        return list(self._series.get(name, ()))
+
+    def summary(self, name: str) -> HistogramSummary:
+        """Summary statistics of series ``name``."""
+        values = self._series.get(name)
+        if not values:
+            return HistogramSummary.empty()
+        ordered = sorted(values)
+        total = math.fsum(ordered)
+        return HistogramSummary(
+            count=len(ordered),
+            total=total,
+            mean=total / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+        )
+
+    def reset(self, prefix: str = "") -> None:
+        """Clear counters and series whose names start with ``prefix``
+        (everything, when the prefix is empty)."""
+        for name in [n for n in self._counters if n.startswith(prefix)]:
+            del self._counters[name]
+        for name in [n for n in self._series if n.startswith(prefix)]:
+            del self._series[name]
+
+    def scoped(self, prefix: str) -> "ScopedMetrics":
+        """A view that prepends ``prefix.`` to every metric name."""
+        return ScopedMetrics(self, prefix)
+
+
+class ScopedMetrics:
+    """Thin prefixing wrapper so subsystems don't collide on names."""
+
+    def __init__(self, registry: MetricsRegistry, prefix: str):
+        self._registry = registry
+        self._prefix = prefix
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._registry.increment(f"{self._prefix}.{name}", amount)
+
+    def counter(self, name: str) -> int:
+        return self._registry.counter(f"{self._prefix}.{name}")
+
+    def record(self, name: str, value: float) -> None:
+        self._registry.record(f"{self._prefix}.{name}", value)
+
+    def summary(self, name: str) -> HistogramSummary:
+        return self._registry.summary(f"{self._prefix}.{name}")

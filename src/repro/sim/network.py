@@ -1,0 +1,230 @@
+"""A simulated message-passing network with accounting.
+
+Endpoints register a handler keyed by an integer address (the DHT node
+identifier).  Two communication styles are offered:
+
+* :meth:`SimulatedNetwork.rpc` — a synchronous request/reply pair.  The
+  virtual clock advances by two one-way latencies, two messages are
+  accounted, and the destination handler's return value is delivered to
+  the caller.  Protocol code written against ``rpc`` reads like the
+  paper's pseudo-code while still paying for every message.
+* :meth:`SimulatedNetwork.send` — a one-way message delivered through
+  the event scheduler after one latency.  Used for gossip-style traffic
+  (e.g. Chord stabilization) where no reply is awaited.
+
+Failure injection (:meth:`fail` / :meth:`recover`) makes a node drop all
+traffic, which the DHT layer's surrogate routing and the fault-tolerance
+experiment build on.  A :meth:`trace` context manager captures the
+messages sent within a window — experiments use it to count messages and
+distinct nodes contacted per query, the paper's cost metrics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.sim.events import EventScheduler
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.metrics import MetricsRegistry
+
+__all__ = [
+    "Message",
+    "MessageTrace",
+    "NetworkError",
+    "NodeUnreachableError",
+    "SimulatedNetwork",
+]
+
+Handler = Callable[["Message"], Any]
+
+
+class NetworkError(RuntimeError):
+    """Base class for simulated-network failures."""
+
+
+class NodeUnreachableError(NetworkError):
+    """The destination is failed or was never registered."""
+
+    def __init__(self, address: int):
+        super().__init__(f"node {address} is unreachable")
+        self.address = address
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message."""
+
+    src: int
+    dst: int
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    is_reply: bool = False
+
+
+@dataclass
+class MessageTrace:
+    """Messages captured by a :meth:`SimulatedNetwork.trace` window."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    @property
+    def message_count(self) -> int:
+        return len(self.messages)
+
+    @property
+    def request_count(self) -> int:
+        return sum(1 for m in self.messages if not m.is_reply)
+
+    def nodes_contacted(self, *, exclude: frozenset[int] | set[int] = frozenset()) -> set[int]:
+        """Distinct destinations of non-reply messages, minus ``exclude``.
+
+        This is the paper's "number of nodes need to be contacted".
+        """
+        return {m.dst for m in self.messages if not m.is_reply} - set(exclude)
+
+    def count_kind(self, kind: str) -> int:
+        return sum(1 for m in self.messages if m.kind == kind)
+
+
+class SimulatedNetwork:
+    """The shared medium connecting every simulated node."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler | None = None,
+        latency: LatencyModel | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._handlers: dict[int, Handler] = {}
+        self._failed: set[int] = set()
+        self._traces: list[MessageTrace] = []
+        self.kind_counts: Counter[str] = Counter()
+        self.received_counts: Counter[int] = Counter()
+
+    # -- membership ---------------------------------------------------
+
+    def register(self, address: int, handler: Handler) -> None:
+        """Attach ``handler`` at ``address``.  Re-registration replaces."""
+        self._handlers[address] = handler
+        self._failed.discard(address)
+
+    def unregister(self, address: int) -> None:
+        """Detach the endpoint at ``address`` (node leaves the network)."""
+        self._handlers.pop(address, None)
+        self._failed.discard(address)
+
+    def is_registered(self, address: int) -> bool:
+        return address in self._handlers
+
+    def addresses(self) -> frozenset[int]:
+        """All registered addresses (failed ones included)."""
+        return frozenset(self._handlers)
+
+    # -- failure injection --------------------------------------------
+
+    def fail(self, address: int) -> None:
+        """Make ``address`` drop all traffic until :meth:`recover`."""
+        if address not in self._handlers:
+            raise NetworkError(f"cannot fail unknown node {address}")
+        self._failed.add(address)
+
+    def recover(self, address: int) -> None:
+        """Undo :meth:`fail`."""
+        self._failed.discard(address)
+
+    def is_alive(self, address: int) -> bool:
+        return address in self._handlers and address not in self._failed
+
+    @property
+    def failed_addresses(self) -> frozenset[int]:
+        return frozenset(self._failed)
+
+    # -- communication ------------------------------------------------
+
+    def rpc(self, src: int, dst: int, kind: str, payload: dict[str, Any] | None = None) -> Any:
+        """Synchronous request/reply.  Returns the handler's return value.
+
+        Accounts one request and one reply message and advances the
+        clock by two one-way latencies.  A local call (``src == dst``)
+        is free: no messages, no delay — as in the paper, where a node
+        consulting its own index table costs nothing on the network.
+        """
+        request = Message(src, dst, kind, payload or {})
+        if src == dst:
+            return self._dispatch_local(request)
+        if not self.is_alive(dst):
+            self._account(request)  # the request is sent, then times out
+            raise NodeUnreachableError(dst)
+        self._account(request)
+        self.scheduler.advance(self.latency.delay(src, dst))
+        result = self._handlers[dst](request)
+        reply = Message(dst, src, kind, {}, is_reply=True)
+        self._account(reply)
+        self.scheduler.advance(self.latency.delay(dst, src))
+        return result
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        deliver: bool = True,
+    ) -> None:
+        """One-way message, delivered via the event scheduler.
+
+        Silently dropped if the destination is dead *at delivery time*.
+        ``deliver=False`` accounts the message without scheduling its
+        delivery — for datagrams whose receipt is a no-op (e.g. the
+        direct result notifications of the search protocol), so bulk
+        experiments do not accumulate millions of pending events.
+        """
+        message = Message(src, dst, kind, payload or {})
+        self._account(message)
+        if not deliver:
+            return
+        if src == dst:
+            self._handlers[dst](message)
+            return
+
+        def deliver_later() -> None:
+            if self.is_alive(dst):
+                self._handlers[dst](message)
+
+        self.scheduler.schedule(self.latency.delay(src, dst), deliver_later)
+
+    # -- tracing ------------------------------------------------------
+
+    @contextmanager
+    def trace(self) -> Iterator[MessageTrace]:
+        """Capture every message sent inside the ``with`` block."""
+        window = MessageTrace()
+        self._traces.append(window)
+        try:
+            yield window
+        finally:
+            self._traces.remove(window)
+
+    # -- internals ----------------------------------------------------
+
+    def _dispatch_local(self, request: Message) -> Any:
+        handler = self._handlers.get(request.dst)
+        if handler is None or request.dst in self._failed:
+            raise NodeUnreachableError(request.dst)
+        return handler(request)
+
+    def _account(self, message: Message) -> None:
+        self.metrics.increment("network.messages")
+        self.kind_counts[message.kind] += 1
+        if not message.is_reply:
+            self.received_counts[message.dst] += 1
+        for window in self._traces:
+            window.messages.append(message)

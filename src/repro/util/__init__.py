@@ -1,0 +1,30 @@
+"""Shared low-level utilities: bit operations, stable hashing, RNG, Zipf."""
+
+from repro.util.bitops import (
+    bit_string,
+    contains,
+    hamming_distance,
+    highest_set_bit,
+    lowest_set_bit,
+    one_positions,
+    popcount,
+    zero_positions,
+)
+from repro.util.hashing import stable_hash, stable_hash_to_range
+from repro.util.rng import make_rng
+from repro.util.zipf import ZipfDistribution
+
+__all__ = [
+    "ZipfDistribution",
+    "bit_string",
+    "contains",
+    "hamming_distance",
+    "highest_set_bit",
+    "lowest_set_bit",
+    "make_rng",
+    "one_positions",
+    "popcount",
+    "stable_hash",
+    "stable_hash_to_range",
+    "zero_positions",
+]

@@ -1,0 +1,157 @@
+"""Bit-level operations on r-bit node identifiers.
+
+The hypercube index scheme of the paper manipulates node identifiers as
+r-bit binary strings.  Following Section 3.1, for a node ``u``:
+
+* ``One(u)``  — the positions at which ``u`` has bit one,
+* ``Zero(u)`` — the positions at which ``u`` has bit zero,
+* ``v`` *contains* ``u``  iff  ``One(u) ⊆ One(v)``.
+
+Identifiers are plain Python integers; positions count from the right,
+position 0 being the least-significant bit, exactly as in the paper
+("u[i] denotes the i-th bit of u, counting from the right").
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "bit_string",
+    "contains",
+    "flip_bit",
+    "get_bit",
+    "hamming_distance",
+    "highest_set_bit",
+    "lowest_set_bit",
+    "mask_of",
+    "one_positions",
+    "popcount",
+    "set_bit",
+    "clear_bit",
+    "zero_positions",
+]
+
+
+def popcount(value: int) -> int:
+    """Return the number of one bits in ``value``.
+
+    >>> popcount(0b010100)
+    2
+    """
+    if value < 0:
+        raise ValueError(f"popcount requires a non-negative integer, got {value}")
+    return value.bit_count()
+
+
+def get_bit(value: int, position: int) -> int:
+    """Return bit ``position`` of ``value`` (0 or 1), counting from the right."""
+    if position < 0:
+        raise ValueError(f"bit position must be non-negative, got {position}")
+    return (value >> position) & 1
+
+
+def set_bit(value: int, position: int) -> int:
+    """Return ``value`` with bit ``position`` set to one."""
+    if position < 0:
+        raise ValueError(f"bit position must be non-negative, got {position}")
+    return value | (1 << position)
+
+
+def clear_bit(value: int, position: int) -> int:
+    """Return ``value`` with bit ``position`` cleared to zero."""
+    if position < 0:
+        raise ValueError(f"bit position must be non-negative, got {position}")
+    return value & ~(1 << position)
+
+
+def flip_bit(value: int, position: int) -> int:
+    """Return ``value`` with bit ``position`` inverted.
+
+    In hypercube terms this moves to the neighbour across dimension
+    ``position``.
+    """
+    if position < 0:
+        raise ValueError(f"bit position must be non-negative, got {position}")
+    return value ^ (1 << position)
+
+
+def one_positions(value: int, width: int) -> tuple[int, ...]:
+    """Return ``One(value)`` — ascending positions of one bits within ``width``.
+
+    >>> one_positions(0b010100, 6)
+    (2, 4)
+    """
+    _check_width(value, width)
+    return tuple(i for i in range(width) if (value >> i) & 1)
+
+
+def zero_positions(value: int, width: int) -> tuple[int, ...]:
+    """Return ``Zero(value)`` — ascending positions of zero bits within ``width``.
+
+    >>> zero_positions(0b010100, 6)
+    (0, 1, 3, 5)
+    """
+    _check_width(value, width)
+    return tuple(i for i in range(width) if not (value >> i) & 1)
+
+
+def contains(container: int, contained: int) -> bool:
+    """Return True iff ``container`` contains ``contained``.
+
+    Per Definition in Section 3.1: ``v`` contains ``u`` iff
+    ``One(u) ⊆ One(v)``, i.e. every one bit of ``u`` is also set in ``v``.
+
+    >>> contains(0b0110, 0b0100)
+    True
+    >>> contains(0b0110, 0b1000)
+    False
+    """
+    return (container & contained) == contained
+
+
+def hamming_distance(u: int, v: int) -> int:
+    """Return the Hamming distance between two identifiers.
+
+    >>> hamming_distance(0b1010, 0b0110)
+    2
+    """
+    return (u ^ v).bit_count()
+
+
+def mask_of(width: int) -> int:
+    """Return the all-ones mask of ``width`` bits."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def lowest_set_bit(value: int) -> int:
+    """Return the position of the least-significant one bit, or -1 if zero."""
+    if value == 0:
+        return -1
+    return (value & -value).bit_length() - 1
+
+
+def highest_set_bit(value: int) -> int:
+    """Return the position of the most-significant one bit, or -1 if zero."""
+    if value == 0:
+        return -1
+    return value.bit_length() - 1
+
+
+def bit_string(value: int, width: int) -> str:
+    """Render ``value`` as a ``width``-bit binary string (MSB first).
+
+    >>> bit_string(0b0100, 4)
+    '0100'
+    """
+    _check_width(value, width)
+    return format(value, f"0{width}b")
+
+
+def _check_width(value: int, width: int) -> None:
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if value < 0:
+        raise ValueError(f"identifier must be non-negative, got {value}")
+    if value >> width:
+        raise ValueError(f"identifier {value:#x} does not fit in {width} bits")

@@ -1,0 +1,63 @@
+"""Stable, deterministic hashing.
+
+Python's builtin ``hash`` is salted per process (PYTHONHASHSEED), so the
+index scheme cannot rely on it: the node responsible for a keyword set
+must be the same on every peer and across runs.  All hashing in the
+package therefore goes through SHA-1 (as in Chord's original design),
+optionally domain-separated by a salt so independent hash functions can
+be derived from one primitive (the paper needs at least two: ``h`` for
+keywords→dimension and ``g`` for hypercube→DHT node).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["stable_hash", "stable_hash_to_range", "derive_hash_family"]
+
+_MAX_DIGEST_BITS = 160
+
+
+def stable_hash(data: str | bytes, *, salt: str = "", bits: int = 64) -> int:
+    """Hash ``data`` to a ``bits``-bit integer, deterministically.
+
+    ``salt`` domain-separates independent hash functions derived from the
+    same SHA-1 primitive.
+
+    >>> stable_hash("chord") == stable_hash("chord")
+    True
+    >>> stable_hash("chord", salt="a") != stable_hash("chord", salt="b")
+    True
+    """
+    if not 1 <= bits <= _MAX_DIGEST_BITS:
+        raise ValueError(f"bits must be in [1, {_MAX_DIGEST_BITS}], got {bits}")
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    digest = hashlib.sha1(salt.encode("utf-8") + b"\x00" + data).digest()
+    return int.from_bytes(digest, "big") >> (_MAX_DIGEST_BITS - bits)
+
+
+def stable_hash_to_range(data: str | bytes, modulus: int, *, salt: str = "") -> int:
+    """Hash ``data`` uniformly into ``{0, ..., modulus - 1}``.
+
+    Uses the full 160-bit digest before reduction, so modulo bias is
+    negligible for any practical modulus.
+    """
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    digest = hashlib.sha1(salt.encode("utf-8") + b"\x00" + data).digest()
+    return int.from_bytes(digest, "big") % modulus
+
+
+def derive_hash_family(base_salt: str, count: int) -> list[str]:
+    """Return ``count`` salts deriving independent hash functions.
+
+    Useful for experiments that average over several random hash
+    functions ``h`` (the paper's load results depend on ``h`` only
+    through uniformity, so averaging over a family tightens estimates).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [f"{base_salt}/{index}" for index in range(count)]

@@ -1,0 +1,36 @@
+"""Seeded random number generation.
+
+Every stochastic component in the package (corpus generation, query
+logs, simulated latency, churn) takes an explicit seed or an explicit
+``random.Random`` instance, so experiments are reproducible bit-for-bit.
+This module centralizes the conventions.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["make_rng", "spawn_rng"]
+
+
+def make_rng(seed: int | random.Random | None) -> random.Random:
+    """Return a ``random.Random`` from a seed, an existing RNG, or None.
+
+    Passing an existing RNG returns it unchanged (shared stream);
+    passing ``None`` returns an OS-seeded RNG (non-reproducible, for
+    exploratory use only — experiments should always pass a seed).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn_rng(parent: random.Random, label: str) -> random.Random:
+    """Derive an independent child RNG from ``parent``, keyed by ``label``.
+
+    Two children with different labels produce independent streams even
+    though they share a parent; the parent's own stream is advanced by
+    exactly one call, so adding a new child does not perturb siblings
+    created before it.
+    """
+    return random.Random(f"{parent.getrandbits(64)}/{label}")

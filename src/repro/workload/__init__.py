@@ -1,0 +1,28 @@
+"""Workload substrates: synthetic corpus and query logs.
+
+The paper evaluates on 131,180 website records from the PCHome portal
+directory (mean 7.3 keywords per record, Figure 5's right-skewed size
+distribution) and on two weeks of PCHome query logs whose ten most
+popular queries cover more than 60% of daily volume.  Neither data set
+is public; :mod:`repro.workload.corpus` and
+:mod:`repro.workload.queries` generate synthetic equivalents matching
+the published statistics (see DESIGN.md, "Substitutions").
+"""
+
+from repro.workload.corpus import CorpusRecord, SyntheticCorpus
+from repro.workload.distributions import (
+    DiscretizedLogNormal,
+    EmpiricalDistribution,
+    fit_lognormal_to_mean,
+)
+from repro.workload.queries import Query, QueryLogGenerator
+
+__all__ = [
+    "CorpusRecord",
+    "DiscretizedLogNormal",
+    "EmpiricalDistribution",
+    "Query",
+    "QueryLogGenerator",
+    "SyntheticCorpus",
+    "fit_lognormal_to_mean",
+]

@@ -1,0 +1,222 @@
+"""Synthetic PCHome-like corpus (the paper's 131,180 website records).
+
+Each record carries the six fields of Table 1 — ID, Title, URL,
+Category, Description, Keyword — and is generated so the two statistics
+the experiments depend on match the paper:
+
+* keyword-set sizes follow Figure 5's right-skewed unimodal shape with
+  mean 7.3 (a discretized log-normal fit by
+  :func:`repro.workload.distributions.fit_lognormal_to_mean`);
+* keyword popularity follows Zipf's law (exponent ≈ 1), the premise of
+  the paper's load-balance argument.
+
+Keywords are pronounceable pseudo-words, deterministic per vocabulary
+rank, so corpora are reproducible bit-for-bit from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.util.rng import make_rng, spawn_rng
+from repro.util.zipf import ZipfDistribution
+from repro.workload.distributions import (
+    DiscretizedLogNormal,
+    EmpiricalDistribution,
+    fit_lognormal_to_mean,
+)
+
+__all__ = ["CorpusRecord", "SyntheticCorpus"]
+
+PAPER_CORPUS_SIZE = 131_180
+PAPER_MEAN_KEYWORDS = 7.3
+
+_SYLLABLES = (
+    "ba be bi bo bu da de di do du ka ke ki ko ku la le li lo lu "
+    "ma me mi mo mu na ne ni no nu ra re ri ro ru sa se si so su "
+    "ta te ti to tu va ve vi vo vu wa wi ya yo za zi zo"
+).split()
+
+_CATEGORY_POOL = (
+    "news", "shopping", "finance", "travel", "education", "games",
+    "music", "sports", "health", "computing", "government", "arts",
+)
+
+
+def _pseudo_word(rank: int) -> str:
+    """A deterministic pronounceable word for a vocabulary rank."""
+    base = len(_SYLLABLES)
+    parts = []
+    value = rank
+    for _ in range(3):
+        parts.append(_SYLLABLES[value % base])
+        value //= base
+    return "".join(parts) + str(rank % 10)
+
+
+@dataclass(frozen=True)
+class CorpusRecord:
+    """One website record, with the fields of Table 1."""
+
+    object_id: str
+    title: str
+    url: str
+    category: str
+    description: str
+    keywords: frozenset[str] = field(hash=False)
+
+    @property
+    def keyword_count(self) -> int:
+        return len(self.keywords)
+
+
+class SyntheticCorpus:
+    """A generated object collection with PCHome-like statistics.
+
+    >>> corpus = SyntheticCorpus.generate(num_objects=500, seed=1)
+    >>> len(corpus)
+    500
+    >>> 5.0 < corpus.mean_keyword_count() < 10.0
+    True
+    """
+
+    def __init__(self, records: list[CorpusRecord]):
+        if not records:
+            raise ValueError("corpus must contain at least one record")
+        self.records = records
+        self._by_id = {record.object_id: record for record in records}
+        if len(self._by_id) != len(records):
+            raise ValueError("corpus contains duplicate object IDs")
+
+    # -- generation -------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        *,
+        num_objects: int = PAPER_CORPUS_SIZE,
+        vocabulary_size: int = 20_000,
+        zipf_exponent: float = 1.0,
+        zipf_offset: float = 25.0,
+        size_distribution: DiscretizedLogNormal | None = None,
+        mean_keywords: float = PAPER_MEAN_KEYWORDS,
+        seed: int | random.Random | None = 0,
+    ) -> "SyntheticCorpus":
+        """Generate a corpus.
+
+        ``size_distribution`` defaults to the Figure 5 fit (log-normal,
+        mean ``mean_keywords``, support 1..30).  Keywords of each object
+        are drawn without replacement from a Zipf-Mandelbrot over the
+        vocabulary; the default offset calibrates the most popular
+        keyword to appear in ~4% of objects, the head-heaviness of a
+        curated directory (plain Zipf over a token stream would put the
+        top keyword in half the objects).
+        """
+        if num_objects < 1:
+            raise ValueError(f"num_objects must be >= 1, got {num_objects}")
+        if vocabulary_size < 64:
+            raise ValueError(f"vocabulary_size must be >= 64, got {vocabulary_size}")
+        parent = make_rng(seed)
+        size_rng = spawn_rng(parent, "sizes")
+        word_rng = spawn_rng(parent, "words")
+        meta_rng = spawn_rng(parent, "meta")
+        if size_distribution is None:
+            size_distribution = fit_lognormal_to_mean(mean_keywords)
+        zipf = ZipfDistribution(vocabulary_size, zipf_exponent, q=zipf_offset)
+        vocabulary = [_pseudo_word(rank) for rank in range(1, vocabulary_size + 1)]
+        records: list[CorpusRecord] = []
+        for index in range(num_objects):
+            size = size_distribution.sample(size_rng)
+            chosen: set[int] = set()
+            # Rejection sampling: Zipf draws until `size` distinct ranks.
+            while len(chosen) < size:
+                chosen.add(zipf.sample(word_rng))
+            keywords = frozenset(vocabulary[rank - 1] for rank in chosen)
+            records.append(cls._make_record(index, keywords, meta_rng))
+        return cls(records)
+
+    @staticmethod
+    def _make_record(index: int, keywords: frozenset[str], rng: random.Random) -> CorpusRecord:
+        ordered = sorted(keywords)
+        head = ordered[rng.randrange(len(ordered))]
+        category_digits = "".join(str(rng.randrange(10)) for _ in range(10))
+        return CorpusRecord(
+            object_id=f"obj-{index:07d}",
+            title=f"{head.capitalize()} {_CATEGORY_POOL[index % len(_CATEGORY_POOL)]} site",
+            url=f"http://www.{head}{index % 1000}.example.tw",
+            category=category_digits,
+            description=f"Site about {', '.join(ordered[:3])}",
+            keywords=keywords,
+        )
+
+    # -- access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CorpusRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, object_id: str) -> CorpusRecord:
+        return self._by_id[object_id]
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._by_id
+
+    def object_ids(self) -> list[str]:
+        return [record.object_id for record in self.records]
+
+    def keyword_sets(self) -> list[frozenset[str]]:
+        return [record.keywords for record in self.records]
+
+    # -- statistics -----------------------------------------------------------
+
+    def mean_keyword_count(self) -> float:
+        return sum(r.keyword_count for r in self.records) / len(self.records)
+
+    def size_histogram(self) -> dict[int, int]:
+        """Figure 5's data: keyword-set size -> number of objects."""
+        return dict(sorted(Counter(r.keyword_count for r in self.records).items()))
+
+    def size_distribution(self) -> EmpiricalDistribution:
+        return EmpiricalDistribution(
+            {size: float(count) for size, count in self.size_histogram().items()}
+        )
+
+    def keyword_frequencies(self) -> Counter[str]:
+        """keyword -> number of objects containing it."""
+        counter: Counter[str] = Counter()
+        for record in self.records:
+            counter.update(record.keywords)
+        return counter
+
+    def vocabulary_used(self) -> set[str]:
+        return {keyword for record in self.records for keyword in record.keywords}
+
+    def inverted_index(self) -> dict[str, frozenset[str]]:
+        """keyword -> object IDs containing it.
+
+        Built once per call; experiments that need many |O_K| counts
+        intersect these posting sets instead of scanning the corpus.
+        """
+        postings: dict[str, set[str]] = {}
+        for record in self.records:
+            for keyword in record.keywords:
+                postings.setdefault(keyword, set()).add(record.object_id)
+        return {keyword: frozenset(ids) for keyword, ids in postings.items()}
+
+    def matching(self, query: frozenset[str]) -> list[str]:
+        """Ground truth O_K: IDs of objects describable by ``query``.
+
+        Linear scan — the oracle experiments compare protocol output to.
+        """
+        return [
+            record.object_id for record in self.records if query <= record.keywords
+        ]
+
+    def keyword_frequency(self, query: frozenset[str]) -> int:
+        """|O_K| — the paper's keyword frequency of a set."""
+        return sum(1 for record in self.records if query <= record.keywords)

@@ -1,0 +1,130 @@
+"""Discrete distributions for workload synthesis.
+
+Figure 5 of the paper shows the keyword-set-size distribution of the
+PCHome corpus: unimodal, right-skewed, supported on roughly 1..30 with
+mean 7.3.  A log-normal discretized onto that support reproduces the
+shape; :func:`fit_lognormal_to_mean` pins its mean to the published
+value exactly (by bisection on the location parameter, since
+discretization and truncation shift the continuous-formula mean).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+from collections.abc import Iterable, Mapping
+
+from repro.util.rng import make_rng
+
+__all__ = ["DiscretizedLogNormal", "EmpiricalDistribution", "fit_lognormal_to_mean"]
+
+
+class EmpiricalDistribution:
+    """A discrete distribution given by value -> weight.
+
+    >>> d = EmpiricalDistribution({1: 1.0, 2: 3.0})
+    >>> round(d.pmf(2), 2)
+    0.75
+    """
+
+    def __init__(self, weights: Mapping[int, float]):
+        if not weights:
+            raise ValueError("weights must not be empty")
+        if any(w < 0 for w in weights.values()):
+            raise ValueError("weights must be non-negative")
+        total = math.fsum(weights.values())
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        self.support = sorted(weights)
+        self._pmf = {value: weights[value] / total for value in self.support}
+        self._cdf = list(itertools.accumulate(self._pmf[v] for v in self.support))
+        self._cdf[-1] = 1.0
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[int]) -> "EmpiricalDistribution":
+        counts: dict[int, float] = {}
+        for sample in samples:
+            counts[sample] = counts.get(sample, 0.0) + 1.0
+        return cls(counts)
+
+    def pmf(self, value: int) -> float:
+        return self._pmf.get(value, 0.0)
+
+    def mean(self) -> float:
+        return math.fsum(value * self._pmf[value] for value in self.support)
+
+    def mode(self) -> int:
+        return max(self.support, key=lambda v: self._pmf[v])
+
+    def sample(self, rng: int | random.Random | None = None) -> int:
+        rng = make_rng(rng)
+        return self.support[bisect.bisect_left(self._cdf, rng.random())]
+
+    def sample_many(self, count: int, rng: int | random.Random | None = None) -> list[int]:
+        rng = make_rng(rng)
+        cdf, support = self._cdf, self.support
+        return [support[bisect.bisect_left(cdf, rng.random())] for _ in range(count)]
+
+    def items(self) -> list[tuple[int, float]]:
+        return [(value, self._pmf[value]) for value in self.support]
+
+    def total_variation_distance(self, other: "EmpiricalDistribution") -> float:
+        values = set(self.support) | set(other.support)
+        return 0.5 * math.fsum(abs(self.pmf(v) - other.pmf(v)) for v in values)
+
+
+class DiscretizedLogNormal(EmpiricalDistribution):
+    """A log-normal discretized and truncated onto [low, high].
+
+    ``P(k) ∝ exp(-(ln k - mu)^2 / (2 sigma^2)) / k`` for integer k.
+    """
+
+    def __init__(self, mu: float, sigma: float, low: int = 1, high: int = 30):
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        if not 1 <= low <= high:
+            raise ValueError(f"need 1 <= low <= high, got [{low}, {high}]")
+        self.mu = mu
+        self.sigma = sigma
+        self.low = low
+        self.high = high
+        weights = {
+            k: math.exp(-((math.log(k) - mu) ** 2) / (2 * sigma**2)) / k
+            for k in range(low, high + 1)
+        }
+        super().__init__(weights)
+
+
+def fit_lognormal_to_mean(
+    target_mean: float,
+    sigma: float = 0.55,
+    low: int = 1,
+    high: int = 30,
+    *,
+    tolerance: float = 1e-6,
+) -> DiscretizedLogNormal:
+    """Find the discretized log-normal with the requested mean.
+
+    Bisection on mu: the discretized mean is monotone increasing in mu.
+
+    >>> dist = fit_lognormal_to_mean(7.3)
+    >>> abs(dist.mean() - 7.3) < 1e-4
+    True
+    """
+    if not low < target_mean < high:
+        raise ValueError(
+            f"target mean {target_mean} must lie strictly inside [{low}, {high}]"
+        )
+    lo_mu, hi_mu = math.log(low) - 2.0, math.log(high) + 2.0
+    for _ in range(200):
+        mid = (lo_mu + hi_mu) / 2
+        mean = DiscretizedLogNormal(mid, sigma, low, high).mean()
+        if abs(mean - target_mean) < tolerance:
+            break
+        if mean < target_mean:
+            lo_mu = mid
+        else:
+            hi_mu = mid
+    return DiscretizedLogNormal((lo_mu + hi_mu) / 2, sigma, low, high)

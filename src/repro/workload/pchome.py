@@ -1,0 +1,63 @@
+"""Table 1 of the paper: sample PCHome website records.
+
+The paper prints two example rows of its (proprietary) data set; they
+are public in the paper itself and reproduced here verbatim so the
+Table 1 "experiment" can render them next to synthetic records of the
+same schema.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.workload.corpus import CorpusRecord
+
+__all__ = ["TABLE1_RECORDS", "format_records_table"]
+
+TABLE1_RECORDS: tuple[CorpusRecord, ...] = (
+    CorpusRecord(
+        object_id="11",
+        title="Hinet",
+        url="http://www.hinet.net",
+        category="0818013020",
+        description="Largest ISP in Taiwan",
+        keywords=frozenset({"isp", "telecommunication", "network", "download"}),
+    ),
+    CorpusRecord(
+        object_id="18491",
+        title="TVBS News",
+        url="http://www.tvbs.com.tw",
+        category="0318201207",
+        description=(
+            "Providing daily news, entertainment news, and news search"
+        ),
+        keywords=frozenset({"tvbs", "news"}),
+    ),
+)
+
+_COLUMNS = ("ID", "Title", "URL", "Category", "Description", "Keyword")
+
+
+def _row_of(record: CorpusRecord) -> tuple[str, ...]:
+    return (
+        record.object_id,
+        record.title,
+        record.url,
+        record.category,
+        record.description,
+        ", ".join(sorted(record.keywords)),
+    )
+
+
+def format_records_table(records: Sequence[CorpusRecord]) -> str:
+    """Render records as the ASCII table of Table 1."""
+    rows = [_COLUMNS] + [_row_of(record) for record in records]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(_COLUMNS))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)

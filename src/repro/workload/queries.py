@@ -1,0 +1,157 @@
+"""Synthetic query logs (the paper's PCHome two-week logs).
+
+The published statistics the generator reproduces:
+
+* query keyword-set sizes m = 1..5 (the range Figure 8 sweeps);
+* every query has at least one matching object (queries are sampled as
+  subsets of real objects' keyword sets, so ``|O_K| >= 1`` by
+  construction — Figure 8's recall axis needs this);
+* query popularity is heavily skewed: the ten most popular queries
+  account for more than 60% of daily volume (footnote 1), reproduced by
+  a Zipf over the query pool whose exponent is calibrated to that head
+  share by :func:`repro.util.zipf.calibrate_exponent_for_head_share`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.util.rng import make_rng, spawn_rng
+from repro.util.zipf import ZipfDistribution, calibrate_exponent_for_head_share
+from repro.workload.corpus import SyntheticCorpus
+
+__all__ = ["Query", "QueryLogGenerator", "PAPER_QUERIES_PER_DAY"]
+
+PAPER_QUERIES_PER_DAY = 178_000
+
+_DEFAULT_SIZE_SHARES: dict[int, float] = {1: 0.30, 2: 0.30, 3: 0.20, 4: 0.12, 5: 0.08}
+
+
+@dataclass(frozen=True)
+class Query:
+    """One logged query: the keyword set and the time of day (seconds)."""
+
+    keywords: frozenset[str]
+    time: float
+
+    @property
+    def size(self) -> int:
+        return len(self.keywords)
+
+
+class QueryLogGenerator:
+    """Builds a ranked query pool from a corpus, then samples Zipf streams.
+
+    The pool interleaves sizes 1..5 in configurable shares; candidates
+    of size m are m-subsets of real objects' keyword sets, ranked by an
+    upper bound on their keyword frequency (the minimum single-keyword
+    frequency), so rank 1 is a genuinely popular query.
+    """
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        *,
+        pool_size: int = 2_000,
+        size_shares: dict[int, float] | None = None,
+        top_queries: int = 10,
+        head_share: float = 0.6,
+        seed: int | random.Random | None = 0,
+    ):
+        if pool_size < top_queries:
+            raise ValueError(
+                f"pool_size must be >= top_queries, got {pool_size} < {top_queries}"
+            )
+        self.corpus = corpus
+        self.top_queries = top_queries
+        self.head_share = head_share
+        shares = dict(_DEFAULT_SIZE_SHARES) if size_shares is None else dict(size_shares)
+        if any(share < 0 for share in shares.values()) or sum(shares.values()) <= 0:
+            raise ValueError("size_shares must be non-negative with positive sum")
+        parent = make_rng(seed)
+        self._pool_rng = spawn_rng(parent, "pool")
+        self._stream_rng = spawn_rng(parent, "stream")
+        self._frequencies = corpus.keyword_frequencies()
+        self.pool: list[frozenset[str]] = self._build_pool(pool_size, shares)
+        self.zipf_exponent = calibrate_exponent_for_head_share(
+            n=len(self.pool), top=top_queries, target_share=head_share
+        )
+        self._zipf = ZipfDistribution(len(self.pool), self.zipf_exponent)
+
+    # -- pool construction ------------------------------------------------
+
+    def _build_pool(
+        self, pool_size: int, shares: dict[int, float]
+    ) -> list[frozenset[str]]:
+        total_share = sum(shares.values())
+        candidates: list[tuple[int, frozenset[str]]] = []
+        for size, share in sorted(shares.items()):
+            want = max(1, round(pool_size * share / total_share))
+            candidates.extend(
+                (self._popularity_bound(query), query)
+                for query in self._candidates_of_size(size, want)
+            )
+        # Rank by the popularity bound, descending; ties broken
+        # deterministically by the keyword tuple.
+        candidates.sort(key=lambda item: (-item[0], tuple(sorted(item[1]))))
+        return [query for _, query in candidates[:pool_size]]
+
+    def _candidates_of_size(self, size: int, want: int) -> list[frozenset[str]]:
+        if size == 1:
+            popular = self._frequencies.most_common(want)
+            return [frozenset({keyword}) for keyword, _ in popular]
+        seen: set[frozenset[str]] = set()
+        result: list[frozenset[str]] = []
+        attempts = 0
+        records = self.corpus.records
+        while len(result) < want and attempts < want * 60:
+            attempts += 1
+            record = records[self._pool_rng.randrange(len(records))]
+            if record.keyword_count < size:
+                continue
+            keywords = sorted(record.keywords)
+            subset = frozenset(self._pool_rng.sample(keywords, size))
+            if subset not in seen:
+                seen.add(subset)
+                result.append(subset)
+        return result
+
+    def _popularity_bound(self, query: frozenset[str]) -> int:
+        """min keyword frequency — an upper bound on |O_K|."""
+        return min(self._frequencies.get(keyword, 0) for keyword in query)
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample_query_set(self) -> frozenset[str]:
+        return self.pool[self._zipf.sample(self._stream_rng) - 1]
+
+    def generate(self, count: int, *, duration: float = 86_400.0) -> list[Query]:
+        """An i.i.d. Zipf stream of ``count`` queries with sorted
+        uniform-random timestamps over ``duration`` seconds."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        times = sorted(self._stream_rng.uniform(0.0, duration) for _ in range(count))
+        ranks = self._zipf.sample_many(count, self._stream_rng)
+        return [
+            Query(self.pool[rank - 1], time) for rank, time in zip(ranks, times)
+        ]
+
+    def popular_sets(self, size: int, count: int) -> list[frozenset[str]]:
+        """The ``count`` highest-ranked pool queries of exactly ``size``
+        keywords — Figure 8 samples "some popular keyword sets of size
+        m" this way."""
+        selected = [query for query in self.pool if len(query) == size]
+        return selected[:count]
+
+    # -- validation helpers ----------------------------------------------------
+
+    @staticmethod
+    def head_share_of(queries: list[Query], top: int) -> float:
+        """Empirical share of the ``top`` most frequent query sets."""
+        if not queries:
+            return 0.0
+        counts = Counter(query.keywords for query in queries)
+        heaviest = [count for _, count in counts.most_common(top)]
+        return sum(heaviest) / len(queries)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import HypercubeIndex
+from repro.core.service import KeywordSearchService
+from repro.dht.chord import ChordNetwork
+from repro.hypercube.hypercube import Hypercube
+from repro.workload.corpus import SyntheticCorpus
+
+CATALOGUE = {
+    "take-five": frozenset({"mp3", "jazz", "saxophone"}),
+    "so-what": frozenset({"mp3", "jazz", "trumpet"}),
+    "blue-in-green": frozenset({"mp3", "jazz", "piano", "modal"}),
+    "moonlight": frozenset({"flac", "classical", "piano"}),
+    "kind-of-blue": frozenset({"mp3", "jazz"}),
+}
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> SyntheticCorpus:
+    """A 600-object corpus shared by workload-heavy tests."""
+    return SyntheticCorpus.generate(num_objects=600, seed=101)
+
+
+@pytest.fixture()
+def chord_ring() -> ChordNetwork:
+    return ChordNetwork.build(bits=16, num_nodes=24, seed=5)
+
+
+@pytest.fixture()
+def loaded_index(chord_ring) -> HypercubeIndex:
+    """A 6-cube index over the Chord ring with the music catalogue."""
+    index = HypercubeIndex(Hypercube(6), chord_ring)
+    holder = chord_ring.any_address()
+    for object_id, keywords in CATALOGUE.items():
+        index.insert(object_id, keywords, holder)
+    return index
+
+
+@pytest.fixture()
+def service() -> KeywordSearchService:
+    svc = KeywordSearchService.create(dimension=6, num_dht_nodes=16, seed=3)
+    for object_id, keywords in CATALOGUE.items():
+        svc.publish(object_id, keywords)
+    return svc

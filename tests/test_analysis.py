@@ -1,0 +1,214 @@
+"""Tests for the analytical models: Equations (1)/(2), load metrics,
+dimension selection, recall curves."""
+
+import math
+
+import pytest
+
+from repro.analysis.balls import (
+    expected_one_count,
+    monte_carlo_one_count,
+    one_count_distribution,
+    one_count_probability,
+)
+from repro.analysis.balls import expected_one_count_by_pmf
+from repro.analysis.dimension import (
+    distribution_distance,
+    node_weight_distribution,
+    object_weight_distribution,
+    recommend_dimension,
+)
+from repro.analysis.load import (
+    coefficient_of_variation,
+    gini_coefficient,
+    max_to_mean_ratio,
+    ranked_load_curve,
+)
+
+
+class TestEquationOne:
+    def test_single_keyword(self):
+        assert one_count_probability(8, 1, 1) == 1.0
+        assert one_count_probability(8, 1, 2) == 0.0
+
+    def test_two_keywords_two_bins(self):
+        # Two balls, two bins: collision probability 1/2.
+        assert one_count_probability(2, 2, 1) == pytest.approx(0.5)
+        assert one_count_probability(2, 2, 2) == pytest.approx(0.5)
+
+    def test_m_zero(self):
+        assert one_count_probability(5, 0, 0) == 1.0
+        assert one_count_probability(5, 0, 1) == 0.0
+
+    def test_j_cannot_exceed_m(self):
+        assert one_count_probability(10, 3, 4) == 0.0
+
+    def test_pmf_sums_to_one(self):
+        for r, m in ((8, 5), (10, 7), (12, 20), (3, 50)):
+            assert sum(one_count_distribution(r, m)) == pytest.approx(1.0, abs=1e-12)
+
+    def test_surjective_case(self):
+        # m >= r: all bins can be occupied; P(j=r) is the surjection count.
+        r, m = 3, 5
+        surjections = sum(
+            (-1) ** i * math.comb(r, i) * (r - i) ** m for i in range(r + 1)
+        )
+        assert one_count_probability(r, m, r) == pytest.approx(surjections / r**m)
+
+    def test_matches_monte_carlo(self):
+        analytic = one_count_distribution(10, 7)
+        empirical = monte_carlo_one_count(10, 7, trials=30_000, seed=1)
+        assert max(abs(a - b) for a, b in zip(analytic, empirical)) < 0.02
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            one_count_probability(0, 1, 0)
+        with pytest.raises(ValueError):
+            one_count_probability(4, -1, 0)
+        with pytest.raises(ValueError):
+            one_count_probability(4, 1, 5)
+
+
+class TestEquationTwo:
+    def test_closed_form_matches_pmf_sum(self):
+        for r, m in ((8, 3), (10, 7), (12, 12), (6, 1)):
+            assert expected_one_count(r, m) == pytest.approx(
+                expected_one_count_by_pmf(r, m), abs=1e-9
+            )
+
+    def test_monotone_in_m(self):
+        values = [expected_one_count(10, m) for m in range(0, 20)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_r(self):
+        # Converges to r from below (equals 8.0 within float precision
+        # for very large m).
+        assert expected_one_count(8, 1000) <= 8.0
+        assert expected_one_count(8, 50) < 8.0
+        assert expected_one_count(8, 1000) > 7.9
+
+    def test_m_zero(self):
+        assert expected_one_count(7, 0) == 0.0
+
+
+class TestLoadMetrics:
+    def test_ranked_curve_uniform(self):
+        curve = ranked_load_curve([2, 2, 2, 2])
+        assert curve == [(0.25, 0.25), (0.5, 0.5), (0.75, 0.75), (1.0, 1.0)]
+
+    def test_ranked_curve_skewed(self):
+        curve = ranked_load_curve([3, 1, 0, 0])
+        assert curve[0] == (0.25, 0.75)
+
+    def test_ranked_curve_sampled_points(self):
+        curve = ranked_load_curve([4, 3, 2, 1], points=(0.5, 1.0))
+        assert curve == [(0.5, 0.7), (1.0, 1.0)]
+
+    def test_ranked_curve_accepts_mapping(self):
+        assert ranked_load_curve({0: 1, 1: 1}) == [(0.5, 0.5), (1.0, 1.0)]
+
+    def test_ranked_curve_validation(self):
+        with pytest.raises(ValueError):
+            ranked_load_curve([])
+        with pytest.raises(ValueError):
+            ranked_load_curve([1], points=(1.5,))
+
+    def test_gini_uniform_zero(self):
+        assert gini_coefficient([5, 5, 5]) == pytest.approx(0.0)
+
+    def test_gini_concentrated(self):
+        assert gini_coefficient([10, 0, 0, 0]) == pytest.approx(0.75)
+
+    def test_gini_all_zero(self):
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_gini_monotone_in_skew(self):
+        assert gini_coefficient([1, 1, 1, 9]) > gini_coefficient([2, 2, 3, 5])
+
+    def test_cv(self):
+        assert coefficient_of_variation([1, 1, 1, 1]) == 0.0
+        assert coefficient_of_variation([0, 2]) == pytest.approx(1.0)
+
+    def test_max_to_mean(self):
+        assert max_to_mean_ratio([1, 1, 4]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        for metric in (gini_coefficient, coefficient_of_variation, max_to_mean_ratio):
+            with pytest.raises(ValueError):
+                metric([])
+
+
+class TestDimensionSelection:
+    def test_node_weight_is_binomial(self):
+        pmf = node_weight_distribution(4)
+        assert pmf == pytest.approx([1 / 16, 4 / 16, 6 / 16, 4 / 16, 1 / 16])
+
+    def test_object_weight_sums_to_one(self):
+        pmf = object_weight_distribution(10, {7: 1.0})
+        assert sum(pmf) == pytest.approx(1.0)
+
+    def test_object_weight_mixture(self):
+        mixed = object_weight_distribution(8, {1: 0.5, 2: 0.5})
+        pure1 = object_weight_distribution(8, {1: 1.0})
+        pure2 = object_weight_distribution(8, {2: 1.0})
+        for index in range(9):
+            assert mixed[index] == pytest.approx(
+                0.5 * pure1[index] + 0.5 * pure2[index]
+            )
+
+    def test_distribution_distance(self):
+        assert distribution_distance([1.0, 0.0], [0.0, 1.0]) == 1.0
+        with pytest.raises(ValueError):
+            distribution_distance([1.0], [0.5, 0.5])
+
+    def test_recommendation_near_paper_optimum(self):
+        # For a keyword-size distribution with mean 7.3, the best r must
+        # land near the paper's empirical optimum of 10.
+        from repro.workload.distributions import fit_lognormal_to_mean
+
+        sizes = fit_lognormal_to_mean(7.3)
+        best, distances = recommend_dimension(
+            dict(sizes.items()), min_dimension=6, max_dimension=16
+        )
+        assert 9 <= best <= 11
+        assert distances[best] <= distances[6]
+        assert distances[best] <= distances[16]
+
+    def test_recommendation_validation(self):
+        with pytest.raises(ValueError):
+            recommend_dimension({5: 1.0}, min_dimension=8, max_dimension=4)
+        with pytest.raises(ValueError):
+            object_weight_distribution(8, {})
+
+
+class TestRecallCurve:
+    def test_curve_from_search_trace(self, loaded_index):
+        from repro.analysis.recall import average_recall_curve, recall_curve
+        from repro.core.search import SuperSetSearch
+
+        searcher = SuperSetSearch(loaded_index)
+        result = searcher.run({"jazz"})
+        total_nodes = loaded_index.cube.num_nodes
+        curve = recall_curve(result, len(result.objects), total_nodes, (0.5, 1.0))
+        assert len(curve) == 2
+        assert 0 < curve[0][1] <= curve[1][1] <= 1.0
+
+        averaged = average_recall_curve([curve, curve])
+        assert averaged == curve
+
+    def test_curve_requires_uncapped_trace(self, loaded_index):
+        from repro.analysis.recall import recall_curve
+        from repro.core.search import SuperSetSearch
+
+        searcher = SuperSetSearch(loaded_index)
+        capped = searcher.run({"jazz"}, threshold=1)
+        with pytest.raises(ValueError):
+            recall_curve(capped, 4, loaded_index.cube.num_nodes)
+
+    def test_average_validation(self):
+        from repro.analysis.recall import average_recall_curve
+
+        with pytest.raises(ValueError):
+            average_recall_curve([])
+        with pytest.raises(ValueError):
+            average_recall_curve([[(0.5, 0.1)], [(1.0, 0.2)]])

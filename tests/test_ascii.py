@@ -1,0 +1,77 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii import ascii_chart, chart_experiment
+from repro.experiments.harness import ExperimentResult
+
+
+class TestAsciiChart:
+    def test_basic_rendering(self):
+        chart = ascii_chart({"line": [(0, 0.0), (1, 1.0)]}, width=20, height=6)
+        lines = chart.splitlines()
+        assert any("*" in line for line in lines)
+        assert "* = line" in lines[-1]
+
+    def test_extremes_mapped_to_corners(self):
+        chart = ascii_chart({"d": [(0, 0.0), (10, 5.0)]}, width=12, height=5)
+        rows = chart.splitlines()
+        assert rows[0].endswith("*")  # max y, max x -> top right
+        plot_rows = [row.split("|", 1)[1] for row in rows if "|" in row]
+        assert plot_rows[-1].startswith("*")  # min at bottom left
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}, width=16, height=5
+        )
+        assert "* = a" in chart
+        assert "o = b" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 2)]}, x_label="alpha", y_label="cost")
+        assert "x: alpha" in chart
+        assert "y: cost" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [(0, 3.0), (5, 3.0)]}, width=10, height=4)
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({}, width=20, height=6)
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0, 0)]}, width=2, height=6)
+
+
+class TestChartExperiment:
+    def make_result(self):
+        return ExperimentResult(
+            "demo",
+            "d",
+            {},
+            [
+                {"scheme": "a", "x": 0, "y": 0.1},
+                {"scheme": "a", "x": 1, "y": 0.4},
+                {"scheme": "b", "x": 0, "y": 0.9},
+                {"scheme": "b", "x": 1, "y": 0.2},
+            ],
+        )
+
+    def test_grouped_chart(self):
+        chart = chart_experiment(self.make_result(), group_by="scheme", x="x", y="y")
+        assert "* = a" in chart
+        assert "o = b" in chart
+
+    def test_ungrouped_chart(self):
+        chart = chart_experiment(self.make_result(), group_by=None, x="x", y="y")
+        assert "* = demo" in chart
+
+    def test_missing_columns_skipped(self):
+        result = ExperimentResult("demo", "d", {}, [{"x": 1}, {"scheme": "a", "x": 0, "y": 1}])
+        chart = chart_experiment(result, group_by="scheme", x="x", y="y")
+        assert "* = a" in chart
+
+    def test_no_usable_rows(self):
+        result = ExperimentResult("demo", "d", {}, [{"other": 1}])
+        with pytest.raises(ValueError):
+            chart_experiment(result, group_by="scheme", x="x", y="y")

@@ -1,0 +1,190 @@
+"""Tests for the baseline schemes: direct hashing, DII, KSS."""
+
+import math
+
+import pytest
+
+from repro.baselines.dii import DiiPlacement, DistributedInvertedIndex
+from repro.baselines.direct import DirectHashPlacement
+from repro.baselines.kss import KeywordSetIndex, KssPlacement
+from repro.dht.chord import ChordNetwork
+from repro.sim.network import NodeUnreachableError
+
+from tests.conftest import CATALOGUE
+
+
+class TestDirectHashPlacement:
+    def test_node_in_range(self):
+        placement = DirectHashPlacement(6)
+        for i in range(50):
+            assert 0 <= placement.node_for(f"obj-{i}") < 64
+
+    def test_deterministic(self):
+        placement = DirectHashPlacement(8)
+        assert placement.node_for("x") == placement.node_for("x")
+
+    def test_load_totals(self):
+        placement = DirectHashPlacement(4)
+        ids = [f"obj-{i}" for i in range(100)]
+        loads = placement.load_by_node(ids)
+        assert sum(loads.values()) == 100
+        assert set(loads) == set(range(16))
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            DirectHashPlacement(0)
+
+
+class TestDiiPlacement:
+    def test_load_counts_one_per_keyword(self):
+        placement = DiiPlacement(6)
+        loads = placement.load_by_node(CATALOGUE.values())
+        assert sum(loads.values()) == sum(len(k) for k in CATALOGUE.values())
+
+    def test_storage_per_object_is_mean_set_size(self):
+        placement = DiiPlacement(6)
+        expected = sum(len(k) for k in CATALOGUE.values()) / len(CATALOGUE)
+        assert placement.storage_per_object(CATALOGUE.values()) == pytest.approx(expected)
+
+    def test_same_keyword_same_node(self):
+        placement = DiiPlacement(8)
+        assert placement.node_for("Jazz ") == placement.node_for("jazz")
+
+
+class TestDiiNetwork:
+    @pytest.fixture()
+    def dii(self):
+        dolr = ChordNetwork.build(bits=16, num_nodes=16, seed=41)
+        dii = DistributedInvertedIndex(dolr)
+        holder = dolr.any_address()
+        for object_id, keywords in CATALOGUE.items():
+            dii.insert(object_id, keywords, holder)
+        return dii
+
+    def test_insert_costs_k_postings(self):
+        dolr = ChordNetwork.build(bits=16, num_nodes=16, seed=42)
+        dii = DistributedInvertedIndex(dolr)
+        posted = dii.insert("obj", {"a", "b", "c"}, dolr.any_address())
+        assert posted == 3
+
+    def test_single_keyword_query(self, dii):
+        result = dii.query({"jazz"})
+        expected = {o for o, kw in CATALOGUE.items() if "jazz" in kw}
+        assert set(result.object_ids) == expected
+        assert result.nodes_contacted == 1
+
+    def test_intersection_query(self, dii):
+        result = dii.query({"mp3", "piano"})
+        expected = {o for o, kw in CATALOGUE.items() if {"mp3", "piano"} <= kw}
+        assert set(result.object_ids) == expected
+        assert result.nodes_contacted == 2
+
+    def test_postings_shipped_counts_both_lists(self, dii):
+        result = dii.query({"mp3", "jazz"})
+        mp3 = sum(1 for kw in CATALOGUE.values() if "mp3" in kw)
+        jazz = sum(1 for kw in CATALOGUE.values() if "jazz" in kw)
+        assert result.postings_shipped == mp3 + jazz
+
+    def test_delete(self, dii):
+        holder = dii.dolr.any_address()
+        dii.delete("take-five", CATALOGUE["take-five"], holder)
+        assert "take-five" not in dii.query({"jazz"}).object_ids
+
+    def test_replica_bookkeeping(self, dii):
+        holders = dii.dolr.addresses()
+        assert dii.insert("take-five", CATALOGUE["take-five"], holders[-1]) == 0
+        assert dii.delete("take-five", CATALOGUE["take-five"], holders[0]) == 0
+        # Still queryable: one replica remains.
+        assert "take-five" in dii.query({"jazz"}).object_ids
+
+    def test_keyword_owner_failure_blocks_query(self, dii):
+        owner = dii.owner_of("jazz")
+        dii.dolr.network.fail(owner)
+        origin = next(a for a in dii.dolr.addresses() if a != owner)
+        # The lookup surrogates to a live node whose posting list is
+        # empty — every object under 'jazz' is lost at once.
+        result = dii.query({"jazz"}, origin=origin)
+        assert result.object_ids == ()
+
+    def test_bulk_load_equals_protocol_load(self):
+        protocol = DistributedInvertedIndex(
+            ChordNetwork.build(bits=16, num_nodes=16, seed=43)
+        )
+        holder = protocol.dolr.any_address()
+        for object_id, keywords in CATALOGUE.items():
+            protocol.insert(object_id, keywords, holder)
+        bulk = DistributedInvertedIndex(
+            ChordNetwork.build(bits=16, num_nodes=16, seed=43)
+        )
+        bulk.bulk_load(CATALOGUE.items())
+        for keyword in {k for kw in CATALOGUE.values() for k in kw}:
+            assert bulk.query({keyword}).object_ids == protocol.query({keyword}).object_ids
+
+
+class TestKssPlacement:
+    def test_entries_per_object(self):
+        placement = KssPlacement(6, window=2)
+        assert placement.entries_per_object(4) == math.comb(4, 1) + math.comb(4, 2)
+
+    def test_entries_with_small_sets(self):
+        placement = KssPlacement(6, window=3)
+        assert placement.entries_per_object(2) == 3  # C(2,1) + C(2,2)
+
+    def test_load_by_node_totals(self):
+        placement = KssPlacement(5, window=2)
+        loads = placement.load_by_node(CATALOGUE.values())
+        expected = sum(
+            placement.entries_per_object(len(k)) for k in CATALOGUE.values()
+        )
+        assert sum(loads.values()) == expected
+
+    def test_storage_blowup_exceeds_dii(self):
+        kss = KssPlacement(6, window=2)
+        dii = DiiPlacement(6)
+        assert kss.storage_per_object(CATALOGUE.values()) > dii.storage_per_object(
+            CATALOGUE.values()
+        )
+
+
+class TestKssNetwork:
+    @pytest.fixture()
+    def kss(self):
+        dolr = ChordNetwork.build(bits=16, num_nodes=16, seed=44)
+        kss = KeywordSetIndex(dolr, window=2)
+        holder = dolr.any_address()
+        for object_id, keywords in CATALOGUE.items():
+            kss.insert(object_id, keywords, holder)
+        return kss
+
+    def test_within_window_query_single_lookup(self, kss):
+        result = kss.query({"mp3", "jazz"})
+        expected = {o for o, kw in CATALOGUE.items() if {"mp3", "jazz"} <= kw}
+        assert set(result.object_ids) == expected
+        assert result.nodes_contacted == 1
+
+    def test_singleton_query(self, kss):
+        result = kss.query({"piano"})
+        expected = {o for o, kw in CATALOGUE.items() if "piano" in kw}
+        assert set(result.object_ids) == expected
+
+    def test_over_window_query_filters_candidates(self, kss):
+        result = kss.query({"mp3", "jazz", "piano"})
+        expected = {o for o, kw in CATALOGUE.items() if {"mp3", "jazz", "piano"} <= kw}
+        assert set(result.object_ids) == expected
+        assert result.candidates >= len(result.object_ids)
+
+    def test_insert_posts_window_subsets(self):
+        dolr = ChordNetwork.build(bits=16, num_nodes=16, seed=45)
+        kss = KeywordSetIndex(dolr, window=2)
+        posted = kss.insert("obj", {"a", "b", "c"}, dolr.any_address())
+        assert posted == 6  # C(3,1) + C(3,2)
+
+    def test_delete(self, kss):
+        holder = kss.dolr.any_address()
+        kss.delete("blue-in-green", CATALOGUE["blue-in-green"], holder)
+        assert "blue-in-green" not in kss.query({"piano"}).object_ids
+
+    def test_invalid_window(self):
+        dolr = ChordNetwork.build(bits=16, num_nodes=4, seed=46)
+        with pytest.raises(ValueError):
+            KeywordSetIndex(dolr, window=0)

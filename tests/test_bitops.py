@@ -1,0 +1,133 @@
+"""Unit tests for repro.util.bitops."""
+
+import pytest
+
+from repro.util import bitops
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert bitops.popcount(0) == 0
+
+    def test_all_ones(self):
+        assert bitops.popcount(0b1111) == 4
+
+    def test_paper_example(self):
+        assert bitops.popcount(0b010100) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.popcount(-1)
+
+
+class TestBitAccess:
+    def test_get_bit(self):
+        assert bitops.get_bit(0b0100, 2) == 1
+        assert bitops.get_bit(0b0100, 1) == 0
+
+    def test_set_bit(self):
+        assert bitops.set_bit(0b0100, 0) == 0b0101
+
+    def test_set_bit_idempotent(self):
+        assert bitops.set_bit(0b0100, 2) == 0b0100
+
+    def test_clear_bit(self):
+        assert bitops.clear_bit(0b0101, 0) == 0b0100
+
+    def test_clear_bit_idempotent(self):
+        assert bitops.clear_bit(0b0100, 0) == 0b0100
+
+    def test_flip_bit_moves_to_neighbor(self):
+        assert bitops.flip_bit(0b0100, 1) == 0b0110
+
+    def test_flip_twice_is_identity(self):
+        assert bitops.flip_bit(bitops.flip_bit(0b1010, 3), 3) == 0b1010
+
+    def test_negative_position_rejected(self):
+        for fn in (bitops.get_bit, bitops.set_bit, bitops.clear_bit, bitops.flip_bit):
+            with pytest.raises(ValueError):
+                fn(0b01, -1)
+
+
+class TestOneZeroPositions:
+    def test_paper_example(self):
+        # Section 3.1: v = 010100 -> One = {2, 4}, Zero = {0, 1, 3, 5}.
+        assert bitops.one_positions(0b010100, 6) == (2, 4)
+        assert bitops.zero_positions(0b010100, 6) == (0, 1, 3, 5)
+
+    def test_partition(self):
+        value, width = 0b101101, 6
+        ones = set(bitops.one_positions(value, width))
+        zeros = set(bitops.zero_positions(value, width))
+        assert ones | zeros == set(range(width))
+        assert ones & zeros == set()
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.one_positions(0b10000, 4)
+
+
+class TestContains:
+    def test_reflexive(self):
+        assert bitops.contains(0b0110, 0b0110)
+
+    def test_strict_containment(self):
+        assert bitops.contains(0b0110, 0b0100)
+        assert not bitops.contains(0b0100, 0b0110)
+
+    def test_zero_contained_in_everything(self):
+        assert bitops.contains(0b1011, 0)
+
+    def test_disjoint(self):
+        assert not bitops.contains(0b0110, 0b1000)
+
+    def test_matches_one_positions_subset(self):
+        for container in range(16):
+            for contained in range(16):
+                expected = set(bitops.one_positions(contained, 4)) <= set(
+                    bitops.one_positions(container, 4)
+                )
+                assert bitops.contains(container, contained) == expected
+
+
+class TestHammingDistance:
+    def test_identical(self):
+        assert bitops.hamming_distance(0b1010, 0b1010) == 0
+
+    def test_symmetric(self):
+        assert bitops.hamming_distance(0b1010, 0b0110) == bitops.hamming_distance(
+            0b0110, 0b1010
+        )
+
+    def test_known_value(self):
+        assert bitops.hamming_distance(0b1010, 0b0110) == 2
+
+    def test_triangle_inequality_sample(self):
+        a, b, c = 0b1100, 0b0110, 0b0011
+        assert bitops.hamming_distance(a, c) <= bitops.hamming_distance(
+            a, b
+        ) + bitops.hamming_distance(b, c)
+
+
+class TestMaskAndExtremes:
+    def test_mask_of(self):
+        assert bitops.mask_of(0) == 0
+        assert bitops.mask_of(4) == 0b1111
+
+    def test_lowest_set_bit(self):
+        assert bitops.lowest_set_bit(0b1010) == 1
+        assert bitops.lowest_set_bit(0) == -1
+        assert bitops.lowest_set_bit(0b1000) == 3
+
+    def test_highest_set_bit(self):
+        assert bitops.highest_set_bit(0b1010) == 3
+        assert bitops.highest_set_bit(0) == -1
+        assert bitops.highest_set_bit(1) == 0
+
+    def test_bit_string(self):
+        assert bitops.bit_string(0b0100, 4) == "0100"
+        assert bitops.bit_string(0, 3) == "000"
+
+    def test_bit_string_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            bitops.bit_string(16, 4)

@@ -1,0 +1,118 @@
+"""Unit tests for the per-node query caches."""
+
+import pytest
+
+from repro.core.cache import CachedResult, FifoQueryCache, LruQueryCache
+
+
+def results(*ids: str) -> tuple:
+    return tuple((object_id, frozenset({"kw"})) for object_id in ids)
+
+
+class TestCachedResult:
+    def test_size(self):
+        assert CachedResult(results("a", "b"), complete=True).size == 2
+
+    def test_complete_satisfies_anything(self):
+        entry = CachedResult(results("a"), complete=True)
+        assert entry.satisfies(None)
+        assert entry.satisfies(100)
+
+    def test_partial_satisfies_only_covered_thresholds(self):
+        entry = CachedResult(results("a", "b", "c"), complete=False)
+        assert entry.satisfies(2)
+        assert entry.satisfies(3)
+        assert not entry.satisfies(4)
+        assert not entry.satisfies(None)
+
+
+class TestCapacityEntriesUnit:
+    def test_stores_up_to_capacity(self):
+        cache = FifoQueryCache(2)
+        assert cache.put(frozenset({"a"}), results("x" * 1, "y", "z"), complete=True)
+        assert cache.put(frozenset({"b"}), results("q"), complete=True)
+        assert len(cache) == 2
+
+    def test_fifo_eviction_order(self):
+        cache = FifoQueryCache(2)
+        cache.put(frozenset({"a"}), results("1"), complete=True)
+        cache.put(frozenset({"b"}), results("2"), complete=True)
+        cache.put(frozenset({"c"}), results("3"), complete=True)
+        assert frozenset({"a"}) not in cache
+        assert frozenset({"b"}) in cache
+        assert frozenset({"c"}) in cache
+
+    def test_fifo_hit_does_not_refresh(self):
+        cache = FifoQueryCache(2)
+        cache.put(frozenset({"a"}), results("1"), complete=True)
+        cache.put(frozenset({"b"}), results("2"), complete=True)
+        cache.get(frozenset({"a"}), None)  # hit, but FIFO ignores recency
+        cache.put(frozenset({"c"}), results("3"), complete=True)
+        assert frozenset({"a"}) not in cache
+
+    def test_lru_hit_refreshes(self):
+        cache = LruQueryCache(2)
+        cache.put(frozenset({"a"}), results("1"), complete=True)
+        cache.put(frozenset({"b"}), results("2"), complete=True)
+        cache.get(frozenset({"a"}), None)
+        cache.put(frozenset({"c"}), results("3"), complete=True)
+        assert frozenset({"a"}) in cache
+        assert frozenset({"b"}) not in cache
+
+    def test_zero_capacity_stores_nothing(self):
+        cache = FifoQueryCache(0)
+        assert not cache.put(frozenset({"a"}), results("1"), complete=True)
+        assert len(cache) == 0
+
+    def test_reput_replaces(self):
+        cache = FifoQueryCache(3)
+        cache.put(frozenset({"a"}), results("1"), complete=False)
+        cache.put(frozenset({"a"}), results("1", "2"), complete=True)
+        entry = cache.get(frozenset({"a"}), None)
+        assert entry is not None and entry.size == 2
+        assert cache.used == 1  # entries unit: one per query
+
+
+class TestCapacityReferencesUnit:
+    def test_oversized_entry_not_cached(self):
+        cache = FifoQueryCache(2, unit="references")
+        assert not cache.put(frozenset({"a"}), results("1", "2", "3"), complete=True)
+        assert len(cache) == 0
+
+    def test_eviction_frees_reference_units(self):
+        cache = FifoQueryCache(3, unit="references")
+        cache.put(frozenset({"a"}), results("1", "2"), complete=True)
+        cache.put(frozenset({"b"}), results("3", "4"), complete=True)
+        assert frozenset({"a"}) not in cache
+        assert cache.used == 2
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            FifoQueryCache(1, unit="bytes")
+
+
+class TestGetSemantics:
+    def test_miss_on_absent(self):
+        cache = FifoQueryCache(4)
+        assert cache.get(frozenset({"nope"}), None) is None
+        assert cache.misses == 1
+
+    def test_miss_on_insufficient_partial(self):
+        cache = FifoQueryCache(4)
+        cache.put(frozenset({"a"}), results("1"), complete=False)
+        assert cache.get(frozenset({"a"}), 5) is None
+
+    def test_hit_counts(self):
+        cache = FifoQueryCache(4)
+        cache.put(frozenset({"a"}), results("1"), complete=True)
+        cache.get(frozenset({"a"}), None)
+        cache.get(frozenset({"a"}), 1)
+        assert cache.hits == 2
+        assert cache.hit_rate == pytest.approx(1.0)
+
+    def test_hit_rate_empty(self):
+        assert FifoQueryCache(1).hit_rate == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FifoQueryCache(-1)

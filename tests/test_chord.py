@@ -1,0 +1,193 @@
+"""Unit and protocol tests for the Chord DHT."""
+
+import pytest
+
+from repro.dht.chord import ChordNetwork, RoutingError
+from repro.sim.network import SimulatedNetwork
+
+
+class TestConstruction:
+    def test_build_creates_distinct_addresses(self):
+        ring = ChordNetwork.build(bits=10, num_nodes=30, seed=1)
+        assert len(ring.nodes) == 30
+        assert len(set(ring.nodes)) == 30
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ChordNetwork.build(bits=3, num_nodes=9)
+
+    def test_ring_is_consistent(self):
+        ring = ChordNetwork.build(bits=10, num_nodes=16, seed=2)
+        ordered = ring.addresses()
+        for rank, address in enumerate(ordered):
+            node = ring.nodes[address]
+            assert node.successor == ordered[(rank + 1) % len(ordered)]
+            assert node.predecessor == ordered[(rank - 1) % len(ordered)]
+
+    def test_fingers_point_to_successors_of_starts(self):
+        ring = ChordNetwork.build(bits=8, num_nodes=12, seed=3)
+        for node in ring.nodes.values():
+            for index, finger in enumerate(node.fingers):
+                assert finger == ring.local_owner(node.finger_start(index))
+
+    def test_single_node_ring(self):
+        ring = ChordNetwork.build(bits=8, num_nodes=1, seed=4)
+        (address,) = ring.addresses()
+        assert ring.local_owner(123 % 256) == address
+        result = ring.lookup(7, origin=address)
+        assert result.owner == address
+        assert result.hops == 0
+
+
+class TestLocalOwner:
+    def test_owner_is_successor(self):
+        ring = ChordNetwork.build(bits=8, num_nodes=5, seed=5)
+        ordered = ring.addresses()
+        # A key just above a node belongs to the next node.
+        key = (ordered[0] + 1) % 256
+        if key <= ordered[1]:
+            assert ring.local_owner(key) == ordered[1]
+
+    def test_wraparound(self):
+        ring = ChordNetwork.build(bits=8, num_nodes=5, seed=6)
+        ordered = ring.addresses()
+        key = (ordered[-1] + 1) % 256
+        if key < ordered[0] or key > ordered[-1]:
+            assert ring.local_owner(key) == ordered[0]
+
+    def test_own_address_owned_by_self(self):
+        ring = ChordNetwork.build(bits=8, num_nodes=10, seed=7)
+        for address in ring.addresses():
+            assert ring.local_owner(address) == address
+
+
+class TestLookup:
+    def test_matches_local_owner_everywhere(self):
+        ring = ChordNetwork.build(bits=10, num_nodes=20, seed=8)
+        origins = ring.addresses()[:3]
+        for key in range(0, 1024, 37):
+            expected = ring.local_owner(key)
+            for origin in origins:
+                assert ring.lookup(key, origin=origin).owner == expected
+
+    def test_hop_count_logarithmic(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=64, seed=9)
+        origin = ring.any_address()
+        hops = [ring.lookup(key, origin=origin).hops for key in range(0, 65536, 1111)]
+        assert max(hops) <= 16  # log2(64) = 6 expected; generous bound
+        assert sum(hops) / len(hops) <= 8
+
+    def test_lookup_pays_messages(self):
+        ring = ChordNetwork.build(bits=12, num_nodes=32, seed=10)
+        origin = ring.any_address()
+        with ring.network.trace() as trace:
+            result = ring.lookup(2048, origin=origin)
+        # Each hop is one rpc = 2 messages (none when resolved locally).
+        assert trace.message_count == 2 * result.hops
+
+    def test_path_starts_at_origin(self):
+        ring = ChordNetwork.build(bits=12, num_nodes=32, seed=11)
+        origin = ring.addresses()[5]
+        result = ring.lookup(100, origin=origin)
+        assert result.path[0] == origin
+        assert result.path[-1] == result.owner
+
+
+class TestFailureTolerance:
+    def test_routes_around_dead_nodes(self):
+        # Fail every third node: heavy but dispersed failure, within the
+        # successor list's redundancy (8 *consecutive* dead successors
+        # would defeat any length-8 successor list, in real Chord too).
+        ring = ChordNetwork.build(bits=12, num_nodes=40, seed=12)
+        addresses = ring.addresses()
+        origin = addresses[0]
+        for dead in addresses[10:34:3]:
+            ring.network.fail(dead)
+        for key in range(0, 4096, 251):
+            result = ring.lookup(key, origin=origin)
+            assert ring.network.is_alive(result.owner)
+
+    def test_surrogate_owner_is_next_live_successor(self):
+        ring = ChordNetwork.build(bits=12, num_nodes=20, seed=13)
+        ordered = ring.addresses()
+        victim = ordered[4]
+        ring.network.fail(victim)
+        result = ring.lookup(victim, origin=ordered[0])
+        live = [a for a in ordered if ring.network.is_alive(a)]
+        expected = next(
+            (a for a in live if a >= victim), live[0]
+        )
+        assert result.owner == expected
+
+    def test_sole_survivor_owns_everything(self):
+        # With every other node dead, the sole survivor surrogates the
+        # whole key space (its successor list wraps back to itself).
+        ring = ChordNetwork.build(bits=8, num_nodes=4, seed=14)
+        addresses = ring.addresses()
+        for dead in addresses[1:]:
+            ring.network.fail(dead)
+        origin = addresses[0]
+        for key in range(0, 256, 17):
+            assert ring.lookup(key, origin=origin).owner == origin
+
+
+class TestDynamicMembership:
+    def test_join_then_stabilize_converges(self):
+        ring = ChordNetwork(space=ChordNetwork.build(bits=10, num_nodes=1, seed=15).space)
+        # Start fresh: build incrementally.
+        ring = ChordNetwork.build(bits=10, num_nodes=1, seed=15)
+        bootstrap = ring.any_address()
+        for address in (17, 300, 512, 900, 77):
+            if address not in ring.nodes:
+                ring.join(address, bootstrap)
+                ring.stabilize_all(rounds=3)
+        ordered = ring.addresses()
+        for rank, address in enumerate(ordered):
+            node = ring.nodes[address]
+            assert node.successor == ordered[(rank + 1) % len(ordered)]
+
+    def test_join_duplicate_rejected(self):
+        ring = ChordNetwork.build(bits=10, num_nodes=4, seed=16)
+        existing = ring.any_address()
+        with pytest.raises(ValueError):
+            ring.join(existing, bootstrap=existing)
+
+    def test_leave_heals_after_stabilization(self):
+        ring = ChordNetwork.build(bits=10, num_nodes=10, seed=17)
+        ordered = ring.addresses()
+        victim = ordered[3]
+        ring.leave(victim)
+        ring.stabilize_all(rounds=3)
+        remaining = ring.addresses()
+        assert victim not in remaining
+        for rank, address in enumerate(remaining):
+            node = ring.nodes[address]
+            assert node.successor == remaining[(rank + 1) % len(remaining)]
+
+    def test_lookup_correct_after_churn(self):
+        ring = ChordNetwork.build(bits=10, num_nodes=8, seed=18)
+        bootstrap = ring.any_address()
+        for address in (5, 111, 222, 333):
+            if address not in ring.nodes:
+                ring.join(address, bootstrap)
+                ring.stabilize_all(rounds=3)
+        ring.leave(ring.addresses()[-1])
+        ring.stabilize_all(rounds=3)
+        for key in range(0, 1024, 97):
+            assert ring.lookup(key, origin=bootstrap).owner == ring.local_owner(key)
+
+    def test_leave_unknown_rejected(self):
+        ring = ChordNetwork.build(bits=10, num_nodes=4, seed=19)
+        with pytest.raises(ValueError):
+            ring.leave(9999)
+
+
+class TestSharedNetwork:
+    def test_two_rings_cannot_share_addresses(self):
+        # Two DHTs on one physical network: handlers collide only if the
+        # same address registers twice; distinct seeds avoid that here.
+        net = SimulatedNetwork()
+        ring1 = ChordNetwork.build(bits=16, num_nodes=8, seed=20, network=net)
+        ring2 = ChordNetwork.build(bits=16, num_nodes=8, seed=21, network=net)
+        assert ring1.network is ring2.network
+        assert len(net.addresses()) <= 16

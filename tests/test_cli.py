@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import inspect
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, coerce_value, main
+
+
+def _parameter(name="p", default=inspect.Parameter.empty):
+    return inspect.Parameter(
+        name, inspect.Parameter.KEYWORD_ONLY, default=default
+    )
+
+
+class TestCoercion:
+    def test_int(self):
+        assert coerce_value("42", _parameter(default=7)) == 42
+
+    def test_float(self):
+        assert coerce_value("0.5", _parameter(default=1.0)) == 0.5
+
+    def test_bool(self):
+        assert coerce_value("true", _parameter(default=False)) is True
+        assert coerce_value("0", _parameter(default=True)) is False
+        with pytest.raises(ValueError):
+            coerce_value("maybe", _parameter(default=True))
+
+    def test_string(self):
+        assert coerce_value("fifo", _parameter(default="lru")) == "fifo"
+
+    def test_tuple_from_commas(self):
+        assert coerce_value("6,10,14", _parameter(default=(1,))) == (6, 10, 14)
+
+    def test_tuple_of_floats(self):
+        assert coerce_value("0.0,0.5,1.0", _parameter(default=(0.1,))) == (0.0, 0.5, 1.0)
+
+    def test_single_value_for_tuple_default(self):
+        assert coerce_value("8", _parameter(default=(1, 2))) == (8,)
+
+    def test_untyped_scalar(self):
+        assert coerce_value("12", _parameter(default=None)) == 12
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_run_with_options(self, capsys):
+        code = main(["run", "eq1", "--dimensions", "8", "--set-sizes", "1,2", "--trials", "500"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "eq1" in output
+        assert "expected_one_eq2" in output
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "result.txt"
+        main(
+            [
+                "run", "table1",
+                "--output", str(target),
+                "--num-objects", "300",
+                "--synthetic-samples", "1",
+            ]
+        )
+        capsys.readouterr()
+        assert "table1" in target.read_text()
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "eq1", "--bogus", "1"])
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "eq1", "--trials"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_every_experiment_registered(self):
+        import importlib
+
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert callable(module.run)

@@ -1,0 +1,80 @@
+"""Tests for cumulative superset search (browse sessions)."""
+
+import pytest
+
+from repro.core.cumulative import CumulativeSearchSession
+from repro.core.search import SuperSetSearch
+
+from tests.conftest import CATALOGUE
+
+
+def oracle(query: set) -> set:
+    return {oid for oid, kw in CATALOGUE.items() if frozenset(query) <= kw}
+
+
+class TestBatching:
+    def test_batches_are_disjoint(self, loaded_index):
+        session = CumulativeSearchSession(loaded_index, {"mp3"})
+        first = session.next_batch(2)
+        second = session.next_batch(2)
+        ids_first = {f.object_id for f in first.objects}
+        ids_second = {f.object_id for f in second.objects}
+        assert not ids_first & ids_second
+
+    def test_union_of_batches_is_complete(self, loaded_index):
+        session = CumulativeSearchSession(loaded_index, {"mp3"})
+        collected = set()
+        while not session.exhausted:
+            batch = session.next_batch(1)
+            collected.update(f.object_id for f in batch.objects)
+        assert collected == oracle({"mp3"})
+
+    def test_drain(self, loaded_index):
+        session = CumulativeSearchSession(loaded_index, {"jazz"})
+        everything = session.drain(batch_size=2)
+        assert {f.object_id for f in everything} == oracle({"jazz"})
+        assert session.exhausted
+
+    def test_exhausted_session_returns_empty(self, loaded_index):
+        session = CumulativeSearchSession(loaded_index, {"mp3"})
+        session.drain()
+        batch = session.next_batch(3)
+        assert batch.objects == ()
+        assert batch.exhausted
+
+    def test_total_served(self, loaded_index):
+        session = CumulativeSearchSession(loaded_index, {"mp3"})
+        session.next_batch(2)
+        assert session.total_served == 2
+
+    def test_invalid_count(self, loaded_index):
+        session = CumulativeSearchSession(loaded_index, {"mp3"})
+        with pytest.raises(ValueError):
+            session.next_batch(0)
+
+
+class TestOrderingConsistency:
+    def test_same_order_as_one_shot_search(self, loaded_index):
+        one_shot = SuperSetSearch(loaded_index).run({"mp3"})
+        session = CumulativeSearchSession(loaded_index, {"mp3"})
+        paged = []
+        while not session.exhausted:
+            paged.extend(f.object_id for f in session.next_batch(2).objects)
+        assert paged == list(one_shot.object_ids)
+
+    def test_mid_node_resume(self, loaded_index):
+        # Page size 1 forces resuming inside a node that holds several
+        # matching objects.
+        session = CumulativeSearchSession(loaded_index, {"jazz"})
+        singles = []
+        while not session.exhausted:
+            batch = session.next_batch(1)
+            singles.extend(f.object_id for f in batch.objects)
+        assert set(singles) == oracle({"jazz"})
+        assert len(singles) == len(set(singles))
+
+    def test_no_matches(self, loaded_index):
+        session = CumulativeSearchSession(loaded_index, {"nothing"})
+        batch = session.next_batch(5)
+        assert batch.objects == ()
+        assert session.exhausted

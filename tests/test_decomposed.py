@@ -1,0 +1,109 @@
+"""Tests for the decomposed multi-hypercube index."""
+
+import pytest
+
+from repro.core.decomposed import DecomposedIndex
+from repro.dht.chord import ChordNetwork
+
+SERVICES = {
+    "svc-1": frozenset({"type=gpu", "region=eu", "cap=ssd"}),
+    "svc-2": frozenset({"type=gpu", "region=us", "cap=ssd"}),
+    "svc-3": frozenset({"type=cpu", "region=eu"}),
+    "svc-4": frozenset({"type=gpu", "region=eu", "cap=ecc"}),
+}
+
+
+def classifier(keyword: str) -> int:
+    return {"type": 0, "region": 1, "cap": 2}[keyword.split("=", 1)[0]]
+
+
+@pytest.fixture()
+def directory():
+    dolr = ChordNetwork.build(bits=16, num_nodes=12, seed=31)
+    directory = DecomposedIndex(
+        dolr, groups=3, dimension_per_group=4, classifier=classifier
+    )
+    holder = dolr.any_address()
+    for service_id, attrs in SERVICES.items():
+        directory.insert(service_id, attrs, holder)
+    return directory
+
+
+class TestPartitioning:
+    def test_classifier_routes_groups(self, directory):
+        assert directory.group_of("type=gpu") == 0
+        assert directory.group_of("region=eu") == 1
+        assert directory.group_of("cap=ssd") == 2
+
+    def test_project_splits_query(self, directory):
+        projections = directory.project({"type=gpu", "region=eu"})
+        assert projections == {0: frozenset({"type=gpu"}), 1: frozenset({"region=eu"})}
+
+    def test_hash_partition_default(self):
+        dolr = ChordNetwork.build(bits=16, num_nodes=8, seed=32)
+        index = DecomposedIndex(dolr, groups=4, dimension_per_group=3)
+        groups = {index.group_of(f"kw{i}") for i in range(50)}
+        assert groups <= set(range(4))
+        assert len(groups) > 1
+
+    def test_classifier_out_of_range_rejected(self):
+        dolr = ChordNetwork.build(bits=16, num_nodes=8, seed=33)
+        index = DecomposedIndex(
+            dolr, groups=2, dimension_per_group=3, classifier=lambda k: 5
+        )
+        with pytest.raises(ValueError):
+            index.group_of("anything")
+
+    def test_invalid_groups(self):
+        dolr = ChordNetwork.build(bits=16, num_nodes=8, seed=34)
+        with pytest.raises(ValueError):
+            DecomposedIndex(dolr, groups=0, dimension_per_group=3)
+
+
+class TestSearch:
+    def test_single_group_query(self, directory):
+        result = directory.superset_search({"type=gpu"})
+        assert set(result.object_ids) == {"svc-1", "svc-2", "svc-4"}
+
+    def test_cross_group_query_verified(self, directory):
+        result = directory.superset_search({"type=gpu", "region=eu"})
+        assert set(result.object_ids) == {"svc-1", "svc-4"}
+        assert 0 < result.precision <= 1.0
+
+    def test_three_group_query(self, directory):
+        result = directory.superset_search({"type=gpu", "region=eu", "cap=ssd"})
+        assert set(result.object_ids) == {"svc-1"}
+
+    def test_no_matches(self, directory):
+        result = directory.superset_search({"type=quantum"})
+        assert result.object_ids == ()
+
+    def test_threshold(self, directory):
+        result = directory.superset_search({"type=gpu"}, threshold=2)
+        assert len(result.objects) == 2
+
+    def test_results_carry_full_keywords(self, directory):
+        result = directory.superset_search({"region=eu"})
+        for found in result.objects:
+            assert found.keywords == SERVICES[found.object_id]
+
+
+class TestMaintenance:
+    def test_storage_multiplier(self, directory):
+        expected = sum(len(directory.project(a)) for a in SERVICES.values()) / len(SERVICES)
+        assert directory.storage_multiplier() == pytest.approx(expected)
+
+    def test_delete_removes_everywhere(self, directory):
+        holder = directory.dolr.any_address()
+        removed = directory.delete("svc-1", holder)
+        assert removed == len(directory.project(SERVICES["svc-1"]))
+        result = directory.superset_search({"type=gpu"})
+        assert "svc-1" not in result.object_ids
+
+    def test_delete_unknown(self, directory):
+        assert directory.delete("ghost", directory.dolr.any_address()) == 0
+
+    def test_second_replica_not_reindexed(self, directory):
+        holders = directory.dolr.addresses()
+        written = directory.insert("svc-1", SERVICES["svc-1"], holders[-1])
+        assert written == 0  # replica reference only

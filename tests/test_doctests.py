@@ -1,0 +1,34 @@
+"""Run every docstring example in the package as a test.
+
+Docstring examples are part of the public documentation; this keeps
+them honest against the implementation.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    module.name
+    for module in pkgutil.walk_packages(repro.__path__, "repro.")
+    if not module.name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module_name}"
+
+
+def test_doctests_exist_somewhere():
+    attempted = 0
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        attempted += doctest.testmod(module, verbose=False).attempted
+    assert attempted >= 40  # the package documents by example

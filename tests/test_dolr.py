@@ -1,0 +1,109 @@
+"""Tests for the generalized DOLR contract (Section 2.1)."""
+
+import pytest
+
+from repro.dht.chord import ChordNetwork
+from repro.dht.kademlia import KademliaNetwork
+from repro.sim.network import Message
+
+
+@pytest.fixture(params=["chord", "kademlia"])
+def dolr(request):
+    """Both DHTs satisfy the same DOLR contract — run everything twice."""
+    if request.param == "chord":
+        return ChordNetwork.build(bits=16, num_nodes=20, seed=71)
+    return KademliaNetwork.build(bits=16, num_nodes=20, seed=71)
+
+
+class TestMappingL:
+    def test_object_key_deterministic(self, dolr):
+        assert dolr.object_key("song.mp3") == dolr.object_key("song.mp3")
+
+    def test_object_key_in_space(self, dolr):
+        for name in ("a", "b", "c"):
+            assert dolr.space.contains(dolr.object_key(name))
+
+    def test_every_key_has_exactly_one_owner(self, dolr):
+        for key in range(0, dolr.space.size, 4999):
+            owner = dolr.local_owner(key)
+            assert owner in dolr.nodes
+
+
+class TestReferenceOperations:
+    def test_insert_read(self, dolr):
+        holder = dolr.any_address()
+        assert dolr.insert("obj", holder) is True
+        assert dolr.read("obj") == [holder]
+
+    def test_read_missing(self, dolr):
+        assert dolr.read("never-published") == []
+
+    def test_reference_stored_at_l_sigma(self, dolr):
+        holder = dolr.any_address()
+        dolr.insert("target", holder)
+        owner = dolr.local_owner(dolr.object_key("target"))
+        assert "target" in dolr.nodes[owner].refs
+
+    def test_delete_last_copy(self, dolr):
+        holder = dolr.any_address()
+        dolr.insert("obj", holder)
+        assert dolr.delete("obj", holder) is True
+        assert dolr.read("obj") == []
+
+    def test_multiple_replicas(self, dolr):
+        a, b, c = dolr.addresses()[:3]
+        assert dolr.insert("shared", a) is True
+        assert dolr.insert("shared", b) is False
+        assert dolr.insert("shared", c) is False
+        assert sorted(dolr.read("shared")) == sorted([a, b, c])
+        assert dolr.delete("shared", b) is False
+        assert sorted(dolr.read("shared")) == sorted([a, c])
+
+    def test_operations_pay_messages(self, dolr):
+        holder = dolr.any_address()
+        with dolr.network.trace() as trace:
+            dolr.insert("costly", holder)
+        assert trace.message_count > 0
+
+
+class TestRoutedRpc:
+    def test_route_rpc_reaches_owner(self, dolr):
+        key = 12345
+        result, route = dolr.route_rpc(
+            key, "dolr.read_ref", {"object_id": "x"}, origin=dolr.any_address()
+        )
+        assert route.owner == dolr.local_owner(key) or dolr.network.is_alive(route.owner)
+        assert result == {"holders": []}
+
+    def test_rpc_at_direct(self, dolr):
+        a, b = dolr.addresses()[:2]
+        result = dolr.rpc_at(a, b, "dolr.read_ref", {"object_id": "y"})
+        assert result == {"holders": []}
+
+
+class TestApplications:
+    def test_install_and_dispatch(self, dolr):
+        class EchoApp:
+            prefix = "echo"
+
+            def handle(self, node, message: Message):
+                return {"node": node.address, "value": message.payload["value"]}
+
+        dolr.install_everywhere(lambda node: EchoApp())
+        a, b = dolr.addresses()[:2]
+        reply = dolr.network.rpc(a, b, "echo.ping", {"value": 3})
+        assert reply == {"node": b, "value": 3}
+
+    def test_unknown_application_kind_raises(self, dolr):
+        a, b = dolr.addresses()[:2]
+        with pytest.raises(LookupError):
+            dolr.network.rpc(a, b, "nosuch.op", {})
+
+    def test_unknown_dolr_kind_raises(self, dolr):
+        a, b = dolr.addresses()[:2]
+        with pytest.raises(LookupError):
+            dolr.network.rpc(a, b, "dolr.transmute", {})
+
+    def test_has_application(self, dolr):
+        node = dolr.node(dolr.any_address())
+        assert not node.has_application("ghost")

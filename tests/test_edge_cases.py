@@ -1,0 +1,146 @@
+"""Edge cases across layers: tiny cubes, degenerate queries, empty
+indexes, single-node networks, extreme parameters."""
+
+import pytest
+
+from repro.core.cumulative import CumulativeSearchSession
+from repro.core.index import HypercubeIndex
+from repro.core.search import SuperSetSearch, TraversalOrder
+from repro.dht.chord import ChordNetwork
+from repro.hypercube.hypercube import Hypercube
+from repro.hypercube.sbt import SpanningBinomialTree
+from repro.hypercube.subcube import SubHypercube
+
+
+class TestTinyCubes:
+    def test_one_dimensional_cube(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=4, seed=1)
+        index = HypercubeIndex(Hypercube(1), ring)
+        index.insert("a", {"x"}, ring.any_address())
+        index.insert("b", {"x", "y"}, ring.any_address())
+        result = SuperSetSearch(index).run({"x"})
+        assert set(result.object_ids) == {"a", "b"}
+        assert len(result.visits) <= 2
+
+    def test_more_keywords_than_dimensions(self):
+        # 12 keywords into a 3-cube: heavy collisions, still correct.
+        ring = ChordNetwork.build(bits=16, num_nodes=4, seed=2)
+        index = HypercubeIndex(Hypercube(3), ring)
+        keywords = {f"kw{i}" for i in range(12)}
+        index.insert("dense", keywords, ring.any_address())
+        assert index.pin_search(keywords).object_ids == ("dense",)
+        partial = set(list(keywords)[:5])
+        result = SuperSetSearch(index).run(partial)
+        assert result.object_ids == ("dense",)
+
+    def test_zero_dimension_cube_single_node(self):
+        cube = Hypercube(0)
+        sub = SubHypercube(cube, 0)
+        assert list(sub.nodes()) == [0]
+        tree = SpanningBinomialTree.induced(cube, 0)
+        assert list(tree.bfs()) == [(0, 0)]
+
+
+class TestSingleNodeNetwork:
+    def test_everything_local(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=1, seed=3)
+        index = HypercubeIndex(Hypercube(4), ring)
+        only = ring.any_address()
+        index.insert("solo", {"a", "b"}, only)
+        assert index.pin_search({"a", "b"}).object_ids == ("solo",)
+        result = SuperSetSearch(index).run({"a"})
+        assert result.object_ids == ("solo",)
+        # All visits map to the single physical node.
+        assert {visit.physical for visit in result.visits} == {only}
+
+
+class TestEmptyIndex:
+    @pytest.fixture()
+    def empty_index(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=8, seed=4)
+        return HypercubeIndex(Hypercube(6), ring)
+
+    def test_searches_return_nothing(self, empty_index):
+        for order in TraversalOrder:
+            result = SuperSetSearch(empty_index).run({"ghost"}, order=order)
+            assert result.objects == ()
+            assert result.complete
+
+    def test_cumulative_on_empty(self, empty_index):
+        session = CumulativeSearchSession(empty_index, {"ghost"})
+        assert session.drain() == []
+
+    def test_load_is_zero(self, empty_index):
+        assert empty_index.total_indexed() == 0
+        assert all(v == 0 for v in empty_index.load_by_logical_node().values())
+
+    def test_delete_nonexistent(self, empty_index):
+        holder = empty_index.dolr.any_address()
+        # Deleting an object that was never inserted: the DOLR reports
+        # the last copy gone (nothing there), index removal is a no-op.
+        removed = empty_index.delete("never", {"a"}, holder)
+        assert removed is True
+        assert empty_index.total_indexed() == 0
+
+
+class TestQueryShapes:
+    @pytest.fixture()
+    def index(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=8, seed=5)
+        index = HypercubeIndex(Hypercube(6), ring)
+        index.insert("obj", {"alpha", "beta", "gamma"}, ring.any_address())
+        return index
+
+    def test_query_equals_full_keyword_set(self, index):
+        result = SuperSetSearch(index).run({"alpha", "beta", "gamma"})
+        assert result.object_ids == ("obj",)
+
+    def test_query_superset_of_object_finds_nothing(self, index):
+        result = SuperSetSearch(index).run({"alpha", "beta", "gamma", "delta"})
+        assert result.objects == ()
+
+    def test_duplicate_keywords_in_query(self, index):
+        result = SuperSetSearch(index).run(["alpha", "Alpha", " ALPHA "])
+        assert result.object_ids == ("obj",)
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(ValueError):
+            SuperSetSearch(index).run(set())
+        with pytest.raises(ValueError):
+            index.pin_search([])
+
+    def test_whitespace_keyword_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.pin_search({"   "})
+
+
+class TestHugeThresholds:
+    def test_threshold_far_beyond_matches(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=8, seed=6)
+        index = HypercubeIndex(Hypercube(5), ring)
+        for i in range(4):
+            index.insert(f"o{i}", {"k", f"extra{i}"}, ring.any_address())
+        result = SuperSetSearch(index).run({"k"}, threshold=10_000)
+        assert len(result.objects) == 4
+        assert result.complete
+
+    def test_threshold_one_each_order(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=8, seed=7)
+        index = HypercubeIndex(Hypercube(5), ring)
+        for i in range(6):
+            index.insert(f"o{i}", {"k", f"x{i}"}, ring.any_address())
+        for order in TraversalOrder:
+            result = SuperSetSearch(index).run({"k"}, threshold=1, order=order)
+            assert len(result.objects) == 1
+
+
+class TestManyLogicalPerPhysical:
+    def test_r_much_larger_than_network(self):
+        # 2**12 logical nodes on 4 peers: every peer plays ~1024 nodes.
+        ring = ChordNetwork.build(bits=16, num_nodes=4, seed=8)
+        index = HypercubeIndex(Hypercube(12), ring)
+        for i in range(30):
+            index.insert(f"o{i}", {f"k{i % 5}", f"j{i % 3}", "all"}, ring.any_address())
+        result = SuperSetSearch(index).run({"all"})
+        assert len(result.objects) == 30
+        assert len(result.object_ids) == len(set(result.object_ids))

@@ -1,0 +1,134 @@
+"""Unit tests for the event scheduler."""
+
+import pytest
+
+from repro.sim.events import EventScheduler, SimulationError
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(5.0, lambda: fired.append("b"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(9.0, lambda: fired.append("c"))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sched = EventScheduler()
+        fired = []
+        for name in "abc":
+            sched.schedule(2.0, lambda n=name: fired.append(n))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sched = EventScheduler()
+        sched.schedule(3.5, lambda: None)
+        sched.run()
+        assert sched.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(SimulationError):
+            sched.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sched = EventScheduler()
+        sched.advance(10.0)
+        event = sched.schedule_at(12.0, lambda: None)
+        assert event.time == 12.0
+
+    def test_events_scheduled_during_run(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append("first")
+            sched.schedule(1.0, lambda: fired.append("second"))
+
+        sched.schedule(1.0, chain)
+        sched.run()
+        assert fired == ["first", "second"]
+        assert sched.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sched.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sched = EventScheduler()
+        kept = sched.schedule(1.0, lambda: None)
+        dropped = sched.schedule(2.0, lambda: None)
+        dropped.cancel()
+        assert sched.pending == 1
+        kept.cancel()
+        assert sched.pending == 0
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(2.0, lambda: fired.append(2))
+        sched.schedule(3.0, lambda: fired.append(3))
+        sched.run_until(2.0)
+        assert fired == [1, 2]
+        assert sched.now == 2.0
+
+    def test_clock_set_even_with_no_events(self):
+        sched = EventScheduler()
+        sched.run_until(7.0)
+        assert sched.now == 7.0
+
+    def test_remaining_events_fire_later(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(5.0, lambda: fired.append("late"))
+        sched.run_until(1.0)
+        assert fired == []
+        sched.run()
+        assert fired == ["late"]
+
+
+class TestAdvance:
+    def test_advance_moves_clock(self):
+        sched = EventScheduler()
+        sched.advance(2.5)
+        assert sched.now == 2.5
+
+    def test_advance_backwards_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(SimulationError):
+            sched.advance(-0.1)
+
+    def test_overtaken_events_still_fire(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append("x"))
+        sched.advance(10.0)
+        sched.run()
+        assert fired == ["x"]
+        assert sched.now == 10.0  # clock never goes backwards
+
+
+class TestRunLimits:
+    def test_max_events(self):
+        sched = EventScheduler()
+        fired = []
+        for i in range(5):
+            sched.schedule(float(i), lambda i=i: fired.append(i))
+        sched.run(max_events=3)
+        assert fired == [0, 1, 2]
+        assert sched.events_processed == 3
+
+    def test_step_returns_false_when_empty(self):
+        assert EventScheduler().step() is False

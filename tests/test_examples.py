@@ -1,0 +1,58 @@
+"""Smoke tests for the example scripts.
+
+The two fast examples run end to end; the heavier ones are
+compile-checked so a refactor that breaks their imports or syntax fails
+here rather than on a user's machine.
+"""
+
+import importlib.util
+import pathlib
+import py_compile
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRunnableExamples:
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        output = capsys.readouterr().out
+        assert "pin search" in output
+        assert "take-five.mp3" in output
+
+    def test_service_discovery_runs(self, capsys):
+        load_example("service_discovery").main()
+        output = capsys.readouterr().out
+        assert "registered 300 services" in output
+        assert "no longer discoverable" in output
+
+
+class TestAllExamplesCompile:
+    @pytest.mark.parametrize(
+        "name",
+        [path.stem for path in sorted(EXAMPLES_DIR.glob("*.py"))],
+    )
+    def test_compiles(self, name, tmp_path):
+        py_compile.compile(
+            str(EXAMPLES_DIR / f"{name}.py"),
+            cfile=str(tmp_path / f"{name}.pyc"),
+            doraise=True,
+        )
+
+    def test_every_example_has_main(self):
+        for path in EXAMPLES_DIR.glob("*.py"):
+            source = path.read_text(encoding="utf-8")
+            assert "def main()" in source, path.name
+            assert '__name__ == "__main__"' in source, path.name

@@ -1,0 +1,395 @@
+"""Shape tests for the experiment runners (scaled-down parameters).
+
+These assert the *qualitative* claims of each paper artifact, not
+absolute numbers — the same standard EXPERIMENTS.md records for the
+full-scale runs.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    bandwidth,
+    churn,
+    decomposed,
+    dhtcmp,
+    eq1,
+    fault,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    hotspot,
+    table1,
+)
+from repro.experiments.harness import ExperimentResult
+
+N = 4_000  # shared scaled-down corpus size (memoized across tests)
+
+
+class TestHarness:
+    def test_table_rendering(self):
+        result = ExperimentResult(
+            "demo", "d", {}, [{"a": 1, "b": 0.5}, {"a": 2, "c": "x"}]
+        )
+        table = result.table()
+        assert "a" in table and "b" in table and "c" in table
+        assert result.columns() == ["a", "b", "c"]
+
+    def test_table_row_cap(self):
+        result = ExperimentResult("demo", "d", {}, [{"a": i} for i in range(10)])
+        assert "more rows" in result.table(max_rows=3)
+
+    def test_series_pivot(self):
+        result = ExperimentResult(
+            "demo", "d", {},
+            [{"g": "x", "t": 1, "v": 2}, {"g": "x", "t": 2, "v": 3}],
+        )
+        assert result.series("g", "t", "v") == {"x": [(1, 2), (2, 3)]}
+
+    def test_render_includes_notes(self):
+        result = ExperimentResult("demo", "d", {"p": 1}, [], notes=["hello"])
+        assert "note: hello" in result.render()
+
+
+class TestTable1:
+    def test_contains_paper_rows(self):
+        result = table1.run(num_objects=500, seed=0)
+        ids = [row["id"] for row in result.rows]
+        assert "11" in ids and "18491" in ids
+
+    def test_synthetic_rows_same_schema(self):
+        result = table1.run(synthetic_samples=2, num_objects=500, seed=0)
+        synthetic = [r for r in result.rows if r["source"] == "synthetic"]
+        assert len(synthetic) == 2
+        assert all(r["url"].startswith("http://") for r in synthetic)
+
+
+class TestFig5:
+    def test_mean_matches_paper(self):
+        result = fig5.run(num_objects=N, seed=0)
+        assert any("7.3" in note for note in result.notes)
+        fractions = [row["fraction"] for row in result.rows]
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_right_skew(self):
+        result = fig5.run(num_objects=N, seed=0)
+        by_size = {row["keyword_set_size"]: row["objects"] for row in result.rows}
+        mode = max(by_size, key=by_size.get)
+        tail = sum(c for s, c in by_size.items() if s > mode)
+        head = sum(c for s, c in by_size.items() if s < mode)
+        assert tail > head  # right-skewed around the mode
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(
+            num_objects=N, seed=0, dimensions=(6, 10, 14), dii_dimensions=(10,)
+        )
+
+    def test_optimum_near_ten(self, result):
+        ginis = {
+            note.split("]")[0].split("[")[1]: float(note.split("= ")[1])
+            for note in result.notes
+        }
+        assert ginis["hypercube-10"] < ginis["hypercube-6"]
+        assert ginis["hypercube-10"] < ginis["hypercube-14"]
+
+    def test_dii_worse_than_hypercube(self, result):
+        ginis = {
+            note.split("]")[0].split("[")[1]: float(note.split("= ")[1])
+            for note in result.notes
+        }
+        assert ginis["DII-10"] > ginis["hypercube-10"]
+        assert ginis["DHT-10"] < ginis["hypercube-10"]
+
+    def test_curves_monotone(self, result):
+        for label, points in result.series("scheme", "node_fraction", "object_fraction").items():
+            shares = [share for _, share in points]
+            assert all(a <= b + 1e-12 for a, b in zip(shares, shares[1:])), label
+            assert shares[-1] == pytest.approx(1.0)
+
+
+class TestFig7:
+    def test_eq1_predicts_empirical(self):
+        result = fig7.run(num_objects=N, seed=0, dimensions=(8, 10))
+        for row in result.rows:
+            assert row["object_fraction"] == pytest.approx(
+                row["object_fraction_eq1"], abs=0.05
+            )
+
+    def test_alignment_best_near_ten(self):
+        result = fig7.run(num_objects=N, seed=0, dimensions=(6, 10, 14))
+        distances = {}
+        for note in result.notes:
+            r = int(note.split(":")[0][2:])
+            distances[r] = float(note.split("TV(object, node) = ")[1].split(",")[0])
+        assert distances[10] < distances[6]
+        assert distances[10] < distances[14]
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8.run(
+            num_objects=N,
+            seed=0,
+            dimensions=(8, 10),
+            query_sizes=(1, 2, 3),
+            queries_per_size=3,
+            recall_points=(0.5, 1.0),
+        )
+
+    def test_full_recall_near_2_to_minus_m(self, result):
+        for row in result.rows:
+            if row["recall"] == 1.0 and row["dimension"] == 10:
+                assert row["node_fraction"] <= 2.0 ** -row["query_size"] * 1.3
+
+    def test_cost_monotone_in_recall(self, result):
+        series = result.series("query_size", "recall", "node_fraction")
+        for points in series.values():
+            costs = [cost for _, cost in points]
+            # within each (r, m) pair the two recall points alternate;
+            # compare pairwise per dimension chunk
+        for (r, m), rows in _group_rows(result.rows).items():
+            costs = [row["node_fraction"] for row in sorted(rows, key=lambda x: x["recall"])]
+            assert all(a <= b + 1e-12 for a, b in zip(costs, costs[1:]))
+
+    def test_more_keywords_cheaper(self, result):
+        full = {
+            (row["dimension"], row["query_size"]): row["node_fraction"]
+            for row in result.rows
+            if row["recall"] == 1.0
+        }
+        assert full[(10, 3)] <= full[(10, 2)] <= full[(10, 1)]
+
+
+def _group_rows(rows):
+    grouped = {}
+    for row in rows:
+        grouped.setdefault((row["dimension"], row["query_size"]), []).append(row)
+    return grouped
+
+
+class TestFig9:
+    def test_cache_collapses_cost(self):
+        result = fig9.run(
+            num_objects=N,
+            seed=0,
+            dimensions=(10,),
+            recall_rates=(1.0,),
+            alphas=(0.0, 1.0),
+            num_queries=800,
+            pool_size=60,
+            baseline_sample=200,
+        )
+        by_alpha = {row["alpha"]: row for row in result.rows}
+        assert by_alpha[1.0]["node_fraction"] < by_alpha[0.0]["node_fraction"] / 3
+        assert by_alpha[1.0]["cache_hit_rate"] > 0.5
+
+    def test_lru_policy_also_works(self):
+        result = fig9.run(
+            num_objects=N,
+            seed=0,
+            dimensions=(10,),
+            recall_rates=(1.0,),
+            alphas=(1.0,),
+            num_queries=500,
+            pool_size=60,
+            cache_policy="lru",
+            baseline_sample=100,
+        )
+        assert result.rows[0]["cache_hit_rate"] > 0.5
+
+
+class TestEq1Experiment:
+    def test_analytic_matches_monte_carlo(self):
+        result = eq1.run(dimensions=(8, 10), set_sizes=(1, 3, 7), trials=4000)
+        for row in result.rows:
+            assert row["pmf_max_abs_diff"] < 0.05
+            assert row["expected_one_eq2"] == pytest.approx(
+                row["expected_one_mc"], abs=0.25
+            )
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.run(
+            num_objects=2_000, seed=0, dimension=8, query_sizes=(1, 2), queries_per_size=2
+        )
+
+    def test_single_lookup_operations(self, result):
+        for row in result.rows:
+            if row["operation"] in ("insert", "pin_search", "delete"):
+                assert row["index_requests"] <= 2
+
+    def test_superset_message_bound(self, result):
+        for row in result.rows:
+            if str(row["operation"]).startswith("superset"):
+                routing_slack = 2 * 16
+                assert row["messages"] <= row["message_bound_3x_subcube"] + routing_slack
+
+    def test_traversals_agree(self, result):
+        for row in result.rows:
+            if str(row["operation"]).startswith("superset"):
+                assert row["same_object_set"] is True
+
+    def test_parallel_round_bound(self, result):
+        for row in result.rows:
+            if row["operation"] == "superset[parallel]":
+                assert row["rounds"] <= row["round_bound"]
+
+
+class TestFault:
+    def test_hypercube_degrades_gracefully(self):
+        result = fault.run(
+            num_objects=N,
+            seed=0,
+            dimension=8,
+            num_dht_nodes=64,
+            failure_fractions=(0.0, 0.2),
+            num_queries=30,
+        )
+        rows = {(r["scheme"], r["failure_fraction"]): r for r in result.rows}
+        assert rows[("hypercube", 0.0)]["mean_recall"] == pytest.approx(1.0)
+        assert rows[("dii", 0.0)]["mean_recall"] == pytest.approx(1.0)
+        # Under failures, the hypercube keeps partial recall on most
+        # queries; DII loses whole queries.
+        assert rows[("hypercube", 0.2)]["mean_recall"] > 0.5
+        assert (
+            rows[("dii", 0.2)]["blocked_fraction"]
+            >= rows[("hypercube", 0.2)]["blocked_fraction"] - 1e-9
+        )
+
+
+class TestFaultReplication:
+    def test_replication_improves_recall(self):
+        result = fault.run(
+            num_objects=N,
+            seed=0,
+            dimension=8,
+            num_dht_nodes=64,
+            failure_fractions=(0.0, 0.3),
+            num_queries=25,
+            replicas=2,
+        )
+        rows = {(r["scheme"], r["failure_fraction"]): r for r in result.rows}
+        plain = rows[("hypercube", 0.3)]["mean_recall"]
+        replicated = rows[("hypercube+2x", 0.3)]["mean_recall"]
+        assert replicated >= plain
+        assert replicated > 0.75
+
+
+class TestHotspot:
+    def test_hypercube_spreads_query_load(self):
+        result = hotspot.run(
+            num_objects=N,
+            seed=0,
+            dimension=8,
+            num_dht_nodes=64,
+            num_queries=120,
+            pool_size=80,
+        )
+        by_scheme = {row["scheme"]: row for row in result.rows}
+        dii = by_scheme["dii"]
+        hypercube_rows = [
+            row for scheme, row in by_scheme.items() if scheme.startswith("hypercube")
+        ]
+        assert hypercube_rows
+        for row in hypercube_rows:
+            assert row["gini"] < dii["gini"]
+            assert row["max_to_mean"] < dii["max_to_mean"]
+
+
+class TestDhtComparison:
+    def test_substrates_agree_logically(self):
+        result = dhtcmp.run(
+            num_objects=1_024,
+            seed=0,
+            dimension=7,
+            num_dht_nodes=32,
+            num_lookups=50,
+            query_sizes=(1, 2),
+            queries_per_size=2,
+        )
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert row["matches_reference"] is True
+
+    def test_native_cube_hops_bounded_by_dimension(self):
+        result = dhtcmp.run(
+            num_objects=512,
+            seed=0,
+            dimension=6,
+            num_dht_nodes=16,
+            num_lookups=40,
+            substrates=("hypercup",),
+            query_sizes=(1,),
+            queries_per_size=1,
+        )
+        (row,) = result.rows
+        assert row["max_lookup_hops"] <= 6
+
+
+class TestBandwidth:
+    def test_dii_ships_more_for_multi_keyword(self):
+        result = bandwidth.run(
+            num_objects=N, seed=0, dimension=8, num_dht_nodes=32,
+            query_sizes=(1, 2), queries_per_size=3,
+        )
+        by_op = {row["operation"]: row for row in result.rows}
+        assert by_op["query m=2"]["dii_refs_shipped"] >= by_op["query m=2"][
+            "hypercube_refs_shipped"
+        ]
+        assert by_op["insert k=7"]["hypercube_refs_shipped"] == 1
+        assert by_op["insert k=7"]["dii_refs_shipped"] == 7
+        assert by_op["insert k=7"]["kss_refs_shipped"] == 28
+
+
+class TestChurn:
+    def test_maintenance_preserves_recall(self):
+        result = churn.run(
+            num_objects=2_048,
+            seed=0,
+            dimension=7,
+            num_dht_nodes=24,
+            epochs=3,
+            joins_per_epoch=3,
+            leaves_per_epoch=3,
+            num_queries=8,
+        )
+        last_epoch = max(row["epoch"] for row in result.rows)
+        final = {
+            row["scheme"]: row for row in result.rows if row["epoch"] == last_epoch
+        }
+        assert final["maintained"]["mean_recall"] == pytest.approx(1.0)
+        assert final["maintained"]["indexed_references"] == 2_048
+        assert (
+            final["no-maintenance"]["indexed_references"]
+            < final["maintained"]["indexed_references"]
+        )
+        assert (
+            final["no-maintenance"]["mean_recall"]
+            <= final["maintained"]["mean_recall"]
+        )
+
+
+class TestDecomposed:
+    def test_tradeoff_shape(self):
+        result = decomposed.run(
+            num_objects=1_500,
+            seed=0,
+            flat_dimension=10,
+            decompositions=((2, 5),),
+            query_sizes=(1, 2),
+            queries_per_size=2,
+        )
+        by_scheme = {row["scheme"]: row for row in result.rows}
+        flat = by_scheme["flat-10"]
+        split = by_scheme["decomposed-2x5"]
+        assert split["mean_visits"] < flat["mean_visits"]
+        assert split["storage_multiplier"] > flat["storage_multiplier"]
+        assert 0 < split["mean_precision"] <= 1.0

@@ -1,0 +1,72 @@
+"""Unit tests for repro.util.hashing."""
+
+import pytest
+
+from repro.util.hashing import derive_hash_family, stable_hash, stable_hash_to_range
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("chord") == stable_hash("chord")
+
+    def test_accepts_bytes(self):
+        assert stable_hash(b"chord") == stable_hash("chord")
+
+    def test_salts_differ(self):
+        assert stable_hash("x", salt="a") != stable_hash("x", salt="b")
+
+    def test_salt_is_not_prefix_concatenation(self):
+        # ("ab", "c") and ("a", "bc") must hash differently.
+        assert stable_hash("c", salt="ab") != stable_hash("bc", salt="a")
+
+    def test_bits_bound_output(self):
+        for bits in (1, 8, 17, 64, 160):
+            assert 0 <= stable_hash("value", bits=bits) < (1 << bits)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            stable_hash("x", bits=0)
+        with pytest.raises(ValueError):
+            stable_hash("x", bits=161)
+
+    def test_spread(self):
+        # 1000 distinct inputs into 64 bits should not collide.
+        values = {stable_hash(f"key-{i}") for i in range(1000)}
+        assert len(values) == 1000
+
+
+class TestStableHashToRange:
+    def test_in_range(self):
+        for modulus in (1, 2, 7, 1000):
+            assert 0 <= stable_hash_to_range("x", modulus) < modulus
+
+    def test_deterministic(self):
+        assert stable_hash_to_range("y", 97) == stable_hash_to_range("y", 97)
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            stable_hash_to_range("x", 0)
+
+    def test_roughly_uniform(self):
+        buckets = [0] * 10
+        for i in range(5000):
+            buckets[stable_hash_to_range(f"item-{i}", 10)] += 1
+        assert min(buckets) > 350  # expectation 500, very loose bound
+        assert max(buckets) < 650
+
+
+class TestHashFamily:
+    def test_count(self):
+        assert len(derive_hash_family("base", 5)) == 5
+
+    def test_distinct(self):
+        family = derive_hash_family("base", 10)
+        assert len(set(family)) == 10
+
+    def test_independent_streams(self):
+        s1, s2 = derive_hash_family("base", 2)
+        assert stable_hash("kw", salt=s1) != stable_hash("kw", salt=s2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            derive_hash_family("base", -1)

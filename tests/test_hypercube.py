@@ -1,0 +1,117 @@
+"""Unit tests for the hypercube vector space."""
+
+import pytest
+
+from repro.hypercube.hypercube import Hypercube
+
+
+class TestBasics:
+    def test_counts(self):
+        cube = Hypercube(4)
+        assert cube.num_nodes == 16
+        assert cube.num_edges == 32  # r * 2^(r-1)
+
+    def test_zero_dimensional(self):
+        cube = Hypercube(0)
+        assert cube.num_nodes == 1
+        assert cube.num_edges == 0
+        assert list(cube.nodes()) == [0]
+
+    def test_dimension_bounds(self):
+        with pytest.raises(ValueError):
+            Hypercube(-1)
+        with pytest.raises(ValueError):
+            Hypercube(25)
+
+    def test_check_node(self):
+        cube = Hypercube(3)
+        with pytest.raises(ValueError):
+            cube.check_node(8)
+        assert cube.check_node(7) == 7
+
+
+class TestNeighbors:
+    def test_neighbor_single_dimension(self):
+        cube = Hypercube(4)
+        assert cube.neighbor(0b0100, 1) == 0b0110
+
+    def test_neighbors_differ_in_one_bit(self):
+        cube = Hypercube(5)
+        node = 0b10101
+        for neighbor in cube.neighbors(node):
+            assert cube.hamming(node, neighbor) == 1
+
+    def test_neighbor_count(self):
+        cube = Hypercube(6)
+        assert len(cube.neighbors(0)) == 6
+
+    def test_neighborhood_symmetric(self):
+        cube = Hypercube(4)
+        for node in cube.nodes():
+            for neighbor in cube.neighbors(node):
+                assert node in cube.neighbors(neighbor)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            Hypercube(3).neighbor(0, 3)
+
+    def test_edges_count_matches(self):
+        cube = Hypercube(4)
+        assert len(list(cube.edges())) == cube.num_edges
+
+    def test_edges_are_normalized(self):
+        for low, high in Hypercube(3).edges():
+            assert low < high
+
+
+class TestPaperVocabulary:
+    def test_one_zero(self):
+        cube = Hypercube(6)
+        assert cube.one(0b010100) == (2, 4)
+        assert cube.zero(0b010100) == (0, 1, 3, 5)
+
+    def test_contains_node(self):
+        cube = Hypercube(4)
+        assert cube.contains_node(0b0110, 0b0100)
+        assert not cube.contains_node(0b0100, 0b0110)
+
+    def test_weight(self):
+        cube = Hypercube(8)
+        assert cube.weight(0b10110001) == 4
+
+    def test_format_node(self):
+        assert Hypercube(4).format_node(5) == "0101"
+
+
+class TestSubcubeGeometry:
+    def test_subcube_dimension(self):
+        cube = Hypercube(4)
+        assert cube.subcube_dimension(0b0100) == 3
+
+    def test_subcube_size(self):
+        cube = Hypercube(4)
+        assert cube.subcube_size(0b0100) == 8
+        assert cube.subcube_size(0) == 16
+        assert cube.subcube_size(0b1111) == 1
+
+    def test_nodes_of_weight(self):
+        cube = Hypercube(5)
+        for weight in range(6):
+            nodes = list(cube.nodes_of_weight(weight))
+            assert all(cube.weight(n) == weight for n in nodes)
+            import math
+
+            assert len(nodes) == math.comb(5, weight)
+
+    def test_nodes_of_weight_ascending(self):
+        nodes = list(Hypercube(6).nodes_of_weight(3))
+        assert nodes == sorted(nodes)
+
+    def test_nodes_of_weight_partition(self):
+        cube = Hypercube(4)
+        everything = [n for w in range(5) for n in cube.nodes_of_weight(w)]
+        assert sorted(everything) == list(cube.nodes())
+
+    def test_nodes_of_weight_invalid(self):
+        with pytest.raises(ValueError):
+            list(Hypercube(4).nodes_of_weight(5))

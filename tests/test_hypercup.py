@@ -1,0 +1,102 @@
+"""Tests for the native hypercube overlay (HyperCuP-style, §3.2)."""
+
+import pytest
+
+from repro.core.index import HypercubeIndex
+from repro.core.mapping import HypercubeMapping
+from repro.core.search import SuperSetSearch
+from repro.dht.hypercup import HypercubeOverlay, HypercubeRoutingError
+from repro.hypercube.hypercube import Hypercube
+
+
+@pytest.fixture()
+def overlay():
+    return HypercubeOverlay.build(bits=5)
+
+
+class TestTopology:
+    def test_complete_population(self, overlay):
+        assert len(overlay.nodes) == 32
+
+    def test_neighbors_are_bit_flips(self, overlay):
+        node = overlay.nodes[0b01010]
+        assert set(node.neighbors()) == {
+            0b01011, 0b01000, 0b01110, 0b00010, 0b11010,
+        }
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            HypercubeOverlay.build(bits=20)
+
+
+class TestRouting:
+    def test_owner_is_identity(self, overlay):
+        for key in range(32):
+            assert overlay.local_owner(key) == key
+
+    def test_lookup_reaches_key(self, overlay):
+        origin = 0
+        for key in range(32):
+            result = overlay.lookup(key, origin=origin)
+            assert result.owner == key
+
+    def test_hops_equal_hamming_distance(self, overlay):
+        origin = 0b10101
+        for key in range(32):
+            result = overlay.lookup(key, origin=origin)
+            expected = bin(origin ^ key).count("1")
+            # The final arrival is not a route_step query, hence -1
+            # (except the local zero-distance case).
+            assert result.hops == max(0, expected - 1)
+
+    def test_path_is_monotone_descent(self, overlay):
+        result = overlay.lookup(0b11111, origin=0b00000)
+        distances = [bin(hop ^ 0b11111).count("1") for hop in result.path]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_reroutes_around_dead_vertices(self, overlay):
+        # Kill one vertex on the default path; routing must detour.
+        overlay.network.fail(0b00001)
+        result = overlay.lookup(0b00111, origin=0b00000)
+        assert result.owner == 0b00111
+        assert 0b00001 not in result.path
+
+    def test_dead_destination_surrogates_to_neighbor(self, overlay):
+        overlay.network.fail(0b01100)
+        result = overlay.lookup(0b01100, origin=0)
+        assert result.owner in {0b01101, 0b01110, 0b01000, 0b00100, 0b11100}
+
+    def test_isolated_destination_raises(self, overlay):
+        overlay.network.fail(0b00011)
+        for dimension in range(5):
+            overlay.network.fail(0b00011 ^ (1 << dimension))
+        with pytest.raises(HypercubeRoutingError):
+            overlay.lookup(0b00011, origin=0b11100)
+
+
+class TestIdentityMapping:
+    def test_identity_requires_matching_dimension(self, overlay):
+        with pytest.raises(ValueError):
+            HypercubeMapping(Hypercube(4), overlay, identity=True)
+
+    def test_logical_equals_physical(self, overlay):
+        cube = Hypercube(5)
+        mapping = HypercubeMapping(cube, overlay, identity=True)
+        for logical in cube.nodes():
+            assert mapping.dht_key(logical) == logical
+            assert mapping.physical_owner(logical) == logical
+
+    def test_index_over_native_cube(self, overlay):
+        cube = Hypercube(5)
+        index = HypercubeIndex(
+            cube, overlay, mapping=HypercubeMapping(cube, overlay, identity=True)
+        )
+        index.insert("x", {"alpha", "beta"}, holder=3)
+        index.insert("y", {"alpha", "beta", "gamma"}, holder=4)
+        assert index.pin_search({"alpha", "beta"}).object_ids == ("x",)
+        result = SuperSetSearch(index).run({"alpha"})
+        assert set(result.object_ids) == {"x", "y"}
+        # Under the identity mapping, every visit's physical node IS the
+        # logical node: one overlay hop per hypercube-layer message.
+        for visit in result.visits:
+            assert visit.physical == visit.logical

@@ -1,0 +1,98 @@
+"""Unit tests for the DHT identifier space."""
+
+import pytest
+
+from repro.dht.ids import IdSpace
+
+
+class TestBasics:
+    def test_size(self):
+        assert IdSpace(8).size == 256
+
+    def test_contains(self):
+        space = IdSpace(4)
+        assert space.contains(0)
+        assert space.contains(15)
+        assert not space.contains(16)
+        assert not space.contains(-1)
+
+    def test_check_raises(self):
+        with pytest.raises(ValueError):
+            IdSpace(4).check(16)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            IdSpace(0)
+        with pytest.raises(ValueError):
+            IdSpace(161)
+
+    def test_hash_name_in_space(self):
+        space = IdSpace(12)
+        for name in ("a", "b", "c"):
+            assert space.contains(space.hash_name(name))
+
+    def test_hash_name_salted(self):
+        space = IdSpace(32)
+        assert space.hash_name("x", salt="s1") != space.hash_name("x", salt="s2")
+
+    def test_random_id_seeded(self):
+        space = IdSpace(16)
+        assert space.random_id(3) == space.random_id(3)
+        assert space.contains(space.random_id(3))
+
+
+class TestRingGeometry:
+    def test_clockwise_distance(self):
+        space = IdSpace(4)
+        assert space.clockwise_distance(2, 5) == 3
+        assert space.clockwise_distance(5, 2) == 13  # wraps
+        assert space.clockwise_distance(7, 7) == 0
+
+    def test_open_interval_plain(self):
+        space = IdSpace(4)
+        assert space.in_open_interval(3, 2, 5)
+        assert not space.in_open_interval(2, 2, 5)
+        assert not space.in_open_interval(5, 2, 5)
+
+    def test_open_interval_wrapping(self):
+        space = IdSpace(4)
+        assert space.in_open_interval(15, 14, 1)
+        assert space.in_open_interval(0, 14, 1)
+        assert not space.in_open_interval(2, 14, 1)
+
+    def test_open_interval_degenerate(self):
+        # left == right: the whole ring minus the endpoint.
+        space = IdSpace(4)
+        assert space.in_open_interval(5, 3, 3)
+        assert not space.in_open_interval(3, 3, 3)
+
+    def test_half_open_interval(self):
+        space = IdSpace(4)
+        assert space.in_half_open_interval(5, 2, 5)
+        assert not space.in_half_open_interval(2, 2, 5)
+        assert space.in_half_open_interval(0, 14, 0)
+
+
+class TestXorGeometry:
+    def test_xor_distance_symmetric(self):
+        space = IdSpace(8)
+        assert space.xor_distance(12, 200) == space.xor_distance(200, 12)
+
+    def test_xor_distance_identity(self):
+        assert IdSpace(8).xor_distance(42, 42) == 0
+
+    def test_xor_unique_distances_from_point(self):
+        # For fixed u, v -> d(u, v) is a bijection: Kademlia's key fact.
+        space = IdSpace(4)
+        distances = {space.xor_distance(5, v) for v in range(16)}
+        assert distances == set(range(16))
+
+    def test_bucket_index(self):
+        space = IdSpace(8)
+        assert space.bucket_index(0, 1) == 0
+        assert space.bucket_index(0, 0b10000000) == 7
+        assert space.bucket_index(0b101, 0b100) == 0
+
+    def test_bucket_index_self_rejected(self):
+        with pytest.raises(ValueError):
+            IdSpace(8).bucket_index(3, 3)

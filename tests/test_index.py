@@ -1,0 +1,209 @@
+"""Unit tests for the hypercube index (shards, Insert/Delete/Pin)."""
+
+import pytest
+
+from repro.core.index import HypercubeIndex, IndexShard
+from repro.dht.chord import ChordNetwork
+from repro.hypercube.hypercube import Hypercube
+
+from tests.conftest import CATALOGUE
+
+
+class TestIndexShardLocal:
+    def test_put_and_pin(self):
+        shard = IndexShard()
+        key = ("main", 5)
+        shard.put(key, frozenset({"a", "b"}), "obj-1")
+        shard.put(key, frozenset({"a", "b"}), "obj-2")
+        assert shard.pin(key, frozenset({"a", "b"})) == ("obj-1", "obj-2")
+
+    def test_pin_misses_different_set(self):
+        shard = IndexShard()
+        shard.put(("main", 5), frozenset({"a", "b"}), "obj-1")
+        assert shard.pin(("main", 5), frozenset({"a"})) == ()
+
+    def test_remove_last_object_drops_entry(self):
+        shard = IndexShard()
+        key = ("main", 3)
+        shard.put(key, frozenset({"x"}), "obj")
+        assert shard.remove(key, frozenset({"x"}), "obj")
+        assert shard.load(key) == 0
+        assert shard.tables == {}
+
+    def test_remove_missing_returns_false(self):
+        shard = IndexShard()
+        assert not shard.remove(("main", 1), frozenset({"x"}), "obj")
+
+    def test_namespaces_isolated(self):
+        shard = IndexShard()
+        shard.put(("a", 5), frozenset({"kw"}), "obj-a")
+        shard.put(("b", 5), frozenset({"kw"}), "obj-b")
+        assert shard.pin(("a", 5), frozenset({"kw"})) == ("obj-a",)
+        assert shard.pin(("b", 5), frozenset({"kw"})) == ("obj-b",)
+        assert shard.load(namespace="a") == 1
+
+    def test_logical_nodes_isolated(self):
+        shard = IndexShard()
+        shard.put(("main", 5), frozenset({"kw"}), "obj-5")
+        shard.put(("main", 9), frozenset({"kw"}), "obj-9")
+        matches, _ = shard.scan(("main", 5), frozenset({"kw"}), None)
+        assert [ids for _, ids in matches] == [("obj-5",)]
+
+
+class TestShardScan:
+    def make_shard(self):
+        shard = IndexShard()
+        key = ("main", 1)
+        shard.put(key, frozenset({"a"}), "general")
+        shard.put(key, frozenset({"a", "b"}), "mid-1")
+        shard.put(key, frozenset({"a", "c"}), "mid-2")
+        shard.put(key, frozenset({"a", "b", "c"}), "specific")
+        shard.put(key, frozenset({"z"}), "unrelated")
+        return shard, key
+
+    def test_scan_matches_supersets_only(self):
+        shard, key = self.make_shard()
+        matches, truncated = shard.scan(key, frozenset({"a"}), None)
+        found = [ids[0] for _, ids in matches]
+        assert found == ["general", "mid-1", "mid-2", "specific"]
+        assert not truncated
+
+    def test_scan_orders_small_sets_first(self):
+        shard, key = self.make_shard()
+        matches, _ = shard.scan(key, frozenset({"a"}), None)
+        sizes = [len(keywords) for keywords, _ in matches]
+        assert sizes == sorted(sizes)
+
+    def test_scan_limit_truncates(self):
+        shard, key = self.make_shard()
+        matches, truncated = shard.scan(key, frozenset({"a"}), 2)
+        total = sum(len(ids) for _, ids in matches)
+        assert total == 2
+        assert truncated
+
+    def test_scan_limit_exact_boundary(self):
+        shard, key = self.make_shard()
+        matches, truncated = shard.scan(key, frozenset({"a"}), 4)
+        assert sum(len(ids) for _, ids in matches) == 4
+        assert not truncated
+
+    def test_scan_empty_node(self):
+        shard = IndexShard()
+        assert shard.scan(("main", 42), frozenset({"a"}), None) == ([], False)
+
+    def test_scan_order_cache_invalidated_on_put(self):
+        shard, key = self.make_shard()
+        shard.scan(key, frozenset({"a"}), None)  # populate order cache
+        shard.put(key, frozenset({"a", "d"}), "late")
+        matches, _ = shard.scan(key, frozenset({"a"}), None)
+        assert any("late" in ids for _, ids in matches)
+
+    def test_scan_order_cache_invalidated_on_remove(self):
+        shard, key = self.make_shard()
+        shard.scan(key, frozenset({"a"}), None)
+        shard.remove(key, frozenset({"a"}), "general")
+        matches, _ = shard.scan(key, frozenset({"a"}), None)
+        assert all("general" not in ids for _, ids in matches)
+
+
+class TestNetworkedIndex:
+    def test_insert_places_entry_at_responsible_node(self, loaded_index):
+        index = loaded_index
+        for object_id, keywords in CATALOGUE.items():
+            logical = index.mapper.node_for(keywords)
+            shard = index.shard_for_logical(logical)
+            assert object_id in shard.pin(index.table_key(logical), keywords)
+
+    def test_pin_search_round_trip(self, loaded_index):
+        result = loaded_index.pin_search({"mp3", "jazz", "saxophone"})
+        assert result.object_ids == ("take-five",)
+
+    def test_pin_search_empty(self, loaded_index):
+        assert loaded_index.pin_search({"nothing-here"}).object_ids == ()
+
+    def test_second_replica_does_not_reindex(self, loaded_index, chord_ring):
+        other = chord_ring.addresses()[1]
+        created = loaded_index.insert("take-five", CATALOGUE["take-five"], other)
+        assert created is False
+        logical = loaded_index.mapper.node_for(CATALOGUE["take-five"])
+        shard = loaded_index.shard_for_logical(logical)
+        pins = shard.pin(loaded_index.table_key(logical), CATALOGUE["take-five"])
+        assert pins.count("take-five") == 1
+
+    def test_delete_removes_with_last_copy(self, loaded_index, chord_ring):
+        holder = chord_ring.any_address()
+        removed = loaded_index.delete("moonlight", CATALOGUE["moonlight"], holder)
+        assert removed is True
+        assert loaded_index.pin_search(CATALOGUE["moonlight"]).object_ids == ()
+
+    def test_delete_keeps_entry_while_replicas_remain(self, loaded_index, chord_ring):
+        a, b = chord_ring.addresses()[:2]
+        loaded_index.insert("so-what", CATALOGUE["so-what"], b)
+        removed = loaded_index.delete("so-what", CATALOGUE["so-what"], a)
+        assert removed is False
+        assert loaded_index.pin_search(CATALOGUE["so-what"]).object_ids == ("so-what",)
+
+    def test_load_accounting(self, loaded_index):
+        by_logical = loaded_index.load_by_logical_node()
+        by_physical = loaded_index.load_by_physical_node()
+        assert sum(by_logical.values()) == len(CATALOGUE)
+        assert sum(by_physical.values()) == len(CATALOGUE)
+        assert loaded_index.total_indexed() == len(CATALOGUE)
+
+    def test_bulk_load_matches_protocol_placement(self, chord_ring):
+        protocol_index = HypercubeIndex(Hypercube(6), chord_ring)
+        holder = chord_ring.any_address()
+        for object_id, keywords in CATALOGUE.items():
+            protocol_index.insert(object_id, keywords, holder)
+        bulk_ring = ChordNetwork.build(bits=16, num_nodes=24, seed=5)
+        bulk_index = HypercubeIndex(Hypercube(6), bulk_ring)
+        bulk_index.bulk_load(CATALOGUE.items())
+        assert bulk_index.load_by_logical_node() == protocol_index.load_by_logical_node()
+
+    def test_reset_caches_changes_capacity(self, loaded_index):
+        loaded_index.reset_caches(cache_capacity=7)
+        shard = loaded_index.shard_at(loaded_index.dolr.any_address())
+        assert shard.cache_capacity == 7
+        assert shard.cache_for(("main", 0)).capacity == 7
+
+
+class TestMapping:
+    def test_placement_is_deterministic(self, loaded_index):
+        placement = loaded_index.mapping.placement()
+        assert placement == loaded_index.mapping.placement()
+        assert set(placement) == set(loaded_index.cube.nodes())
+
+    def test_owners_are_ring_members(self, loaded_index, chord_ring):
+        for owner in loaded_index.mapping.placement().values():
+            assert owner in chord_ring.nodes
+
+    def test_placement_cache_consistent(self, loaded_index):
+        before = loaded_index.mapping.placement()
+        loaded_index.mapping.enable_placement_cache()
+        assert all(
+            loaded_index.mapping.physical_owner(n) == before[n]
+            for n in loaded_index.cube.nodes()
+        )
+
+    def test_placement_cache_invalidation(self, loaded_index, chord_ring):
+        mapping = loaded_index.mapping
+        mapping.enable_placement_cache()
+        stale = {n: mapping.physical_owner(n) for n in loaded_index.cube.nodes()}
+        victim = next(iter(set(stale.values())))
+        chord_ring.leave(victim)
+        mapping.invalidate_placement_cache()
+        fresh = {n: mapping.physical_owner(n) for n in loaded_index.cube.nodes()}
+        assert victim not in fresh.values()
+
+    def test_route_to_reaches_owner(self, loaded_index):
+        logical = 5
+        route = loaded_index.mapping.route_to(logical)
+        assert route.owner == loaded_index.mapping.physical_owner(logical)
+
+    def test_logical_nodes_of_inverts_placement(self, loaded_index):
+        mapping = loaded_index.mapping
+        placement = mapping.placement()
+        some_physical = placement[0]
+        inverse = mapping.logical_nodes_of(some_physical)
+        assert all(placement[logical] == some_physical for logical in inverse)
+        assert 0 in inverse

@@ -1,0 +1,129 @@
+"""Unit and protocol tests for the Kademlia DHT."""
+
+import pytest
+
+from repro.dht.kademlia import KademliaNetwork
+
+
+class TestConstruction:
+    def test_build(self):
+        overlay = KademliaNetwork.build(bits=16, num_nodes=30, seed=1)
+        assert len(overlay.nodes) == 30
+
+    def test_buckets_respect_size_limit(self):
+        overlay = KademliaNetwork.build(bits=16, num_nodes=50, seed=2, bucket_size=4)
+        for node in overlay.nodes.values():
+            for bucket in node.buckets:
+                assert len(bucket) <= 4
+
+    def test_bucket_members_have_correct_prefix(self):
+        overlay = KademliaNetwork.build(bits=12, num_nodes=20, seed=3)
+        for address, node in overlay.nodes.items():
+            for index, bucket in enumerate(node.buckets):
+                for contact in bucket:
+                    assert overlay.space.bucket_index(address, contact) == index
+
+
+class TestRoutingTable:
+    def test_observe_moves_to_front(self):
+        overlay = KademliaNetwork.build(bits=12, num_nodes=10, seed=4, bucket_size=3)
+        address, node = next(iter(overlay.nodes.items()))
+        contacts = [a for a in overlay.addresses() if a != address][:3]
+        bucket_indices = {overlay.space.bucket_index(address, c) for c in contacts}
+        if len(bucket_indices) == 1:
+            for contact in contacts:
+                node.observe(contact)
+            node.observe(contacts[0])
+            bucket = node.buckets[bucket_indices.pop()]
+            assert bucket[0] == contacts[0]
+
+    def test_observe_self_ignored(self):
+        overlay = KademliaNetwork.build(bits=12, num_nodes=5, seed=5)
+        address, node = next(iter(overlay.nodes.items()))
+        before = [list(b) for b in node.buckets]
+        node.observe(address)
+        assert [list(b) for b in node.buckets] == before
+
+    def test_closest_contacts_sorted_by_xor(self):
+        overlay = KademliaNetwork.build(bits=12, num_nodes=20, seed=6)
+        address, node = next(iter(overlay.nodes.items()))
+        key = 123
+        closest = node.closest_contacts(key, 5)
+        distances = [overlay.space.xor_distance(c, key) for c in closest]
+        assert distances == sorted(distances)
+
+
+class TestLookup:
+    def test_matches_local_owner(self):
+        overlay = KademliaNetwork.build(bits=16, num_nodes=40, seed=7)
+        origin = overlay.any_address()
+        for key in range(0, 65536, 2311):
+            assert overlay.lookup(key, origin=origin).owner == overlay.local_owner(key)
+
+    def test_lookup_from_every_origin(self):
+        overlay = KademliaNetwork.build(bits=12, num_nodes=12, seed=8)
+        key = 999
+        expected = overlay.local_owner(key)
+        for origin in overlay.addresses():
+            assert overlay.lookup(key, origin=origin).owner == expected
+
+    def test_hops_bounded(self):
+        overlay = KademliaNetwork.build(bits=16, num_nodes=64, seed=9)
+        origin = overlay.any_address()
+        for key in range(0, 65536, 4999):
+            assert overlay.lookup(key, origin=origin).hops <= 16
+
+    def test_owner_is_live_under_failures(self):
+        overlay = KademliaNetwork.build(bits=16, num_nodes=30, seed=10)
+        addresses = overlay.addresses()
+        for dead in addresses[5:10]:
+            overlay.network.fail(dead)
+        origin = addresses[0]
+        for key in range(0, 65536, 3000):
+            owner = overlay.lookup(key, origin=origin).owner
+            assert overlay.network.is_alive(owner)
+
+
+class TestMembership:
+    def test_join_becomes_routable(self):
+        overlay = KademliaNetwork.build(bits=12, num_nodes=10, seed=11)
+        bootstrap = overlay.any_address()
+        newcomer = next(a for a in range(4096) if a not in overlay.nodes)
+        overlay.join(newcomer, bootstrap)
+        # The newcomer can now resolve keys.
+        key = 777
+        assert overlay.lookup(key, origin=newcomer).owner == overlay.local_owner(key)
+
+    def test_join_duplicate_rejected(self):
+        overlay = KademliaNetwork.build(bits=12, num_nodes=5, seed=12)
+        with pytest.raises(ValueError):
+            overlay.join(overlay.any_address())
+
+    def test_leave(self):
+        overlay = KademliaNetwork.build(bits=12, num_nodes=8, seed=13)
+        victim = overlay.addresses()[2]
+        overlay.leave(victim)
+        assert victim not in overlay.nodes
+        with pytest.raises(ValueError):
+            overlay.leave(victim)
+
+
+class TestDolrOperations:
+    def test_insert_read_delete_cycle(self):
+        overlay = KademliaNetwork.build(bits=16, num_nodes=16, seed=14)
+        holder = overlay.any_address()
+        assert overlay.insert("obj-1", holder) is True
+        assert overlay.read("obj-1") == [holder]
+        assert overlay.insert("obj-1", holder + 0) is False  # duplicate ref
+        assert overlay.delete("obj-1", holder) is True
+        assert overlay.read("obj-1") == []
+
+    def test_replicas_tracked(self):
+        overlay = KademliaNetwork.build(bits=16, num_nodes=16, seed=15)
+        a, b = overlay.addresses()[:2]
+        overlay.insert("obj-2", a)
+        first_gone = overlay.insert("obj-2", b)
+        assert first_gone is False
+        assert sorted(overlay.read("obj-2")) == sorted([a, b])
+        assert overlay.delete("obj-2", a) is False  # b's copy remains
+        assert overlay.delete("obj-2", b) is True

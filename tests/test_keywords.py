@@ -1,0 +1,122 @@
+"""Unit tests for keyword hashing and the F_h mapping."""
+
+import pytest
+
+from repro.core.keywords import (
+    KeywordHasher,
+    KeywordSetMapper,
+    normalize_keyword,
+    normalize_keywords,
+)
+from repro.hypercube.hypercube import Hypercube
+
+
+class TestNormalization:
+    def test_casefold_and_strip(self):
+        assert normalize_keyword("  MP3 ") == "mp3"
+
+    def test_unicode_nfkc(self):
+        # Full-width latin normalizes to ASCII under NFKC.
+        assert normalize_keyword("ＭＰ３") == "mp3"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_keyword("   ")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            normalize_keyword(42)
+
+    def test_set_normalization_dedups(self):
+        assert normalize_keywords(["Jazz", "jazz ", "JAZZ"]) == frozenset({"jazz"})
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_keywords([])
+
+
+class TestKeywordHasher:
+    def test_range(self):
+        hasher = KeywordHasher(10)
+        for word in ("alpha", "beta", "gamma", "delta"):
+            assert 0 <= hasher(word) < 10
+
+    def test_deterministic(self):
+        assert KeywordHasher(16)("chord") == KeywordHasher(16)("chord")
+
+    def test_normalization_applied(self):
+        hasher = KeywordHasher(12)
+        assert hasher(" MP3 ") == hasher("mp3")
+
+    def test_salts_give_independent_functions(self):
+        h1 = KeywordHasher(64, salt="a")
+        h2 = KeywordHasher(64, salt="b")
+        differing = sum(h1(f"w{i}") != h2(f"w{i}") for i in range(100))
+        assert differing > 80
+
+    def test_roughly_uniform(self):
+        hasher = KeywordHasher(8)
+        buckets = [0] * 8
+        for i in range(4000):
+            buckets[hasher(f"word-{i}")] += 1
+        assert min(buckets) > 350
+        assert max(buckets) < 650
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            KeywordHasher(0)
+
+    def test_dimensions_of(self):
+        hasher = KeywordHasher(8)
+        mapping = hasher.dimensions_of(["A", "b"])
+        assert set(mapping) == {"a", "b"}
+        assert mapping["a"] == hasher("a")
+
+
+class TestKeywordSetMapper:
+    def test_node_bits_are_union_of_keyword_dims(self):
+        cube = Hypercube(10)
+        mapper = KeywordSetMapper(cube)
+        keywords = {"p2p", "dht", "search"}
+        node = mapper.node_for(keywords)
+        expected = 0
+        for keyword in keywords:
+            expected |= 1 << mapper.hasher(keyword)
+        assert node == expected
+
+    def test_monotone_under_superset(self):
+        # K ⊆ K' ⇒ F_h(K') contains F_h(K): the heart of Lemma 3.1.
+        cube = Hypercube(8)
+        mapper = KeywordSetMapper(cube)
+        small = mapper.node_for({"a", "b"})
+        large = mapper.node_for({"a", "b", "c", "d"})
+        assert cube.contains_node(large, small)
+
+    def test_one_count_bounded_by_set_size(self):
+        mapper = KeywordSetMapper(Hypercube(12))
+        for size in (1, 3, 7):
+            keywords = {f"kw{i}" for i in range(size)}
+            assert 1 <= mapper.one_count(keywords) <= min(size, 12)
+
+    def test_single_keyword_weight_one(self):
+        mapper = KeywordSetMapper(Hypercube(10))
+        assert mapper.one_count({"solo"}) == 1
+
+    def test_order_independent(self):
+        mapper = KeywordSetMapper(Hypercube(10))
+        assert mapper.node_for(["x", "y", "z"]) == mapper.node_for(["z", "x", "y"])
+
+    def test_describes(self):
+        mapper = KeywordSetMapper(Hypercube(8))
+        assert mapper.describes({"a"}, {"a", "b"})
+        assert not mapper.describes({"a", "c"}, {"a", "b"})
+
+    def test_mismatched_hasher_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordSetMapper(Hypercube(8), KeywordHasher(10))
+
+    def test_mapper_matches_across_instances(self):
+        # Any two peers with the same r and salt must agree on F_h.
+        a = KeywordSetMapper(Hypercube(9))
+        b = KeywordSetMapper(Hypercube(9))
+        assert a.node_for({"m", "n"}) == b.node_for({"m", "n"})

@@ -1,0 +1,119 @@
+"""Model-based testing: the distributed index vs an in-memory model.
+
+A hypothesis state machine drives random publish / unpublish / pin /
+superset / cumulative operations against the full stack (Chord +
+hypercube index) and, in parallel, against a plain dictionary.  Any
+divergence — a lost object, a phantom result, a broken exact-set
+lookup — fails with the minimal operation sequence that triggers it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.cumulative import CumulativeSearchSession
+from repro.core.index import HypercubeIndex
+from repro.core.search import SuperSetSearch
+from repro.dht.chord import ChordNetwork
+from repro.hypercube.hypercube import Hypercube
+
+KEYWORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+keyword_sets = st.sets(st.sampled_from(KEYWORDS), min_size=1, max_size=4).map(frozenset)
+object_ids = st.integers(min_value=0, max_value=14).map(lambda i: f"obj-{i}")
+
+
+class IndexModelMachine(RuleBasedStateMachine):
+    """Random ops on the real index, mirrored on a dict model."""
+
+    @initialize()
+    def setup(self):
+        self.ring = ChordNetwork.build(bits=16, num_nodes=12, seed=1234)
+        self.index = HypercubeIndex(Hypercube(5), self.ring)
+        self.searcher = SuperSetSearch(self.index)
+        self.holder = self.ring.any_address()
+        self.model: dict[str, frozenset[str]] = {}
+
+    # -- operations -----------------------------------------------------
+
+    @rule(object_id=object_ids, keywords=keyword_sets)
+    def publish(self, object_id: str, keywords: frozenset[str]):
+        if object_id in self.model:
+            return  # already published (one replica per object here)
+        self.index.insert(object_id, keywords, self.holder)
+        self.model[object_id] = keywords
+
+    @rule(object_id=object_ids)
+    def unpublish(self, object_id: str):
+        keywords = self.model.pop(object_id, None)
+        if keywords is None:
+            return
+        self.index.delete(object_id, keywords, self.holder)
+
+    @rule(keywords=keyword_sets)
+    def pin_search(self, keywords: frozenset[str]):
+        expected = sorted(
+            oid for oid, kw in self.model.items() if kw == keywords
+        )
+        result = self.index.pin_search(keywords)
+        assert sorted(result.object_ids) == expected
+
+    @rule(keywords=keyword_sets)
+    def superset_search(self, keywords: frozenset[str]):
+        expected = {oid for oid, kw in self.model.items() if keywords <= kw}
+        result = self.searcher.run(keywords)
+        assert set(result.object_ids) == expected
+        assert result.complete
+        # No duplicates, every result's keywords contain the query.
+        assert len(result.object_ids) == len(set(result.object_ids))
+        for found in result.objects:
+            assert keywords <= found.keywords
+            assert found.keywords == self.model[found.object_id]
+
+    @rule(keywords=keyword_sets, threshold=st.integers(min_value=1, max_value=5))
+    def thresholded_search(self, keywords: frozenset[str], threshold: int):
+        expected = {oid for oid, kw in self.model.items() if keywords <= kw}
+        result = self.searcher.run(keywords, threshold)
+        assert len(result.objects) == min(threshold, len(expected))
+        assert set(result.object_ids) <= expected
+
+    @rule(keywords=keyword_sets)
+    def cumulative_search(self, keywords: frozenset[str]):
+        expected = {oid for oid, kw in self.model.items() if keywords <= kw}
+        session = CumulativeSearchSession(self.index, keywords)
+        collected: list[str] = []
+        while not session.exhausted:
+            batch = session.next_batch(2)
+            collected.extend(found.object_id for found in batch.objects)
+        assert len(collected) == len(set(collected))  # pages never repeat
+        assert set(collected) == expected
+
+    # -- global invariants ----------------------------------------------
+
+    @invariant()
+    def totals_agree(self):
+        if hasattr(self, "index"):
+            assert self.index.total_indexed() == len(self.model)
+
+    @invariant()
+    def placement_is_canonical(self):
+        if not hasattr(self, "index"):
+            return
+        for address in self.ring.addresses():
+            shard = self.index.shard_at(address)
+            for namespace, logical in shard.tables:
+                if namespace == self.index.namespace:
+                    assert self.index.mapping.physical_owner(logical) == address
+
+
+IndexModelMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestIndexModel = IndexModelMachine.TestCase

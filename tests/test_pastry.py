@@ -1,0 +1,121 @@
+"""Tests for the Pastry DHT."""
+
+import pytest
+
+from repro.dht.pastry import PastryNetwork, PastryRoutingError
+
+
+class TestConstruction:
+    def test_build(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=30, seed=1)
+        assert len(overlay.nodes) == 30
+
+    def test_bits_must_divide(self):
+        with pytest.raises(ValueError):
+            PastryNetwork.build(bits=10, num_nodes=4, digit_bits=4)
+
+    def test_leaf_sets_are_ring_neighbours(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=24, seed=2)
+        ordered = overlay.addresses()
+        for rank, address in enumerate(ordered):
+            node = overlay.nodes[address]
+            assert node.larger_leaves[0] == ordered[(rank + 1) % len(ordered)]
+            assert node.smaller_leaves[0] == ordered[(rank - 1) % len(ordered)]
+
+    def test_routing_table_prefix_property(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=40, seed=3)
+        for node in overlay.nodes.values():
+            for row in range(node.num_digits):
+                for column, entry in enumerate(node.routing_table[row]):
+                    if entry is None:
+                        continue
+                    assert node.shared_prefix_length(entry) == row
+                    assert node.digit(entry, row) == column
+
+
+class TestDigits:
+    def test_digit_extraction(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=4, seed=4)
+        node = next(iter(overlay.nodes.values()))
+        value = 0xABCD
+        assert [node.digit(value, i) for i in range(4)] == [0xA, 0xB, 0xC, 0xD]
+
+    def test_shared_prefix_length(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=4, seed=5)
+        node = next(iter(overlay.nodes.values()))
+        assert node.shared_prefix_length(node.address) == node.num_digits
+
+
+class TestLookup:
+    def test_matches_local_owner(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=40, seed=6)
+        origin = overlay.any_address()
+        for key in range(0, 65536, 1499):
+            assert overlay.lookup(key, origin=origin).owner == overlay.local_owner(key)
+
+    def test_from_every_origin(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=16, seed=7)
+        key = 31337
+        expected = overlay.local_owner(key)
+        for origin in overlay.addresses():
+            assert overlay.lookup(key, origin=origin).owner == expected
+
+    def test_hops_logarithmic(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=64, seed=8)
+        origin = overlay.any_address()
+        hops = [
+            overlay.lookup(key, origin=origin).hops for key in range(0, 65536, 2221)
+        ]
+        assert max(hops) <= overlay.nodes[origin].num_digits + 2
+
+    def test_survives_failures(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=40, seed=9)
+        addresses = overlay.addresses()
+        for dead in addresses[5:20:3]:
+            overlay.network.fail(dead)
+        origin = addresses[0]
+        for key in range(0, 65536, 2999):
+            owner = overlay.lookup(key, origin=origin).owner
+            assert overlay.network.is_alive(owner)
+
+    def test_single_node(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=1, seed=10)
+        (address,) = overlay.addresses()
+        assert overlay.lookup(7, origin=address).owner == address
+
+
+class TestDolrOperations:
+    def test_insert_read_delete(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=12, seed=11)
+        holder = overlay.any_address()
+        assert overlay.insert("obj", holder) is True
+        assert overlay.read("obj") == [holder]
+        assert overlay.delete("obj", holder) is True
+
+    def test_membership(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=8, seed=12)
+        newcomer = next(a for a in range(65536) if a not in overlay.nodes)
+        overlay.join(newcomer)
+        assert overlay.lookup(newcomer, origin=overlay.addresses()[0]).owner == newcomer
+        overlay.leave(newcomer)
+        assert newcomer not in overlay.nodes
+        with pytest.raises(ValueError):
+            overlay.leave(newcomer)
+
+    def test_join_duplicate_rejected(self):
+        overlay = PastryNetwork.build(bits=16, num_nodes=8, seed=13)
+        with pytest.raises(ValueError):
+            overlay.join(overlay.any_address())
+
+
+class TestKeywordLayerOnPastry:
+    def test_service_over_pastry(self):
+        from repro.core.service import KeywordSearchService
+
+        service = KeywordSearchService.create(
+            dimension=6, num_dht_nodes=20, dht="pastry", seed=14
+        )
+        service.publish("a", {"x", "y"})
+        service.publish("b", {"x", "z"})
+        assert set(service.superset_search({"x"}).object_ids) == {"a", "b"}
+        assert service.pin_search({"x", "y"}).object_ids == ("a",)

@@ -1,0 +1,120 @@
+"""End-to-end property tests: random libraries, random queries, every
+path through the search machinery must agree with the oracle and with
+each other."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cumulative import CumulativeSearchSession
+from repro.core.index import HypercubeIndex
+from repro.core.ranking import group_by_category, interleave_categories, rank_results
+from repro.core.search import SuperSetSearch, TraversalOrder
+from repro.dht.chord import ChordNetwork
+from repro.hypercube.hypercube import Hypercube
+
+VOCABULARY = ["red", "green", "blue", "round", "square", "large", "small"]
+
+libraries = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=20).map(lambda i: f"obj-{i}"),
+    values=st.sets(st.sampled_from(VOCABULARY), min_size=1, max_size=4).map(frozenset),
+    min_size=1,
+    max_size=12,
+)
+queries = st.sets(st.sampled_from(VOCABULARY), min_size=1, max_size=3).map(frozenset)
+
+
+def build(library: dict, seed: int = 99) -> HypercubeIndex:
+    ring = ChordNetwork.build(bits=16, num_nodes=10, seed=seed)
+    index = HypercubeIndex(Hypercube(5), ring)
+    index.bulk_load(library.items())
+    return index
+
+
+def oracle(library: dict, query: frozenset) -> set:
+    return {oid for oid, kw in library.items() if query <= kw}
+
+
+@settings(max_examples=40, deadline=None)
+@given(libraries, queries)
+def test_search_matches_oracle(library, query):
+    index = build(library)
+    result = SuperSetSearch(index).run(query)
+    assert set(result.object_ids) == oracle(library, query)
+    assert result.complete
+
+
+@settings(max_examples=25, deadline=None)
+@given(libraries, queries)
+def test_orders_agree(library, query):
+    index = build(library)
+    searcher = SuperSetSearch(index)
+    sets = {
+        frozenset(searcher.run(query, order=order).object_ids)
+        for order in TraversalOrder
+    }
+    assert len(sets) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(libraries, queries, st.integers(min_value=1, max_value=6))
+def test_threshold_is_prefix(library, query, threshold):
+    index = build(library)
+    searcher = SuperSetSearch(index)
+    full = list(searcher.run(query).object_ids)
+    capped = list(searcher.run(query, threshold).object_ids)
+    assert capped == full[:threshold]
+
+
+@settings(max_examples=25, deadline=None)
+@given(libraries, queries, st.integers(min_value=1, max_value=4))
+def test_cumulative_equals_one_shot(library, query, page_size):
+    index = build(library)
+    one_shot = list(SuperSetSearch(index).run(query).object_ids)
+    session = CumulativeSearchSession(index, query)
+    paged = []
+    while not session.exhausted:
+        paged.extend(
+            found.object_id for found in session.next_batch(page_size).objects
+        )
+    assert paged == one_shot
+
+
+@settings(max_examples=25, deadline=None)
+@given(libraries, queries)
+def test_pin_is_exact_subset_of_superset(library, query):
+    index = build(library)
+    pin = set(index.pin_search(query).object_ids)
+    superset = set(SuperSetSearch(index).run(query).object_ids)
+    assert pin <= superset
+    assert pin == {oid for oid, kw in library.items() if kw == query}
+
+
+@settings(max_examples=25, deadline=None)
+@given(libraries, queries)
+def test_ranking_is_permutation(library, query):
+    index = build(library)
+    results = list(SuperSetSearch(index).run(query).objects)
+    ranked = rank_results(results, query)
+    interleaved = interleave_categories(results, query)
+    assert sorted(f.object_id for f in ranked) == sorted(f.object_id for f in results)
+    assert sorted(f.object_id for f in interleaved) == sorted(
+        f.object_id for f in results
+    )
+    groups = group_by_category(results, query)
+    assert sum(len(g) for g in groups.values()) == len(results)
+
+
+@settings(max_examples=20, deadline=None)
+@given(libraries, queries)
+def test_delete_everything_empties_search(library, query):
+    index = build(library)
+    ring = index.dolr
+    holder = ring.any_address()
+    # bulk_load skips reference registration; register + delete through
+    # the protocol path to exercise remove end to end.
+    for object_id, keywords in library.items():
+        ring.insert(object_id, holder)
+    for object_id, keywords in library.items():
+        index.delete(object_id, keywords, holder)
+    assert index.total_indexed() == 0
+    assert SuperSetSearch(index).run(query).objects == ()

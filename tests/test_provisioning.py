@@ -1,0 +1,119 @@
+"""Tests for application provisioning and remaining substrate seams."""
+
+import pytest
+
+from repro.baselines.dii import DistributedInvertedIndex
+from repro.core.index import HypercubeIndex, IndexShard
+from repro.dht.chord import ChordNetwork
+from repro.dht.kademlia import KademliaNetwork
+from repro.hypercube.hypercube import Hypercube
+from repro.sim.network import Message
+
+
+class CountingApp:
+    prefix = "count"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def handle(self, node, message: Message):
+        self.calls += 1
+        return {"calls": self.calls}
+
+
+class TestApplicationProvisioning:
+    def test_joiner_gets_installed_applications(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=6, seed=201)
+        ring.install_everywhere(lambda node: CountingApp())
+        newcomer = next(a for a in range(65536) if a not in ring.nodes)
+        ring.join(newcomer, ring.any_address())
+        assert ring.node(newcomer).has_application("count")
+
+    def test_joiner_gets_index_shard(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=6, seed=202)
+        HypercubeIndex(Hypercube(5), ring)
+        newcomer = next(a for a in range(65536) if a not in ring.nodes)
+        ring.join(newcomer, ring.any_address())
+        node = ring.node(newcomer)
+        assert node.has_application("hindex")
+        assert isinstance(node.application("hindex"), IndexShard)
+
+    def test_kademlia_joiner_provisioned_too(self):
+        overlay = KademliaNetwork.build(bits=16, num_nodes=6, seed=203)
+        HypercubeIndex(Hypercube(5), overlay)
+        newcomer = next(a for a in range(65536) if a not in overlay.nodes)
+        overlay.join(newcomer, overlay.any_address())
+        assert overlay.node(newcomer).has_application("hindex")
+
+    def test_ensure_application_does_not_clobber(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=4, seed=204)
+        index_a = HypercubeIndex(Hypercube(4), ring, namespace="a")
+        shard_before = index_a.shard_at(ring.any_address())
+        HypercubeIndex(Hypercube(4), ring, namespace="b")
+        assert index_a.shard_at(ring.any_address()) is shard_before
+
+    def test_coexisting_apps_dispatch_independently(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=4, seed=205)
+        HypercubeIndex(Hypercube(4), ring)
+        DistributedInvertedIndex(ring)
+        node = ring.node(ring.any_address())
+        assert node.has_application("hindex")
+        assert node.has_application("dii")
+
+    def test_install_replaces_same_prefix(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=2, seed=206)
+        node = ring.node(ring.any_address())
+        first, second = CountingApp(), CountingApp()
+        node.install(first)
+        node.install(second)
+        assert node.application("count") is second
+
+
+class TestShardIntrospection:
+    def test_entries_sorted(self):
+        shard = IndexShard()
+        key = ("main", 3)
+        shard.put(key, frozenset({"b", "c"}), "late")
+        shard.put(key, frozenset({"a"}), "early")
+        entries = shard.entries(key)
+        assert [sorted(e.keywords) for e in entries] == [["a"], ["b", "c"]]
+
+    def test_cache_stats_aggregate(self):
+        shard = IndexShard(cache_capacity=2)
+        cache_a = shard.cache_for(("main", 1))
+        cache_b = shard.cache_for(("main", 2))
+        cache_a.get(frozenset({"x"}), None)  # miss
+        cache_b.put(frozenset({"y"}), (("o", frozenset({"y"})),), complete=True)
+        cache_b.get(frozenset({"y"}), None)  # hit
+        hits, misses = shard.cache_stats()
+        assert hits == 1
+        assert misses == 1
+
+    def test_cache_for_is_stable(self):
+        shard = IndexShard(cache_capacity=1)
+        assert shard.cache_for(("main", 5)) is shard.cache_for(("main", 5))
+        assert shard.cache_for(("main", 5)) is not shard.cache_for(("other", 5))
+
+
+class TestTraceCounters:
+    def test_request_count_excludes_replies(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=8, seed=207)
+        a, b = ring.addresses()[:2]
+        with ring.network.trace() as trace:
+            ring.network.rpc(a, b, "chord.get_predecessor", {})
+        assert trace.message_count == 2
+        assert trace.request_count == 1
+
+    def test_kind_counter_accumulates(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=8, seed=208)
+        a, b = ring.addresses()[:2]
+        before = ring.network.kind_counts["chord.get_predecessor"]
+        ring.network.rpc(a, b, "chord.get_predecessor", {})
+        assert ring.network.kind_counts["chord.get_predecessor"] == before + 2
+
+    def test_received_counter_tracks_destination(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=8, seed=209)
+        a, b = ring.addresses()[:2]
+        before = ring.network.received_counts[b]
+        ring.network.rpc(a, b, "chord.get_predecessor", {})
+        assert ring.network.received_counts[b] == before + 1

@@ -1,0 +1,129 @@
+"""Tests for result ranking and query expansion."""
+
+import pytest
+
+from repro.core.expansion import QueryExpander
+from repro.core.index import HypercubeIndex
+from repro.core.ranking import (
+    RankOrder,
+    group_by_category,
+    interleave_categories,
+    rank_results,
+)
+from repro.core.search import FoundObject, SuperSetSearch
+from repro.dht.chord import ChordNetwork
+from repro.hypercube.hypercube import Hypercube
+
+QUERY = frozenset({"mp3"})
+RESULTS = [
+    FoundObject("exact", frozenset({"mp3"})),
+    FoundObject("one-a", frozenset({"mp3", "jazz"})),
+    FoundObject("one-b", frozenset({"mp3", "rock"})),
+    FoundObject("two", frozenset({"mp3", "jazz", "piano"})),
+    FoundObject("one-a2", frozenset({"mp3", "jazz"})),
+]
+
+
+class TestRankResults:
+    def test_general_first(self):
+        ranked = rank_results(RESULTS, QUERY)
+        specificity = [found.specificity(QUERY) for found in ranked]
+        assert specificity == sorted(specificity)
+        assert ranked[0].object_id == "exact"
+
+    def test_specific_first(self):
+        ranked = rank_results(RESULTS, QUERY, RankOrder.SPECIFIC_FIRST)
+        assert ranked[0].object_id == "two"
+
+    def test_stable_within_class(self):
+        ranked = rank_results(RESULTS, QUERY)
+        ones = [f.object_id for f in ranked if f.specificity(QUERY) == 1]
+        assert ones == ["one-a", "one-b", "one-a2"]  # arrival order preserved
+
+    def test_empty(self):
+        assert rank_results([], QUERY) == []
+
+
+class TestGrouping:
+    def test_groups_by_extra_keywords(self):
+        groups = group_by_category(RESULTS, QUERY)
+        assert [f.object_id for f in groups[frozenset()]] == ["exact"]
+        assert [f.object_id for f in groups[frozenset({"jazz"})]] == ["one-a", "one-a2"]
+        assert [f.object_id for f in groups[frozenset({"jazz", "piano"})]] == ["two"]
+
+    def test_category_order_small_first(self):
+        keys = list(group_by_category(RESULTS, QUERY))
+        sizes = [len(key) for key in keys]
+        assert sizes == sorted(sizes)
+
+    def test_interleave_shows_variety(self):
+        page = interleave_categories(RESULTS, QUERY, limit=4)
+        ids = [found.object_id for found in page]
+        assert ids == ["exact", "one-a", "one-b", "two"]
+
+    def test_interleave_second_pass(self):
+        everything = interleave_categories(RESULTS, QUERY)
+        assert len(everything) == len(RESULTS)
+        assert everything[-1].object_id == "one-a2"
+
+    def test_interleave_limit_zero(self):
+        assert interleave_categories(RESULTS, QUERY, limit=0) == []
+        with pytest.raises(ValueError):
+            interleave_categories(RESULTS, QUERY, limit=-1)
+
+
+class TestQueryExpander:
+    @pytest.fixture()
+    def index(self):
+        ring = ChordNetwork.build(bits=16, num_nodes=16, seed=55)
+        index = HypercubeIndex(Hypercube(8), ring)
+        library = {
+            f"jazz-{i}": frozenset({"mp3", "jazz"}) for i in range(6)
+        }
+        library.update({f"rock-{i}": frozenset({"mp3", "rock"}) for i in range(2)})
+        library["solo"] = frozenset({"mp3"})
+        index.bulk_load(library.items())
+        return index
+
+    def test_expansion_adds_supported_keyword(self, index):
+        expander = QueryExpander(index, sample_visits=64)
+        decision = expander.expand({"mp3"})
+        assert decision.changed
+        assert decision.added <= {"jazz", "rock"}
+        # jazz has 3x the support of rock.
+        assert "jazz" in decision.expanded
+
+    def test_preferences_steer_choice(self, index):
+        expander = QueryExpander(index, sample_visits=64)
+        decision = expander.expand({"mp3"}, preferences={"rock": 10.0})
+        assert decision.added == {"rock"}
+
+    def test_expanded_query_shrinks_search_space(self, index):
+        expander = QueryExpander(index, sample_visits=64)
+        decision = expander.expand({"mp3"})
+        before = index.cube.subcube_size(index.mapper.node_for(decision.original))
+        after = index.cube.subcube_size(index.mapper.node_for(decision.expanded))
+        assert after < before
+
+    def test_expanded_query_still_returns_matches(self, index):
+        expander = QueryExpander(index, sample_visits=64)
+        decision = expander.expand({"mp3"})
+        result = SuperSetSearch(index).run(decision.expanded)
+        assert len(result.objects) > 0
+        for found in result.objects:
+            assert decision.original <= found.keywords
+
+    def test_max_added_zero_is_identity(self, index):
+        decision = QueryExpander(index).expand({"mp3"}, max_added=0)
+        assert not decision.changed
+        assert decision.sample_visits == 0
+
+    def test_no_candidates_leaves_query_unchanged(self, index):
+        decision = QueryExpander(index, sample_visits=32).expand({"unknown-term"})
+        assert not decision.changed
+
+    def test_validation(self, index):
+        with pytest.raises(ValueError):
+            QueryExpander(index, sample_visits=0)
+        with pytest.raises(ValueError):
+            QueryExpander(index).expand({"mp3"}, max_added=-1)

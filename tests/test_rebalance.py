@@ -1,0 +1,121 @@
+"""Tests for index migration under churn (rebalance / evacuate)."""
+
+import pytest
+
+from repro.core.index import HypercubeIndex
+from repro.core.search import SuperSetSearch
+from repro.dht.chord import ChordNetwork
+from repro.hypercube.hypercube import Hypercube
+
+ITEMS = [
+    (f"obj-{i}", frozenset({f"kw{i % 7}", f"kw{(i * 3) % 7}", "base"}))
+    for i in range(50)
+]
+
+
+@pytest.fixture()
+def stack():
+    ring = ChordNetwork.build(bits=16, num_nodes=8, seed=71)
+    index = HypercubeIndex(Hypercube(6), ring)
+    index.bulk_load(ITEMS)
+    return ring, index
+
+
+class TestRebalance:
+    def test_rebalance_noop_when_placement_unchanged(self, stack):
+        _, index = stack
+        assert index.rebalance() == 0
+
+    def test_rebalance_after_joins_restores_placement(self, stack):
+        ring, index = stack
+        bootstrap = ring.any_address()
+        joined = 0
+        for address in range(0, 65536, 4096):
+            if address not in ring.nodes:
+                ring.join(address, bootstrap)
+                joined += 1
+        ring.stabilize_all(rounds=2)
+        assert joined >= 10
+        moved = index.rebalance()
+        assert moved > 0  # with 10+ joins some logical nodes must move
+        # Every table now sits at its owner.
+        for address in ring.addresses():
+            shard = index.shard_at(address)
+            for namespace, logical in shard.tables:
+                if namespace == index.namespace:
+                    assert index.mapping.physical_owner(logical) == address
+
+    def test_rebalance_preserves_content_and_search(self, stack):
+        ring, index = stack
+        before = index.total_indexed()
+        bootstrap = ring.any_address()
+        for address in range(100, 65536, 3000):
+            if address not in ring.nodes:
+                ring.join(address, bootstrap)
+        ring.stabilize_all(rounds=2)
+        index.rebalance()
+        assert index.total_indexed() == before
+        result = SuperSetSearch(index).run({"base"})
+        assert len(result.objects) == len(ITEMS)
+
+    def test_rebalance_is_idempotent(self, stack):
+        ring, index = stack
+        bootstrap = ring.any_address()
+        for address in range(200, 65536, 5000):
+            if address not in ring.nodes:
+                ring.join(address, bootstrap)
+        ring.stabilize_all(rounds=2)
+        index.rebalance()
+        assert index.rebalance() == 0
+
+
+class TestEvacuate:
+    def test_graceful_leave_preserves_everything(self, stack):
+        ring, index = stack
+        before = index.total_indexed()
+        victim = ring.addresses()[0]
+        moved = index.evacuate(victim)
+        ring.leave(victim)
+        ring.stabilize_all(rounds=2)
+        assert index.total_indexed() == before
+        result = SuperSetSearch(index).run({"base"})
+        assert len(result.objects) == len(ITEMS)
+        # The victim's shard is empty for this namespace.
+        assert moved >= 0
+
+    def test_evacuate_places_at_post_departure_owner(self, stack):
+        ring, index = stack
+        victim = ring.addresses()[2]
+        victim_logicals = [
+            logical
+            for (namespace, logical) in index.shard_at(victim).tables
+            if namespace == index.namespace
+        ]
+        index.evacuate(victim)
+        ring.leave(victim)
+        ring.stabilize_all(rounds=2)
+        index.mapping.invalidate_placement_cache()
+        for logical in victim_logicals:
+            owner = index.mapping.physical_owner(logical)
+            shard = index.shard_at(owner)
+            assert (index.namespace, logical) in shard.tables
+
+    def test_evacuate_unknown_rejected(self, stack):
+        _, index = stack
+        with pytest.raises(ValueError):
+            index.evacuate(999_999)
+
+    def test_abrupt_leave_loses_data_evacuate_prevents_it(self):
+        # Contrast test: the whole point of evacuate.
+        ring = ChordNetwork.build(bits=16, num_nodes=8, seed=72)
+        index = HypercubeIndex(Hypercube(6), ring)
+        index.bulk_load(ITEMS)
+        total = index.total_indexed()
+        victim = max(
+            ring.addresses(),
+            key=lambda a: index.shard_at(a).load(namespace=index.namespace),
+        )
+        lost = index.shard_at(victim).load(namespace=index.namespace)
+        assert lost > 0
+        ring.leave(victim)  # abrupt: data gone with the node
+        assert index.total_indexed() == total - lost

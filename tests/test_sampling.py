@@ -1,0 +1,105 @@
+"""Tests for category sampling and query refinement."""
+
+import pytest
+
+from repro.core.index import HypercubeIndex
+from repro.core.sampling import SampledSearch, suggest_refinements
+from repro.dht.chord import ChordNetwork
+from repro.hypercube.hypercube import Hypercube
+
+LIBRARY = {
+    "plain-1": frozenset({"mp3"}),
+    "plain-2": frozenset({"mp3"}),
+    "jazz-1": frozenset({"mp3", "jazz"}),
+    "jazz-2": frozenset({"mp3", "jazz"}),
+    "jazz-3": frozenset({"mp3", "jazz"}),
+    "rock-1": frozenset({"mp3", "rock"}),
+    "deep-1": frozenset({"mp3", "jazz", "piano"}),
+    "other": frozenset({"flac"}),
+}
+
+
+@pytest.fixture()
+def index():
+    ring = ChordNetwork.build(bits=16, num_nodes=16, seed=61)
+    index = HypercubeIndex(Hypercube(7), ring)
+    index.bulk_load(LIBRARY.items())
+    return index
+
+
+class TestSampledSearch:
+    def test_categories_keyed_by_extra_keywords(self, index):
+        sample = SampledSearch(index).run({"mp3"}, per_category=5)
+        assert frozenset() in sample.categories  # the exact matches
+        assert frozenset({"jazz"}) in sample.categories
+        assert frozenset({"rock"}) in sample.categories
+        assert frozenset({"jazz", "piano"}) in sample.categories
+
+    def test_per_category_bound(self, index):
+        sample = SampledSearch(index).run({"mp3"}, per_category=2)
+        for group in sample.categories.values():
+            assert len(group) <= 2
+        assert len(sample.categories[frozenset({"jazz"})]) == 2
+
+    def test_samples_belong_to_their_category(self, index):
+        sample = SampledSearch(index).run({"mp3"}, per_category=3)
+        for extra, group in sample.categories.items():
+            for found in group:
+                assert found.keywords - sample.query == extra
+
+    def test_max_categories_stops_early(self, index):
+        sample = SampledSearch(index).run({"mp3"}, per_category=1, max_categories=1)
+        assert sample.num_categories == 1
+
+    def test_max_visits_budget(self, index):
+        sample = SampledSearch(index).run({"mp3"}, max_visits=3)
+        assert sample.visits <= 3
+        assert not sample.exhaustive
+
+    def test_general_first_ordering(self, index):
+        sample = SampledSearch(index).run({"mp3"}, per_category=1)
+        ordered = sample.general_first()
+        sizes = [len(extra) for extra in ordered]
+        assert sizes == sorted(sizes)
+
+    def test_no_matches(self, index):
+        sample = SampledSearch(index).run({"vinyl"})
+        assert sample.categories == {}
+        assert sample.exhaustive
+
+    def test_validation(self, index):
+        searcher = SampledSearch(index)
+        with pytest.raises(ValueError):
+            searcher.run({"mp3"}, per_category=0)
+        with pytest.raises(ValueError):
+            searcher.run({"mp3"}, max_categories=0)
+
+
+class TestRefinements:
+    def test_suggestions_ranked_by_score(self, index):
+        sample = SampledSearch(index).run({"mp3"}, per_category=5)
+        suggestions = suggest_refinements(sample, index)
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_support_counts_samples(self, index):
+        sample = SampledSearch(index).run({"mp3"}, per_category=5)
+        by_keyword = {s.keyword: s for s in suggest_refinements(sample, index, limit=10)}
+        assert by_keyword["jazz"].support >= 3  # jazz-1..3 (+ deep-1)
+        assert by_keyword["rock"].support == 1
+
+    def test_refined_query_extends_original(self, index):
+        sample = SampledSearch(index).run({"mp3"}, per_category=3)
+        for suggestion in suggest_refinements(sample, index):
+            assert sample.query < suggestion.refined_query
+
+    def test_subcube_reduction_bounds(self, index):
+        sample = SampledSearch(index).run({"mp3"}, per_category=5)
+        for suggestion in suggest_refinements(sample, index, limit=10):
+            assert 0.0 <= suggestion.subcube_reduction <= 0.5
+
+    def test_limit(self, index):
+        sample = SampledSearch(index).run({"mp3"}, per_category=5)
+        assert len(suggest_refinements(sample, index, limit=2)) <= 2
+        with pytest.raises(ValueError):
+            suggest_refinements(sample, index, limit=0)

@@ -1,0 +1,121 @@
+"""Unit tests for induced subhypercubes (Definition 3.1, Lemmas 3.1/3.3)."""
+
+import math
+
+import pytest
+
+from repro.hypercube.hypercube import Hypercube
+from repro.hypercube.subcube import SubHypercube
+
+
+class TestMembership:
+    def test_members_contain_inducer(self):
+        cube = Hypercube(5)
+        sub = SubHypercube(cube, 0b10010)
+        for node in sub.nodes():
+            assert cube.contains_node(node, 0b10010)
+
+    def test_exactly_the_containing_nodes(self):
+        cube = Hypercube(4)
+        sub = SubHypercube(cube, 0b0100)
+        expected = {n for n in cube.nodes() if n & 0b0100 == 0b0100}
+        assert set(sub.nodes()) == expected
+
+    def test_contains_dunder(self):
+        sub = SubHypercube(Hypercube(4), 0b0100)
+        assert 0b0110 in sub
+        assert 0b0010 not in sub
+        assert 99 not in sub
+
+    def test_size_and_dimension(self):
+        # Figure 3: H_4(0100) is isomorphic to H_3.
+        sub = SubHypercube(Hypercube(4), 0b0100)
+        assert sub.dimension == 3
+        assert sub.size == 8
+
+    def test_full_cube_when_inducer_zero(self):
+        sub = SubHypercube(Hypercube(4), 0)
+        assert sub.size == 16
+
+    def test_single_node_when_inducer_full(self):
+        sub = SubHypercube(Hypercube(4), 0b1111)
+        assert list(sub.nodes()) == [0b1111]
+
+
+class TestDepth:
+    def test_depth_counts_extra_bits(self):
+        sub = SubHypercube(Hypercube(4), 0b0100)
+        assert sub.depth_of(0b0100) == 0
+        assert sub.depth_of(0b1100) == 1
+        assert sub.depth_of(0b1111) == 3
+
+    def test_depth_of_outsider_rejected(self):
+        with pytest.raises(ValueError):
+            SubHypercube(Hypercube(4), 0b0100).depth_of(0b0010)
+
+    def test_nodes_at_depth_sizes(self):
+        sub = SubHypercube(Hypercube(6), 0b000011)
+        for depth in range(sub.dimension + 1):
+            level = list(sub.nodes_at_depth(depth))
+            assert len(level) == math.comb(sub.dimension, depth)
+            assert all(sub.depth_of(node) == depth for node in level)
+
+    def test_nodes_at_depth_partition(self):
+        sub = SubHypercube(Hypercube(5), 0b00100)
+        by_levels = [n for d in range(sub.dimension + 1) for n in sub.nodes_at_depth(d)]
+        assert sorted(by_levels) == sorted(sub.nodes())
+
+    def test_nodes_at_depth_invalid(self):
+        with pytest.raises(ValueError):
+            list(SubHypercube(Hypercube(4), 0b0100).nodes_at_depth(4))
+
+
+class TestLemma33:
+    def test_refinement_shrinks_space(self):
+        # K1 ⊆ K2 ⇒ H_r(F(K2)) ⊆ H_r(F(K1)); at the bit level:
+        # u1 ⊆ u2 (as bit sets) ⇒ subcube(u2) ⊆ subcube(u1).
+        cube = Hypercube(6)
+        broad = SubHypercube(cube, 0b000100)
+        narrow = SubHypercube(cube, 0b010100)
+        assert narrow.is_subcube_of(broad)
+        assert not broad.is_subcube_of(narrow)
+        assert set(narrow.nodes()) <= set(broad.nodes())
+
+    def test_not_subcube_across_dimensions(self):
+        a = SubHypercube(Hypercube(4), 0b0100)
+        b = SubHypercube(Hypercube(5), 0b00100)
+        assert not a.is_subcube_of(b)
+
+    def test_reflexive(self):
+        sub = SubHypercube(Hypercube(4), 0b1010)
+        assert sub.is_subcube_of(sub)
+
+
+class TestCompactIsomorphism:
+    def test_round_trip(self):
+        sub = SubHypercube(Hypercube(6), 0b010010)
+        for node in sub.nodes():
+            assert sub.expand(sub.compact(node)) == node
+
+    def test_compact_covers_small_cube(self):
+        sub = SubHypercube(Hypercube(5), 0b00101)
+        compacts = sorted(sub.compact(n) for n in sub.nodes())
+        assert compacts == list(range(sub.size))
+
+    def test_compact_preserves_adjacency(self):
+        # Definition 3.1's isomorphism claim: edges map to edges.
+        cube = Hypercube(5)
+        sub = SubHypercube(cube, 0b00100)
+        for node in sub.nodes():
+            for dim in sub.free_dimensions:
+                neighbor = node ^ (1 << dim)
+                delta = sub.compact(node) ^ sub.compact(neighbor)
+                assert bin(delta).count("1") == 1
+
+    def test_compact_outsider_rejected(self):
+        with pytest.raises(ValueError):
+            SubHypercube(Hypercube(4), 0b0100).compact(0b0010)
+
+    def test_expand_out_of_range(self):
+        with pytest.raises(ValueError):
+            SubHypercube(Hypercube(4), 0b0100).expand(8)

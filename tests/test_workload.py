@@ -1,0 +1,186 @@
+"""Tests for the synthetic corpus, distributions, query logs and Table 1 data."""
+
+import pytest
+
+from repro.workload.corpus import PAPER_MEAN_KEYWORDS, SyntheticCorpus
+from repro.workload.distributions import (
+    DiscretizedLogNormal,
+    EmpiricalDistribution,
+    fit_lognormal_to_mean,
+)
+from repro.workload.pchome import TABLE1_RECORDS, format_records_table
+from repro.workload.queries import QueryLogGenerator
+
+
+class TestDistributions:
+    def test_empirical_pmf(self):
+        d = EmpiricalDistribution({1: 1.0, 2: 3.0})
+        assert d.pmf(2) == 0.75
+        assert d.pmf(99) == 0.0
+
+    def test_empirical_mean_mode(self):
+        d = EmpiricalDistribution({1: 1.0, 2: 1.0, 3: 2.0})
+        assert d.mode() == 3
+        assert d.mean() == pytest.approx(2.25)
+
+    def test_from_samples(self):
+        d = EmpiricalDistribution.from_samples([1, 1, 2])
+        assert d.pmf(1) == pytest.approx(2 / 3)
+
+    def test_sampling_respects_support(self):
+        d = EmpiricalDistribution({3: 1.0, 7: 1.0})
+        assert set(d.sample_many(100, 1)) <= {3, 7}
+
+    def test_total_variation(self):
+        a = EmpiricalDistribution({1: 1.0})
+        b = EmpiricalDistribution({2: 1.0})
+        assert a.total_variation_distance(b) == 1.0
+        assert a.total_variation_distance(a) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution({})
+        with pytest.raises(ValueError):
+            EmpiricalDistribution({1: -1.0})
+
+    def test_lognormal_support(self):
+        d = DiscretizedLogNormal(2.0, 0.5, low=1, high=30)
+        assert d.support == list(range(1, 31))
+
+    def test_lognormal_unimodal_right_skewed(self):
+        d = fit_lognormal_to_mean(7.3)
+        mode = d.mode()
+        assert 4 <= mode <= 8
+        assert d.mean() > mode - 1  # right skew: mean >= mode region
+
+    def test_fit_hits_paper_mean(self):
+        d = fit_lognormal_to_mean(PAPER_MEAN_KEYWORDS)
+        assert d.mean() == pytest.approx(7.3, abs=1e-4)
+
+    def test_fit_invalid_mean(self):
+        with pytest.raises(ValueError):
+            fit_lognormal_to_mean(0.5)
+
+
+class TestSyntheticCorpus:
+    def test_reproducible(self):
+        a = SyntheticCorpus.generate(num_objects=50, seed=9)
+        b = SyntheticCorpus.generate(num_objects=50, seed=9)
+        assert [r.keywords for r in a] == [r.keywords for r in b]
+
+    def test_seeds_differ(self):
+        a = SyntheticCorpus.generate(num_objects=50, seed=1)
+        b = SyntheticCorpus.generate(num_objects=50, seed=2)
+        assert [r.keywords for r in a] != [r.keywords for r in b]
+
+    def test_mean_near_paper(self, small_corpus):
+        assert small_corpus.mean_keyword_count() == pytest.approx(7.3, abs=0.8)
+
+    def test_sizes_within_support(self, small_corpus):
+        for record in small_corpus:
+            assert 1 <= record.keyword_count <= 30
+
+    def test_unique_ids(self, small_corpus):
+        ids = small_corpus.object_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_lookup_api(self, small_corpus):
+        record = small_corpus.records[0]
+        assert small_corpus[record.object_id] is record
+        assert record.object_id in small_corpus
+        assert "nope" not in small_corpus
+
+    def test_zipfian_keyword_popularity(self, small_corpus):
+        frequencies = small_corpus.keyword_frequencies()
+        counts = sorted(frequencies.values(), reverse=True)
+        # Heavy head: most popular keyword much more frequent than median.
+        assert counts[0] >= 5 * counts[len(counts) // 2]
+
+    def test_matching_oracle(self, small_corpus):
+        record = small_corpus.records[0]
+        subset = frozenset(list(record.keywords)[:2])
+        matches = small_corpus.matching(subset)
+        assert record.object_id in matches
+        assert small_corpus.keyword_frequency(subset) == len(matches)
+
+    def test_inverted_index_consistent(self, small_corpus):
+        postings = small_corpus.inverted_index()
+        frequencies = small_corpus.keyword_frequencies()
+        for keyword, ids in postings.items():
+            assert len(ids) == frequencies[keyword]
+
+    def test_size_histogram_totals(self, small_corpus):
+        assert sum(small_corpus.size_histogram().values()) == len(small_corpus)
+
+    def test_record_fields_populated(self, small_corpus):
+        record = small_corpus.records[0]
+        assert record.title
+        assert record.url.startswith("http://")
+        assert len(record.category) == 10
+        assert record.description
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpus.generate(num_objects=0)
+        with pytest.raises(ValueError):
+            SyntheticCorpus([])
+
+
+class TestQueryLogGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self, small_corpus):
+        return QueryLogGenerator(small_corpus, pool_size=120, seed=5)
+
+    def test_pool_queries_have_matches(self, generator, small_corpus):
+        for query in generator.pool[:40]:
+            assert small_corpus.keyword_frequency(query) >= 1
+
+    def test_pool_sizes_in_range(self, generator):
+        assert {len(q) for q in generator.pool} <= {1, 2, 3, 4, 5}
+
+    def test_pool_distinct(self, generator):
+        assert len(set(generator.pool)) == len(generator.pool)
+
+    def test_head_share_calibrated(self, generator):
+        stream = generator.generate(4000)
+        share = QueryLogGenerator.head_share_of(stream, 10)
+        assert share == pytest.approx(0.6, abs=0.06)
+
+    def test_timestamps_sorted_within_duration(self, generator):
+        stream = generator.generate(100, duration=1000.0)
+        times = [q.time for q in stream]
+        assert times == sorted(times)
+        assert all(0 <= t <= 1000.0 for t in times)
+
+    def test_popular_sets_filters_size(self, generator):
+        for size in (1, 2, 3):
+            for query in generator.popular_sets(size, 5):
+                assert len(query) == size
+
+    def test_popular_sets_ranked(self, generator):
+        # popular_sets(1, k) must be the top singles by frequency bound.
+        singles = generator.popular_sets(1, 3)
+        bounds = [generator._popularity_bound(q) for q in singles]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_generate_count(self, generator):
+        assert len(generator.generate(0)) == 0
+        assert len(generator.generate(17)) == 17
+
+    def test_invalid_params(self, small_corpus):
+        with pytest.raises(ValueError):
+            QueryLogGenerator(small_corpus, pool_size=5, top_queries=10)
+
+
+class TestTable1:
+    def test_paper_rows_present(self):
+        assert TABLE1_RECORDS[0].title == "Hinet"
+        assert TABLE1_RECORDS[1].object_id == "18491"
+        assert "news" in TABLE1_RECORDS[1].keywords
+
+    def test_format_table(self):
+        table = format_records_table(TABLE1_RECORDS)
+        lines = table.splitlines()
+        assert lines[0].startswith("ID")
+        assert "http://www.hinet.net" in table
+        assert len(lines) == 2 + len(TABLE1_RECORDS)

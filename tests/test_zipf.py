@@ -1,0 +1,122 @@
+"""Unit tests for repro.util.zipf and repro.util.rng."""
+
+import random
+
+import pytest
+
+from repro.util.rng import make_rng, spawn_rng
+from repro.util.zipf import (
+    ZipfDistribution,
+    calibrate_exponent_for_head_share,
+    empirical_head_share,
+)
+
+
+class TestZipfDistribution:
+    def test_pmf_sums_to_one(self):
+        z = ZipfDistribution(50, 1.2)
+        assert abs(sum(z.pmf(k) for k in range(1, 51)) - 1.0) < 1e-12
+
+    def test_monotone_decreasing(self):
+        z = ZipfDistribution(100, 0.9)
+        pmf = [z.pmf(k) for k in range(1, 101)]
+        assert all(a >= b for a, b in zip(pmf, pmf[1:]))
+
+    def test_uniform_when_s_zero(self):
+        z = ZipfDistribution(10, 0.0)
+        assert abs(z.pmf(1) - 0.1) < 1e-12
+        assert abs(z.pmf(10) - 0.1) < 1e-12
+
+    def test_cdf_endpoints(self):
+        z = ZipfDistribution(30, 1.0)
+        assert z.cdf(30) == 1.0
+        assert z.cdf(1) == z.pmf(1)
+
+    def test_mandelbrot_offset_flattens_head(self):
+        plain = ZipfDistribution(1000, 1.0)
+        flattened = ZipfDistribution(1000, 1.0, q=50)
+        assert flattened.pmf(1) < plain.pmf(1)
+        assert flattened.head_share(10) < plain.head_share(10)
+
+    def test_sampling_range(self):
+        z = ZipfDistribution(20, 1.0)
+        rng = random.Random(0)
+        for _ in range(200):
+            assert 1 <= z.sample(rng) <= 20
+
+    def test_sampling_skew(self):
+        z = ZipfDistribution(100, 1.5)
+        samples = z.sample_many(5000, random.Random(1))
+        ones = samples.count(1)
+        assert ones / 5000 == pytest.approx(z.pmf(1), abs=0.03)
+
+    def test_sample_many_deterministic(self):
+        z = ZipfDistribution(50, 1.0)
+        assert z.sample_many(100, 7) == z.sample_many(100, 7)
+
+    def test_expected_counts(self):
+        z = ZipfDistribution(5, 1.0)
+        counts = z.expected_counts(1000)
+        assert len(counts) == 5
+        assert abs(sum(counts) - 1000) < 1e-9
+
+    def test_head_share_monotone_in_top(self):
+        z = ZipfDistribution(100, 1.0)
+        assert z.head_share(1) < z.head_share(10) < z.head_share(100) == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfDistribution(10, -0.5)
+        with pytest.raises(ValueError):
+            ZipfDistribution(10, 1.0, q=-1)
+        z = ZipfDistribution(10, 1.0)
+        with pytest.raises(ValueError):
+            z.pmf(0)
+        with pytest.raises(ValueError):
+            z.pmf(11)
+
+
+class TestCalibration:
+    def test_hits_target(self):
+        s = calibrate_exponent_for_head_share(n=1000, top=10, target_share=0.6)
+        assert ZipfDistribution(1000, s).head_share(10) == pytest.approx(0.6, abs=1e-3)
+
+    def test_higher_target_needs_higher_exponent(self):
+        s_low = calibrate_exponent_for_head_share(n=500, top=10, target_share=0.3)
+        s_high = calibrate_exponent_for_head_share(n=500, top=10, target_share=0.8)
+        assert s_high > s_low
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            calibrate_exponent_for_head_share(n=100, top=10, target_share=1.5)
+
+    def test_invalid_top(self):
+        with pytest.raises(ValueError):
+            calibrate_exponent_for_head_share(n=100, top=100, target_share=0.5)
+
+    def test_empirical_head_share(self):
+        assert empirical_head_share([1, 1, 1, 2], top=1) == 0.75
+        assert empirical_head_share([], top=3) == 0.0
+
+
+class TestRng:
+    def test_make_rng_from_seed(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_make_rng_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_spawn_labels_independent(self):
+        parent = random.Random(9)
+        a = spawn_rng(parent, "a")
+        parent2 = random.Random(9)
+        b = spawn_rng(parent2, "b")
+        assert a.random() != b.random()
+
+    def test_spawn_reproducible(self):
+        a = spawn_rng(random.Random(3), "x").random()
+        b = spawn_rng(random.Random(3), "x").random()
+        assert a == b
