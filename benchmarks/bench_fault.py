@@ -1,8 +1,13 @@
 """Bench X2 — fault tolerance: hypercube vs DII under node failures."""
 
+import json
+import pathlib
+
 from repro.experiments import fault
 
 from benchmarks.conftest import run_once
+
+BASELINE_JSON = pathlib.Path(__file__).parent.parent / "BENCH_fault.json"
 
 
 def test_fault(benchmark, record_result):
@@ -15,8 +20,11 @@ def test_fault(benchmark, record_result):
         num_dht_nodes=128,
         failure_fractions=(0.0, 0.05, 0.1, 0.2, 0.3),
         num_queries=60,
+        loss_rates=(0.05, 0.1, 0.2),
+        retry_attempts=(1, 2, 3),
     )
     record_result(result)
+    BASELINE_JSON.write_text(result.to_json() + "\n", encoding="utf-8")
     rows = {(r["scheme"], r["failure_fraction"]): r for r in result.rows}
     assert rows[("hypercube", 0.0)]["mean_recall"] == 1.0
     assert rows[("dii", 0.0)]["mean_recall"] == 1.0
@@ -28,3 +36,35 @@ def test_fault(benchmark, record_result):
             rows[("dii", fraction)]["blocked_fraction"]
             >= rows[("hypercube", fraction)]["blocked_fraction"] - 1e-9
         )
+    # The messaging layer's contribution: a strict searcher raises on
+    # the first dead node, a resilient one degrades and keeps strictly
+    # more recall, without a single query raising.
+    for fraction in (0.1, 0.2, 0.3):
+        noretry = rows[("hypercube-noretry", fraction)]
+        resilient = rows[("hypercube-resilient", fraction)]
+        assert resilient["raised_fraction"] == 0.0
+        assert resilient["mean_recall"] > noretry["mean_recall"]
+        assert resilient["degraded_visits"] > 0.0
+    # Transient loss: retries recover recall that single-shot delivery
+    # loses, at a bounded cost in extra messages.
+    for loss in (0.05, 0.1, 0.2):
+        single = rows[("loss-retry1", loss)]
+        retried = rows[("loss-retry3", loss)]
+        assert retried["mean_recall"] > single["mean_recall"]
+        assert retried["mean_recall"] > 0.9
+    # Retry/deadline/breaker counters surfaced through MetricsRegistry.
+    counters = dict(note.split("=") for note in result.notes)
+    assert int(counters["rpc.retries"]) > 0
+    assert int(counters["breaker.open"]) > 0
+    assert int(counters["network.dropped"]) > 0
+
+
+def test_baseline_json_schema():
+    """The committed baseline keeps the fields future PRs compare on."""
+    record = json.loads(BASELINE_JSON.read_text(encoding="utf-8"))
+    assert record["experiment"] == "fault"
+    schemes = {row["scheme"] for row in record["rows"]}
+    assert {"hypercube", "dii", "hypercube-noretry", "hypercube-resilient"} <= schemes
+    assert any(row.get("failure_mode") == "transient" for row in record["rows"])
+    for row in record["rows"]:
+        assert {"mean_recall", "blocked_fraction", "mean_messages"} <= row.keys()

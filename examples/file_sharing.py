@@ -15,13 +15,15 @@ keyword statistics).  The example demonstrates:
 Run:  python examples/file_sharing.py
 """
 
-from repro import KeywordSearchService
+from repro import KeywordSearchService, ServiceConfig
 from repro.hypercube.subcube import SubHypercube
 from repro.workload.corpus import SyntheticCorpus
 
 
 def main() -> None:
-    service = KeywordSearchService.create(dimension=10, num_dht_nodes=128, seed=7)
+    service = KeywordSearchService.create(
+        ServiceConfig(dimension=10, num_dht_nodes=128, seed=7)
+    )
     library = SyntheticCorpus.generate(num_objects=1_500, seed=7)
 
     # Every peer shares a slice of the library.

@@ -9,17 +9,15 @@ publish (Insert), pin search, and superset search.
 Run:  python examples/quickstart.py
 """
 
-from repro import KeywordSearchService
+from repro import KeywordSearchService, SearchOptions, ServiceConfig
+from repro.core.config import DhtKind
 from repro.core.search import TraversalOrder
 
 
 def main() -> None:
     # A 64-peer Chord overlay carrying a 2**8-node logical hypercube.
     service = KeywordSearchService.create(
-        dimension=8,
-        num_dht_nodes=64,
-        dht="chord",
-        seed=42,
+        ServiceConfig(dimension=8, num_dht_nodes=64, dht=DhtKind.CHORD, seed=42)
     )
 
     catalogue = {
@@ -37,7 +35,7 @@ def main() -> None:
     # Pin search: the exact keyword set resolves to one node, one message.
     pin = service.pin_search({"mp3", "jazz", "saxophone"})
     print("pin search {mp3, jazz, saxophone}:")
-    print(f"  objects: {list(pin.object_ids)}")
+    print(f"  objects: {list(pin.results())}")
     print(f"  answered by logical node {pin.logical_node:#0{4}b} "
           f"(physical {pin.physical_node}) in {pin.dht_hops} DHT hops\n")
 
@@ -57,9 +55,10 @@ def main() -> None:
     print("same query, bottom-up (specific first):")
     print(f"  first result: {specific.objects[0].object_id}\n")
 
-    # Thresholded search stops as soon as enough objects are found.
-    two = service.superset_search({"mp3"}, threshold=2)
-    print(f"superset search {{mp3}} with threshold 2: {list(two.object_ids)}")
+    # Thresholded search stops as soon as enough objects are found; the
+    # per-query knobs can also travel as one SearchOptions object.
+    two = service.search({"mp3"}, SearchOptions(threshold=2))
+    print(f"superset search {{mp3}} with threshold 2: {list(two.results())}")
     print(f"  visits: {len(two.visits)} (stopped early), complete: {two.complete}")
 
 

@@ -8,13 +8,17 @@ Section 3.4 sketches two robustness mechanisms this library implements:
 * data migration so the index follows DHT ownership through joins and
   graceful departures (rebalance / evacuate).
 
-This example injects failures and churn and shows recall staying high.
+On top of those, the messaging layer itself can retry, back off and
+circuit-break (``repro.sim.resilience``), letting even a strict search
+degrade gracefully instead of raising.  This example injects failures
+and churn and shows recall staying high.
 
 Run:  python examples/resilient_discovery.py
 """
 
 import random
 
+from repro import BreakerPolicy, RetryPolicy
 from repro.core.index import HypercubeIndex
 from repro.core.replication import ReplicatedHypercubeIndex
 from repro.core.search import SuperSetSearch
@@ -61,6 +65,28 @@ def main() -> None:
     rep = replicated.superset_search({keyword}, origin=origin)
     print(f"plain index recall:      {recall(bare.object_ids, expected):.0%}")
     print(f"replicated index recall: {recall(rep.object_ids, expected):.0%}\n")
+
+    # The messaging layer's own defences: give every DOLR RPC a retry
+    # policy and a per-destination circuit breaker.  A *strict* searcher
+    # (no skip_unreachable) raises on the first dead peer over a plain
+    # channel; on the resilient channel it retries, fails fast through
+    # open breakers, degrades via surrogate routing, and reports what
+    # it had to route around.
+    ring.configure_resilience(
+        RetryPolicy.default(), breaker=BreakerPolicy(failure_threshold=3), rng=21
+    )
+    strict = SuperSetSearch(plain.index)
+    survived = strict.run({keyword}, origin=origin)
+    surrogates = sum(v.status == "surrogate" for v in survived.visits)
+    print(f"strict search, resilient channel: "
+          f"recall {recall(survived.object_ids, expected):.0%}, "
+          f"{len(survived.degraded_visits)} degraded visits "
+          f"({surrogates} served by surrogates)")
+    metrics = ring.network.metrics
+    print(f"channel counters: retries={metrics.counter('rpc.retries')}, "
+          f"breakers opened={metrics.counter('breaker.open')}, "
+          f"fast-failed={metrics.counter('breaker.rejected')}\n")
+    ring.configure_resilience(None)
 
     for victim in victims:
         ring.network.recover(victim)

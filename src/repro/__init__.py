@@ -25,31 +25,48 @@ substrate the paper depends on:
 Quickstart
 ----------
 
->>> from repro import KeywordSearchService
->>> service = KeywordSearchService.create(dimension=8, num_dht_nodes=64, seed=7)
+>>> from repro import KeywordSearchService, ServiceConfig
+>>> service = KeywordSearchService.create(
+...     ServiceConfig(dimension=8, num_dht_nodes=64, seed=7)
+... )
 >>> record = service.publish("song.mp3", {"mp3", "jazz", "piano"})
->>> result = service.pin_search({"mp3", "jazz", "piano"})
->>> sorted(result.object_ids)
-['song.mp3']
+>>> service.pin_search({"mp3", "jazz", "piano"}).results()
+('song.mp3',)
 """
 
+from repro.core.config import (
+    CachePolicy,
+    ContactMode,
+    DhtKind,
+    SearchOptions,
+    ServiceConfig,
+)
 from repro.core.keywords import KeywordHasher, KeywordSetMapper
 from repro.core.index import HypercubeIndex, IndexEntry
 from repro.core.search import SearchResult, SuperSetSearch, TraversalOrder
 from repro.core.service import KeywordSearchService
 from repro.hypercube.hypercube import Hypercube
 from repro.hypercube.sbt import SpanningBinomialTree
+from repro.sim.resilience import BreakerPolicy, ResilientChannel, RetryPolicy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BreakerPolicy",
+    "CachePolicy",
+    "ContactMode",
+    "DhtKind",
     "Hypercube",
     "HypercubeIndex",
     "IndexEntry",
     "KeywordHasher",
     "KeywordSearchService",
     "KeywordSetMapper",
+    "ResilientChannel",
+    "RetryPolicy",
+    "SearchOptions",
     "SearchResult",
+    "ServiceConfig",
     "SpanningBinomialTree",
     "SuperSetSearch",
     "TraversalOrder",

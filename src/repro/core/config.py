@@ -1,0 +1,153 @@
+"""Typed configuration for the service façade.
+
+:class:`ServiceConfig` replaces the stringly-typed knobs
+``KeywordSearchService.create`` grew over time (``dht="chord"``,
+``cache_policy="fifo"``, ``contact_mode="direct"``) with enums and
+dataclasses that fail at construction time instead of deep inside the
+stack, and that carry the resilience policy (retries, deadlines,
+circuit breaking) alongside the topology knobs.  :class:`SearchOptions`
+does the same for per-query parameters.
+
+The legacy keyword form of ``create`` keeps working through
+:meth:`ServiceConfig.from_legacy`, which coerces strings to enums and
+emits a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, replace
+
+from repro.core.search import TraversalOrder
+from repro.sim.resilience import BreakerPolicy, RetryPolicy
+
+__all__ = [
+    "CachePolicy",
+    "ContactMode",
+    "DhtKind",
+    "SearchOptions",
+    "ServiceConfig",
+]
+
+
+class DhtKind(enum.Enum):
+    """Which DHT implements the paper's generalized DOLR layer."""
+
+    CHORD = "chord"
+    KADEMLIA = "kademlia"
+    PASTRY = "pastry"
+
+
+class CachePolicy(enum.Enum):
+    """Eviction policy of the per-logical-node query caches."""
+
+    FIFO = "fifo"
+    LRU = "lru"
+
+
+class ContactMode(enum.Enum):
+    """How the search root reaches tree nodes: cached physical contacts
+    (one DHT message each, Section 3.4's observation) or a full DHT
+    lookup per contact."""
+
+    DIRECT = "direct"
+    ROUTED = "routed"
+
+
+def _coerce(value, kind):
+    """Accept an enum member or its string value."""
+    return value if isinstance(value, kind) else kind(value)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything needed to build a :class:`KeywordSearchService`.
+
+    ``dimension`` is the hypercube dimension r (Section 3's central
+    tuning knob); ``num_dht_nodes`` the physical overlay size;
+    ``cache_capacity`` the per-logical-node query cache in entry units
+    (0 disables caching).  ``resilience`` / ``breaker`` configure the
+    messaging channel every protocol RPC goes through — when set, a
+    superset search degrades past unreachable nodes (reported in
+    ``SearchResult.degraded_visits``) instead of raising.
+    """
+
+    dimension: int
+    num_dht_nodes: int
+    dht: DhtKind = DhtKind.CHORD
+    dht_bits: int = 32
+    seed: int | random.Random | None = 0
+    cache_capacity: int = 0
+    cache_policy: CachePolicy = CachePolicy.FIFO
+    contact_mode: ContactMode = ContactMode.DIRECT
+    resilience: RetryPolicy | None = None
+    breaker: BreakerPolicy | None = None
+
+    def __post_init__(self) -> None:
+        # Tolerate string forms so configs read naturally from literals,
+        # while normalizing eagerly: a constructed config always holds
+        # enum members.
+        object.__setattr__(self, "dht", _coerce(self.dht, DhtKind))
+        object.__setattr__(self, "cache_policy", _coerce(self.cache_policy, CachePolicy))
+        object.__setattr__(self, "contact_mode", _coerce(self.contact_mode, ContactMode))
+        if self.dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {self.dimension}")
+        if self.num_dht_nodes < 1:
+            raise ValueError(f"num_dht_nodes must be >= 1, got {self.num_dht_nodes}")
+        if self.cache_capacity < 0:
+            raise ValueError(f"cache_capacity must be >= 0, got {self.cache_capacity}")
+
+    @classmethod
+    def from_legacy(cls, **kwargs) -> "ServiceConfig":
+        """Build a config from the pre-1.1 keyword arguments (strings
+        for ``dht`` / ``cache_policy`` / ``contact_mode``).  Unknown
+        string values raise ``ValueError`` exactly as the old façade
+        did."""
+        try:
+            return cls(**kwargs)
+        except ValueError as error:
+            # Re-frame enum coercion errors in the old API's terms.
+            message = str(error)
+            if "DhtKind" in message:
+                raise ValueError(
+                    f"dht must be one of {sorted(k.value for k in DhtKind)}, "
+                    f"got {kwargs.get('dht')!r}"
+                ) from None
+            if "CachePolicy" in message:
+                raise ValueError(
+                    f"cache_policy must be one of {sorted(p.value for p in CachePolicy)}, "
+                    f"got {kwargs.get('cache_policy')!r}"
+                ) from None
+            if "ContactMode" in message:
+                raise ValueError(
+                    f"contact_mode must be 'direct' or 'routed', "
+                    f"got {kwargs.get('contact_mode')!r}"
+                ) from None
+            raise
+
+    def with_resilience(
+        self, resilience: RetryPolicy, breaker: BreakerPolicy | None = None
+    ) -> "ServiceConfig":
+        """A copy of this config with a resilience policy installed."""
+        return replace(self, resilience=resilience, breaker=breaker)
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Per-query knobs of a superset search.
+
+    ``threshold`` is the paper's t (stop after min(t, |O_K|) objects);
+    ``origin`` the requesting node (any live node when None); ``order``
+    the tree-traversal strategy; ``use_cache`` overrides the service
+    default (cache on iff a cache capacity was configured).
+    """
+
+    threshold: int | None = None
+    origin: int | None = None
+    order: TraversalOrder = TraversalOrder.TOP_DOWN
+    use_cache: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.threshold is not None and self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1 or None, got {self.threshold}")

@@ -48,6 +48,11 @@ class DecomposedSearchResult:
     def object_ids(self) -> tuple[str, ...]:
         return tuple(found.object_id for found in self.objects)
 
+    def results(self) -> tuple[str, ...]:
+        """The matching object IDs — the accessor shared by every search
+        result type (see :meth:`repro.core.search.SearchResult.results`)."""
+        return self.object_ids
+
     @property
     def precision(self) -> float:
         """Fraction of candidates that survived full-query verification."""

@@ -52,6 +52,11 @@ class PinResult:
     physical_node: int
     dht_hops: int
 
+    def results(self) -> tuple[str, ...]:
+        """The matching object IDs — the accessor shared by every search
+        result type (see :meth:`repro.core.search.SearchResult.results`)."""
+        return self.object_ids
+
 
 def _entry_sort_key(item: tuple[frozenset[str], set[str]]) -> tuple[int, tuple[str, ...]]:
     keywords, _ = item
@@ -389,7 +394,7 @@ class HypercubeIndex:
                 (sorted(keywords), sorted(object_ids))
                 for keywords, object_ids in table.items()
             ]
-            self.dolr.network.rpc(
+            self.dolr.channel.rpc(
                 address,
                 owner,
                 "hindex.transfer",

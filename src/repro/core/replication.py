@@ -172,7 +172,7 @@ class ReplicatedSuperSetSearch(SuperSetSearch):
         *,
         via: int | None = None,
         responder_hops: int = 0,
-    ) -> tuple[list[FoundObject], int]:
+    ) -> tuple[list[FoundObject], int, str]:
         """Visit via the primary's true placement owner; when that node
         is dead, go straight to the replicas.
 
@@ -184,12 +184,16 @@ class ReplicatedSuperSetSearch(SuperSetSearch):
         network = self.index.dolr.network
         if not network.is_alive(owner):
             sender = via if via is not None else origin
-            found = self._visit_fallback(sender, logical, query, remaining) or []
+            fallback = self._visit_fallback(sender, logical, query, remaining)
+            found = fallback or []
             if found and sender != origin:
                 network.send(
                     sender, origin, "hindex.results", {"count": len(found)}, deliver=False
                 )
-            return found, responder_hops
+            status = "replica" if fallback is not None else "failed"
+            if status == "failed":
+                network.metrics.increment("search.degraded_visits")
+            return found, responder_hops, status
         return super()._visit(
             query,
             remaining,

@@ -25,6 +25,16 @@ Contact modes: ``direct`` assumes the root reaches tree nodes by their
 cached physical contacts (Section 3.4 observes each hypercube message
 maps to one DHT message); ``routed`` pays a full DHT lookup per contact
 instead.
+
+Failure handling: scans go through the index's
+:class:`~repro.sim.resilience.ResilientChannel`, so a visit to a flaky
+node is retried per the channel's policy.  When the channel is
+resilient (or ``skip_unreachable`` is set) a visit whose retries are
+exhausted *degrades* instead of aborting the search: the searcher falls
+back to DHT surrogate routing (the stand-in node may hold nothing, but
+the traversal continues) and the visit is reported in
+:attr:`SearchResult.degraded_visits` with status ``surrogate`` or
+``failed`` — the fault-tolerance behaviour Section 3.4 calls for.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from collections.abc import Iterable, Iterator
 from repro.core.index import HypercubeIndex
 from repro.core.keywords import normalize_keywords
 from repro.sim.network import NodeUnreachableError
+from repro.sim.resilience import ResilientChannel
 from repro.hypercube.sbt import SpanningBinomialTree
 from repro.util import bitops
 
@@ -70,7 +81,15 @@ class FoundObject:
 
 @dataclass(frozen=True)
 class NodeVisit:
-    """One visited tree node, in visit order."""
+    """One visited tree node, in visit order.
+
+    ``status`` is ``"ok"`` for a normal visit; ``"replica"`` when a
+    replicated index served it from a secondary copy (full data);
+    ``"surrogate"`` when the node's primary host was unreachable and the
+    scan was served by the DHT surrogate (whose table may be missing the
+    dead host's entries); ``"failed"`` when no host could be reached at
+    all.  The last two are *degraded*: results may be incomplete.
+    """
 
     order: int
     logical: int
@@ -78,6 +97,11 @@ class NodeVisit:
     depth: int
     returned: int
     dht_hops: int
+    status: str = "ok"
+
+    @property
+    def degraded(self) -> bool:
+        return self.status in ("surrogate", "failed")
 
 
 @dataclass(frozen=True)
@@ -99,6 +123,24 @@ class SearchResult:
     @property
     def object_ids(self) -> tuple[str, ...]:
         return tuple(found.object_id for found in self.objects)
+
+    def results(self) -> tuple[str, ...]:
+        """The matching object IDs — the accessor shared by every search
+        result type (:class:`SearchResult`, :class:`~repro.core.index.PinResult`,
+        :class:`~repro.core.decomposed.DecomposedSearchResult`)."""
+        return self.object_ids
+
+    @property
+    def degraded_visits(self) -> tuple[NodeVisit, ...]:
+        """Visits that could not be served by their primary host (their
+        entries may be missing from ``objects``)."""
+        return tuple(visit for visit in self.visits if visit.degraded)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one visit was served degraded, i.e. the
+        result is complete only with respect to the reachable index."""
+        return any(visit.degraded for visit in self.visits)
 
     @property
     def logical_nodes_contacted(self) -> int:
@@ -132,12 +174,26 @@ class SuperSetSearch:
         *,
         contact_mode: str = "direct",
         skip_unreachable: bool = False,
+        channel: ResilientChannel | None = None,
     ):
         if contact_mode not in ("direct", "routed"):
             raise ValueError(f"contact_mode must be 'direct' or 'routed', got {contact_mode!r}")
         self.index = index
         self.contact_mode = contact_mode
         self.skip_unreachable = skip_unreachable
+        # None means "follow the DOLR network's channel" (resolved per
+        # call, so a later configure_resilience() is picked up).
+        self._channel = channel
+
+    @property
+    def channel(self) -> ResilientChannel:
+        """The messaging channel scans go through."""
+        return self._channel if self._channel is not None else self.index.dolr.channel
+
+    @property
+    def degrades(self) -> bool:
+        """Whether an unreachable visit degrades instead of raising."""
+        return self.skip_unreachable or self.channel.resilient
 
     # -- public API -----------------------------------------------------
 
@@ -262,12 +318,12 @@ class SuperSetSearch:
         truncated = False
 
         # Root examines its own table first (the initial T_QUERY).
-        returned, hops = self._visit(
+        returned, hops, status = self._visit(
             query, remaining, origin, root_logical, root_physical, responder_hops=root_hops
         )
         objects.extend(returned)
         visits.append(
-            NodeVisit(0, root_logical, root_physical, 0, len(returned), hops)
+            NodeVisit(0, root_logical, root_physical, 0, len(returned), hops, status)
         )
         if remaining is not None:
             remaining -= len(returned)
@@ -280,7 +336,9 @@ class SuperSetSearch:
         )
         while queue:
             w, d = queue.popleft()
-            returned, hops = self._visit(query, remaining, origin, w, None, via=root_physical)
+            returned, hops, status = self._visit(
+                query, remaining, origin, w, None, via=root_physical
+            )
             physical = self._physical_of(w)
             objects.extend(returned)
             visits.append(
@@ -291,6 +349,7 @@ class SuperSetSearch:
                     bitops.popcount(w ^ root_logical),
                     len(returned),
                     hops,
+                    status,
                 )
             )
             if remaining is not None:
@@ -323,7 +382,7 @@ class SuperSetSearch:
         first = True
         for node, depth in tree.bfs_bottom_up():
             hops_for = root_hops if first else 0
-            returned, hops = self._visit(
+            returned, hops, status = self._visit(
                 query,
                 remaining,
                 origin,
@@ -335,7 +394,15 @@ class SuperSetSearch:
             first = False
             objects.extend(returned)
             visits.append(
-                NodeVisit(len(visits), node, self._physical_of(node), depth, len(returned), hops)
+                NodeVisit(
+                    len(visits),
+                    node,
+                    self._physical_of(node),
+                    depth,
+                    len(returned),
+                    hops,
+                    status,
+                )
             )
             if remaining is not None:
                 remaining -= len(returned)
@@ -368,7 +435,7 @@ class SuperSetSearch:
                 continue
             rounds += 1
             for node in level_nodes:
-                returned, hops = self._visit(
+                returned, hops, status = self._visit(
                     query,
                     remaining,
                     origin,
@@ -380,7 +447,13 @@ class SuperSetSearch:
                 objects.extend(returned)
                 visits.append(
                     NodeVisit(
-                        len(visits), node, self._physical_of(node), depth, len(returned), hops
+                        len(visits),
+                        node,
+                        self._physical_of(node),
+                        depth,
+                        len(returned),
+                        hops,
+                        status,
                     )
                 )
                 if remaining is not None:
@@ -402,26 +475,38 @@ class SuperSetSearch:
         *,
         via: int | None = None,
         responder_hops: int = 0,
-    ) -> tuple[list[FoundObject], int]:
+    ) -> tuple[list[FoundObject], int, str]:
         """Deliver one T_QUERY to ``logical`` and collect its matches.
 
-        Returns (found objects, DHT hops paid to reach the node).
-        Matches are also forwarded directly to the requester, as the
-        protocol specifies (one extra message when non-empty).  With
-        ``skip_unreachable`` set, a dead node yields no results instead
-        of aborting the search — the fault-tolerance behaviour
-        Section 3.4 claims (no single failure blocks a keyword).
+        Returns (found objects, DHT hops paid, visit status).  Matches
+        are also forwarded directly to the requester, as the protocol
+        specifies (one extra message when non-empty).
+
+        Failure ladder, once the channel's retries are exhausted:
+        replica fallback (:meth:`_visit_fallback`, for replicated
+        indexes), then — when :attr:`degrades` — a re-resolution through
+        DHT surrogate routing, then a ``failed`` (empty) visit.  Only a
+        non-degrading searcher propagates the error, the legacy
+        behaviour of ``skip_unreachable=False`` over a plain channel.
         """
         dolr = self.index.dolr
+        metrics = dolr.network.metrics
         hops = responder_hops
+        status = "ok"
+        sender = via if via is not None else origin
         if physical is None:
             if self.contact_mode == "routed":
-                route = self.index.mapping.route_to(logical, origin=via)
+                try:
+                    route = self.index.mapping.route_to(logical, origin=via)
+                except (NodeUnreachableError, RuntimeError):
+                    if not self.degrades:
+                        raise
+                    metrics.increment("search.degraded_visits")
+                    return [], hops, "failed"
                 physical = route.owner
                 hops += route.hops
             else:
                 physical = self._physical_of(logical)
-        sender = via if via is not None else origin
         try:
             found = self._scan_rpc(
                 sender, physical, self.index.namespace, logical, query, remaining
@@ -430,15 +515,43 @@ class SuperSetSearch:
             fallback = self._visit_fallback(sender, logical, query, remaining)
             if fallback is not None:
                 found = fallback
-            elif self.skip_unreachable:
-                return [], hops
+                status = "replica"
+            elif self.degrades:
+                found, surrogate, extra_hops = self._surrogate_visit(
+                    sender, logical, query, remaining
+                )
+                if surrogate is None:
+                    status = "failed"
+                else:
+                    status = "surrogate"
+                    physical = surrogate
+                    hops += extra_hops
+                    metrics.increment("search.surrogate_visits")
+                metrics.increment("search.degraded_visits")
             else:
                 raise
         if found and physical != origin:
             dolr.network.send(
                 physical, origin, "hindex.results", {"count": len(found)}, deliver=False
             )
-        return found, hops
+        return found, hops, status
+
+    def _surrogate_visit(
+        self, sender: int, logical: int, query: frozenset[str], remaining: int | None
+    ) -> tuple[list[FoundObject], int | None, int]:
+        """Last-resort fallback: re-resolve the logical node through DHT
+        surrogate routing and scan whichever live node stands in for it.
+        The surrogate's table may lack the dead host's entries — the
+        visit completes, possibly with fewer results.  Returns
+        (found, surrogate address or None, extra hops paid)."""
+        try:
+            route = self.index.mapping.route_to(logical, origin=sender)
+            found = self._scan_rpc(
+                sender, route.owner, self.index.namespace, logical, query, remaining
+            )
+        except (NodeUnreachableError, RuntimeError):
+            return [], None, 0
+        return found, route.owner, route.hops
 
     def _scan_rpc(
         self,
@@ -449,8 +562,9 @@ class SuperSetSearch:
         query: frozenset[str],
         remaining: int | None,
     ) -> list[FoundObject]:
-        """One hindex.scan request/reply, decoded to FoundObjects."""
-        reply = self.index.dolr.rpc_at(
+        """One hindex.scan request/reply (retried per the channel's
+        policy), decoded to FoundObjects."""
+        reply = self.channel.rpc(
             sender,
             physical,
             "hindex.scan",

@@ -2,19 +2,25 @@
 
 :class:`KeywordSearchService` wires the four-layer architecture the
 paper draws — application / keyword-search layer / P2P overlay /
-physical network — into one object: pick a DHT (Chord, Kademlia or
-Pastry), choose the hypercube dimension, and publish / search objects
+physical network — into one object: describe the stack with a
+:class:`~repro.core.config.ServiceConfig` (which DHT, hypercube
+dimension, caching, resilience policy) and publish / search objects
 through a small, stable API.  Examples and downstream applications
 should only need this module.
+
+The pre-1.1 keyword form of :meth:`KeywordSearchService.create`
+(``dht="chord"``, ``cache_policy="fifo"`` …) still works but emits a
+:class:`DeprecationWarning`; new code should build a ``ServiceConfig``.
 """
 
 from __future__ import annotations
 
-import random
+import warnings
 from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.core.cache import FifoQueryCache, LruQueryCache
+from repro.core.config import CachePolicy, ContactMode, DhtKind, SearchOptions, ServiceConfig
 from repro.core.cumulative import CumulativeSearchSession
 from repro.core.index import HypercubeIndex, PinResult
 from repro.core.keywords import normalize_keywords
@@ -25,19 +31,19 @@ from repro.dht.kademlia import KademliaNetwork
 from repro.dht.pastry import PastryNetwork
 from repro.hypercube.hypercube import Hypercube
 from repro.sim.network import SimulatedNetwork
-from repro.util.rng import make_rng
+from repro.util.rng import make_rng, spawn_rng
 
 __all__ = ["KeywordSearchService", "PublishedObject"]
 
 _DHT_BUILDERS = {
-    "chord": ChordNetwork.build,
-    "kademlia": KademliaNetwork.build,
-    "pastry": PastryNetwork.build,
+    DhtKind.CHORD: ChordNetwork.build,
+    DhtKind.KADEMLIA: KademliaNetwork.build,
+    DhtKind.PASTRY: PastryNetwork.build,
 }
 
 _CACHE_FACTORIES = {
-    "fifo": FifoQueryCache,
-    "lru": LruQueryCache,
+    CachePolicy.FIFO: FifoQueryCache,
+    CachePolicy.LRU: LruQueryCache,
 }
 
 
@@ -53,18 +59,29 @@ class PublishedObject:
 class KeywordSearchService:
     """The keyword/attribute search layer, end to end.
 
-    >>> service = KeywordSearchService.create(dimension=6, num_dht_nodes=16, seed=3)
+    >>> from repro.core.config import ServiceConfig
+    >>> service = KeywordSearchService.create(
+    ...     ServiceConfig(dimension=6, num_dht_nodes=16, seed=3)
+    ... )
     >>> record = service.publish("paper.pdf", {"dht", "search", "p2p"})
-    >>> service.pin_search({"dht", "search", "p2p"}).object_ids
+    >>> service.pin_search({"dht", "search", "p2p"}).results()
     ('paper.pdf',)
-    >>> [f.object_id for f in service.superset_search({"dht"}).objects]
-    ['paper.pdf']
+    >>> service.superset_search({"dht"}).results()
+    ('paper.pdf',)
     """
 
-    def __init__(self, index: HypercubeIndex, *, contact_mode: str = "direct"):
+    def __init__(
+        self,
+        index: HypercubeIndex,
+        *,
+        contact_mode: ContactMode | str = ContactMode.DIRECT,
+        config: ServiceConfig | None = None,
+    ):
         self.index = index
         self.dolr = index.dolr
-        self.searcher = SuperSetSearch(index, contact_mode=contact_mode)
+        self.config = config
+        contact_mode = ContactMode(contact_mode) if isinstance(contact_mode, str) else contact_mode
+        self.searcher = SuperSetSearch(index, contact_mode=contact_mode.value)
         self._published: dict[tuple[str, int], PublishedObject] = {}
 
     # -- construction -----------------------------------------------------
@@ -72,41 +89,49 @@ class KeywordSearchService:
     @classmethod
     def create(
         cls,
+        config: ServiceConfig | None = None,
         *,
-        dimension: int,
-        num_dht_nodes: int,
-        dht: str = "chord",
-        dht_bits: int = 32,
-        seed: int | random.Random | None = 0,
-        cache_capacity: int = 0,
-        cache_policy: str = "fifo",
-        contact_mode: str = "direct",
         network: SimulatedNetwork | None = None,
+        **legacy,
     ) -> "KeywordSearchService":
         """Build the full stack: simulated network, DHT, hypercube index.
 
-        ``dimension`` is the hypercube dimension r (Section 3's central
-        tuning knob); ``num_dht_nodes`` the physical overlay size;
-        ``cache_capacity`` the per-logical-node query cache in entry
-        units (0 disables caching).
+        Pass a :class:`~repro.core.config.ServiceConfig`; the pre-1.1
+        keyword form (``dimension=…, num_dht_nodes=…, dht="chord"`` …)
+        is still accepted but deprecated.  ``network`` injects a shared
+        :class:`SimulatedNetwork` (so several stacks can coexist on one
+        medium) and composes with either form.
         """
-        if dht not in _DHT_BUILDERS:
-            raise ValueError(f"dht must be one of {sorted(_DHT_BUILDERS)}, got {dht!r}")
-        if cache_policy not in _CACHE_FACTORIES:
-            raise ValueError(
-                f"cache_policy must be one of {sorted(_CACHE_FACTORIES)}, got {cache_policy!r}"
+        if config is None:
+            warnings.warn(
+                "keyword-argument KeywordSearchService.create(...) is deprecated; "
+                "pass a repro.core.config.ServiceConfig instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        rng = make_rng(seed)
-        dolr: DolrNetwork = _DHT_BUILDERS[dht](
-            bits=dht_bits, num_nodes=num_dht_nodes, seed=rng, network=network
+            config = ServiceConfig.from_legacy(**legacy)
+        elif legacy:
+            raise TypeError(
+                "pass either a ServiceConfig or legacy keyword arguments, "
+                f"not both: {sorted(legacy)}"
+            )
+        rng = make_rng(config.seed)
+        dolr: DolrNetwork = _DHT_BUILDERS[config.dht](
+            bits=config.dht_bits, num_nodes=config.num_dht_nodes, seed=rng, network=network
         )
+        if config.resilience is not None or config.breaker is not None:
+            dolr.configure_resilience(
+                config.resilience,
+                breaker=config.breaker,
+                rng=spawn_rng(rng, "resilience"),
+            )
         index = HypercubeIndex(
-            Hypercube(dimension),
+            Hypercube(config.dimension),
             dolr,
-            cache_capacity=cache_capacity,
-            cache_factory=_CACHE_FACTORIES[cache_policy],
+            cache_capacity=config.cache_capacity,
+            cache_factory=_CACHE_FACTORIES[config.cache_policy],
         )
-        return cls(index, contact_mode=contact_mode)
+        return cls(index, contact_mode=config.contact_mode, config=config)
 
     # -- publishing -------------------------------------------------------
 
@@ -148,13 +173,30 @@ class KeywordSearchService:
         origin: int | None = None,
         order: TraversalOrder = TraversalOrder.TOP_DOWN,
         use_cache: bool | None = None,
+        options: SearchOptions | None = None,
     ) -> SearchResult:
-        """min(t, |O_K|) objects describable by K (Section 2.2)."""
+        """min(t, |O_K|) objects describable by K (Section 2.2).
+
+        Per-query knobs may be given individually or bundled in a
+        :class:`~repro.core.config.SearchOptions` (which wins when both
+        are supplied).
+        """
+        if options is not None:
+            threshold = options.threshold
+            origin = options.origin
+            order = options.order
+            use_cache = options.use_cache
         if use_cache is None:
             use_cache = self.index.cache_capacity > 0
         return self.searcher.run(
             keywords, threshold, origin=origin, order=order, use_cache=use_cache
         )
+
+    def search(
+        self, keywords: Iterable[str], options: SearchOptions | None = None
+    ) -> SearchResult:
+        """The options-object form of :meth:`superset_search`."""
+        return self.superset_search(keywords, options=options or SearchOptions())
 
     def cumulative_search(
         self, keywords: Iterable[str], *, origin: int | None = None
@@ -178,3 +220,11 @@ class KeywordSearchService:
 
     def messages_sent(self) -> int:
         return self.network.metrics.counter("network.messages")
+
+    def resilience_metrics(self) -> dict[str, int]:
+        """The retry/deadline/breaker counters accumulated so far."""
+        return {
+            name: value
+            for name, value in sorted(self.network.metrics.counters().items())
+            if name.startswith(("rpc.", "breaker.", "search.degraded", "search.surrogate"))
+        }

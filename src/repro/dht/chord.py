@@ -26,7 +26,7 @@ import random
 
 from repro.dht.dolr import DolrNetwork, DolrNode, LookupResult
 from repro.dht.ids import IdSpace
-from repro.sim.network import Message, NodeUnreachableError, SimulatedNetwork
+from repro.sim.network import Message, SimulatedNetwork
 from repro.util.rng import make_rng
 
 __all__ = ["ChordNetwork", "ChordNode", "RoutingError"]
@@ -369,7 +369,7 @@ class ChordNetwork(DolrNetwork):
     def _ask_route_step(self, origin: int, current: int, key: int) -> dict:
         if current == origin:
             return self.nodes[origin].route_step(key)
-        return self.network.rpc(origin, current, "chord.route_step", {"key": key})
+        return self.channel.rpc(origin, current, "chord.route_step", {"key": key})
 
     def _first_live(self, candidates: list[int]) -> int | None:
         for candidate in candidates:

@@ -25,6 +25,7 @@ from typing import Any, Protocol
 
 from repro.dht.ids import IdSpace
 from repro.sim.network import Message, SimulatedNetwork
+from repro.sim.resilience import BreakerPolicy, ResilientChannel, RetryPolicy
 
 __all__ = [
     "DolrNetwork",
@@ -134,8 +135,26 @@ class DolrNetwork(abc.ABC):
     def __init__(self, space: IdSpace, network: SimulatedNetwork):
         self.space = space
         self.network = network
+        # Every protocol RPC goes through this channel.  The default is
+        # a pass-through (one attempt, no breaker), so a freshly built
+        # network behaves — and accounts messages — exactly like calling
+        # the network directly; configure_resilience() upgrades it.
+        self.channel = ResilientChannel(network)
         self.nodes: dict[int, DolrNode] = {}
         self._application_factories: list[Any] = []
+
+    def configure_resilience(
+        self,
+        policy: RetryPolicy | None,
+        *,
+        breaker: BreakerPolicy | None = None,
+        rng: Any = 0,
+    ) -> ResilientChannel:
+        """Install a retry/deadline/breaker policy on all protocol RPCs
+        (routing steps, object operations, index maintenance).  Returns
+        the new channel so callers can share it with search layers."""
+        self.channel = ResilientChannel(self.network, policy, breaker=breaker, rng=rng)
+        return self.channel
 
     # -- abstract routing -------------------------------------------------
 
@@ -224,13 +243,13 @@ class DolrNetwork(abc.ABC):
         """Route ``key`` to its owner, then deliver one RPC there."""
         origin = self.any_address() if origin is None else origin
         route = self.lookup(key, origin=origin)
-        result = self.network.rpc(origin, route.owner, kind, payload)
+        result = self.channel.rpc(origin, route.owner, kind, payload)
         return result, route
 
     def rpc_at(self, src: int, dst: int, kind: str, payload: dict[str, Any]) -> Any:
         """Direct contact with a known node (a cached neighbour): one
-        request/reply, no routing."""
-        return self.network.rpc(src, dst, kind, payload)
+        request/reply, no routing (retried per the channel's policy)."""
+        return self.channel.rpc(src, dst, kind, payload)
 
     def install_everywhere(self, factory: Any) -> None:
         """Install ``factory(node)`` as an application on every node,

@@ -110,7 +110,7 @@ class HypercubeOverlay(DolrNetwork):
             if current == origin:
                 candidates = self.nodes[origin].next_hops(key)
             else:
-                reply = self.network.rpc(origin, current, "cube.next_hops", {"key": key})
+                reply = self.channel.rpc(origin, current, "cube.next_hops", {"key": key})
                 candidates = reply["hops"]
                 hops += 1
             advanced = False

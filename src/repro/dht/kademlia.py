@@ -168,7 +168,7 @@ class KademliaNetwork(DolrNetwork):
                 hops += 1
                 path.append(contact)
                 try:
-                    reply = self.network.rpc(
+                    reply = self.channel.rpc(
                         origin, contact, "kad.find_node", {"key": key, "count": self.bucket_size}
                     )
                 except NodeUnreachableError:

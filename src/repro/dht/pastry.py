@@ -253,7 +253,7 @@ class PastryNetwork(DolrNetwork):
             if current == origin:
                 step = self.nodes[origin].route_step(key)
             else:
-                step = self.network.rpc(origin, current, "pastry.route_step", {"key": key})
+                step = self.channel.rpc(origin, current, "pastry.route_step", {"key": key})
                 hops += 1
             if step["done"]:
                 owner = next(

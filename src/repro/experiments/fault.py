@@ -13,7 +13,19 @@ nodes and measures, per scheme, the recall queries still achieve:
   home nodes is dead: the blocked fraction grows like 1-(1-f)^m;
 * hypercube+replica — Section 3.4's secondary-hypercube replication:
   a dead node's entries are served from the replica, so recall stays
-  near 1 until both hosts of an entry die.
+  near 1 until both hosts of an entry die;
+* hypercube-noretry / hypercube-resilient — the same fail-stop failures
+  seen through the messaging layer: a strict searcher raises on the
+  first unreachable node (losing whole queries), while a searcher on a
+  :class:`~repro.sim.resilience.ResilientChannel` (default
+  :class:`RetryPolicy` + circuit breaker) degrades past dead subcubes
+  via surrogate routing and keeps every live node's entries.
+
+A second sweep replaces fail-stop failures with *transient* message
+loss (:meth:`SimulatedNetwork.set_loss_rate`) and crosses the loss rate
+with the retry budget: with one attempt a lost message kills the query;
+with retries the search re-sends after a backoff and recall recovers,
+at a measurable cost in messages per query.
 """
 
 from __future__ import annotations
@@ -25,7 +37,8 @@ from repro.core.replication import ReplicatedHypercubeIndex
 from repro.core.search import SuperSetSearch
 from repro.dht.chord import RoutingError
 from repro.experiments.harness import ExperimentResult, build_loaded_index, default_corpus
-from repro.sim.network import NodeUnreachableError
+from repro.sim.network import NodeUnreachableError, SimulatedNetwork
+from repro.sim.resilience import BreakerPolicy, RetryPolicy
 from repro.util.rng import make_rng
 from repro.workload.queries import QueryLogGenerator
 
@@ -41,13 +54,24 @@ def run(
     failure_fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3),
     num_queries: int = 60,
     replicas: int = 2,
+    loss_rates: Sequence[float] = (0.1, 0.2),
+    retry_attempts: Sequence[int] = (1, 3),
 ) -> ExperimentResult:
-    """Mean recall and blocked-query fraction vs failure fraction."""
+    """Mean recall and blocked-query fraction vs failure fraction.
+
+    ``loss_rates`` × ``retry_attempts`` adds the transient-loss sweep
+    (rows with ``failure_mode == "transient"``); pass empty sequences to
+    skip it.
+    """
     corpus = default_corpus(num_objects, seed)
     index = build_loaded_index(corpus, dimension, num_dht_nodes=num_dht_nodes, seed=seed)
     dii = DistributedInvertedIndex(index.dolr)
     dii.bulk_load((record.object_id, record.keywords) for record in corpus.records)
     searcher = SuperSetSearch(index, skip_unreachable=True)
+    # These two resolve the channel dynamically from the DOLR layer, so
+    # configure_resilience() below switches their failure behaviour.
+    strict_searcher = SuperSetSearch(index)
+    resilient_searcher = SuperSetSearch(index)
     from repro.hypercube.hypercube import Hypercube
 
     replicated = ReplicatedHypercubeIndex(
@@ -78,7 +102,10 @@ def run(
         origin = next(a for a in addresses if network.is_alive(a))
         try:
             rows.append(
-                _measure("hypercube", fraction, queries, truth, origin, searcher=searcher)
+                _measure(
+                    "hypercube", fraction, queries, truth, origin,
+                    searcher=searcher, network=network,
+                )
             )
             rows.append(
                 _measure(
@@ -88,12 +115,68 @@ def run(
                     truth,
                     origin,
                     searcher=replicated_searcher,
+                    network=network,
                 )
             )
-            rows.append(_measure("dii", fraction, queries, truth, origin, dii=dii))
+            rows.append(
+                _measure(
+                    "dii", fraction, queries, truth, origin, dii=dii, network=network
+                )
+            )
+            # The same failures through the messaging layer: strict
+            # (raise on first unreachable node) vs resilient (retry,
+            # then degrade via surrogate routing).
+            rows.append(
+                _measure(
+                    "hypercube-noretry", fraction, queries, truth, origin,
+                    searcher=strict_searcher, network=network,
+                )
+            )
+            index.dolr.configure_resilience(
+                RetryPolicy.default(),
+                breaker=BreakerPolicy(failure_threshold=3, reset_timeout=128.0),
+                rng=make_rng(seed + 5),
+            )
+            rows.append(
+                _measure(
+                    "hypercube-resilient", fraction, queries, truth, origin,
+                    searcher=resilient_searcher, network=network,
+                )
+            )
         finally:
+            index.dolr.configure_resilience(None)
             for address in failed:
                 network.recover(address)
+
+    # Transient message loss x retry budget: every node is alive, but a
+    # fraction of requests is dropped in flight.  Retries genuinely
+    # recover these failures (the destination is healthy on re-send).
+    origin = addresses[0]
+    for loss in loss_rates:
+        for attempts in retry_attempts:
+            index.dolr.configure_resilience(
+                RetryPolicy(max_attempts=attempts, base_delay=2.0, max_delay=16.0),
+                rng=make_rng(seed + 7),
+            )
+            network.set_loss_rate(loss, rng=make_rng(seed + 11))
+            try:
+                row = _measure(
+                    f"loss-retry{attempts}", loss, queries, truth, origin,
+                    searcher=resilient_searcher, network=network,
+                )
+            finally:
+                network.set_loss_rate(0.0)
+                index.dolr.configure_resilience(None)
+            row["failure_mode"] = "transient"
+            row["max_attempts"] = attempts
+            rows.append(row)
+
+    metrics = network.metrics
+    resilience_counters = {
+        name: value
+        for name, value in sorted(metrics.counters().items())
+        if name.startswith(("rpc.", "breaker.", "network.dropped", "search."))
+    }
     return ExperimentResult(
         experiment="fault",
         description="Query recall under node failures: hypercube vs DII",
@@ -103,8 +186,11 @@ def run(
             "dimension": dimension,
             "num_dht_nodes": num_dht_nodes,
             "num_queries": len(queries),
+            "loss_rates": list(loss_rates),
+            "retry_attempts": list(retry_attempts),
         },
         rows=rows,
+        notes=[f"{name}={value}" for name, value in resilience_counters.items()],
     )
 
 
@@ -117,23 +203,28 @@ def _measure(
     *,
     searcher: SuperSetSearch | None = None,
     dii: DistributedInvertedIndex | None = None,
+    network: SimulatedNetwork | None = None,
 ) -> dict:
     recalls = []
     blocked = 0
+    raised = 0
+    degraded = 0
+    messages = 0
     for query in queries:
         expected = truth[query]
-        if searcher is not None:
+        found: set = set()
+        with network.trace() as trace:
             try:
-                result = searcher.run(query, origin=origin)
-                found = set(result.object_ids)
+                if searcher is not None:
+                    result = searcher.run(query, origin=origin)
+                    found = set(result.object_ids)
+                    degraded += len(result.degraded_visits)
+                else:
+                    assert dii is not None
+                    found = set(dii.query(query, origin=origin).object_ids)
             except (NodeUnreachableError, RoutingError):
-                found = set()
-        else:
-            assert dii is not None
-            try:
-                found = set(dii.query(query, origin=origin).object_ids)
-            except (NodeUnreachableError, RoutingError):
-                found = set()
+                raised += 1
+        messages += trace.message_count
         recall = len(found & expected) / len(expected)
         recalls.append(recall)
         blocked += recall == 0.0
@@ -142,4 +233,7 @@ def _measure(
         "failure_fraction": fraction,
         "mean_recall": sum(recalls) / len(recalls),
         "blocked_fraction": blocked / len(queries),
+        "raised_fraction": raised / len(queries),
+        "degraded_visits": degraded / len(queries),
+        "mean_messages": messages / len(queries),
     }

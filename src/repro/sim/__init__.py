@@ -5,8 +5,10 @@ substrate: a heap-based event scheduler with a virtual clock
 (:mod:`repro.sim.events`), pluggable link-latency models
 (:mod:`repro.sim.latency`), a message-passing network with synchronous
 RPC, one-way sends, failure injection and full message/hop accounting
-(:mod:`repro.sim.network`), and a metrics registry
-(:mod:`repro.sim.metrics`).
+(:mod:`repro.sim.network`), a metrics registry
+(:mod:`repro.sim.metrics`), and the resilience layer — retry policies,
+deadlines and circuit breakers over that network
+(:mod:`repro.sim.resilience`).
 """
 
 from repro.sim.events import EventScheduler, ScheduledEvent
@@ -18,9 +20,23 @@ from repro.sim.latency import (
 )
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.network import Message, NetworkError, NodeUnreachableError, SimulatedNetwork
+from repro.sim.resilience import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ResilientChannel,
+    RetryPolicy,
+)
 
 __all__ = [
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ConstantLatency",
+    "DeadlineExceededError",
     "EventScheduler",
     "LatencyModel",
     "LogNormalLatency",
@@ -28,6 +44,8 @@ __all__ = [
     "MetricsRegistry",
     "NetworkError",
     "NodeUnreachableError",
+    "ResilientChannel",
+    "RetryPolicy",
     "ScheduledEvent",
     "SimulatedNetwork",
     "UniformLatency",

@@ -14,13 +14,17 @@ identifier).  Two communication styles are offered:
 
 Failure injection (:meth:`fail` / :meth:`recover`) makes a node drop all
 traffic, which the DHT layer's surrogate routing and the fault-tolerance
-experiment build on.  A :meth:`trace` context manager captures the
+experiment build on.  :meth:`set_loss_rate` adds *transient* faults: each
+request independently fails with a seeded probability, modelling the
+message loss / momentary unreachability that retry policies recover
+from (a fail-stop node, by contrast, defeats any number of retries).  A :meth:`trace` context manager captures the
 messages sent within a window — experiments use it to count messages and
 distinct nodes contacted per query, the paper's cost metrics.
 """
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 from collections.abc import Callable
 from contextlib import contextmanager
@@ -104,6 +108,8 @@ class SimulatedNetwork:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._handlers: dict[int, Handler] = {}
         self._failed: set[int] = set()
+        self._loss_rate: float = 0.0
+        self._loss_rng: random.Random = random.Random(0)
         self._traces: list[MessageTrace] = []
         self.kind_counts: Counter[str] = Counter()
         self.received_counts: Counter[int] = Counter()
@@ -146,6 +152,25 @@ class SimulatedNetwork:
     def failed_addresses(self) -> frozenset[int]:
         return frozenset(self._failed)
 
+    def set_loss_rate(self, rate: float, rng: int | random.Random | None = 0) -> None:
+        """Drop each non-local request with probability ``rate``.
+
+        A dropped request is accounted (the bytes were sent) and raises
+        :class:`NodeUnreachableError` at the caller, exactly like a
+        fail-stop destination — but the *next* attempt may succeed,
+        which is the failure mode retries exist for.  ``rate=0``
+        disables the model.  The loss draw comes from its own seeded
+        RNG so enabling loss does not perturb other random streams.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {rate}")
+        self._loss_rate = rate
+        self._loss_rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+
+    @property
+    def loss_rate(self) -> float:
+        return self._loss_rate
+
     # -- communication ------------------------------------------------
 
     def rpc(self, src: int, dst: int, kind: str, payload: dict[str, Any] | None = None) -> Any:
@@ -161,6 +186,10 @@ class SimulatedNetwork:
             return self._dispatch_local(request)
         if not self.is_alive(dst):
             self._account(request)  # the request is sent, then times out
+            raise NodeUnreachableError(dst)
+        if self._loss_rate and self._loss_rng.random() < self._loss_rate:
+            self._account(request)  # sent, then lost in flight
+            self.metrics.increment("network.dropped")
             raise NodeUnreachableError(dst)
         self._account(request)
         self.scheduler.advance(self.latency.delay(src, dst))

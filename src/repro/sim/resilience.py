@@ -1,0 +1,354 @@
+"""Resilient messaging: deadlines, retries, backoff, circuit breaking.
+
+The paper's access operations (Sections 3.3–3.5) all reduce to DOLR
+messages, and Section 3.4 observes that a real deployment must add
+fault tolerance on top of them.  This module supplies the generic
+machinery, expressed against the simulation substrate so every policy
+decision is deterministic and accounted:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff.
+  Backoff sleeps advance the *virtual* clock, and jitter is drawn from
+  a seeded RNG, so two runs of the same experiment retry at identical
+  virtual times.  An optional per-operation deadline (again in virtual
+  time) caps how long an operation may keep retrying.
+* :class:`CircuitBreaker` — a per-destination closed / open / half-open
+  state machine.  After ``failure_threshold`` consecutive failures the
+  breaker opens and calls fail fast (no message is sent); once
+  ``reset_timeout`` of virtual time has passed a single probe is let
+  through (half-open) and its outcome re-closes or re-opens the breaker.
+* :class:`ResilientChannel` — the façade protocol code talks to: an
+  ``rpc``/``send`` pair mirroring :class:`~repro.sim.network.SimulatedNetwork`
+  that applies the retry policy and one breaker per destination, and
+  accounts everything in :class:`~repro.sim.metrics.MetricsRegistry`
+  (``rpc.retries``, ``rpc.deadline_exceeded``, ``breaker.open`` …) plus
+  an ``rpc.attempt_latency`` histogram of virtual-time attempt costs.
+
+A channel built with the default policies is a pass-through: one
+attempt, no breaker, byte-identical message accounting to calling the
+network directly.  That keeps the paper-faithful experiments exact
+while letting the serving-oriented layers opt in.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.network import NetworkError, NodeUnreachableError, SimulatedNetwork
+from repro.util.rng import make_rng
+
+__all__ = [
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "ResilientChannel",
+    "RetryPolicy",
+]
+
+
+class DeadlineExceededError(NodeUnreachableError):
+    """The operation's virtual-time deadline expired before it could
+    succeed.  Subclasses :class:`NodeUnreachableError` so degradation
+    paths written against the base error handle deadlines uniformly."""
+
+    def __init__(self, address: int, deadline: float):
+        NetworkError.__init__(
+            self, f"deadline {deadline:g} expired while contacting node {address}"
+        )
+        self.address = address
+        self.deadline = deadline
+
+
+class CircuitOpenError(NodeUnreachableError):
+    """The destination's circuit breaker is open: the call fails fast
+    without sending a message."""
+
+    def __init__(self, address: int):
+        NetworkError.__init__(self, f"circuit breaker open for node {address}")
+        self.address = address
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving up on one logical operation.
+
+    ``backoff_delay`` for failure number ``n`` (1-based) is
+    ``min(max_delay, base_delay * multiplier**(n-1))``, shrunk by up to
+    ``jitter`` (a fraction in [0, 1]) drawn from the channel's seeded
+    RNG — "equal jitter" style, so delays stay bounded and reproducible.
+    ``deadline`` caps the whole operation (first attempt to last retry)
+    in virtual-time units; ``None`` means no deadline.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 4.0
+    multiplier: float = 2.0
+    max_delay: float = 64.0
+    jitter: float = 0.5
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Single attempt, no backoff — the pass-through policy."""
+        return cls(max_attempts=1, base_delay=0.0, jitter=0.0)
+
+    @classmethod
+    def default(cls) -> "RetryPolicy":
+        """The serving default: three attempts, 4/8 unit backoff."""
+        return cls()
+
+    @property
+    def resilient(self) -> bool:
+        """Whether this policy differs from plain single-shot delivery."""
+        return self.max_attempts > 1 or self.deadline is not None
+
+    def backoff_delay(self, failure: int, rng: random.Random | None = None) -> float:
+        """Virtual-time sleep after failure number ``failure`` (1-based)."""
+        if failure < 1:
+            raise ValueError(f"failure number must be >= 1, got {failure}")
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (failure - 1))
+        if self.jitter and rng is not None:
+            raw -= raw * self.jitter * rng.random()
+        return raw
+
+    def schedule(self, rng: random.Random | None = None) -> list[float]:
+        """The full backoff schedule (one delay per possible retry) —
+        mainly for tests and documentation."""
+        return [
+            self.backoff_delay(failure, rng)
+            for failure in range(1, self.max_attempts)
+        ]
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning knobs of one :class:`CircuitBreaker`."""
+
+    failure_threshold: int = 5
+    reset_timeout: float = 256.0
+    half_open_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.reset_timeout < 0:
+            raise ValueError(f"reset_timeout must be >= 0, got {self.reset_timeout}")
+        if self.half_open_successes < 1:
+            raise ValueError(
+                f"half_open_successes must be >= 1, got {self.half_open_successes}"
+            )
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-destination failure isolation on the virtual clock.
+
+    The breaker never reads the wall clock: ``clock`` is a callable
+    returning virtual time (the scheduler's ``now``), so breaker
+    behaviour is as deterministic as the simulation driving it.
+    """
+
+    def __init__(self, policy: BreakerPolicy, clock) -> None:
+        self.policy = policy
+        self.clock = clock
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.half_open_successes = 0
+        self.opened_at = 0.0
+        self.times_opened = 0
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now.  An open breaker transitions
+        to half-open (and admits one probe) once ``reset_timeout`` of
+        virtual time has elapsed."""
+        if self.state is BreakerState.OPEN:
+            if self.clock() - self.opened_at >= self.policy.reset_timeout:
+                self.state = BreakerState.HALF_OPEN
+                self.half_open_successes = 0
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self.half_open_successes += 1
+            if self.half_open_successes >= self.policy.half_open_successes:
+                self.state = BreakerState.CLOSED
+        elif self.state is BreakerState.OPEN:
+            # A success observed while nominally open (e.g. a probe sent
+            # through another channel): treat it as a healed destination.
+            self.state = BreakerState.CLOSED
+
+    def record_failure(self) -> bool:
+        """Record one failure.  Returns True when this failure tripped
+        the breaker open (closed -> open or half-open -> open)."""
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._open()
+            return True
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._open()
+            return True
+        return False
+
+    def _open(self) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at = self.clock()
+        self.half_open_successes = 0
+        self.times_opened += 1
+
+
+class ResilientChannel:
+    """Retry/deadline/breaker wrapper over one :class:`SimulatedNetwork`.
+
+    All metrics land in the network's :class:`MetricsRegistry` under
+    ``metrics_prefix`` (default ``rpc``) and ``breaker``:
+
+    ========================  ====================================================
+    ``rpc.attempts``          requests handed to the network (first tries + retries)
+    ``rpc.retries``           re-sends after a failed attempt
+    ``rpc.failures``          attempts that raised (destination unreachable / dropped)
+    ``rpc.exhausted``         operations that failed after the final attempt
+    ``rpc.deadline_exceeded`` operations abandoned because the deadline expired
+    ``rpc.attempt_latency``   histogram of per-attempt virtual-time cost
+    ``breaker.open``          transitions to the open state
+    ``breaker.rejected``      calls refused while a breaker was open
+    ``breaker.closed``        recoveries (half-open probe succeeded)
+    ========================  ====================================================
+    """
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        policy: RetryPolicy | None = None,
+        *,
+        breaker: BreakerPolicy | None = None,
+        rng: int | random.Random | None = 0,
+        metrics_prefix: str = "rpc",
+    ) -> None:
+        self.network = network
+        self.policy = policy if policy is not None else RetryPolicy.none()
+        self.breaker_policy = breaker
+        self.rng = make_rng(rng)
+        self.metrics_prefix = metrics_prefix
+        self._breakers: dict[int, CircuitBreaker] = {}
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def resilient(self) -> bool:
+        """True when this channel does anything beyond plain delivery —
+        the signal upper layers use to degrade instead of raising."""
+        return self.policy.resilient or self.breaker_policy is not None
+
+    def breaker_for(self, address: int) -> CircuitBreaker | None:
+        """The destination's breaker (created lazily; None if disabled)."""
+        if self.breaker_policy is None:
+            return None
+        breaker = self._breakers.get(address)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_policy, lambda: self.network.scheduler.now)
+            self._breakers[address] = breaker
+        return breaker
+
+    def breaker_states(self) -> dict[int, BreakerState]:
+        """Current state of every instantiated breaker."""
+        return {address: breaker.state for address, breaker in self._breakers.items()}
+
+    # -- communication -------------------------------------------------
+
+    def rpc(self, src: int, dst: int, kind: str, payload: dict[str, Any] | None = None) -> Any:
+        """Request/reply with retries, one deadline, and breaker checks.
+
+        Raises :class:`CircuitOpenError` without sending when the
+        destination's breaker is open, :class:`DeadlineExceededError`
+        when the policy's deadline expires between attempts, and the
+        last :class:`NodeUnreachableError` when attempts are exhausted.
+        """
+        policy = self.policy
+        metrics = self.network.metrics
+        scheduler = self.network.scheduler
+        breaker = self.breaker_for(dst)
+        deadline = None if policy.deadline is None else scheduler.now + policy.deadline
+
+        last_error: NodeUnreachableError | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if breaker is not None and not breaker.allow():
+                metrics.increment("breaker.rejected")
+                raise CircuitOpenError(dst)
+            started = scheduler.now
+            metrics.increment(f"{self.metrics_prefix}.attempts")
+            try:
+                result = self.network.rpc(src, dst, kind, payload)
+            except NodeUnreachableError as error:
+                metrics.record(f"{self.metrics_prefix}.attempt_latency", scheduler.now - started)
+                metrics.increment(f"{self.metrics_prefix}.failures")
+                if breaker is not None:
+                    was_half_open = breaker.state is BreakerState.HALF_OPEN
+                    if breaker.record_failure():
+                        metrics.increment("breaker.open")
+                        if was_half_open:
+                            metrics.increment("breaker.reopened")
+                last_error = error
+                if attempt >= policy.max_attempts:
+                    metrics.increment(f"{self.metrics_prefix}.exhausted")
+                    raise
+                delay = policy.backoff_delay(attempt, self.rng)
+                if deadline is not None and scheduler.now + delay > deadline:
+                    metrics.increment(f"{self.metrics_prefix}.deadline_exceeded")
+                    raise DeadlineExceededError(dst, deadline) from error
+                scheduler.advance(delay)
+                metrics.increment(f"{self.metrics_prefix}.retries")
+                continue
+            metrics.record(f"{self.metrics_prefix}.attempt_latency", scheduler.now - started)
+            if breaker is not None:
+                was_recovering = breaker.state is not BreakerState.CLOSED
+                breaker.record_success()
+                if was_recovering and breaker.state is BreakerState.CLOSED:
+                    metrics.increment("breaker.closed")
+            return result
+        raise last_error if last_error is not None else NodeUnreachableError(dst)
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        deliver: bool = True,
+    ) -> bool:
+        """One-way message through the breaker (no retries: datagrams
+        carry no failure signal to retry on).  Returns False when the
+        breaker swallowed the message."""
+        breaker = self.breaker_for(dst)
+        if breaker is not None and not breaker.allow():
+            self.network.metrics.increment("breaker.rejected")
+            return False
+        self.network.send(src, dst, kind, payload, deliver=deliver)
+        return True

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.config import ServiceConfig
 from repro.core.index import HypercubeIndex
 from repro.core.service import KeywordSearchService
 from repro.dht.chord import ChordNetwork
@@ -42,7 +43,7 @@ def loaded_index(chord_ring) -> HypercubeIndex:
 
 @pytest.fixture()
 def service() -> KeywordSearchService:
-    svc = KeywordSearchService.create(dimension=6, num_dht_nodes=16, seed=3)
+    svc = KeywordSearchService.create(ServiceConfig(dimension=6, num_dht_nodes=16, seed=3))
     for object_id, keywords in CATALOGUE.items():
         svc.publish(object_id, keywords)
     return svc

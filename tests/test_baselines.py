@@ -8,7 +8,6 @@ from repro.baselines.dii import DiiPlacement, DistributedInvertedIndex
 from repro.baselines.direct import DirectHashPlacement
 from repro.baselines.kss import KeywordSetIndex, KssPlacement
 from repro.dht.chord import ChordNetwork
-from repro.sim.network import NodeUnreachableError
 
 from tests.conftest import CATALOGUE
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dht.chord import ChordNetwork, RoutingError
+from repro.dht.chord import ChordNetwork
 from repro.sim.network import SimulatedNetwork
 
 

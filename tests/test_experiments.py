@@ -252,6 +252,7 @@ class TestFault:
             num_dht_nodes=64,
             failure_fractions=(0.0, 0.2),
             num_queries=30,
+            loss_rates=(),
         )
         rows = {(r["scheme"], r["failure_fraction"]): r for r in result.rows}
         assert rows[("hypercube", 0.0)]["mean_recall"] == pytest.approx(1.0)
@@ -263,6 +264,36 @@ class TestFault:
             rows[("dii", 0.2)]["blocked_fraction"]
             >= rows[("hypercube", 0.2)]["blocked_fraction"] - 1e-9
         )
+        # A strict searcher raises whole queries away; the resilient
+        # channel degrades past dead subcubes and keeps strictly more.
+        assert rows[("hypercube-resilient", 0.2)]["raised_fraction"] == 0.0
+        assert (
+            rows[("hypercube-resilient", 0.2)]["mean_recall"]
+            > rows[("hypercube-noretry", 0.2)]["mean_recall"]
+        )
+
+    def test_transient_loss_retry_sweep(self):
+        result = fault.run(
+            num_objects=N,
+            seed=0,
+            dimension=8,
+            num_dht_nodes=64,
+            failure_fractions=(),
+            num_queries=20,
+            loss_rates=(0.1,),
+            retry_attempts=(1, 3),
+        )
+        rows = {(r["scheme"], r["failure_fraction"]): r for r in result.rows}
+        single = rows[("loss-retry1", 0.1)]
+        retried = rows[("loss-retry3", 0.1)]
+        assert single["failure_mode"] == "transient"
+        # One attempt: any dropped message kills the query.  Three
+        # attempts: backoff + re-send recovers nearly everything, at a
+        # higher message cost.
+        assert retried["mean_recall"] > single["mean_recall"]
+        assert retried["mean_recall"] > 0.9
+        assert retried["mean_messages"] > single["mean_messages"]
+        assert any(note.startswith("rpc.retries=") for note in result.notes)
 
 
 class TestFaultReplication:
@@ -275,6 +306,7 @@ class TestFaultReplication:
             failure_fractions=(0.0, 0.3),
             num_queries=25,
             replicas=2,
+            loss_rates=(),
         )
         rows = {(r["scheme"], r["failure_fraction"]): r for r in result.rows}
         plain = rows[("hypercube", 0.3)]["mean_recall"]

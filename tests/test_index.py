@@ -1,6 +1,5 @@
 """Unit tests for the hypercube index (shards, Insert/Delete/Pin)."""
 
-import pytest
 
 from repro.core.index import HypercubeIndex, IndexShard
 from repro.dht.chord import ChordNetwork

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.config import ServiceConfig
 from repro.core.index import HypercubeIndex
 from repro.core.search import SuperSetSearch, TraversalOrder
 from repro.core.service import KeywordSearchService
@@ -71,7 +72,7 @@ class TestOracleEquivalence:
 
 class TestServiceLifecycle:
     def test_publish_search_unpublish_cycle(self):
-        service = KeywordSearchService.create(dimension=7, num_dht_nodes=24, seed=85)
+        service = KeywordSearchService.create(ServiceConfig(dimension=7, num_dht_nodes=24, seed=85))
         corpus = SyntheticCorpus.generate(num_objects=120, seed=85)
         peers = service.index.dolr.addresses()
         for position, record in enumerate(corpus):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dht.pastry import PastryNetwork, PastryRoutingError
+from repro.dht.pastry import PastryNetwork
 
 
 class TestConstruction:
@@ -110,10 +110,11 @@ class TestDolrOperations:
 
 class TestKeywordLayerOnPastry:
     def test_service_over_pastry(self):
+        from repro.core.config import ServiceConfig
         from repro.core.service import KeywordSearchService
 
         service = KeywordSearchService.create(
-            dimension=6, num_dht_nodes=20, dht="pastry", seed=14
+            ServiceConfig(dimension=6, num_dht_nodes=20, dht="pastry", seed=14)
         )
         service.publish("a", {"x", "y"})
         service.publish("b", {"x", "z"})

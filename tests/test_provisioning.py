@@ -1,6 +1,5 @@
 """Tests for application provisioning and remaining substrate seams."""
 
-import pytest
 
 from repro.baselines.dii import DistributedInvertedIndex
 from repro.core.index import HypercubeIndex, IndexShard

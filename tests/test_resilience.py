@@ -1,0 +1,292 @@
+"""Tests for the resilient messaging layer (repro.sim.resilience)."""
+
+import random
+
+import pytest
+
+from repro.core.config import ServiceConfig
+from repro.core.service import KeywordSearchService
+from repro.sim.events import EventScheduler
+from repro.sim.network import NodeUnreachableError, SimulatedNetwork
+from repro.sim.resilience import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ResilientChannel,
+    RetryPolicy,
+)
+from repro.workload.corpus import SyntheticCorpus
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_exponential_schedule_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=4.0, multiplier=2.0, max_delay=10.0, jitter=0.0
+        )
+        assert policy.schedule() == [4.0, 8.0, 10.0, 10.0]  # capped at max_delay
+
+    def test_jittered_schedule_is_seeded_and_bounded(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=8.0, jitter=0.5)
+        first = policy.schedule(random.Random(42))
+        second = policy.schedule(random.Random(42))
+        assert first == second  # same seed, same virtual retry times
+        assert first != policy.schedule(random.Random(43))
+        for delay, ceiling in zip(first, [8.0, 16.0, 32.0]):
+            assert ceiling / 2 <= delay <= ceiling
+
+    def test_resilient_flag(self):
+        assert not RetryPolicy.none().resilient
+        assert RetryPolicy.default().resilient
+        assert RetryPolicy(max_attempts=1, deadline=10.0).resilient
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        scheduler = EventScheduler()
+        policy = BreakerPolicy(**{"failure_threshold": 3, "reset_timeout": 100.0, **kwargs})
+        return CircuitBreaker(policy, lambda: scheduler.now), scheduler
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # third failure trips it
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker, scheduler = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        scheduler.advance(100.0)  # virtual time, not wall time
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_reopens_on_failure(self):
+        breaker, scheduler = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        scheduler.advance(100.0)
+        assert breaker.allow()
+        assert breaker.record_failure() is True
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 2
+
+
+class _FlakyEndpoint:
+    """Handler that raises NodeUnreachableError for the first N calls."""
+
+    def __init__(self, address: int, failures: int):
+        self.address = address
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, message):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise NodeUnreachableError(self.address)
+        return {"ok": True}
+
+
+def make_network():
+    network = SimulatedNetwork()
+    network.register(1, lambda message: {"echo": message.payload})
+    return network
+
+
+class TestResilientChannel:
+    def test_passthrough_accounting_is_identical(self):
+        direct, channelled = make_network(), make_network()
+        direct.rpc(0, 1, "ping", {})
+        ResilientChannel(channelled).rpc(0, 1, "ping", {})
+        assert (
+            direct.metrics.counter("network.messages")
+            == channelled.metrics.counter("network.messages")
+            == 2
+        )
+
+    def test_retries_recover_transient_failures(self):
+        network = make_network()
+        flaky = _FlakyEndpoint(2, failures=2)
+        network.register(2, flaky)
+        policy = RetryPolicy(max_attempts=3, base_delay=4.0, jitter=0.0)
+        channel = ResilientChannel(network, policy)
+        before = network.scheduler.now
+        assert channel.rpc(0, 2, "ping", {}) == {"ok": True}
+        assert flaky.calls == 3
+        assert network.metrics.counter("rpc.retries") == 2
+        assert network.metrics.counter("rpc.failures") == 2
+        # Backoff slept 4 + 8 units of *virtual* time between attempts.
+        assert network.scheduler.now - before >= 12.0
+
+    def test_exhausted_attempts_raise_last_error(self):
+        network = make_network()
+        network.register(2, _FlakyEndpoint(2, failures=99))
+        channel = ResilientChannel(network, RetryPolicy(max_attempts=2, jitter=0.0))
+        with pytest.raises(NodeUnreachableError):
+            channel.rpc(0, 2, "ping", {})
+        assert network.metrics.counter("rpc.exhausted") == 1
+        assert network.metrics.counter("rpc.attempts") == 2
+
+    def test_deadline_expires_on_virtual_clock(self):
+        network = make_network()
+        network.register(2, _FlakyEndpoint(2, failures=99))
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=50.0, jitter=0.0, deadline=75.0
+        )
+        channel = ResilientChannel(network, policy)
+        start = network.scheduler.now
+        with pytest.raises(DeadlineExceededError):
+            channel.rpc(0, 2, "ping", {})
+        # First backoff (50) fits the deadline, the second (100) does not.
+        assert network.metrics.counter("rpc.deadline_exceeded") == 1
+        assert network.scheduler.now - start <= 75.0
+
+    def test_breaker_fails_fast_and_recovers(self):
+        network = make_network()
+        network.register(2, lambda message: {"ok": True})
+        network.fail(2)
+        channel = ResilientChannel(
+            network,
+            RetryPolicy.none(),
+            breaker=BreakerPolicy(failure_threshold=2, reset_timeout=64.0),
+        )
+        for _ in range(2):
+            with pytest.raises(NodeUnreachableError):
+                channel.rpc(0, 2, "ping", {})
+        # Breaker is now open: the call fails without touching the network.
+        attempts = network.metrics.counter("rpc.attempts")
+        with pytest.raises(CircuitOpenError):
+            channel.rpc(0, 2, "ping", {})
+        assert network.metrics.counter("rpc.attempts") == attempts
+        assert network.metrics.counter("breaker.rejected") == 1
+        assert channel.breaker_for(2).state is BreakerState.OPEN
+        # After the reset timeout (virtual time) a probe goes through and
+        # the healed destination closes the breaker.
+        network.recover(2)
+        network.scheduler.advance(64.0)
+        assert channel.rpc(0, 2, "ping", {}) == {"ok": True}
+        assert channel.breaker_for(2).state is BreakerState.CLOSED
+        assert network.metrics.counter("breaker.closed") == 1
+
+    def test_send_swallowed_while_breaker_open(self):
+        network = make_network()
+        network.fail(1)
+        channel = ResilientChannel(
+            network, breaker=BreakerPolicy(failure_threshold=1, reset_timeout=1e9)
+        )
+        with pytest.raises(NodeUnreachableError):
+            channel.rpc(0, 1, "ping", {})
+        assert channel.send(0, 1, "datagram", {}) is False
+        assert network.metrics.counter("breaker.rejected") == 1
+
+    def test_retries_beat_message_loss(self):
+        network = make_network()
+        network.set_loss_rate(0.25, rng=7)
+        channel = ResilientChannel(network, RetryPolicy(max_attempts=5, base_delay=1.0))
+        for _ in range(50):
+            assert channel.rpc(0, 1, "ping", {}) == {"echo": {}}
+        assert network.metrics.counter("network.dropped") > 0
+        assert network.metrics.counter("rpc.retries") > 0
+
+    def test_attempt_latency_histogram_recorded(self):
+        network = make_network()
+        ResilientChannel(network).rpc(0, 1, "ping", {})
+        assert network.metrics.samples("rpc.attempt_latency")
+
+
+class TestSearchUnderFailures:
+    """The acceptance scenario: 10% of DHT nodes fail-stop; a superset
+    search under the default RetryPolicy completes without raising and
+    reports the visits it had to degrade."""
+
+    def make_service(self) -> KeywordSearchService:
+        return KeywordSearchService.create(
+            ServiceConfig(
+                dimension=8,
+                num_dht_nodes=50,
+                seed=9,
+                resilience=RetryPolicy.default(),
+                breaker=BreakerPolicy(failure_threshold=3, reset_timeout=64.0),
+            )
+        )
+
+    def test_search_degrades_instead_of_raising(self):
+        service = self.make_service()
+        corpus = SyntheticCorpus.generate(num_objects=400, seed=9)
+        peers = service.index.dolr.addresses()
+        for position, record in enumerate(corpus):
+            service.publish(
+                record.object_id, record.keywords, holder=peers[position % len(peers)]
+            )
+        keyword, _ = corpus.keyword_frequencies().most_common(1)[0]
+
+        rng = random.Random(13)
+        victims = rng.sample(peers, len(peers) // 10)
+        for victim in victims:
+            service.network.fail(victim)
+        origin = next(a for a in peers if service.network.is_alive(a))
+
+        result = service.superset_search({keyword}, origin=origin)
+
+        assert result.results()  # live entries still found
+        assert result.degraded
+        assert result.degraded_visits
+        assert all(v.status in ("ok", "replica", "surrogate", "failed") for v in result.visits)
+        metrics = service.resilience_metrics()
+        assert metrics["rpc.retries"] > 0
+        assert metrics["rpc.attempts"] > metrics["rpc.failures"]
+        assert metrics["search.degraded_visits"] == len(result.degraded_visits)
+
+    def test_strict_service_raises_where_resilient_degrades(self):
+        strict = KeywordSearchService.create(
+            ServiceConfig(dimension=6, num_dht_nodes=20, seed=4)
+        )
+        resilient = KeywordSearchService.create(
+            ServiceConfig(
+                dimension=6, num_dht_nodes=20, seed=4,
+                resilience=RetryPolicy(max_attempts=2, base_delay=1.0),
+            )
+        )
+        origins = {}
+        for service in (strict, resilient):
+            for obj, keywords in (("a", {"x", "y"}), ("b", {"x", "z"})):
+                service.publish(obj, keywords)
+            # Fail exactly the peer serving the {x, y} index entry —
+            # a node every un-thresholded {x} superset search visits.
+            victim = service.pin_search({"x", "y"}).physical_node
+            service.network.fail(victim)
+            origins[service] = next(
+                a for a in service.index.dolr.addresses()
+                if service.network.is_alive(a)
+            )
+
+        with pytest.raises(NodeUnreachableError):
+            strict.superset_search({"x"}, origin=origins[strict])
+        # Same failure, resilient channel: degrades, must not raise.
+        result = resilient.superset_search({"x"}, origin=origins[resilient])
+        assert result.degraded_visits

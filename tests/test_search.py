@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.index import HypercubeIndex
 from repro.core.search import SuperSetSearch, TraversalOrder
-from repro.dht.chord import ChordNetwork
 from repro.hypercube.hypercube import Hypercube
 from repro.hypercube.subcube import SubHypercube
 

@@ -2,31 +2,106 @@
 
 import pytest
 
+from repro.core.config import CachePolicy, DhtKind, SearchOptions, ServiceConfig
+from repro.core.search import TraversalOrder
 from repro.core.service import KeywordSearchService
+from repro.sim.resilience import BreakerPolicy, RetryPolicy
 
 from tests.conftest import CATALOGUE
 
 
 class TestCreation:
     def test_chord_backend(self):
-        svc = KeywordSearchService.create(dimension=5, num_dht_nodes=8, dht="chord", seed=1)
+        svc = KeywordSearchService.create(
+            ServiceConfig(dimension=5, num_dht_nodes=8, dht=DhtKind.CHORD, seed=1)
+        )
         assert len(svc.index.dolr.nodes) == 8
 
     def test_kademlia_backend(self):
         svc = KeywordSearchService.create(
-            dimension=5, num_dht_nodes=8, dht="kademlia", seed=1
+            ServiceConfig(dimension=5, num_dht_nodes=8, dht="kademlia", seed=1)
         )
         svc.publish("x", {"a"})
         assert svc.pin_search({"a"}).object_ids == ("x",)
 
     def test_unknown_backend(self):
         with pytest.raises(ValueError):
-            KeywordSearchService.create(dimension=5, num_dht_nodes=8, dht="napster")
+            ServiceConfig(dimension=5, num_dht_nodes=8, dht="napster")
 
     def test_unknown_cache_policy(self):
         with pytest.raises(ValueError):
+            ServiceConfig(dimension=5, num_dht_nodes=8, cache_policy="random")
+
+
+class TestServiceConfig:
+    def test_strings_coerce_to_enums(self):
+        config = ServiceConfig(
+            dimension=5, num_dht_nodes=8, dht="pastry", cache_policy="lru"
+        )
+        assert config.dht is DhtKind.PASTRY
+        assert config.cache_policy is CachePolicy.LRU
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(dimension=0, num_dht_nodes=8)
+        with pytest.raises(ValueError):
+            ServiceConfig(dimension=5, num_dht_nodes=8, cache_capacity=-1)
+        with pytest.raises(ValueError):
+            SearchOptions(threshold=0)
+
+    def test_with_resilience(self):
+        base = ServiceConfig(dimension=5, num_dht_nodes=8)
+        assert base.resilience is None
+        hardened = base.with_resilience(RetryPolicy.default(), BreakerPolicy())
+        assert hardened.resilience == RetryPolicy.default()
+        assert hardened.breaker == BreakerPolicy()
+        assert base.resilience is None  # original untouched
+
+    def test_config_installs_resilient_channel(self):
+        svc = KeywordSearchService.create(
+            ServiceConfig(
+                dimension=5,
+                num_dht_nodes=8,
+                seed=1,
+                resilience=RetryPolicy(max_attempts=2),
+                breaker=BreakerPolicy(failure_threshold=2),
+            )
+        )
+        assert svc.dolr.channel.resilient
+        assert svc.dolr.channel.policy.max_attempts == 2
+        assert svc.searcher.degrades
+
+    def test_config_is_recorded(self):
+        config = ServiceConfig(dimension=5, num_dht_nodes=8, seed=1)
+        svc = KeywordSearchService.create(config)
+        assert svc.config is config
+
+
+class TestLegacyShim:
+    def test_legacy_keywords_warn_and_work(self):
+        with pytest.warns(DeprecationWarning, match="ServiceConfig"):
+            svc = KeywordSearchService.create(
+                dimension=5, num_dht_nodes=8, dht="chord", seed=1
+            )
+        svc.publish("x", {"a"})
+        assert svc.pin_search({"a"}).results() == ("x",)
+
+    def test_legacy_unknown_backend_message(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="dht must be one of"):
+                KeywordSearchService.create(dimension=5, num_dht_nodes=8, dht="napster")
+
+    def test_legacy_unknown_cache_policy_message(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="cache_policy must be one of"):
+                KeywordSearchService.create(
+                    dimension=5, num_dht_nodes=8, cache_policy="random"
+                )
+
+    def test_config_and_legacy_kwargs_conflict(self):
+        with pytest.raises(TypeError, match="not both"):
             KeywordSearchService.create(
-                dimension=5, num_dht_nodes=8, cache_policy="random"
+                ServiceConfig(dimension=5, num_dht_nodes=8), dimension=5
             )
 
 
@@ -76,9 +151,25 @@ class TestSearchDelegation:
         expected = {o for o, kw in CATALOGUE.items() if "jazz" in kw}
         assert {f.object_id for f in everything} == expected
 
+    def test_search_options_object(self, service):
+        options = SearchOptions(threshold=1, order=TraversalOrder.BOTTOM_UP)
+        result = service.search({"jazz"}, options)
+        assert len(result.results()) == 1
+
+    def test_results_accessor_matches_object_ids(self, service):
+        pin = service.pin_search({"mp3", "jazz", "saxophone"})
+        assert pin.results() == pin.object_ids
+        superset = service.superset_search({"jazz"})
+        assert superset.results() == superset.object_ids
+
+    def test_resilience_metrics_exposed(self, service):
+        service.superset_search({"jazz"})
+        metrics = service.resilience_metrics()
+        assert metrics.get("rpc.attempts", 0) > 0
+
     def test_use_cache_defaults_to_capacity(self):
         svc = KeywordSearchService.create(
-            dimension=5, num_dht_nodes=8, seed=2, cache_capacity=4
+            ServiceConfig(dimension=5, num_dht_nodes=8, seed=2, cache_capacity=4)
         )
         svc.publish("x", {"a", "b"})
         svc.superset_search({"a"})
