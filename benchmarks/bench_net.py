@@ -1,0 +1,104 @@
+"""Bench net — loopback RPC throughput and latency of the TCP transport."""
+
+import pathlib
+import time
+
+from repro.core.config import ServiceConfig
+from repro.experiments.harness import ExperimentResult
+from repro.net.cluster import LocalCluster
+
+from benchmarks.conftest import run_once
+
+BASELINE_JSON = pathlib.Path(__file__).parent.parent / "BENCH_net.json"
+
+CONFIG = ServiceConfig(dimension=6, num_dht_nodes=16, seed=11, cache_capacity=8)
+RAW_RPCS = 2_000
+QUERIES = 200
+
+
+def run(config: ServiceConfig = CONFIG, raw_rpcs: int = RAW_RPCS, queries: int = QUERIES):
+    """Measure the transport under two loads on a 16-node loopback cluster:
+
+    * ``raw-rpc`` — back-to-back minimal RPCs between two fixed nodes,
+      isolating framing + socket + correlation overhead;
+    * ``superset-search`` — full protocol queries, the end-to-end cost a
+      search pays over real sockets.
+    """
+    rows = []
+    with LocalCluster(config) as cluster:
+        transport = cluster.transport
+        addresses = cluster.addresses()
+        src, dst = addresses[0], addresses[-1]
+
+        transport.rpc(src, dst, "chord.get_predecessor", {})  # open the pooled connection
+        transport.metrics.reset("net.rpc_latency")
+        started = time.monotonic()
+        for _ in range(raw_rpcs):
+            transport.rpc(src, dst, "chord.get_predecessor", {})
+        elapsed = time.monotonic() - started
+        latency = transport.metrics.summary("net.rpc_latency")
+        rows.append(
+            {
+                "load": "raw-rpc",
+                "operations": raw_rpcs,
+                "ops_per_s": round(raw_rpcs / elapsed, 1),
+                "latency_ms_p50": round(latency.p50 * transport.time_scale * 1e3, 4),
+                "latency_ms_p95": round(latency.p95 * transport.time_scale * 1e3, 4),
+                "latency_ms_p99": round(latency.p99 * transport.time_scale * 1e3, 4),
+            }
+        )
+
+        service = cluster.service
+        for number in range(64):
+            service.publish(f"object-{number}", {"common", f"rare-{number % 8}"})
+        transport.metrics.reset("net.rpc_latency")
+        started = time.monotonic()
+        for number in range(queries):
+            service.superset_search({"common", f"rare-{number % 8}"}, threshold=4)
+        elapsed = time.monotonic() - started
+        latency = transport.metrics.summary("net.rpc_latency")
+        rows.append(
+            {
+                "load": "superset-search",
+                "operations": queries,
+                "ops_per_s": round(queries / elapsed, 1),
+                "latency_ms_p50": round(latency.p50 * transport.time_scale * 1e3, 4),
+                "latency_ms_p95": round(latency.p95 * transport.time_scale * 1e3, 4),
+                "latency_ms_p99": round(latency.p99 * transport.time_scale * 1e3, 4),
+            }
+        )
+
+        counters = transport.metrics.counters()
+        notes = [
+            f"net.bytes_sent={counters.get('net.bytes_sent', 0)}",
+            f"net.frames_sent={counters.get('net.frames_sent', 0)}",
+            f"net.connections_opened={counters.get('net.connections_opened', 0)}",
+            f"net.protocol_errors={counters.get('net.protocol_errors', 0)}",
+        ]
+    return ExperimentResult(
+        experiment="net",
+        description="loopback TCP transport: RPC throughput and latency",
+        parameters={
+            "num_dht_nodes": config.num_dht_nodes,
+            "dimension": config.dimension,
+            "seed": config.seed,
+            "raw_rpcs": raw_rpcs,
+            "queries": queries,
+        },
+        rows=rows,
+        notes=notes,
+    )
+
+
+def test_net(benchmark, record_result):
+    result = run_once(benchmark, run)
+    record_result(result)
+    BASELINE_JSON.write_text(result.to_json() + "\n", encoding="utf-8")
+    by_load = {row["load"]: row for row in result.rows}
+    # Loopback floor, generous enough for slow CI machines.
+    assert by_load["raw-rpc"]["ops_per_s"] > 200
+    assert by_load["superset-search"]["ops_per_s"] > 5
+    assert by_load["raw-rpc"]["latency_ms_p50"] > 0
+    counters = dict(note.split("=") for note in result.notes)
+    assert int(counters["net.protocol_errors"]) == 0
+    assert int(counters["net.frames_sent"]) > 2 * RAW_RPCS

@@ -3,10 +3,15 @@
     python -m repro list
     python -m repro run fig6 --num-objects 20000 --dimensions 6,10,14
     python -m repro run fig9 --alphas 0,0.1667,1.0 --output fig9.txt
+    python -m repro node addresses --dimension 6 --nodes 4 --seed 7
+    python -m repro node serve --dimension 6 --nodes 4 --seed 7 \\
+        --address 1182657605 --port 9001 --peer 1399953982=127.0.0.1:9002
 
 ``run`` introspects the chosen runner's signature and coerces each
 ``--key value`` option to the parameter's annotated type: integers,
 floats, strings, booleans, and comma-separated tuples of numbers.
+``node`` hosts one DHT node's endpoint over real TCP (see
+:mod:`repro.net.node`).
 """
 
 from __future__ import annotations
@@ -93,6 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runner.add_argument("--csv", default=None, help="write the rows as CSV to this file")
     runner.add_argument("--json", default=None, help="write the full result as JSON to this file")
+    from repro.net.node import add_node_commands
+
+    add_node_commands(commands)
     return parser
 
 
@@ -119,6 +127,12 @@ def _parse_options(tokens: list[str], signature: inspect.Signature) -> dict[str,
 
 def main(argv: list[str] | None = None) -> int:
     arguments, extra = build_parser().parse_known_args(argv)
+    if arguments.command == "node":
+        if extra:
+            raise SystemExit(f"unrecognized arguments: {' '.join(extra)}")
+        from repro.net.node import run_node_command
+
+        return run_node_command(arguments)
     if arguments.command == "list":
         for name in EXPERIMENTS:
             module = importlib.import_module(f"repro.experiments.{name}")

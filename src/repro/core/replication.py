@@ -26,7 +26,7 @@ from repro.core.mapping import HypercubeMapping
 from repro.core.search import FoundObject, SearchResult, SuperSetSearch, TraversalOrder
 from repro.dht.dolr import DolrNetwork
 from repro.hypercube.hypercube import Hypercube
-from repro.sim.network import NodeUnreachableError
+from repro.net.errors import PeerUnreachableError
 
 __all__ = ["ReplicatedHypercubeIndex", "ReplicatedSuperSetSearch"]
 
@@ -131,11 +131,11 @@ class ReplicatedHypercubeIndex:
     def pin_search(self, keywords: Iterable[str], *, origin: int | None = None) -> PinResult:
         """Pin search on the first replica whose responsible node is
         reachable."""
-        last_error: NodeUnreachableError | None = None
+        last_error: PeerUnreachableError | None = None
         for index in self.indexes:
             try:
                 return index.pin_search(keywords, origin=origin)
-            except NodeUnreachableError as error:
+            except PeerUnreachableError as error:
                 last_error = error
         assert last_error is not None
         raise last_error
@@ -214,6 +214,6 @@ class ReplicatedSuperSetSearch(SuperSetSearch):
                 return self._scan_rpc(
                     sender, physical, index.namespace, logical, query, remaining
                 )
-            except NodeUnreachableError:
+            except PeerUnreachableError:
                 continue
         return None

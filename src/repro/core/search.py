@@ -46,7 +46,7 @@ from collections.abc import Iterable, Iterator
 
 from repro.core.index import HypercubeIndex
 from repro.core.keywords import normalize_keywords
-from repro.sim.network import NodeUnreachableError
+from repro.net.errors import PeerUnreachableError
 from repro.sim.resilience import ResilientChannel
 from repro.hypercube.sbt import SpanningBinomialTree
 from repro.util import bitops
@@ -498,7 +498,7 @@ class SuperSetSearch:
             if self.contact_mode == "routed":
                 try:
                     route = self.index.mapping.route_to(logical, origin=via)
-                except (NodeUnreachableError, RuntimeError):
+                except (PeerUnreachableError, RuntimeError):
                     if not self.degrades:
                         raise
                     metrics.increment("search.degraded_visits")
@@ -511,7 +511,7 @@ class SuperSetSearch:
             found = self._scan_rpc(
                 sender, physical, self.index.namespace, logical, query, remaining
             )
-        except NodeUnreachableError:
+        except PeerUnreachableError:
             fallback = self._visit_fallback(sender, logical, query, remaining)
             if fallback is not None:
                 found = fallback
@@ -549,7 +549,7 @@ class SuperSetSearch:
             found = self._scan_rpc(
                 sender, route.owner, self.index.namespace, logical, query, remaining
             )
-        except (NodeUnreachableError, RuntimeError):
+        except (PeerUnreachableError, RuntimeError):
             return [], None, 0
         return found, route.owner, route.hops
 

@@ -30,7 +30,7 @@ from repro.dht.dolr import DolrNetwork
 from repro.dht.kademlia import KademliaNetwork
 from repro.dht.pastry import PastryNetwork
 from repro.hypercube.hypercube import Hypercube
-from repro.sim.network import SimulatedNetwork
+from repro.net.transport import Transport
 from repro.util.rng import make_rng, spawn_rng
 
 __all__ = ["KeywordSearchService", "PublishedObject"]
@@ -91,16 +91,19 @@ class KeywordSearchService:
         cls,
         config: ServiceConfig | None = None,
         *,
-        network: SimulatedNetwork | None = None,
+        network: Transport | None = None,
         **legacy,
     ) -> "KeywordSearchService":
-        """Build the full stack: simulated network, DHT, hypercube index.
+        """Build the full stack: network transport, DHT, hypercube index.
 
         Pass a :class:`~repro.core.config.ServiceConfig`; the pre-1.1
         keyword form (``dimension=…, num_dht_nodes=…, dht="chord"`` …)
         is still accepted but deprecated.  ``network`` injects a shared
-        :class:`SimulatedNetwork` (so several stacks can coexist on one
-        medium) and composes with either form.
+        :class:`~repro.net.transport.Transport` — a
+        :class:`~repro.sim.network.SimulatedNetwork` so several stacks
+        can coexist on one medium, or an
+        :class:`~repro.net.aio.AsyncioTransport` to run the same stack
+        over real TCP sockets — and composes with either form.
         """
         if config is None:
             warnings.warn(
@@ -215,7 +218,7 @@ class KeywordSearchService:
         return self.index.cube
 
     @property
-    def network(self) -> SimulatedNetwork:
+    def network(self) -> Transport:
         return self.dolr.network
 
     def messages_sent(self) -> int:

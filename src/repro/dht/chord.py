@@ -26,6 +26,7 @@ import random
 
 from repro.dht.dolr import DolrNetwork, DolrNode, LookupResult
 from repro.dht.ids import IdSpace
+from repro.net.transport import Transport
 from repro.sim.network import Message, SimulatedNetwork
 from repro.util.rng import make_rng
 
@@ -46,7 +47,7 @@ class ChordNode(DolrNode):
         self,
         address: int,
         space: IdSpace,
-        network: SimulatedNetwork,
+        network: Transport,
         *,
         successor_list_length: int = DEFAULT_SUCCESSOR_LIST_LENGTH,
     ):
@@ -152,7 +153,7 @@ class ChordNetwork(DolrNetwork):
     def __init__(
         self,
         space: IdSpace,
-        network: SimulatedNetwork | None = None,
+        network: Transport | None = None,
         *,
         successor_list_length: int = DEFAULT_SUCCESSOR_LIST_LENGTH,
     ):
@@ -169,7 +170,7 @@ class ChordNetwork(DolrNetwork):
         bits: int,
         num_nodes: int,
         seed: int | random.Random | None = 0,
-        network: SimulatedNetwork | None = None,
+        network: Transport | None = None,
         successor_list_length: int = DEFAULT_SUCCESSOR_LIST_LENGTH,
     ) -> "ChordNetwork":
         """Construct a fully-stabilized ring of ``num_nodes`` peers at

@@ -24,7 +24,8 @@ from dataclasses import dataclass
 from typing import Any, Protocol
 
 from repro.dht.ids import IdSpace
-from repro.sim.network import Message, SimulatedNetwork
+from repro.net.transport import Transport
+from repro.sim.network import Message
 from repro.sim.resilience import BreakerPolicy, ResilientChannel, RetryPolicy
 
 __all__ = [
@@ -73,7 +74,7 @@ class DolrNode:
     prefix matches the first dotted component.
     """
 
-    def __init__(self, address: int, space: IdSpace, network: SimulatedNetwork):
+    def __init__(self, address: int, space: IdSpace, network: Transport):
         space.check(address)
         self.address = address
         self.space = space
@@ -132,7 +133,7 @@ class DolrNode:
 class DolrNetwork(abc.ABC):
     """The generalized DHT contract the keyword layer is written against."""
 
-    def __init__(self, space: IdSpace, network: SimulatedNetwork):
+    def __init__(self, space: IdSpace, network: Transport):
         self.space = space
         self.network = network
         # Every protocol RPC goes through this channel.  The default is

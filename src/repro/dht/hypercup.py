@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.dht.dolr import DolrNetwork, DolrNode, LookupResult
 from repro.dht.ids import IdSpace
+from repro.net.transport import Transport
 from repro.sim.network import Message, SimulatedNetwork
 
 __all__ = ["HypercubeOverlay", "HypercubeOverlayNode", "HypercubeRoutingError"]
@@ -34,7 +35,7 @@ class HypercubeRoutingError(RuntimeError):
 class HypercubeOverlayNode(DolrNode):
     """One vertex of the physical hypercube."""
 
-    def __init__(self, address: int, space: IdSpace, network: SimulatedNetwork):
+    def __init__(self, address: int, space: IdSpace, network: Transport):
         super().__init__(address, space, network)
 
     def neighbors(self) -> tuple[int, ...]:
@@ -64,13 +65,13 @@ class HypercubeOverlayNode(DolrNode):
 class HypercubeOverlay(DolrNetwork):
     """A complete r-dimensional physical hypercube as a DOLR network."""
 
-    def __init__(self, space: IdSpace, network: SimulatedNetwork | None = None):
+    def __init__(self, space: IdSpace, network: Transport | None = None):
         super().__init__(space, network if network is not None else SimulatedNetwork())
         self.nodes: dict[int, HypercubeOverlayNode] = {}
 
     @classmethod
     def build(
-        cls, *, bits: int, network: SimulatedNetwork | None = None, **_ignored
+        cls, *, bits: int, network: Transport | None = None, **_ignored
     ) -> "HypercubeOverlay":
         """Construct the complete 2**bits-vertex overlay.
 

@@ -15,7 +15,9 @@ import random
 
 from repro.dht.dolr import DolrNetwork, DolrNode, LookupResult
 from repro.dht.ids import IdSpace
-from repro.sim.network import Message, NodeUnreachableError, SimulatedNetwork
+from repro.net.errors import PeerUnreachableError
+from repro.net.transport import Transport
+from repro.sim.network import Message, SimulatedNetwork
 from repro.util.rng import make_rng
 
 __all__ = ["KademliaNetwork", "KademliaNode"]
@@ -30,7 +32,7 @@ class KademliaNode(DolrNode):
         self,
         address: int,
         space: IdSpace,
-        network: SimulatedNetwork,
+        network: Transport,
         *,
         bucket_size: int = DEFAULT_BUCKET_SIZE,
     ):
@@ -85,7 +87,7 @@ class KademliaNetwork(DolrNetwork):
     def __init__(
         self,
         space: IdSpace,
-        network: SimulatedNetwork | None = None,
+        network: Transport | None = None,
         *,
         bucket_size: int = DEFAULT_BUCKET_SIZE,
     ):
@@ -100,7 +102,7 @@ class KademliaNetwork(DolrNetwork):
         bits: int,
         num_nodes: int,
         seed: int | random.Random | None = 0,
-        network: SimulatedNetwork | None = None,
+        network: Transport | None = None,
         bucket_size: int = DEFAULT_BUCKET_SIZE,
     ) -> "KademliaNetwork":
         """Construct an overlay with converged routing tables: each bucket
@@ -171,7 +173,7 @@ class KademliaNetwork(DolrNetwork):
                     reply = self.channel.rpc(
                         origin, contact, "kad.find_node", {"key": key, "count": self.bucket_size}
                     )
-                except NodeUnreachableError:
+                except PeerUnreachableError:
                     continue
                 origin_node.observe(contact)
                 before = min(map(distance, shortlist))

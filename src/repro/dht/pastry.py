@@ -23,6 +23,7 @@ import random
 
 from repro.dht.dolr import DolrNetwork, DolrNode, LookupResult
 from repro.dht.ids import IdSpace
+from repro.net.transport import Transport
 from repro.sim.network import Message, SimulatedNetwork
 from repro.util.rng import make_rng
 
@@ -48,7 +49,7 @@ class PastryNode(DolrNode):
         self,
         address: int,
         space: IdSpace,
-        network: SimulatedNetwork,
+        network: Transport,
         *,
         digit_bits: int = DEFAULT_DIGIT_BITS,
         leaf_set_size: int = DEFAULT_LEAF_SET_SIZE,
@@ -151,7 +152,7 @@ class PastryNetwork(DolrNetwork):
     def __init__(
         self,
         space: IdSpace,
-        network: SimulatedNetwork | None = None,
+        network: Transport | None = None,
         *,
         digit_bits: int = DEFAULT_DIGIT_BITS,
         leaf_set_size: int = DEFAULT_LEAF_SET_SIZE,
@@ -168,7 +169,7 @@ class PastryNetwork(DolrNetwork):
         bits: int,
         num_nodes: int,
         seed: int | random.Random | None = 0,
-        network: SimulatedNetwork | None = None,
+        network: Transport | None = None,
         digit_bits: int = DEFAULT_DIGIT_BITS,
         leaf_set_size: int = DEFAULT_LEAF_SET_SIZE,
     ) -> "PastryNetwork":

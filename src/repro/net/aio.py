@@ -1,0 +1,567 @@
+"""``AsyncioTransport``: the protocol stack over real TCP sockets.
+
+One transport object hosts any number of local endpoints — one asyncio
+TCP server per registered address — plus a pooled client side that
+correlates requests with replies by request id.  A single event loop
+runs on a dedicated daemon thread; protocol code stays synchronous
+(:meth:`AsyncioTransport.rpc` blocks the calling thread), while
+handlers for *incoming* requests run on a thread pool so they may
+themselves issue nested RPCs through the loop without deadlocking.
+
+Design points, mirrored from the simulator so the protocol layers
+cannot tell the media apart:
+
+* **Accounting parity.**  Messages are accounted on the *sending* side
+  only (one request + one reply per RPC, one message per datagram),
+  into the same :class:`~repro.sim.metrics.MetricsRegistry` counters
+  (``network.messages``), per-kind and per-destination counters, and
+  any open :meth:`trace` window — so ``messages_sent()`` and the
+  paper's cost metrics work identically over sockets.  Wire-level
+  detail lands under ``net.*`` (bytes, frames, connections, protocol
+  errors) and a ``net.rpc_latency`` histogram, per-destination request
+  counts in :attr:`received_counts`.
+* **Local calls are free.**  ``rpc(src, src, ...)`` dispatches the
+  handler in the calling thread with no socket, no accounting — the
+  paper's "consulting your own table costs nothing".
+* **Failure semantics.**  Connection refusal/reset raises
+  :class:`~repro.net.errors.PeerUnreachableError`; a missing reply
+  raises :class:`~repro.net.errors.RpcTimeoutError` (a subclass).  The
+  request is accounted before the failure surfaces, exactly like the
+  simulator's "sent, then lost".  :meth:`fail` / :meth:`recover` give
+  fail-stop injection for local endpoints: a failed endpoint reads and
+  drops incoming frames (callers time out, as with a real hung host).
+* **Clock.**  :meth:`now` / :meth:`sleep` expose wall-clock time scaled
+  by ``time_scale`` (seconds per transport time unit, default 1 ms), so
+  a :class:`~repro.sim.resilience.RetryPolicy` written in simulator
+  units backs off in milliseconds rather than virtual units — and its
+  deadline bounds each attempt's socket wait.
+
+Topology is static: local endpoints bind loopback (or a given host)
+ports, and remote addresses are supplied in a ``peers`` book mapping
+address -> (host, port).  That covers the two deployment shapes this
+package ships — :class:`~repro.net.cluster.LocalCluster` (all endpoints
+local, every RPC crosses a real socket) and
+:class:`~repro.net.node.NodeDaemon` (serve one address, everything else
+in ``peers``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.net.errors import (
+    PeerUnreachableError,
+    ProtocolError,
+    RemoteHandlerError,
+    RpcTimeoutError,
+)
+from repro.net.transport import Handler, Message, MessageTrace
+from repro.net.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    Frame,
+    FrameType,
+    _HEADER,
+    _declared_length,
+    _parse_body,
+    encode_frame,
+)
+from repro.sim.metrics import MetricsRegistry
+
+__all__ = ["AsyncioTransport"]
+
+DEFAULT_RPC_TIMEOUT_S = 10.0
+
+
+async def _read_frame(
+    reader: asyncio.StreamReader, max_frame_bytes: int
+) -> Frame | None:
+    """Read one frame; None on clean EOF; ProtocolError on bad bytes."""
+    header = await reader.read(_HEADER.size)
+    if not header:
+        return None
+    while len(header) < _HEADER.size:
+        more = await reader.read(_HEADER.size - len(header))
+        if not more:
+            raise ProtocolError("stream ended mid-header")
+        header += more
+    declared = _declared_length(header, max_frame_bytes)
+    assert declared is not None
+    try:
+        body = await reader.readexactly(declared)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("stream ended mid-frame") from error
+    return _parse_body(body)
+
+
+class _Connection:
+    """One pooled client connection to a peer endpoint."""
+
+    def __init__(self, dst: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.dst = dst
+        self.reader = reader
+        self.writer = writer
+        self.pending: dict[int, asyncio.Future[Frame]] = {}
+        self.reader_task: asyncio.Task | None = None
+        self.closed = False
+
+
+class AsyncioTransport:
+    """TCP implementation of :class:`~repro.net.transport.Transport`."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        serve_addresses: set[int] | frozenset[int] | None = None,
+        ports: dict[int, int] | None = None,
+        peers: dict[int, tuple[str, int]] | None = None,
+        metrics: MetricsRegistry | None = None,
+        rpc_timeout: float = DEFAULT_RPC_TIMEOUT_S,
+        time_scale: float = 0.001,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        handler_threads: int = 16,
+    ):
+        """``serve_addresses=None`` serves every address that registers
+        (the :class:`~repro.net.cluster.LocalCluster` shape); a set
+        restricts serving to those addresses, with the rest expected in
+        ``peers`` (the daemon shape).  ``ports`` pins listen ports per
+        address (default: OS-assigned).  ``rpc_timeout`` is the default
+        reply wait in real seconds; ``time_scale`` converts transport
+        time units (clock, retry backoff, deadlines) to seconds.
+        """
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale}")
+        if rpc_timeout <= 0:
+            raise ValueError(f"rpc_timeout must be positive, got {rpc_timeout}")
+        self.host = host
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.rpc_timeout = rpc_timeout
+        self.time_scale = time_scale
+        self.max_frame_bytes = max_frame_bytes
+        self.kind_counts: Counter[str] = Counter()
+        self.received_counts: Counter[int] = Counter()
+        self.peers: dict[int, tuple[str, int]] = dict(peers or {})
+        self.endpoints: dict[int, tuple[str, int]] = {}
+        self.closed = False
+
+        self._serve = None if serve_addresses is None else set(serve_addresses)
+        self._ports = dict(ports or {})
+        self._handlers: dict[int, Handler] = {}
+        self._failed: set[int] = set()
+        self._drop_requests: Counter[int] = Counter()
+        self._servers: dict[int, asyncio.AbstractServer] = {}
+        self._server_writers: set[asyncio.StreamWriter] = set()
+        self._connections: dict[int, _Connection] = {}
+        self._connect_locks: dict[int, asyncio.Lock] = {}
+        self._traces: list[MessageTrace] = []
+        self._trace_lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+        self._epoch = time.monotonic()
+        self._executor = ThreadPoolExecutor(
+            max_workers=handler_threads, thread_name_prefix="repro-net-handler"
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-net-loop", daemon=True
+        )
+        self._thread.start()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "AsyncioTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut everything down: servers, connections, loop, threads.
+
+        Idempotent.  After close the loop is closed, the loop thread has
+        exited, and :meth:`open_connection_count` is zero — the
+        leak-freedom the integration tests assert.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        asyncio.run_coroutine_threadsafe(self._shutdown(), self._loop).result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+        self._executor.shutdown(wait=True)
+
+    async def _shutdown(self) -> None:
+        for server in self._servers.values():
+            server.close()
+        for connection in list(self._connections.values()):
+            await self._close_connection(connection)
+        for writer in list(self._server_writers):
+            writer.close()
+        for server in self._servers.values():
+            await server.wait_closed()
+        self._servers.clear()
+        self._server_writers.clear()
+
+    async def _close_connection(self, connection: _Connection) -> None:
+        connection.closed = True
+        self._connections.pop(connection.dst, None)
+        if connection.reader_task is not None:
+            connection.reader_task.cancel()
+        for future in connection.pending.values():
+            if not future.done():
+                future.set_exception(ConnectionResetError("transport closed"))
+        connection.pending.clear()
+        connection.writer.close()
+
+    def open_connection_count(self) -> int:
+        """Open client connections plus accepted server connections."""
+        return len(self._connections) + len(self._server_writers)
+
+    def _call(self, coroutine, timeout: float | None = None):
+        """Run a coroutine on the loop thread, blocking the caller."""
+        if self.closed:
+            coroutine.close()
+            raise RuntimeError("transport is closed")
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result(timeout)
+
+    # -- membership ---------------------------------------------------
+
+    def register(self, address: int, handler: Handler) -> None:
+        """Attach ``handler``; if this transport serves ``address``,
+        bind its TCP server (synchronously, so the endpoint is dialable
+        when this returns)."""
+        self._handlers[address] = handler
+        self._failed.discard(address)
+        if (self._serve is None or address in self._serve) and address not in self._servers:
+            self._call(self._start_server(address), timeout=30)
+
+    async def _start_server(self, address: int) -> None:
+        server = await asyncio.start_server(
+            lambda reader, writer: self._serve_connection(address, reader, writer),
+            self.host,
+            self._ports.get(address, 0),
+        )
+        self._servers[address] = server
+        sockname = server.sockets[0].getsockname()
+        self.endpoints[address] = (sockname[0], sockname[1])
+        self.metrics.increment("net.servers_started")
+
+    def unregister(self, address: int) -> None:
+        """Detach the endpoint: its server stops accepting and its
+        address book entry disappears (in-flight requests fail)."""
+        self._handlers.pop(address, None)
+        self._failed.discard(address)
+        server = self._servers.pop(address, None)
+        self.endpoints.pop(address, None)
+        if server is not None:
+            self._call(self._stop_server(server), timeout=30)
+
+    async def _stop_server(self, server: asyncio.AbstractServer) -> None:
+        server.close()
+        await server.wait_closed()
+
+    def is_registered(self, address: int) -> bool:
+        return address in self._handlers
+
+    def addresses(self) -> frozenset[int]:
+        """Local endpoints plus configured peers."""
+        return frozenset(self._handlers) | frozenset(self.peers)
+
+    def is_alive(self, address: int) -> bool:
+        """Advisory: local endpoints are alive unless failed; configured
+        peers are presumed alive (a real network cannot know better);
+        unknown addresses are dead."""
+        if address in self._failed:
+            return False
+        return address in self._handlers or address in self.peers
+
+    # -- failure injection (local endpoints only) ---------------------
+
+    def fail(self, address: int) -> None:
+        """Fail-stop a local endpoint: incoming frames are read and
+        dropped, so callers time out — the socket-world equivalent of
+        the simulator's :meth:`~repro.sim.network.SimulatedNetwork.fail`."""
+        if address not in self._handlers:
+            raise PeerUnreachableError(address, "not a local endpoint; cannot fail it")
+        self._failed.add(address)
+
+    def recover(self, address: int) -> None:
+        self._failed.discard(address)
+
+    def drop_next_requests(self, address: int, count: int = 1) -> None:
+        """Test hook: the next ``count`` requests arriving at local
+        endpoint ``address`` have their TCP connection closed instead of
+        being dispatched — injecting the dropped-connection failure the
+        resilience layer must retry through."""
+        self._drop_requests[address] += count
+
+    # -- clock --------------------------------------------------------
+
+    def now(self) -> float:
+        """Monotonic wall-clock time in transport units."""
+        return (time.monotonic() - self._epoch) / self.time_scale
+
+    def sleep(self, delay: float) -> None:
+        """Really sleep for ``delay`` transport units."""
+        if delay > 0:
+            time.sleep(delay * self.time_scale)
+
+    # -- communication ------------------------------------------------
+
+    def rpc(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> Any:
+        """Request over the wire, block for the correlated reply.
+
+        ``timeout`` is in transport time units (``None``: the
+        transport's default ``rpc_timeout`` seconds).
+        """
+        payload = payload or {}
+        if src == dst and dst in self._handlers:
+            # Local call: free, exactly like the simulator.
+            if dst in self._failed:
+                raise PeerUnreachableError(dst, "failed")
+            return self._handlers[dst](Message(src, dst, kind, payload))
+        timeout_s = self.rpc_timeout if timeout is None else max(timeout * self.time_scale, 0.001)
+        frame = Frame(FrameType.REQUEST, kind, src, dst, next(self._request_ids), payload)
+        # Account on send, before any failure can surface — parity with
+        # the simulator's "the request is sent, then times out".
+        self._account(Message(src, dst, kind, payload))
+        started = time.monotonic()
+        try:
+            reply = self._call(self._rpc_async(dst, frame, timeout_s))
+        finally:
+            self.metrics.record("net.rpc_latency", (time.monotonic() - started) / self.time_scale)
+        self._account(Message(dst, src, kind, {}, is_reply=True))
+        if reply.type is FrameType.ERROR:
+            detail = reply.payload if isinstance(reply.payload, dict) else {}
+            raise RemoteHandlerError(
+                dst, kind, detail.get("error", "Exception"), detail.get("message", "")
+            )
+        return reply.payload
+
+    async def _rpc_async(self, dst: int, frame: Frame, timeout_s: float) -> Frame:
+        connection = await self._connection_to(dst)
+        future: asyncio.Future[Frame] = self._loop.create_future()
+        connection.pending[frame.request_id] = future
+        try:
+            data = encode_frame(frame, max_frame_bytes=self.max_frame_bytes)
+            connection.writer.write(data)
+            self.metrics.increment("net.frames_sent")
+            self.metrics.increment("net.bytes_sent", len(data))
+            await connection.writer.drain()
+            try:
+                return await asyncio.wait_for(future, timeout_s)
+            except asyncio.TimeoutError:
+                raise RpcTimeoutError(dst, timeout_s) from None
+            except (ConnectionError, OSError) as error:
+                raise PeerUnreachableError(dst, f"connection lost ({error})") from error
+        except (ConnectionError, OSError) as error:
+            if isinstance(error, PeerUnreachableError):
+                raise
+            raise PeerUnreachableError(dst, f"connection lost ({error})") from error
+        finally:
+            connection.pending.pop(frame.request_id, None)
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        deliver: bool = True,
+    ) -> None:
+        """One-way datagram: accounted always, transmitted best-effort,
+        silently lost when the destination is unreachable."""
+        payload = payload or {}
+        message = Message(src, dst, kind, payload)
+        self._account(message)
+        if not deliver:
+            return
+        if src == dst and dst in self._handlers:
+            if dst not in self._failed:
+                self._handlers[dst](message)
+            return
+        frame = Frame(FrameType.DATAGRAM, kind, src, dst, next(self._request_ids), payload)
+        try:
+            self._call(self._send_async(dst, frame))
+        except (PeerUnreachableError, ProtocolError):
+            self.metrics.increment("net.datagrams_lost")
+
+    async def _send_async(self, dst: int, frame: Frame) -> None:
+        try:
+            connection = await self._connection_to(dst)
+            data = encode_frame(frame, max_frame_bytes=self.max_frame_bytes)
+            connection.writer.write(data)
+            self.metrics.increment("net.frames_sent")
+            self.metrics.increment("net.bytes_sent", len(data))
+            await connection.writer.drain()
+        except (ConnectionError, OSError) as error:
+            if isinstance(error, PeerUnreachableError):
+                raise
+            raise PeerUnreachableError(dst, f"connection lost ({error})") from error
+
+    # -- client pool --------------------------------------------------
+
+    def _endpoint_of(self, dst: int) -> tuple[str, int]:
+        endpoint = self.endpoints.get(dst) or self.peers.get(dst)
+        if endpoint is None:
+            raise PeerUnreachableError(dst, "unknown: no endpoint or peer entry")
+        return endpoint
+
+    async def _connection_to(self, dst: int) -> _Connection:
+        connection = self._connections.get(dst)
+        if connection is not None and not connection.closed:
+            return connection
+        lock = self._connect_locks.setdefault(dst, asyncio.Lock())
+        async with lock:
+            connection = self._connections.get(dst)
+            if connection is not None and not connection.closed:
+                return connection
+            host, port = self._endpoint_of(dst)
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except (ConnectionError, OSError) as error:
+                raise PeerUnreachableError(dst, f"connect failed ({error})") from error
+            connection = _Connection(dst, reader, writer)
+            connection.reader_task = self._loop.create_task(self._read_replies(connection))
+            self._connections[dst] = connection
+            self.metrics.increment("net.connections_opened")
+            return connection
+
+    async def _read_replies(self, connection: _Connection) -> None:
+        """Demultiplex reply frames to their pending futures."""
+        error: BaseException = ConnectionResetError("connection closed by peer")
+        try:
+            while True:
+                frame = await _read_frame(connection.reader, self.max_frame_bytes)
+                if frame is None:
+                    break
+                self.metrics.increment("net.frames_received")
+                future = connection.pending.pop(frame.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except ProtocolError as protocol_error:
+            self.metrics.increment("net.protocol_errors")
+            error = protocol_error
+        except (ConnectionError, OSError) as os_error:
+            error = os_error
+        except asyncio.CancelledError:
+            error = ConnectionResetError("transport closed")
+        finally:
+            connection.closed = True
+            self._connections.pop(connection.dst, None)
+            for future in connection.pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            connection.pending.clear()
+            connection.writer.close()
+
+    # -- server side --------------------------------------------------
+
+    async def _serve_connection(
+        self, address: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._server_writers.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await _read_frame(reader, self.max_frame_bytes)
+                except ProtocolError:
+                    # Malformed bytes poison the connection: count and
+                    # hang up, never hang.
+                    self.metrics.increment("net.protocol_errors")
+                    break
+                if frame is None:
+                    break
+                self.metrics.increment("net.frames_received")
+                if address in self._failed:
+                    continue  # fail-stop: read and drop, caller times out
+                if self._drop_requests.get(address, 0) > 0:
+                    self._drop_requests[address] -= 1
+                    break  # injected dropped connection
+                if frame.type is FrameType.DATAGRAM:
+                    handler = self._handlers.get(address)
+                    if handler is not None:
+                        message = Message(frame.src, address, frame.kind, frame.payload)
+                        try:
+                            await self._loop.run_in_executor(self._executor, handler, message)
+                        except Exception:  # noqa: BLE001 - datagrams have no reply path
+                            self.metrics.increment("net.datagram_handler_errors")
+                    continue
+                reply = await self._dispatch_request(address, frame)
+                data = encode_frame(reply, max_frame_bytes=self.max_frame_bytes)
+                writer.write(data)
+                self.metrics.increment("net.frames_sent")
+                self.metrics.increment("net.bytes_sent", len(data))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._server_writers.discard(writer)
+            writer.close()
+
+    async def _dispatch_request(self, address: int, frame: Frame) -> Frame:
+        handler = self._handlers.get(address)
+        if handler is None:
+            return Frame(
+                FrameType.ERROR,
+                frame.kind,
+                address,
+                frame.src,
+                frame.request_id,
+                {"error": "LookupError", "message": f"no handler at address {address}"},
+            )
+        message = Message(frame.src, address, frame.kind, frame.payload)
+        try:
+            # Handlers run on the thread pool: they may issue nested
+            # RPCs (which block their thread on this loop) without
+            # stalling frame IO.
+            result = await self._loop.run_in_executor(self._executor, handler, message)
+        except Exception as error:  # noqa: BLE001 - ferried to the caller
+            return Frame(
+                FrameType.ERROR,
+                frame.kind,
+                address,
+                frame.src,
+                frame.request_id,
+                {"error": type(error).__name__, "message": str(error)},
+            )
+        return Frame(FrameType.REPLY, frame.kind, address, frame.src, frame.request_id, result)
+
+    # -- tracing ------------------------------------------------------
+
+    @contextmanager
+    def trace(self) -> Iterator[MessageTrace]:
+        """Capture every message sent inside the ``with`` block."""
+        window = MessageTrace()
+        with self._trace_lock:
+            self._traces.append(window)
+        try:
+            yield window
+        finally:
+            with self._trace_lock:
+                self._traces.remove(window)
+
+    def _account(self, message: Message) -> None:
+        self.metrics.increment("network.messages")
+        with self._trace_lock:
+            self.kind_counts[message.kind] += 1
+            if not message.is_reply:
+                self.received_counts[message.dst] += 1
+            for window in self._traces:
+                window.messages.append(message)

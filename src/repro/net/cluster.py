@@ -1,0 +1,79 @@
+"""``LocalCluster``: N real node daemons on loopback, one process.
+
+The cheapest way to run the paper's whole stack over actual TCP: one
+:class:`~repro.net.aio.AsyncioTransport` hosts a listening socket for
+*every* DHT node address (N servers on N OS-assigned loopback ports),
+and a :class:`~repro.core.service.KeywordSearchService` is built on top
+of it.  Protocol code is byte-for-byte the code the simulator runs —
+only the medium changed — so every inter-node RPC (routing steps, index
+scans, cache probes) now crosses a real socket through the wire codec
+of :mod:`repro.net.wire`.
+
+Because the stack is deterministic given ``(config.seed, config)``, a
+cluster and a simulator built from the same config place the same
+objects on the same nodes and return identical result sets — the
+equality the integration tests assert.
+
+>>> from repro.core.config import ServiceConfig
+>>> from repro.net.cluster import LocalCluster
+>>> with LocalCluster(ServiceConfig(dimension=6, num_dht_nodes=8)) as cluster:
+...     _ = cluster.service.publish("paper.pdf", {"dht", "search"})
+...     cluster.service.superset_search({"dht"}).results()
+('paper.pdf',)
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ServiceConfig
+from repro.core.service import KeywordSearchService
+from repro.net.aio import AsyncioTransport
+
+__all__ = ["LocalCluster"]
+
+
+class LocalCluster:
+    """A full keyword-search deployment over loopback TCP sockets."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        host: str = "127.0.0.1",
+        rpc_timeout: float = 10.0,
+        time_scale: float = 0.001,
+    ):
+        self.config = config
+        self.transport = AsyncioTransport(
+            host=host, rpc_timeout=rpc_timeout, time_scale=time_scale
+        )
+        try:
+            self.service = KeywordSearchService.create(config, network=self.transport)
+        except BaseException:
+            self.transport.close()
+            raise
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop every server, drop every connection, join the IO thread."""
+        self.transport.close()
+
+    # -- introspection ------------------------------------------------
+
+    def addresses(self) -> list[int]:
+        """The DHT node addresses hosted by this cluster, ascending."""
+        return self.service.dolr.addresses()
+
+    @property
+    def endpoints(self) -> dict[int, tuple[str, int]]:
+        """Address -> (host, port) for every node's listening socket."""
+        return dict(self.transport.endpoints)
+
+    def messages_sent(self) -> int:
+        return self.service.messages_sent()

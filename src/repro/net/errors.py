@@ -1,0 +1,98 @@
+"""Transport-level error taxonomy, shared by every transport.
+
+The protocol layers — and in particular the resilience machinery
+(:mod:`repro.sim.resilience`) — must treat "the destination could not
+be reached" uniformly whether the medium is the in-process simulator or
+a real TCP connection.  This module is the common root:
+
+* :class:`TransportError` — base class of everything a transport may
+  raise.
+* :class:`PeerUnreachableError` — the destination could not be reached
+  (connection refused, reset, or a fail-stop peer).  **This is the
+  retryable class**: :class:`~repro.sim.resilience.RetryPolicy` retries
+  exactly these.
+* :class:`RpcTimeoutError` — a request was sent but no reply arrived in
+  time.  A timeout is indistinguishable from an unreachable peer, so it
+  subclasses :class:`PeerUnreachableError` and is retried the same way.
+* :class:`ProtocolError` — a malformed, truncated, oversized or
+  wrong-version frame.  Not retryable: the bytes are wrong, not the
+  peer.
+* :class:`RemoteHandlerError` — the peer was reached and its handler
+  raised.  Not retryable either: the failure is deterministic
+  application logic, and retrying would duplicate side effects.
+
+The simulator's historical exception types
+(:class:`~repro.sim.network.NetworkError`,
+:class:`~repro.sim.network.NodeUnreachableError`) are rebased onto this
+hierarchy, so ``except PeerUnreachableError`` catches failures from
+both media and existing ``except NodeUnreachableError`` sites keep
+working unchanged on the simulator.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PeerUnreachableError",
+    "ProtocolError",
+    "RemoteHandlerError",
+    "RpcTimeoutError",
+    "TransportError",
+]
+
+
+class TransportError(RuntimeError):
+    """Base class for failures raised by any transport implementation."""
+
+
+class PeerUnreachableError(TransportError):
+    """The destination could not be reached.
+
+    Carries the destination ``address`` so retry/breaker bookkeeping can
+    key on it.  Transport implementations should raise this (or a
+    subclass) for connection refusals, resets, and fail-stop peers.
+    """
+
+    def __init__(self, address: int, reason: str = "unreachable"):
+        super().__init__(f"node {address} is {reason}")
+        self.address = address
+
+
+class RpcTimeoutError(PeerUnreachableError):
+    """A request was sent but no reply arrived within the timeout.
+
+    From the caller's perspective a timeout and an unreachable peer are
+    the same event (the reply is absent either way), so this subclasses
+    :class:`PeerUnreachableError` and retry policies treat it
+    identically.
+    """
+
+    def __init__(self, address: int, timeout: float):
+        PeerUnreachableError.__init__(
+            self, address, f"silent: no reply within {timeout:g}s"
+        )
+        self.timeout = timeout
+
+
+class ProtocolError(TransportError):
+    """The byte stream violated the wire format (bad length, bad
+    version, malformed payload).  The connection carrying it is
+    poisoned and must be closed; the error is not retryable."""
+
+
+class RemoteHandlerError(TransportError):
+    """The destination's handler raised while serving a request.
+
+    The remote exception type and message travel back in the error
+    frame; they are carried here verbatim.  Deliberately *not* a
+    :class:`PeerUnreachableError`: the peer is healthy, the application
+    logic failed, and a retry would re-execute the side effects.
+    """
+
+    def __init__(self, address: int, kind: str, error_type: str, message: str):
+        super().__init__(
+            f"handler for {kind!r} at node {address} raised {error_type}: {message}"
+        )
+        self.address = address
+        self.kind = kind
+        self.error_type = error_type
+        self.remote_message = message

@@ -1,0 +1,177 @@
+"""``NodeDaemon``: host one DHT node behind a TCP endpoint.
+
+A daemon builds the *whole* deterministic stack from the shared
+``(seed, config)`` spec — the static-membership deployment model: every
+participant derives the same address list, placement mapping, and
+routing tables from the config, so no join protocol is needed — but
+serves exactly **one** address over TCP.  RPCs its node's protocol code
+issues toward any other address are dialled out to that address's
+daemon, found through the ``peers`` book (address -> host:port).
+
+Deployment recipe (one shell per node)::
+
+    python -m repro node addresses --dimension 6 --nodes 4 --seed 7
+    # -> e.g. 1182657605 1399953982 2916232149 3675293713
+
+    python -m repro node serve --dimension 6 --nodes 4 --seed 7 \\
+        --address 1182657605 --port 9001 \\
+        --peer 1399953982=127.0.0.1:9002 \\
+        --peer 2916232149=127.0.0.1:9003 \\
+        --peer 3675293713=127.0.0.1:9004
+
+Each daemon prints ``serving <address> on <host>:<port>`` once its
+socket is bound.  Any daemon can then publish and search through its
+:attr:`NodeDaemon.service`; the CLI form just serves until interrupted.
+
+For an N-node deployment inside one process (tests, benchmarks, smoke
+jobs) use :class:`~repro.net.cluster.LocalCluster` instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.config import ServiceConfig
+from repro.core.service import KeywordSearchService
+from repro.net.aio import AsyncioTransport
+
+__all__ = ["NodeDaemon", "cluster_addresses", "add_node_commands", "run_node_command"]
+
+
+def cluster_addresses(config: ServiceConfig) -> list[int]:
+    """The DHT addresses a deployment of ``config`` consists of.
+
+    Derived by building a throwaway simulated stack from the same seed —
+    cheap, and guaranteed to agree with what every daemon derives.
+    """
+    return KeywordSearchService.create(config).dolr.addresses()
+
+
+class NodeDaemon:
+    """One node of a multi-process deployment."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        address: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        peers: dict[int, tuple[str, int]] | None = None,
+        rpc_timeout: float = 10.0,
+        time_scale: float = 0.001,
+    ):
+        self.config = config
+        self.address = address
+        self.transport = AsyncioTransport(
+            host=host,
+            serve_addresses={address},
+            ports={address: port},
+            peers=peers or {},
+            rpc_timeout=rpc_timeout,
+            time_scale=time_scale,
+        )
+        try:
+            self.service = KeywordSearchService.create(config, network=self.transport)
+            if address not in self.service.dolr.nodes:
+                known = self.service.dolr.addresses()
+                raise ValueError(
+                    f"address {address} is not part of this deployment; "
+                    f"valid addresses: {known}"
+                )
+        except BaseException:
+            self.transport.close()
+            raise
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The (host, port) this daemon's node listens on."""
+        return self.transport.endpoints[self.address]
+
+    def __enter__(self) -> "NodeDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.transport.close()
+
+
+# -- CLI glue (python -m repro node ...) -----------------------------------
+
+
+def _parse_peer(spec: str) -> tuple[int, tuple[str, int]]:
+    """Parse ``ADDRESS=HOST:PORT``."""
+    try:
+        address_part, endpoint = spec.split("=", 1)
+        host, port = endpoint.rsplit(":", 1)
+        return int(address_part), (host, int(port))
+    except ValueError:
+        raise SystemExit(
+            f"invalid --peer {spec!r}: expected ADDRESS=HOST:PORT"
+        ) from None
+
+
+def _config_from(arguments: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        dimension=arguments.dimension,
+        num_dht_nodes=arguments.nodes,
+        dht=arguments.dht,
+        dht_bits=arguments.bits,
+        seed=arguments.seed,
+    )
+
+
+def add_node_commands(commands) -> None:
+    """Register the ``node`` subcommand group on the repro CLI."""
+    node = commands.add_parser("node", help="run or inspect a real TCP node deployment")
+    actions = node.add_subparsers(dest="node_command", required=True)
+
+    def common(subparser) -> None:
+        subparser.add_argument("--dimension", type=int, required=True, help="hypercube dimension")
+        subparser.add_argument("--nodes", type=int, required=True, help="number of DHT nodes")
+        subparser.add_argument("--dht", default="chord", choices=["chord", "kademlia", "pastry"])
+        subparser.add_argument("--bits", type=int, default=32, help="identifier-space bits")
+        subparser.add_argument("--seed", type=int, default=0, help="deployment seed")
+
+    addresses = actions.add_parser(
+        "addresses", help="print the node addresses this deployment consists of"
+    )
+    common(addresses)
+
+    serve = actions.add_parser("serve", help="host one node's endpoint over TCP")
+    common(serve)
+    serve.add_argument("--address", type=int, required=True, help="which node to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="listen port (0: OS-assigned)")
+    serve.add_argument(
+        "--peer",
+        action="append",
+        default=[],
+        metavar="ADDRESS=HOST:PORT",
+        help="endpoint of another node's daemon (repeatable)",
+    )
+
+
+def run_node_command(arguments: argparse.Namespace) -> int:
+    config = _config_from(arguments)
+    if arguments.node_command == "addresses":
+        for address in cluster_addresses(config):
+            print(address)
+        return 0
+
+    peers = dict(_parse_peer(spec) for spec in arguments.peer)
+    daemon = NodeDaemon(
+        config, arguments.address, host=arguments.host, port=arguments.port, peers=peers
+    )
+    host, port = daemon.endpoint
+    print(f"serving {arguments.address} on {host}:{port}", flush=True)
+    try:
+        while True:
+            daemon.transport.sleep(1000)  # 1 s per tick; all work happens in the IO thread
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.close()
+    return 0

@@ -1,0 +1,178 @@
+"""The transport contract every protocol layer is written against.
+
+Historically the DHT / DOLR / index / search layers called
+:class:`~repro.sim.network.SimulatedNetwork` directly.  This module
+extracts the surface they actually use into a :class:`Transport`
+protocol, so the same protocol code runs unchanged over the simulator
+*or* over real sockets (:class:`~repro.net.aio.AsyncioTransport`).
+
+The contract, in terms of the paper's model:
+
+* **Endpoints** — :meth:`Transport.register` attaches a handler at an
+  integer address (the DHT node identifier); :meth:`Transport.unregister`
+  detaches it (the node leaves).
+* **Request/reply** — :meth:`Transport.rpc` delivers one request and
+  returns the handler's return value.  A local call (``src == dst``)
+  is free, as in the paper.  Failure semantics: the transport raises a
+  :class:`~repro.net.errors.PeerUnreachableError` (or subclass) when
+  the destination cannot be reached or does not answer in time; those
+  are the errors :class:`~repro.sim.resilience.ResilientChannel`
+  retries.
+* **Datagrams** — :meth:`Transport.send` is one-way, best-effort, and
+  never raises for a dead destination (the message is silently lost,
+  like a UDP datagram).
+* **Accounting** — every message is counted in :attr:`Transport.metrics`
+  (counter ``network.messages``) and in any open :meth:`Transport.trace`
+  window, so the paper's cost metrics (messages per query, nodes
+  contacted) work identically over both media.
+* **Clock** — :meth:`Transport.now` / :meth:`Transport.sleep` expose the
+  medium's notion of time: the virtual scheduler clock for the
+  simulator, the monotonic wall clock for real sockets.  Retry backoff
+  and circuit-breaker reset windows are expressed against this
+  interface, which is what makes the resilience layer
+  transport-independent.
+
+Liveness (:meth:`Transport.is_alive`) is necessarily *advisory*: the
+simulator has global knowledge, while a real transport can only vouch
+for local endpoints and assumes configured remote peers are up until a
+call fails.  Protocol code treats it as a hint, never a guarantee.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from contextlib import AbstractContextManager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    # Import lazily: repro.sim.network imports this module, and pulling
+    # in the repro.sim package eagerly here would be circular.
+    from repro.sim.metrics import MetricsRegistry
+
+__all__ = ["Handler", "Message", "MessageTrace", "Transport"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message."""
+
+    src: int
+    dst: int
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    is_reply: bool = False
+
+
+Handler = Callable[[Message], Any]
+
+
+@dataclass
+class MessageTrace:
+    """Messages captured by a :meth:`Transport.trace` window."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    @property
+    def message_count(self) -> int:
+        return len(self.messages)
+
+    @property
+    def request_count(self) -> int:
+        return sum(1 for m in self.messages if not m.is_reply)
+
+    def nodes_contacted(self, *, exclude: frozenset[int] | set[int] = frozenset()) -> set[int]:
+        """Distinct destinations of non-reply messages, minus ``exclude``.
+
+        This is the paper's "number of nodes need to be contacted".
+        """
+        return {m.dst for m in self.messages if not m.is_reply} - set(exclude)
+
+    def count_kind(self, kind: str) -> int:
+        return sum(1 for m in self.messages if m.kind == kind)
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What a medium must provide for the protocol stack to run on it.
+
+    Implementations: :class:`~repro.sim.network.SimulatedNetwork`
+    (deterministic, virtual time) and
+    :class:`~repro.net.aio.AsyncioTransport` (TCP, wall-clock time).
+    Failure injection (``fail`` / ``recover``) is an optional extension
+    both implementations offer but the core contract does not require.
+    """
+
+    metrics: MetricsRegistry
+
+    # -- membership ---------------------------------------------------
+
+    def register(self, address: int, handler: Handler) -> None:
+        """Attach ``handler`` at ``address``.  Re-registration replaces."""
+        ...
+
+    def unregister(self, address: int) -> None:
+        """Detach the endpoint at ``address`` (node leaves the network)."""
+        ...
+
+    def is_alive(self, address: int) -> bool:
+        """Advisory liveness: whether a call to ``address`` is expected
+        to succeed.  Never a guarantee on a real network."""
+        ...
+
+    def addresses(self) -> frozenset[int]:
+        """All known addresses (local endpoints plus configured peers)."""
+        ...
+
+    # -- communication ------------------------------------------------
+
+    def rpc(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> Any:
+        """Synchronous request/reply; returns the handler's return value.
+
+        ``timeout`` bounds the wait for the reply, in the transport's
+        time units (see :meth:`now`); ``None`` means the transport's
+        default.  Raises :class:`~repro.net.errors.PeerUnreachableError`
+        (or a subclass, e.g. :class:`~repro.net.errors.RpcTimeoutError`)
+        when the destination cannot be reached or does not reply.
+        """
+        ...
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        deliver: bool = True,
+    ) -> None:
+        """One-way, best-effort datagram; silently lost if the
+        destination is dead.  ``deliver=False`` accounts the message
+        without transmitting it (receipt is a no-op by protocol)."""
+        ...
+
+    # -- tracing ------------------------------------------------------
+
+    def trace(self) -> AbstractContextManager[MessageTrace]:
+        """Capture every message sent inside the ``with`` block."""
+        ...
+
+    # -- clock --------------------------------------------------------
+
+    def now(self) -> float:
+        """The medium's current time, in its own units (virtual units
+        for the simulator, scaled wall-clock for real transports)."""
+        ...
+
+    def sleep(self, delay: float) -> None:
+        """Let ``delay`` time units pass — advancing the virtual clock,
+        or actually sleeping.  Used for retry backoff."""
+        ...

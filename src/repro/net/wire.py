@@ -1,0 +1,273 @@
+"""Length-prefixed, versioned wire format for protocol messages.
+
+Every frame on a connection is::
+
+    +----------------+---------+----------------------------------+
+    | length (4B BE) | version | JSON envelope (UTF-8), length-1 B |
+    +----------------+---------+----------------------------------+
+
+``length`` covers the version byte plus the JSON body, so a reader can
+size its buffer before parsing.  The envelope is::
+
+    {"t": <frame type>, "kind": ..., "src": ..., "dst": ...,
+     "id": <request id>, "p": <tagged payload>}
+
+Frame types: ``req`` (request, expects a reply), ``rep`` (reply,
+``p`` is the handler's return value), ``err`` (reply, the handler
+raised; ``p`` carries the error type and message) and ``msg``
+(one-way datagram, no reply).
+
+**Tagged payload encoding.**  Protocol payloads are not plain JSON:
+the index layer ships keyword sets as ``frozenset`` and scan results
+as ``(frozenset, tuple)`` pairs (see ``hindex.scan``).  Those types
+round-trip through a tagged object encoding — ``{"!": "frozenset",
+"v": [...]}`` and friends — so a handler behind a socket receives
+*exactly* the payload it would have received in-process, which is what
+makes simulator/socket result equality possible.  A literal dict that
+happens to contain the tag key ``"!"`` is escaped as ``{"!": "dict",
+"v": [[k, v], ...]}``; non-string dict keys use the same form.
+
+**Rejection.**  Anything outside the format raises
+:class:`~repro.net.errors.ProtocolError`: a declared length of zero or
+beyond ``max_frame_bytes`` (both before any payload bytes are read, so
+an attacker cannot make a reader buffer unbounded data), an unknown
+version, undecodable UTF-8/JSON, a malformed envelope, or an
+unencodable Python type on the sending side.  Truncated input never
+hangs a :class:`FrameDecoder` — it simply yields nothing until more
+bytes arrive, and `flush()` reports leftover trailing bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.errors import ProtocolError
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "PROTOCOL_VERSION",
+    "decode_frame",
+    "decode_value",
+    "encode_frame",
+    "encode_value",
+]
+
+PROTOCOL_VERSION = 1
+DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024  # 16 MiB
+_HEADER = struct.Struct("!I")
+_TAG = "!"
+
+
+class FrameType(enum.Enum):
+    REQUEST = "req"
+    REPLY = "rep"
+    ERROR = "err"
+    DATAGRAM = "msg"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame."""
+
+    type: FrameType
+    kind: str
+    src: int
+    dst: int
+    request_id: int
+    payload: Any = None
+
+
+# -- tagged value encoding ------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Lower a payload value to pure-JSON types, tagging the rest."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "v": [encode_value(item) for item in value]}
+    if isinstance(value, (set, frozenset)):
+        tag = "set" if isinstance(value, set) else "frozenset"
+        try:
+            items = sorted(value)  # deterministic bytes when comparable
+        except TypeError:
+            items = sorted(value, key=repr)
+        return {_TAG: tag, "v": [encode_value(item) for item in items]}
+    if isinstance(value, dict):
+        if _TAG in value or not all(isinstance(key, str) for key in value):
+            return {
+                _TAG: "dict",
+                "v": [[encode_value(key), encode_value(item)] for key, item in value.items()],
+            }
+        return {key: encode_value(item) for key, item in value.items()}
+    raise ProtocolError(f"cannot encode {type(value).__name__} on the wire: {value!r}")
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        tag = value.get(_TAG)
+        if tag is None:
+            return {key: decode_value(item) for key, item in value.items()}
+        items = value.get("v")
+        if not isinstance(items, list):
+            raise ProtocolError(f"tagged value {tag!r} without a list body")
+        if tag == "tuple":
+            return tuple(decode_value(item) for item in items)
+        if tag == "set":
+            return {decode_value(item) for item in items}
+        if tag == "frozenset":
+            return frozenset(decode_value(item) for item in items)
+        if tag == "dict":
+            try:
+                return {decode_value(key): decode_value(item) for key, item in items}
+            except (TypeError, ValueError) as error:
+                raise ProtocolError(f"malformed tagged dict: {error}") from error
+        raise ProtocolError(f"unknown wire tag {tag!r}")
+    return value
+
+
+# -- frame encoding -------------------------------------------------------
+
+
+def encode_frame(frame: Frame, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Serialize one frame, header included."""
+    envelope = {
+        "t": frame.type.value,
+        "kind": frame.kind,
+        "src": frame.src,
+        "dst": frame.dst,
+        "id": frame.request_id,
+        "p": encode_value(frame.payload),
+    }
+    try:
+        body = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"unencodable frame payload: {error}") from error
+    length = len(body) + 1
+    if length > max_frame_bytes:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {max_frame_bytes}-byte cap")
+    return _HEADER.pack(length) + bytes([PROTOCOL_VERSION]) + body
+
+
+def _parse_body(data: bytes) -> Frame:
+    """Decode version byte + JSON envelope (no length header)."""
+    if not data:
+        raise ProtocolError("empty frame body")
+    version = data[0]
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported wire version {version} (speaking {PROTOCOL_VERSION})")
+    try:
+        envelope = json.loads(data[1:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed frame body: {error}") from error
+    if not isinstance(envelope, dict):
+        raise ProtocolError(f"frame envelope must be an object, got {type(envelope).__name__}")
+    try:
+        frame_type = FrameType(envelope["t"])
+        kind = envelope["kind"]
+        src = envelope["src"]
+        dst = envelope["dst"]
+        request_id = envelope["id"]
+    except (KeyError, ValueError) as error:
+        raise ProtocolError(f"malformed frame envelope: {error}") from error
+    if not isinstance(kind, str) or not isinstance(src, int) or not isinstance(dst, int):
+        raise ProtocolError("frame envelope fields have wrong types")
+    if not isinstance(request_id, int):
+        raise ProtocolError("frame request id must be an integer")
+    return Frame(frame_type, kind, src, dst, request_id, decode_value(envelope.get("p")))
+
+
+def decode_frame(
+    data: bytes, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> tuple[Frame, int]:
+    """Decode one complete frame from the head of ``data``.
+
+    Returns ``(frame, bytes consumed)``.  Raises
+    :class:`~repro.net.errors.ProtocolError` if the bytes are invalid
+    *or* incomplete — use :class:`FrameDecoder` for streaming input.
+    """
+    declared = _declared_length(data, max_frame_bytes)
+    if declared is None or len(data) < _HEADER.size + declared:
+        raise ProtocolError("truncated frame")
+    body = data[_HEADER.size : _HEADER.size + declared]
+    return _parse_body(body), _HEADER.size + declared
+
+
+def _declared_length(buffer: bytes, max_frame_bytes: int) -> int | None:
+    """The body length declared by a (possibly partial) header.
+
+    Returns None when fewer than 4 header bytes are available; raises
+    on a length the format forbids — *before* any body bytes are read.
+    """
+    if len(buffer) < _HEADER.size:
+        return None
+    (declared,) = _HEADER.unpack_from(buffer)
+    if declared == 0:
+        raise ProtocolError("frame with zero-length body")
+    if declared > max_frame_bytes:
+        raise ProtocolError(
+            f"declared frame length {declared} exceeds the {max_frame_bytes}-byte cap"
+        )
+    return declared
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream.
+
+    Feed arbitrarily-chunked bytes; complete frames come out.  Invalid
+    input raises :class:`~repro.net.errors.ProtocolError` immediately
+    (oversized declared lengths are rejected from the 4 header bytes
+    alone); incomplete input never blocks or raises — the decoder just
+    waits for more.  After an error the decoder is poisoned and the
+    connection that fed it should be closed.
+    """
+
+    def __init__(self, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Consume ``data``, returning every frame it completed."""
+        if self._poisoned:
+            raise ProtocolError("decoder poisoned by an earlier protocol error")
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        try:
+            while True:
+                declared = _declared_length(bytes(self._buffer), self.max_frame_bytes)
+                if declared is None or len(self._buffer) < _HEADER.size + declared:
+                    break
+                body = bytes(self._buffer[_HEADER.size : _HEADER.size + declared])
+                del self._buffer[: _HEADER.size + declared]
+                frames.append(_parse_body(body))
+        except ProtocolError:
+            self._poisoned = True
+            raise
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+    def flush(self) -> None:
+        """Assert the stream ended on a frame boundary.
+
+        Call at EOF: leftover bytes mean the peer died mid-frame, which
+        is a protocol error worth surfacing rather than silence.
+        """
+        if self._buffer:
+            raise ProtocolError(f"stream ended mid-frame with {len(self._buffer)} bytes pending")

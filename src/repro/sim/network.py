@@ -1,5 +1,8 @@
 """A simulated message-passing network with accounting.
 
+``SimulatedNetwork`` is the reference implementation of the
+:class:`~repro.net.transport.Transport` contract (the other is
+:class:`~repro.net.aio.AsyncioTransport`, which crosses real sockets).
 Endpoints register a handler keyed by an integer address (the DHT node
 identifier).  Two communication styles are offered:
 
@@ -26,11 +29,11 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from collections.abc import Callable
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.net.errors import PeerUnreachableError, TransportError
+from repro.net.transport import Handler, Message, MessageTrace
 from repro.sim.events import EventScheduler
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.metrics import MetricsRegistry
@@ -43,55 +46,28 @@ __all__ = [
     "SimulatedNetwork",
 ]
 
-Handler = Callable[["Message"], Any]
+
+class NetworkError(TransportError):
+    """Base class for simulated-network failures.
+
+    Rebased onto :class:`~repro.net.errors.TransportError` so code
+    written against the generic transport hierarchy handles simulator
+    failures too.
+    """
 
 
-class NetworkError(RuntimeError):
-    """Base class for simulated-network failures."""
+class NodeUnreachableError(NetworkError, PeerUnreachableError):
+    """The destination is failed or was never registered.
 
-
-class NodeUnreachableError(NetworkError):
-    """The destination is failed or was never registered."""
+    Subclasses both the simulator's historical :class:`NetworkError`
+    and the transport-generic
+    :class:`~repro.net.errors.PeerUnreachableError`, so either catch
+    site works.
+    """
 
     def __init__(self, address: int):
-        super().__init__(f"node {address} is unreachable")
+        TransportError.__init__(self, f"node {address} is unreachable")
         self.address = address
-
-
-@dataclass(frozen=True)
-class Message:
-    """One network message."""
-
-    src: int
-    dst: int
-    kind: str
-    payload: dict[str, Any] = field(default_factory=dict)
-    is_reply: bool = False
-
-
-@dataclass
-class MessageTrace:
-    """Messages captured by a :meth:`SimulatedNetwork.trace` window."""
-
-    messages: list[Message] = field(default_factory=list)
-
-    @property
-    def message_count(self) -> int:
-        return len(self.messages)
-
-    @property
-    def request_count(self) -> int:
-        return sum(1 for m in self.messages if not m.is_reply)
-
-    def nodes_contacted(self, *, exclude: frozenset[int] | set[int] = frozenset()) -> set[int]:
-        """Distinct destinations of non-reply messages, minus ``exclude``.
-
-        This is the paper's "number of nodes need to be contacted".
-        """
-        return {m.dst for m in self.messages if not m.is_reply} - set(exclude)
-
-    def count_kind(self, kind: str) -> int:
-        return sum(1 for m in self.messages if m.kind == kind)
 
 
 class SimulatedNetwork:
@@ -133,6 +109,16 @@ class SimulatedNetwork:
         """All registered addresses (failed ones included)."""
         return frozenset(self._handlers)
 
+    # -- clock --------------------------------------------------------
+
+    def now(self) -> float:
+        """Current virtual time (the scheduler's clock)."""
+        return self.scheduler.now
+
+    def sleep(self, delay: float) -> None:
+        """Advance the virtual clock by ``delay`` units."""
+        self.scheduler.advance(delay)
+
     # -- failure injection --------------------------------------------
 
     def fail(self, address: int) -> None:
@@ -173,13 +159,25 @@ class SimulatedNetwork:
 
     # -- communication ------------------------------------------------
 
-    def rpc(self, src: int, dst: int, kind: str, payload: dict[str, Any] | None = None) -> Any:
+    def rpc(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> Any:
         """Synchronous request/reply.  Returns the handler's return value.
 
         Accounts one request and one reply message and advances the
         clock by two one-way latencies.  A local call (``src == dst``)
         is free: no messages, no delay — as in the paper, where a node
         consulting its own index table costs nothing on the network.
+        ``timeout`` is accepted for :class:`~repro.net.transport.Transport`
+        compatibility and ignored: a simulated reply either arrives
+        after the modelled latency or the failure surfaces immediately,
+        so there is no open-ended wait to bound.
         """
         request = Message(src, dst, kind, payload or {})
         if src == dst:

@@ -3,25 +3,36 @@
 The paper's access operations (Sections 3.3–3.5) all reduce to DOLR
 messages, and Section 3.4 observes that a real deployment must add
 fault tolerance on top of them.  This module supplies the generic
-machinery, expressed against the simulation substrate so every policy
-decision is deterministic and accounted:
+machinery, expressed against the :class:`~repro.net.transport.Transport`
+contract so the same channel works over the deterministic simulator
+*and* over real sockets (:class:`~repro.net.aio.AsyncioTransport`):
 
 * :class:`RetryPolicy` — bounded attempts with exponential backoff.
-  Backoff sleeps advance the *virtual* clock, and jitter is drawn from
-  a seeded RNG, so two runs of the same experiment retry at identical
-  virtual times.  An optional per-operation deadline (again in virtual
-  time) caps how long an operation may keep retrying.
+  Backoff sleeps go through the transport's clock
+  (:meth:`~repro.net.transport.Transport.sleep`): they advance the
+  *virtual* clock on the simulator — so two runs of the same experiment
+  retry at identical virtual times — and actually sleep on a real
+  transport.  An optional per-operation deadline (in transport time
+  units) caps how long an operation may keep retrying, and bounds each
+  attempt's reply wait on transports that support timeouts.
 * :class:`CircuitBreaker` — a per-destination closed / open / half-open
   state machine.  After ``failure_threshold`` consecutive failures the
   breaker opens and calls fail fast (no message is sent); once
-  ``reset_timeout`` of virtual time has passed a single probe is let
+  ``reset_timeout`` of transport time has passed a single probe is let
   through (half-open) and its outcome re-closes or re-opens the breaker.
 * :class:`ResilientChannel` — the façade protocol code talks to: an
-  ``rpc``/``send`` pair mirroring :class:`~repro.sim.network.SimulatedNetwork`
+  ``rpc``/``send`` pair mirroring the transport's
   that applies the retry policy and one breaker per destination, and
   accounts everything in :class:`~repro.sim.metrics.MetricsRegistry`
   (``rpc.retries``, ``rpc.deadline_exceeded``, ``breaker.open`` …) plus
-  an ``rpc.attempt_latency`` histogram of virtual-time attempt costs.
+  an ``rpc.attempt_latency`` histogram of per-attempt time costs.
+
+The channel retries exactly the transport-generic
+:class:`~repro.net.errors.PeerUnreachableError` family — the
+simulator's :class:`~repro.sim.network.NodeUnreachableError`, a real
+transport's connection failures and
+:class:`~repro.net.errors.RpcTimeoutError` — so retries and breakers
+behave identically whichever medium carries the messages.
 
 A channel built with the default policies is a pass-through: one
 attempt, no breaker, byte-identical message accounting to calling the
@@ -36,7 +47,9 @@ import random
 from dataclasses import dataclass
 from typing import Any
 
-from repro.sim.network import NetworkError, NodeUnreachableError, SimulatedNetwork
+from repro.net.errors import PeerUnreachableError
+from repro.net.transport import Transport
+from repro.sim.network import NetworkError, NodeUnreachableError
 from repro.util.rng import make_rng
 
 __all__ = [
@@ -224,7 +237,7 @@ class CircuitBreaker:
 
 
 class ResilientChannel:
-    """Retry/deadline/breaker wrapper over one :class:`SimulatedNetwork`.
+    """Retry/deadline/breaker wrapper over one :class:`~repro.net.transport.Transport`.
 
     All metrics land in the network's :class:`MetricsRegistry` under
     ``metrics_prefix`` (default ``rpc``) and ``breaker``:
@@ -244,7 +257,7 @@ class ResilientChannel:
 
     def __init__(
         self,
-        network: SimulatedNetwork,
+        network: Transport,
         policy: RetryPolicy | None = None,
         *,
         breaker: BreakerPolicy | None = None,
@@ -272,7 +285,7 @@ class ResilientChannel:
             return None
         breaker = self._breakers.get(address)
         if breaker is None:
-            breaker = CircuitBreaker(self.breaker_policy, lambda: self.network.scheduler.now)
+            breaker = CircuitBreaker(self.breaker_policy, self.network.now)
             self._breakers[address] = breaker
         return breaker
 
@@ -288,25 +301,30 @@ class ResilientChannel:
         Raises :class:`CircuitOpenError` without sending when the
         destination's breaker is open, :class:`DeadlineExceededError`
         when the policy's deadline expires between attempts, and the
-        last :class:`NodeUnreachableError` when attempts are exhausted.
+        last :class:`~repro.net.errors.PeerUnreachableError` when
+        attempts are exhausted.  When the policy has a deadline, the
+        remaining budget also bounds each attempt's reply wait (real
+        transports map it to a socket timeout; the simulator ignores
+        it — a virtual reply cannot dawdle).
         """
         policy = self.policy
-        metrics = self.network.metrics
-        scheduler = self.network.scheduler
+        network = self.network
+        metrics = network.metrics
         breaker = self.breaker_for(dst)
-        deadline = None if policy.deadline is None else scheduler.now + policy.deadline
+        deadline = None if policy.deadline is None else network.now() + policy.deadline
 
-        last_error: NodeUnreachableError | None = None
+        last_error: PeerUnreachableError | None = None
         for attempt in range(1, policy.max_attempts + 1):
             if breaker is not None and not breaker.allow():
                 metrics.increment("breaker.rejected")
                 raise CircuitOpenError(dst)
-            started = scheduler.now
+            started = network.now()
             metrics.increment(f"{self.metrics_prefix}.attempts")
+            timeout = None if deadline is None else max(deadline - started, 0.0)
             try:
-                result = self.network.rpc(src, dst, kind, payload)
-            except NodeUnreachableError as error:
-                metrics.record(f"{self.metrics_prefix}.attempt_latency", scheduler.now - started)
+                result = network.rpc(src, dst, kind, payload, timeout=timeout)
+            except PeerUnreachableError as error:
+                metrics.record(f"{self.metrics_prefix}.attempt_latency", network.now() - started)
                 metrics.increment(f"{self.metrics_prefix}.failures")
                 if breaker is not None:
                     was_half_open = breaker.state is BreakerState.HALF_OPEN
@@ -319,13 +337,13 @@ class ResilientChannel:
                     metrics.increment(f"{self.metrics_prefix}.exhausted")
                     raise
                 delay = policy.backoff_delay(attempt, self.rng)
-                if deadline is not None and scheduler.now + delay > deadline:
+                if deadline is not None and network.now() + delay > deadline:
                     metrics.increment(f"{self.metrics_prefix}.deadline_exceeded")
                     raise DeadlineExceededError(dst, deadline) from error
-                scheduler.advance(delay)
+                network.sleep(delay)
                 metrics.increment(f"{self.metrics_prefix}.retries")
                 continue
-            metrics.record(f"{self.metrics_prefix}.attempt_latency", scheduler.now - started)
+            metrics.record(f"{self.metrics_prefix}.attempt_latency", network.now() - started)
             if breaker is not None:
                 was_recovering = breaker.state is not BreakerState.CLOSED
                 breaker.record_success()

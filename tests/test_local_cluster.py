@@ -1,0 +1,169 @@
+"""Integration tests: the full protocol stack over real TCP sockets.
+
+The acceptance bar for the networking subsystem: a 16-node
+:class:`~repro.net.cluster.LocalCluster` must run publish, pin search,
+superset search and cumulative search end-to-end over loopback sockets
+and return *exactly* what the simulator returns for the same seed —
+same result sets, same message counts — and tear down without leaking
+connections or threads.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.config import ServiceConfig
+from repro.core.service import KeywordSearchService
+from repro.net.cluster import LocalCluster
+from repro.net.node import NodeDaemon, cluster_addresses
+
+CONFIG = ServiceConfig(dimension=6, num_dht_nodes=16, seed=11, cache_capacity=8)
+
+CORPUS = [
+    ("paper.pdf", {"dht", "search", "p2p"}),
+    ("slides.ppt", {"dht", "search"}),
+    ("notes.txt", {"p2p", "overlay"}),
+    ("code.tar", {"dht", "overlay", "chord"}),
+    ("data.csv", {"search"}),
+    ("thesis.pdf", {"dht", "p2p", "overlay", "search"}),
+]
+
+
+def drive(service: KeywordSearchService) -> dict:
+    """Publish the corpus and run every search mode; capture everything
+    observable so the two media can be compared key by key."""
+    for object_id, keywords in CORPUS:
+        service.publish(object_id, keywords)
+    outcome = {
+        "pin": service.pin_search({"dht", "search", "p2p"}).results(),
+        "pin_miss": service.pin_search({"nosuch"}).results(),
+        "superset": service.superset_search({"dht"}).results(),
+        "superset_thresholded": service.superset_search({"search"}, threshold=2).results(),
+        "superset_cached": service.superset_search({"dht"}).results(),  # second: cache path
+        "read": tuple(service.read("paper.pdf")),
+    }
+    session = service.cumulative_search({"dht"})
+    pages = []
+    while not session.exhausted and len(pages) < 10:
+        batch = session.next_batch(2)
+        pages.append(tuple(found.object_id for found in batch.objects))
+    outcome["cumulative_pages"] = tuple(pages)
+    outcome["messages"] = service.messages_sent()
+    return outcome
+
+
+class TestLocalCluster:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        """Drive the identical workload over both media, once."""
+        simulated = drive(KeywordSearchService.create(CONFIG))
+        with LocalCluster(CONFIG) as cluster:
+            networked = drive(cluster.service)
+            endpoints = cluster.endpoints
+            addresses = cluster.addresses()
+        return simulated, networked, endpoints, addresses
+
+    def test_sixteen_real_endpoints(self, outcomes):
+        _, _, endpoints, addresses = outcomes
+        assert len(addresses) == 16
+        assert sorted(endpoints) == addresses
+        ports = {port for _, port in endpoints.values()}
+        assert len(ports) == 16  # one listening socket per node
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "pin",
+            "pin_miss",
+            "superset",
+            "superset_thresholded",
+            "superset_cached",
+            "cumulative_pages",
+            "read",
+        ],
+    )
+    def test_results_identical_to_simulator(self, outcomes, key):
+        simulated, networked, _, _ = outcomes
+        assert networked[key] == simulated[key]
+
+    def test_search_actually_found_things(self, outcomes):
+        simulated, _, _, _ = outcomes
+        assert simulated["pin"] == ("paper.pdf",)
+        assert set(simulated["superset"]) == {"paper.pdf", "slides.ppt", "code.tar", "thesis.pdf"}
+        assert simulated["pin_miss"] == ()
+
+    def test_message_counts_identical_to_simulator(self, outcomes):
+        # The strongest parity statement: not just the same answers, the
+        # same number of protocol messages to produce them.
+        simulated, networked, _, _ = outcomes
+        assert networked["messages"] == simulated["messages"]
+        assert networked["messages"] > 0
+
+    def test_wire_traffic_really_happened(self):
+        with LocalCluster(CONFIG) as cluster:
+            drive(cluster.service)
+            metrics = cluster.transport.metrics
+            assert metrics.counter("net.frames_sent") > 0
+            assert metrics.counter("net.bytes_sent") > 0
+            assert metrics.counter("net.protocol_errors") == 0
+            assert metrics.summary("net.rpc_latency").count > 0
+
+    def test_no_leaks_after_close(self):
+        cluster = LocalCluster(CONFIG)
+        drive(cluster.service)
+        assert cluster.transport.open_connection_count() > 0
+        cluster.close()
+        assert cluster.transport.open_connection_count() == 0
+        assert not any(
+            thread.name.startswith("repro-net") for thread in threading.enumerate()
+        )
+
+
+class TestNodeDaemon:
+    def test_multi_daemon_deployment(self):
+        """Four daemons, each serving one address and dialling the other
+        three: publish at one daemon, search from another."""
+        config = ServiceConfig(dimension=6, num_dht_nodes=4, seed=7)
+        addresses = cluster_addresses(config)
+        assert len(addresses) == 4
+        daemons = {address: NodeDaemon(config, address) for address in addresses}
+        try:
+            for address, daemon in daemons.items():
+                for other, peer in daemons.items():
+                    if other != address:
+                        daemon.transport.peers[other] = peer.endpoint
+            publisher, searcher = addresses[0], addresses[-1]
+            daemons[publisher].service.publish("paper.pdf", {"dht", "search"}, holder=publisher)
+            found = daemons[searcher].service.pin_search({"dht", "search"}, origin=searcher)
+            assert found.results() == ("paper.pdf",)
+            superset = daemons[searcher].service.superset_search({"dht"}, origin=searcher)
+            assert superset.results() == ("paper.pdf",)
+        finally:
+            for daemon in daemons.values():
+                daemon.close()
+        assert not any(
+            thread.name.startswith("repro-net") for thread in threading.enumerate()
+        )
+
+    def test_rejects_address_outside_deployment(self):
+        config = ServiceConfig(dimension=6, num_dht_nodes=4, seed=7)
+        with pytest.raises(ValueError, match="not part of this deployment"):
+            NodeDaemon(config, 123)
+
+    def test_cluster_addresses_matches_every_medium(self):
+        config = ServiceConfig(dimension=6, num_dht_nodes=8, seed=3)
+        expected = cluster_addresses(config)
+        with LocalCluster(config) as cluster:
+            assert cluster.addresses() == expected
+
+
+class TestNodeCli:
+    def test_addresses_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["node", "addresses", "--dimension", "6", "--nodes", "4", "--seed", "7"]
+        )
+        assert code == 0
+        printed = [int(line) for line in capsys.readouterr().out.split()]
+        assert printed == cluster_addresses(ServiceConfig(dimension=6, num_dht_nodes=4, seed=7))

@@ -1,0 +1,233 @@
+"""Tests for the TCP transport (repro.net.aio) and its resilience hooks."""
+
+import threading
+import time
+
+import pytest
+
+from repro.net.aio import AsyncioTransport
+from repro.net.errors import (
+    PeerUnreachableError,
+    RemoteHandlerError,
+    RpcTimeoutError,
+    TransportError,
+)
+from repro.net.transport import Transport
+from repro.sim.network import SimulatedNetwork
+from repro.sim.resilience import ResilientChannel, RetryPolicy
+
+
+@pytest.fixture
+def transport():
+    with AsyncioTransport(rpc_timeout=5.0) as transport:
+        yield transport
+
+
+def echo_handler(message):
+    return {"echo": message.payload, "kind": message.kind}
+
+
+class TestTransportContract:
+    def test_both_media_satisfy_the_protocol(self, transport):
+        assert isinstance(transport, Transport)
+        assert isinstance(SimulatedNetwork(), Transport)
+
+    def test_rpc_roundtrip_over_sockets(self, transport):
+        transport.register(1, echo_handler)
+        transport.register(2, echo_handler)
+        result = transport.rpc(1, 2, "test.echo", {"keywords": frozenset({"dht", "p2p"})})
+        assert result == {"echo": {"keywords": frozenset({"dht", "p2p"})}, "kind": "test.echo"}
+
+    def test_each_endpoint_gets_its_own_port(self, transport):
+        transport.register(1, echo_handler)
+        transport.register(2, echo_handler)
+        ports = {port for _, port in transport.endpoints.values()}
+        assert len(ports) == 2
+
+    def test_local_rpc_is_free(self, transport):
+        transport.register(1, echo_handler)
+        transport.rpc(1, 1, "test.echo", {"x": 1})
+        assert transport.metrics.counter("network.messages") == 0
+
+    def test_remote_rpc_accounts_request_and_reply(self, transport):
+        transport.register(1, echo_handler)
+        transport.register(2, echo_handler)
+        with transport.trace() as window:
+            transport.rpc(1, 2, "test.echo", {})
+        assert transport.metrics.counter("network.messages") == 2
+        assert window.message_count == 2
+        assert window.request_count == 1
+        assert window.nodes_contacted() == {2}
+
+    def test_send_datagram_accounted_and_delivered(self, transport):
+        received = []
+        done = threading.Event()
+
+        def collector(message):
+            received.append(message.payload)
+            done.set()
+
+        transport.register(1, echo_handler)
+        transport.register(2, collector)
+        transport.send(1, 2, "test.note", {"n": 1})
+        assert done.wait(5.0)
+        assert received == [{"n": 1}]
+        assert transport.metrics.counter("network.messages") == 1
+
+    def test_send_deliver_false_accounts_without_transmitting(self, transport):
+        transport.register(1, echo_handler)
+        transport.send(1, 99, "test.note", {"n": 1}, deliver=False)
+        assert transport.metrics.counter("network.messages") == 1
+
+    def test_send_to_dead_peer_is_silent(self, transport):
+        transport.register(1, echo_handler)
+        transport.send(1, 424242, "test.note", {})  # no such endpoint: lost, no raise
+        assert transport.metrics.counter("network.messages") == 1
+
+    def test_handler_exception_becomes_remote_handler_error(self, transport):
+        def boom(message):
+            raise ValueError("table is empty")
+
+        transport.register(1, echo_handler)
+        transport.register(2, boom)
+        with pytest.raises(RemoteHandlerError) as info:
+            transport.rpc(1, 2, "test.boom", {})
+        assert info.value.error_type == "ValueError"
+        assert info.value.remote_message == "table is empty"
+        assert not isinstance(info.value, PeerUnreachableError)  # not retryable
+        # The connection survives the error: the next call works.
+        transport.register(2, echo_handler)
+        assert transport.rpc(1, 2, "test.echo", {})["kind"] == "test.echo"
+
+    def test_unknown_destination_raises_unreachable(self, transport):
+        transport.register(1, echo_handler)
+        with pytest.raises(PeerUnreachableError) as info:
+            transport.rpc(1, 424242, "test.echo", {})
+        assert info.value.address == 424242
+        # The failed request was still accounted: it was sent into the void.
+        assert transport.metrics.counter("network.messages") == 1
+
+    def test_nested_rpc_from_handler(self, transport):
+        # A handler that itself calls over the network (depth-1 nesting,
+        # the shape chord route_step relay patterns could take).
+        transport.register(3, lambda m: {"leaf": m.payload["x"] * 2})
+
+        def relay(message):
+            return transport.rpc(2, 3, "test.leaf", {"x": message.payload["x"]})
+
+        transport.register(1, echo_handler)
+        transport.register(2, relay)
+        assert transport.rpc(1, 2, "test.relay", {"x": 21}) == {"leaf": 42}
+
+    def test_concurrent_rpcs_multiplex_one_connection(self, transport):
+        transport.register(1, echo_handler)
+        transport.register(2, lambda m: m.payload["n"])
+        results = []
+        errors = []
+
+        def worker(n):
+            try:
+                results.append(transport.rpc(1, 2, "test.n", {"n": n}))
+            except TransportError as error:  # pragma: no cover - failure detail
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(20)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert sorted(results) == list(range(20))
+        assert transport.open_connection_count() == 2  # one client + one server side
+
+
+class TestFailureSemantics:
+    def test_failed_endpoint_times_out(self, transport):
+        transport.register(1, echo_handler)
+        transport.register(2, echo_handler)
+        transport.fail(2)
+        assert not transport.is_alive(2)
+        started = time.monotonic()
+        with pytest.raises(RpcTimeoutError) as info:
+            transport.rpc(1, 2, "test.echo", {}, timeout=200)  # 200 units = 0.2 s
+        assert info.value.address == 2
+        assert time.monotonic() - started < 2.0
+        transport.recover(2)
+        assert transport.is_alive(2)
+        assert transport.rpc(1, 2, "test.echo", {})["kind"] == "test.echo"
+
+    def test_rpc_timeout_is_retryable(self):
+        assert issubclass(RpcTimeoutError, PeerUnreachableError)
+
+    def test_cannot_fail_unknown_address(self, transport):
+        with pytest.raises(PeerUnreachableError):
+            transport.fail(99)
+
+    def test_resilient_channel_retries_through_dropped_connection(self, transport):
+        """Satellite check: a connection dropped mid-request surfaces as
+        a retryable transport error and the channel's next attempt,
+        over a fresh connection, succeeds."""
+        transport.register(1, echo_handler)
+        transport.register(2, lambda m: {"ok": True})
+        channel = ResilientChannel(transport, RetryPolicy(max_attempts=3, base_delay=1.0))
+        transport.rpc(1, 2, "test.warm", {})  # open the pooled connection
+        transport.drop_next_requests(2, 1)
+        result = channel.rpc(1, 2, "test.retry", {})
+        assert result == {"ok": True}
+        assert transport.metrics.counter("rpc.retries") == 1
+        assert transport.metrics.counter("rpc.attempts") == 2
+
+    def test_dropped_connection_without_retries_raises_unreachable(self, transport):
+        transport.register(1, echo_handler)
+        transport.register(2, echo_handler)
+        transport.rpc(1, 2, "test.warm", {})
+        transport.drop_next_requests(2, 1)
+        with pytest.raises(PeerUnreachableError):
+            transport.rpc(1, 2, "test.echo", {})
+
+    def test_retry_policy_deadline_bounds_socket_wait(self, transport):
+        transport.register(1, echo_handler)
+        transport.register(2, echo_handler)
+        transport.fail(2)
+        channel = ResilientChannel(
+            transport, RetryPolicy(max_attempts=5, base_delay=10.0, deadline=300.0)
+        )
+        started = time.monotonic()
+        with pytest.raises(PeerUnreachableError):
+            channel.rpc(1, 2, "test.echo", {})
+        # Deadline is 300 units = 0.3 s; without the deadline mapping the
+        # first attempt alone would block for the 5 s default timeout.
+        assert time.monotonic() - started < 2.0
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_leak_free(self):
+        transport = AsyncioTransport()
+        transport.register(1, echo_handler)
+        transport.register(2, echo_handler)
+        transport.rpc(1, 2, "test.echo", {})
+        assert transport.open_connection_count() > 0
+        before = threading.active_count()
+        transport.close()
+        transport.close()
+        assert transport.open_connection_count() == 0
+        assert threading.active_count() <= before
+        assert not any(
+            thread.name.startswith("repro-net") for thread in threading.enumerate()
+        )
+        with pytest.raises(RuntimeError):
+            transport.rpc(1, 2, "test.echo", {})
+
+    def test_unregister_stops_serving(self, transport):
+        transport.register(1, echo_handler)
+        transport.register(2, echo_handler)
+        transport.unregister(2)
+        assert 2 not in transport.endpoints
+        assert not transport.is_alive(2)
+        with pytest.raises(PeerUnreachableError):
+            transport.rpc(1, 2, "test.echo", {})
+
+    def test_context_manager_closes(self):
+        with AsyncioTransport() as transport:
+            transport.register(1, echo_handler)
+        assert transport.closed
