@@ -6,12 +6,15 @@
     python -m repro node addresses --dimension 6 --nodes 4 --seed 7
     python -m repro node serve --dimension 6 --nodes 4 --seed 7 \\
         --address 1182657605 --port 9001 --peer 1399953982=127.0.0.1:9002
+    python -m repro stats --nodes 16 --lint
+    python -m repro trace --keywords dht,search --threshold 2
 
 ``run`` introspects the chosen runner's signature and coerces each
 ``--key value`` option to the parameter's annotated type: integers,
 floats, strings, booleans, and comma-separated tuples of numbers.
 ``node`` hosts one DHT node's endpoint over real TCP (see
-:mod:`repro.net.node`).
+:mod:`repro.net.node`); ``stats`` and ``trace`` expose the
+observability layer (see :mod:`repro.obs.commands`).
 """
 
 from __future__ import annotations
@@ -99,8 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--csv", default=None, help="write the rows as CSV to this file")
     runner.add_argument("--json", default=None, help="write the full result as JSON to this file")
     from repro.net.node import add_node_commands
+    from repro.obs.commands import add_obs_commands
 
     add_node_commands(commands)
+    add_obs_commands(commands)
     return parser
 
 
@@ -133,6 +138,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.net.node import run_node_command
 
         return run_node_command(arguments)
+    if arguments.command in ("stats", "trace"):
+        if extra:
+            raise SystemExit(f"unrecognized arguments: {' '.join(extra)}")
+        from repro.obs.commands import run_obs_command
+
+        return run_obs_command(arguments)
     if arguments.command == "list":
         for name in EXPERIMENTS:
             module = importlib.import_module(f"repro.experiments.{name}")

@@ -102,12 +102,13 @@ class QueryCache(abc.ABC):
         complete: bool,
     ) -> bool:
         """Insert (or refresh) an entry, evicting in policy order until it
-        fits.  Returns False when the entry alone exceeds capacity (it is
-        then not cached at all)."""
+        fits.  Returns False when the entry alone exceeds capacity — it
+        is then not cached at all, and any *existing* entry for the same
+        query (smaller, possibly complete) is left intact rather than
+        evicted in favour of nothing."""
         entry = CachedResult(results, complete)
         size = self._size_of(entry)
         if size > self.capacity:
-            self._evict_key(query)
             return False
         self._evict_key(query)
         while self._used + size > self.capacity and self._entries:

@@ -140,13 +140,16 @@ class SearchOptions:
     ``threshold`` is the paper's t (stop after min(t, |O_K|) objects);
     ``origin`` the requesting node (any live node when None); ``order``
     the tree-traversal strategy; ``use_cache`` overrides the service
-    default (cache on iff a cache capacity was configured).
+    default (cache on iff a cache capacity was configured); ``trace``
+    attaches a per-query :class:`~repro.obs.trace.QueryTrace` to the
+    result (observable behaviour is unchanged either way).
     """
 
     threshold: int | None = None
     origin: int | None = None
     order: TraversalOrder = TraversalOrder.TOP_DOWN
     use_cache: bool | None = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.threshold is not None and self.threshold < 1:

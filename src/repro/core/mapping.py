@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.dht.dolr import DolrNetwork, LookupResult
 from repro.hypercube.hypercube import Hypercube
+from repro.obs.trace import active_recorder
 
 __all__ = ["HypercubeMapping"]
 
@@ -83,7 +84,17 @@ class HypercubeMapping:
 
     def route_to(self, logical: int, origin: int | None = None) -> LookupResult:
         """Route to the physical node playing ``u``, paying DHT hops."""
-        return self.dolr.lookup(self.dht_key(logical), origin=origin)
+        result = self.dolr.lookup(self.dht_key(logical), origin=origin)
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.emit(
+                "route",
+                target=logical,
+                owner=result.owner,
+                hops=result.hops,
+                origin=origin,
+            )
+        return result
 
     def placement(self) -> dict[int, int]:
         """logical node -> physical owner for the whole cube.

@@ -172,7 +172,7 @@ class ReplicatedSuperSetSearch(SuperSetSearch):
         *,
         via: int | None = None,
         responder_hops: int = 0,
-    ) -> tuple[list[FoundObject], int, str]:
+    ) -> tuple[list[FoundObject], int, str, bool]:
         """Visit via the primary's true placement owner; when that node
         is dead, go straight to the replicas.
 
@@ -193,7 +193,7 @@ class ReplicatedSuperSetSearch(SuperSetSearch):
             status = "replica" if fallback is not None else "failed"
             if status == "failed":
                 network.metrics.increment("search.degraded_visits")
-            return found, responder_hops, status
+            return found, responder_hops, status, False
         return super()._visit(
             query,
             remaining,
@@ -211,9 +211,10 @@ class ReplicatedSuperSetSearch(SuperSetSearch):
         for index in self.replicated.indexes[1:]:
             physical = index.mapping.physical_owner(logical)
             try:
-                return self._scan_rpc(
+                found, _ = self._scan_rpc(
                     sender, physical, index.namespace, logical, query, remaining
                 )
+                return found
             except PeerUnreachableError:
                 continue
         return None

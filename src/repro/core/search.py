@@ -41,12 +41,14 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 from collections.abc import Iterable, Iterator
 
 from repro.core.index import HypercubeIndex
 from repro.core.keywords import normalize_keywords
 from repro.net.errors import PeerUnreachableError
+from repro.obs.trace import QueryTrace, TraceRecorder, active_recorder, recording
 from repro.sim.resilience import ResilientChannel
 from repro.hypercube.sbt import SpanningBinomialTree
 from repro.util import bitops
@@ -119,6 +121,10 @@ class SearchResult:
     messages: int
     rounds: int
     cache_hit: bool
+    # The per-query event trace, when the search ran with tracing on
+    # (excluded from equality: two identical searches differ only in
+    # event timestamps).
+    trace: QueryTrace | None = field(default=None, compare=False, repr=False)
 
     @property
     def object_ids(self) -> tuple[str, ...]:
@@ -157,6 +163,8 @@ class SearchResult:
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         needed = fraction * total_matching
+        if needed <= 0:
+            return 0  # a recall of nothing needs no visits
         collected = 0
         for count, visit in enumerate(self.visits, start=1):
             collected += visit.returned
@@ -205,8 +213,17 @@ class SuperSetSearch:
         origin: int | None = None,
         order: TraversalOrder = TraversalOrder.TOP_DOWN,
         use_cache: bool = False,
+        trace: bool = False,
     ) -> SearchResult:
-        """Execute one superset search and return its full trace."""
+        """Execute one superset search and return its full trace.
+
+        With ``trace=True`` a :class:`~repro.obs.trace.TraceRecorder` is
+        active for the duration of the query and the returned result
+        carries a :class:`~repro.obs.trace.QueryTrace` accounting for
+        every event down to individual transport messages.  Tracing
+        changes no message, clock, or RNG behaviour: the result is
+        byte-identical either way.
+        """
         if threshold is not None and threshold < 1:
             raise ValueError(f"threshold must be >= 1 or None, got {threshold}")
         query = normalize_keywords(keywords)
@@ -215,7 +232,19 @@ class SuperSetSearch:
         origin = dolr.any_address() if origin is None else origin
         root_logical = index.mapper.node_for(query)
 
-        with dolr.network.trace() as trace:
+        recorder = TraceRecorder(clock=dolr.network.now) if trace else None
+        scope = recording(recorder) if recorder is not None else nullcontext()
+        with scope, dolr.network.trace() as window:
+            if recorder is not None:
+                recorder.emit(
+                    "query",
+                    query=sorted(query),
+                    threshold=threshold,
+                    order=order.value,
+                    origin=origin,
+                    root_logical=root_logical,
+                    use_cache=use_cache,
+                )
             route = index.mapping.route_to(root_logical, origin=origin)
             root_physical = route.owner
 
@@ -231,6 +260,14 @@ class SuperSetSearch:
                         "threshold": threshold,
                     },
                 )
+                if recorder is not None:
+                    recorder.emit(
+                        "cache_get",
+                        logical=root_logical,
+                        hit=bool(cached["hit"]),
+                        complete=bool(cached.get("complete", False)),
+                        returned=len(cached.get("results", ())),
+                    )
                 if cached["hit"]:
                     objects = tuple(
                         FoundObject(obj, keywords) for obj, keywords in cached["results"]
@@ -238,16 +275,18 @@ class SuperSetSearch:
                     if threshold is not None:
                         objects = objects[:threshold]
                     visit = NodeVisit(0, root_logical, root_physical, 0, len(objects), route.hops)
-                    return SearchResult(
+                    return self._finish(
+                        recorder,
                         query=query,
                         threshold=threshold,
                         order=order,
+                        origin=origin,
                         root_logical=root_logical,
                         root_physical=root_physical,
                         objects=objects,
                         visits=(visit,),
                         complete=bool(cached["complete"]),
-                        messages=trace.message_count,
+                        messages=window.message_count,
                         rounds=1,
                         cache_hit=True,
                     )
@@ -262,24 +301,41 @@ class SuperSetSearch:
             )
 
             if use_cache:
-                dolr.rpc_at(
-                    root_physical,
-                    root_physical,
-                    "hindex.cache_put",
-                    {
-                        "namespace": index.namespace,
-                        "logical": root_logical,
-                        "keywords": query,
-                        "results": [(f.object_id, f.keywords) for f in objects],
-                        "complete": complete,
-                    },
-                )
-            messages = trace.message_count
+                # A walk with degraded visits (surrogate/failed) may be
+                # missing results the dead hosts held: caching it would
+                # poison the root's cache with a possibly-incomplete set
+                # served as authoritative long after the hosts recover.
+                degraded = any(visit.degraded for visit in visits)
+                if not degraded:
+                    stored = dolr.rpc_at(
+                        root_physical,
+                        root_physical,
+                        "hindex.cache_put",
+                        {
+                            "namespace": index.namespace,
+                            "logical": root_logical,
+                            "keywords": query,
+                            "results": [(f.object_id, f.keywords) for f in objects],
+                            "complete": complete,
+                        },
+                    )
+                if recorder is not None:
+                    recorder.emit(
+                        "cache_put",
+                        logical=root_logical,
+                        size=len(objects),
+                        complete=complete,
+                        stored=bool(stored["stored"]) if not degraded else False,
+                        skipped_degraded=degraded,
+                    )
+            messages = window.message_count
 
-        return SearchResult(
+        return self._finish(
+            recorder,
             query=query,
             threshold=threshold,
             order=order,
+            origin=origin,
             root_logical=root_logical,
             root_physical=root_physical,
             objects=tuple(objects),
@@ -288,6 +344,56 @@ class SuperSetSearch:
             messages=messages,
             rounds=rounds,
             cache_hit=False,
+        )
+
+    @staticmethod
+    def _finish(
+        recorder: TraceRecorder | None,
+        *,
+        query: frozenset[str],
+        threshold: int | None,
+        order: TraversalOrder,
+        origin: int,
+        root_logical: int,
+        root_physical: int,
+        objects: tuple[FoundObject, ...],
+        visits: tuple[NodeVisit, ...],
+        complete: bool,
+        messages: int,
+        rounds: int,
+        cache_hit: bool,
+    ) -> SearchResult:
+        """Assemble the result, freezing the trace when one was kept."""
+        query_trace: QueryTrace | None = None
+        if recorder is not None:
+            query_trace = recorder.finish(
+                {
+                    "query": sorted(query),
+                    "threshold": threshold,
+                    "order": order.value,
+                    "origin": origin,
+                    "root_logical": root_logical,
+                    "root_physical": root_physical,
+                    "results": len(objects),
+                    "complete": complete,
+                    "messages": messages,
+                    "rounds": rounds,
+                    "cache_hit": cache_hit,
+                }
+            )
+        return SearchResult(
+            query=query,
+            threshold=threshold,
+            order=order,
+            root_logical=root_logical,
+            root_physical=root_physical,
+            objects=objects,
+            visits=visits,
+            complete=complete,
+            messages=messages,
+            rounds=rounds,
+            cache_hit=cache_hit,
+            trace=query_trace,
         )
 
     # -- traversals -----------------------------------------------------
@@ -318,50 +424,49 @@ class SuperSetSearch:
         truncated = False
 
         # Root examines its own table first (the initial T_QUERY).
-        returned, hops, status = self._visit(
+        returned, hops, status, scan_truncated = self._visit(
             query, remaining, origin, root_logical, root_physical, responder_hops=root_hops
         )
         objects.extend(returned)
-        visits.append(
-            NodeVisit(0, root_logical, root_physical, 0, len(returned), hops, status)
-        )
-        if remaining is not None:
-            remaining -= len(returned)
-            if remaining <= 0:
-                return objects, visits, False, len(visits)
+        self._record_visit(visits, root_logical, root_physical, 0, len(returned), hops, status)
 
         queue: deque[tuple[int, int]] = deque(
             (root_logical | (1 << i), i)
             for i in self._descending_zero_dims(root_logical, dimension)
         )
+        if remaining is not None:
+            remaining -= len(returned)
+            if remaining <= 0:
+                # The root alone satisfied the threshold.  The search is
+                # still *complete* when nothing was left unexplored: no
+                # SBT children to descend into and the root's own scan
+                # was not cut short by the limit.
+                return objects, visits, not queue and not scan_truncated, len(visits)
+
         while queue:
             w, d = queue.popleft()
-            returned, hops, status = self._visit(
+            returned, hops, status, scan_truncated = self._visit(
                 query, remaining, origin, w, None, via=root_physical
             )
             physical = self._physical_of(w)
             objects.extend(returned)
-            visits.append(
-                NodeVisit(
-                    len(visits),
-                    w,
-                    physical,
-                    bitops.popcount(w ^ root_logical),
-                    len(returned),
-                    hops,
-                    status,
-                )
+            self._record_visit(
+                visits, w, physical, bitops.popcount(w ^ root_logical), len(returned), hops, status
             )
-            if remaining is not None:
-                remaining -= len(returned)
-                if remaining <= 0:
-                    truncated = True
-                    break  # w answers T_STOP; root drops U.
-            queue.extend(
+            continuation = [
                 (w | (1 << i), i)
                 for i in self._descending_zero_dims(w, dimension)
                 if i < d
-            )
+            ]
+            if remaining is not None:
+                remaining -= len(returned)
+                if remaining <= 0:
+                    # w answers T_STOP; root drops U.  Unexplored work —
+                    # queued pairs, w's own children, or a limit-cut
+                    # scan — is what makes the result incomplete.
+                    truncated = bool(queue) or bool(continuation) or scan_truncated
+                    break
+            queue.extend(continuation)
         return objects, visits, not truncated, len(visits)
 
     def _walk_bottom_up(
@@ -382,7 +487,7 @@ class SuperSetSearch:
         first = True
         for node, depth in tree.bfs_bottom_up():
             hops_for = root_hops if first else 0
-            returned, hops, status = self._visit(
+            returned, hops, status, _ = self._visit(
                 query,
                 remaining,
                 origin,
@@ -393,16 +498,8 @@ class SuperSetSearch:
             )
             first = False
             objects.extend(returned)
-            visits.append(
-                NodeVisit(
-                    len(visits),
-                    node,
-                    self._physical_of(node),
-                    depth,
-                    len(returned),
-                    hops,
-                    status,
-                )
+            self._record_visit(
+                visits, node, self._physical_of(node), depth, len(returned), hops, status
             )
             if remaining is not None:
                 remaining -= len(returned)
@@ -435,7 +532,7 @@ class SuperSetSearch:
                 continue
             rounds += 1
             for node in level_nodes:
-                returned, hops, status = self._visit(
+                returned, hops, status, _ = self._visit(
                     query,
                     remaining,
                     origin,
@@ -445,16 +542,8 @@ class SuperSetSearch:
                     responder_hops=root_hops if depth == 0 else 0,
                 )
                 objects.extend(returned)
-                visits.append(
-                    NodeVisit(
-                        len(visits),
-                        node,
-                        self._physical_of(node),
-                        depth,
-                        len(returned),
-                        hops,
-                        status,
-                    )
+                self._record_visit(
+                    visits, node, self._physical_of(node), depth, len(returned), hops, status
                 )
                 if remaining is not None:
                     remaining -= len(returned)
@@ -464,6 +553,28 @@ class SuperSetSearch:
         return objects, visits, not truncated, rounds
 
     # -- mechanics --------------------------------------------------------
+
+    @staticmethod
+    def _record_visit(
+        visits: list[NodeVisit],
+        logical: int,
+        physical: int,
+        depth: int,
+        returned: int,
+        hops: int,
+        status: str,
+    ) -> NodeVisit:
+        """Append one visit record and mirror it onto the active trace.
+
+        The trace side is a bare append of the NodeVisit itself — the
+        recorder materializes the event lazily (see repro.obs.trace).
+        """
+        visit = NodeVisit(len(visits), logical, physical, depth, returned, hops, status)
+        visits.append(visit)
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.raw.append(visit)
+        return visit
 
     def _visit(
         self,
@@ -475,12 +586,14 @@ class SuperSetSearch:
         *,
         via: int | None = None,
         responder_hops: int = 0,
-    ) -> tuple[list[FoundObject], int, str]:
+    ) -> tuple[list[FoundObject], int, str, bool]:
         """Deliver one T_QUERY to ``logical`` and collect its matches.
 
-        Returns (found objects, DHT hops paid, visit status).  Matches
-        are also forwarded directly to the requester, as the protocol
-        specifies (one extra message when non-empty).
+        Returns (found objects, DHT hops paid, visit status, whether the
+        scan was cut short by the result limit — i.e. the node holds
+        more matches than it returned).  Matches are also forwarded
+        directly to the requester, as the protocol specifies (one extra
+        message when non-empty).
 
         Failure ladder, once the channel's retries are exhausted:
         replica fallback (:meth:`_visit_fallback`, for replicated
@@ -493,6 +606,7 @@ class SuperSetSearch:
         metrics = dolr.network.metrics
         hops = responder_hops
         status = "ok"
+        scan_truncated = False
         sender = via if via is not None else origin
         if physical is None:
             if self.contact_mode == "routed":
@@ -502,13 +616,13 @@ class SuperSetSearch:
                     if not self.degrades:
                         raise
                     metrics.increment("search.degraded_visits")
-                    return [], hops, "failed"
+                    return [], hops, "failed", False
                 physical = route.owner
                 hops += route.hops
             else:
                 physical = self._physical_of(logical)
         try:
-            found = self._scan_rpc(
+            found, scan_truncated = self._scan_rpc(
                 sender, physical, self.index.namespace, logical, query, remaining
             )
         except PeerUnreachableError:
@@ -534,7 +648,7 @@ class SuperSetSearch:
             dolr.network.send(
                 physical, origin, "hindex.results", {"count": len(found)}, deliver=False
             )
-        return found, hops, status
+        return found, hops, status, scan_truncated
 
     def _surrogate_visit(
         self, sender: int, logical: int, query: frozenset[str], remaining: int | None
@@ -546,7 +660,7 @@ class SuperSetSearch:
         (found, surrogate address or None, extra hops paid)."""
         try:
             route = self.index.mapping.route_to(logical, origin=sender)
-            found = self._scan_rpc(
+            found, _ = self._scan_rpc(
                 sender, route.owner, self.index.namespace, logical, query, remaining
             )
         except (PeerUnreachableError, RuntimeError):
@@ -561,9 +675,9 @@ class SuperSetSearch:
         logical: int,
         query: frozenset[str],
         remaining: int | None,
-    ) -> list[FoundObject]:
+    ) -> tuple[list[FoundObject], bool]:
         """One hindex.scan request/reply (retried per the channel's
-        policy), decoded to FoundObjects."""
+        policy), decoded to (FoundObjects, limit-truncated flag)."""
         reply = self.channel.rpc(
             sender,
             physical,
@@ -575,11 +689,12 @@ class SuperSetSearch:
                 "limit": remaining,
             },
         )
-        return [
+        found = [
             FoundObject(object_id, entry_keywords)
             for entry_keywords, object_ids in reply["matches"]
             for object_id in object_ids
         ]
+        return found, bool(reply.get("truncated", False))
 
     def _visit_fallback(
         self, sender: int, logical: int, query: frozenset[str], remaining: int | None

@@ -176,6 +176,7 @@ class KeywordSearchService:
         origin: int | None = None,
         order: TraversalOrder = TraversalOrder.TOP_DOWN,
         use_cache: bool | None = None,
+        trace: bool = False,
         options: SearchOptions | None = None,
     ) -> SearchResult:
         """min(t, |O_K|) objects describable by K (Section 2.2).
@@ -189,10 +190,11 @@ class KeywordSearchService:
             origin = options.origin
             order = options.order
             use_cache = options.use_cache
+            trace = options.trace
         if use_cache is None:
             use_cache = self.index.cache_capacity > 0
         return self.searcher.run(
-            keywords, threshold, origin=origin, order=order, use_cache=use_cache
+            keywords, threshold, origin=origin, order=order, use_cache=use_cache, trace=trace
         )
 
     def search(
@@ -231,3 +233,8 @@ class KeywordSearchService:
             for name, value in sorted(self.network.metrics.counters().items())
             if name.startswith(("rpc.", "breaker.", "search.degraded", "search.surrogate"))
         }
+
+    def metrics_snapshot(self):
+        """A point-in-time :class:`~repro.obs.export.MetricsSnapshot` of
+        every counter and sample series (diff two with ``.delta()``)."""
+        return self.network.metrics.snapshot()

@@ -63,6 +63,7 @@ from repro.net.errors import (
     RpcTimeoutError,
 )
 from repro.net.transport import Handler, Message, MessageTrace
+from repro.obs.trace import active_recorder
 from repro.net.wire import (
     DEFAULT_MAX_FRAME_BYTES,
     Frame,
@@ -565,3 +566,6 @@ class AsyncioTransport:
                 self.received_counts[message.dst] += 1
             for window in self._traces:
                 window.messages.append(message)
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.raw.append(message)

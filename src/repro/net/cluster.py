@@ -27,6 +27,7 @@ from __future__ import annotations
 from repro.core.config import ServiceConfig
 from repro.core.service import KeywordSearchService
 from repro.net.aio import AsyncioTransport
+from repro.obs.stats import StatsServer
 
 __all__ = ["LocalCluster"]
 
@@ -41,15 +42,21 @@ class LocalCluster:
         host: str = "127.0.0.1",
         rpc_timeout: float = 10.0,
         time_scale: float = 0.001,
+        stats_port: int | None = None,
     ):
+        """``stats_port`` (0 for OS-assigned) additionally serves the
+        cluster's metrics over HTTP (see :mod:`repro.obs.stats`)."""
         self.config = config
+        self.stats: StatsServer | None = None
         self.transport = AsyncioTransport(
             host=host, rpc_timeout=rpc_timeout, time_scale=time_scale
         )
         try:
             self.service = KeywordSearchService.create(config, network=self.transport)
+            if stats_port is not None:
+                self.stats = StatsServer(self.transport.metrics, host=host, port=stats_port)
         except BaseException:
-            self.transport.close()
+            self.close()
             raise
 
     # -- lifecycle ----------------------------------------------------
@@ -62,6 +69,9 @@ class LocalCluster:
 
     def close(self) -> None:
         """Stop every server, drop every connection, join the IO thread."""
+        if self.stats is not None:
+            self.stats.close()
+            self.stats = None
         self.transport.close()
 
     # -- introspection ------------------------------------------------
@@ -74,6 +84,11 @@ class LocalCluster:
     def endpoints(self) -> dict[int, tuple[str, int]]:
         """Address -> (host, port) for every node's listening socket."""
         return dict(self.transport.endpoints)
+
+    @property
+    def stats_endpoint(self) -> tuple[str, int] | None:
+        """The (host, port) of the stats endpoint, when one is up."""
+        return self.stats.endpoint if self.stats is not None else None
 
     def messages_sent(self) -> int:
         return self.service.messages_sent()

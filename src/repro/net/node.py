@@ -34,6 +34,7 @@ import argparse
 from repro.core.config import ServiceConfig
 from repro.core.service import KeywordSearchService
 from repro.net.aio import AsyncioTransport
+from repro.obs.stats import StatsServer
 
 __all__ = ["NodeDaemon", "cluster_addresses", "add_node_commands", "run_node_command"]
 
@@ -60,9 +61,14 @@ class NodeDaemon:
         peers: dict[int, tuple[str, int]] | None = None,
         rpc_timeout: float = 10.0,
         time_scale: float = 0.001,
+        stats_port: int | None = None,
     ):
+        """``stats_port`` (0 for OS-assigned) additionally serves this
+        daemon's metrics over HTTP — Prometheus text at ``/metrics``,
+        JSON at ``/metrics.json`` (see :mod:`repro.obs.stats`)."""
         self.config = config
         self.address = address
+        self.stats: StatsServer | None = None
         self.transport = AsyncioTransport(
             host=host,
             serve_addresses={address},
@@ -79,14 +85,21 @@ class NodeDaemon:
                     f"address {address} is not part of this deployment; "
                     f"valid addresses: {known}"
                 )
+            if stats_port is not None:
+                self.stats = StatsServer(self.transport.metrics, host=host, port=stats_port)
         except BaseException:
-            self.transport.close()
+            self.close()
             raise
 
     @property
     def endpoint(self) -> tuple[str, int]:
         """The (host, port) this daemon's node listens on."""
         return self.transport.endpoints[self.address]
+
+    @property
+    def stats_endpoint(self) -> tuple[str, int] | None:
+        """The (host, port) of the stats endpoint, when one is up."""
+        return self.stats.endpoint if self.stats is not None else None
 
     def __enter__(self) -> "NodeDaemon":
         return self
@@ -95,6 +108,9 @@ class NodeDaemon:
         self.close()
 
     def close(self) -> None:
+        if self.stats is not None:
+            self.stats.close()
+            self.stats = None
         self.transport.close()
 
 
@@ -152,6 +168,12 @@ def add_node_commands(commands) -> None:
         metavar="ADDRESS=HOST:PORT",
         help="endpoint of another node's daemon (repeatable)",
     )
+    serve.add_argument(
+        "--stats-port",
+        type=int,
+        default=None,
+        help="also serve Prometheus/JSON metrics over HTTP on this port (0: OS-assigned)",
+    )
 
 
 def run_node_command(arguments: argparse.Namespace) -> int:
@@ -163,10 +185,18 @@ def run_node_command(arguments: argparse.Namespace) -> int:
 
     peers = dict(_parse_peer(spec) for spec in arguments.peer)
     daemon = NodeDaemon(
-        config, arguments.address, host=arguments.host, port=arguments.port, peers=peers
+        config,
+        arguments.address,
+        host=arguments.host,
+        port=arguments.port,
+        peers=peers,
+        stats_port=arguments.stats_port,
     )
     host, port = daemon.endpoint
     print(f"serving {arguments.address} on {host}:{port}", flush=True)
+    if daemon.stats_endpoint is not None:
+        stats_host, stats_port = daemon.stats_endpoint
+        print(f"stats on http://{stats_host}:{stats_port}/metrics", flush=True)
     try:
         while True:
             daemon.transport.sleep(1000)  # 1 s per tick; all work happens in the IO thread

@@ -1,0 +1,43 @@
+"""Observability: per-query tracing and metrics export.
+
+The paper's cost claims (Figures 8–9, Section 3.5) are statements about
+*per-query* message, node, and round counts.  This package makes every
+query explainable and every deployment inspectable:
+
+* :mod:`repro.obs.trace` — structured per-query spans/events (``query``,
+  ``route``, ``visit``, ``retry``, ``breaker``, ``cache_get``,
+  ``cache_put``, ``message``) emitted by the search, index, resilience
+  and transport layers, collected into a :class:`~repro.obs.trace.QueryTrace`
+  attached to :class:`~repro.core.search.SearchResult`.  When no
+  recorder is active every emission site is a single ``is None`` check,
+  so the paper-faithful experiments stay byte-identical.
+* :mod:`repro.obs.export` — snapshot/delta export of the
+  :class:`~repro.sim.metrics.MetricsRegistry` in JSON and Prometheus
+  text format, plus a Prometheus format linter.
+* :mod:`repro.obs.stats` — a tiny HTTP stats endpoint
+  (``/metrics``, ``/metrics.json``, ``/healthz``) served by
+  :class:`~repro.net.node.NodeDaemon` and
+  :class:`~repro.net.cluster.LocalCluster`.
+* :mod:`repro.obs.commands` — the ``python -m repro stats`` and
+  ``python -m repro trace`` CLI subcommands.
+"""
+
+from repro.obs.export import (
+    MetricsSnapshot,
+    lint_prometheus_text,
+    prometheus_text,
+    snapshot_registry,
+)
+from repro.obs.trace import QueryTrace, TraceEvent, TraceRecorder, active_recorder, recording
+
+__all__ = [
+    "MetricsSnapshot",
+    "QueryTrace",
+    "TraceEvent",
+    "TraceRecorder",
+    "active_recorder",
+    "lint_prometheus_text",
+    "prometheus_text",
+    "recording",
+    "snapshot_registry",
+]

@@ -1,0 +1,186 @@
+"""CLI glue for the observability layer (``python -m repro stats|trace``).
+
+``stats`` builds a deployment from the usual ``(seed, config)`` spec,
+drives a small publish/search workload through it, and prints the
+resulting metrics — Prometheus text by default, JSON with
+``--format json``.  ``--transport tcp`` runs the workload over a real
+loopback :class:`~repro.net.cluster.LocalCluster` and (with ``--serve``)
+keeps the HTTP stats endpoint up for scraping; ``--lint`` exits
+non-zero when the Prometheus output violates the exposition format.
+
+``trace`` runs one superset search with per-query tracing enabled and
+prints the :class:`~repro.obs.trace.QueryTrace` as JSON lines (or a
+human-readable rendering with ``--render``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import ServiceConfig
+from repro.core.search import TraversalOrder
+from repro.obs.export import lint_prometheus_text, prometheus_text
+from repro.obs.stats import StatsServer
+
+__all__ = ["add_obs_commands", "run_obs_command"]
+
+_SMOKE_OBJECTS = (
+    ("paper.pdf", ("dht", "search", "keyword")),
+    ("slides.pdf", ("dht", "search")),
+    ("thesis.pdf", ("dht", "keyword", "hypercube")),
+    ("notes.txt", ("search",)),
+    ("code.tgz", ("dht",)),
+)
+
+
+def _config_from(arguments: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        dimension=arguments.dimension,
+        num_dht_nodes=arguments.nodes,
+        dht=arguments.dht,
+        dht_bits=arguments.bits,
+        seed=arguments.seed,
+    )
+
+
+def _common_options(subparser) -> None:
+    subparser.add_argument("--dimension", type=int, default=6, help="hypercube dimension")
+    subparser.add_argument("--nodes", type=int, default=16, help="number of DHT nodes")
+    subparser.add_argument("--dht", default="chord", choices=["chord", "kademlia", "pastry"])
+    subparser.add_argument("--bits", type=int, default=32, help="identifier-space bits")
+    subparser.add_argument("--seed", type=int, default=0, help="deployment seed")
+
+
+def add_obs_commands(commands) -> None:
+    """Register the ``stats`` and ``trace`` subcommands on the repro CLI."""
+    stats = commands.add_parser(
+        "stats", help="run a smoke workload and export its metrics"
+    )
+    _common_options(stats)
+    stats.add_argument(
+        "--transport",
+        default="sim",
+        choices=["sim", "tcp"],
+        help="simulated network or a real loopback TCP cluster",
+    )
+    stats.add_argument(
+        "--format",
+        default="prometheus",
+        choices=["prometheus", "json"],
+        help="metrics output format",
+    )
+    stats.add_argument(
+        "--lint",
+        action="store_true",
+        help="validate the Prometheus exposition format; non-zero exit on problems",
+    )
+    stats.add_argument(
+        "--serve",
+        action="store_true",
+        help="keep serving the metrics over HTTP until interrupted",
+    )
+    stats.add_argument("--host", default="127.0.0.1", help="stats endpoint host")
+    stats.add_argument("--port", type=int, default=0, help="stats endpoint port (0: OS-assigned)")
+
+    trace = commands.add_parser(
+        "trace", help="run one traced superset search and dump its event trace"
+    )
+    _common_options(trace)
+    trace.add_argument(
+        "--keywords",
+        default="dht,search",
+        help="comma-separated query keyword set",
+    )
+    trace.add_argument("--threshold", type=int, default=None, help="the paper's t (default: all)")
+    trace.add_argument(
+        "--order",
+        default="top_down",
+        choices=[order.value for order in TraversalOrder],
+    )
+    trace.add_argument("--use-cache", action="store_true", help="probe/populate the root cache")
+    trace.add_argument(
+        "--render", action="store_true", help="human-readable rendering instead of JSON lines"
+    )
+
+
+def _build_service(arguments: argparse.Namespace, transport: str):
+    """Returns (service, closer)."""
+    config = _config_from(arguments)
+    if transport == "tcp":
+        from repro.net.cluster import LocalCluster
+
+        cluster = LocalCluster(config)
+        return cluster.service, cluster.close
+    from repro.core.service import KeywordSearchService
+
+    return KeywordSearchService.create(config), (lambda: None)
+
+
+def _smoke_workload(service) -> None:
+    for object_id, keywords in _SMOKE_OBJECTS:
+        service.publish(object_id, keywords)
+    for query in (("dht",), ("search",), ("dht", "search")):
+        service.superset_search(query)
+
+
+def _run_stats(arguments: argparse.Namespace) -> int:
+    service, closer = _build_service(arguments, arguments.transport)
+    try:
+        _smoke_workload(service)
+        snapshot = service.metrics_snapshot()
+        text = prometheus_text(snapshot)
+        if arguments.format == "prometheus":
+            sys.stdout.write(text)
+        else:
+            print(snapshot.to_json())
+        if arguments.lint:
+            problems = lint_prometheus_text(text)
+            for problem in problems:
+                print(f"lint: {problem}", file=sys.stderr)
+            if problems:
+                return 1
+        if arguments.serve:
+            registry = service.network.metrics
+            with StatsServer(registry, host=arguments.host, port=arguments.port) as server:
+                print(f"serving metrics on {server.url}/metrics", file=sys.stderr, flush=True)
+                try:
+                    while True:
+                        import time
+
+                        time.sleep(1)
+                except KeyboardInterrupt:
+                    pass
+        return 0
+    finally:
+        closer()
+
+
+def _run_trace(arguments: argparse.Namespace) -> int:
+    keywords = tuple(part for part in arguments.keywords.split(",") if part)
+    if not keywords:
+        raise SystemExit("--keywords must name at least one keyword")
+    service, closer = _build_service(arguments, "sim")
+    try:
+        _smoke_workload(service)
+        result = service.superset_search(
+            keywords,
+            arguments.threshold,
+            order=TraversalOrder(arguments.order),
+            use_cache=arguments.use_cache,
+            trace=True,
+        )
+        assert result.trace is not None
+        if arguments.render:
+            print(result.trace.render())
+        else:
+            print(result.trace.to_json_lines())
+        return 0
+    finally:
+        closer()
+
+
+def run_obs_command(arguments: argparse.Namespace) -> int:
+    if arguments.command == "stats":
+        return _run_stats(arguments)
+    return _run_trace(arguments)

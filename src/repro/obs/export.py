@@ -1,0 +1,193 @@
+"""Metrics export: snapshots, deltas, JSON and Prometheus text format.
+
+A :class:`MetricsSnapshot` is a point-in-time, plain-data copy of a
+:class:`~repro.sim.metrics.MetricsRegistry` — counters plus summary
+statistics of every sample series.  Snapshots subtract
+(:meth:`MetricsSnapshot.delta`), serialize to JSON, and render to the
+Prometheus text exposition format (the format a Prometheus server
+scrapes from the stats endpoint of :mod:`repro.obs.stats`).
+
+:func:`lint_prometheus_text` validates the exposition format — metric
+name syntax, TYPE declarations, parseable sample values — and is run by
+the CI smoke job against a live cluster's ``/metrics`` output.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.metrics import MetricsRegistry
+
+__all__ = [
+    "MetricsSnapshot",
+    "lint_prometheus_text",
+    "prometheus_text",
+    "snapshot_registry",
+]
+
+_SUMMARY_FIELDS = ("count", "total", "mean", "minimum", "maximum", "p50", "p95", "p99")
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r"\s+(?P<value>\S+)"
+    r"(\s+(?P<timestamp>-?\d+))?$"
+)
+_VALID_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time copy of a registry, as plain data.
+
+    ``counters`` maps counter name to value; ``series`` maps series name
+    to its summary-statistic fields (count, total, mean, minimum,
+    maximum, p50, p95, p99).
+    """
+
+    counters: dict[str, int]
+    series: dict[str, dict[str, float]]
+
+    @classmethod
+    def capture(cls, registry: "MetricsRegistry") -> "MetricsSnapshot":
+        series = {}
+        for name in registry.series_names():
+            summary = registry.summary(name)
+            series[name] = {field: float(getattr(summary, field)) for field in _SUMMARY_FIELDS}
+        return cls(counters=registry.counters(), series=series)
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened between ``earlier`` and this snapshot.
+
+        Counter values are subtracted (unchanged counters are dropped).
+        Series keep window ``count``/``total``/``mean``; the order
+        statistics (min/max/percentiles) of just the window cannot be
+        recovered from two summaries, so they are carried from the later
+        snapshot — cumulative, clearly better than silently wrong.
+        """
+        counters = {
+            name: value - earlier.counters.get(name, 0)
+            for name, value in self.counters.items()
+            if value != earlier.counters.get(name, 0)
+        }
+        series: dict[str, dict[str, float]] = {}
+        for name, summary in self.series.items():
+            before = earlier.series.get(name, {})
+            count = summary["count"] - before.get("count", 0.0)
+            if count <= 0:
+                continue
+            total = summary["total"] - before.get("total", 0.0)
+            windowed = dict(summary)
+            windowed["count"] = count
+            windowed["total"] = total
+            windowed["mean"] = total / count
+            series[name] = windowed
+        return MetricsSnapshot(counters=counters, series=series)
+
+    # -- serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"counters": dict(sorted(self.counters.items())),
+                "series": {name: dict(fields) for name, fields in sorted(self.series.items())}}
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        data = json.loads(text)
+        return cls(
+            counters={str(k): int(v) for k, v in data.get("counters", {}).items()},
+            series={
+                str(name): {str(f): float(v) for f, v in fields.items()}
+                for name, fields in data.get("series", {}).items()
+            },
+        )
+
+
+def snapshot_registry(registry: "MetricsRegistry") -> MetricsSnapshot:
+    """Capture ``registry`` as a :class:`MetricsSnapshot`."""
+    return MetricsSnapshot.capture(registry)
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not re.match(r"[a-zA-Z_:]", sanitized):
+        sanitized = "_" + sanitized
+    return f"{prefix}{sanitized}"
+
+
+def prometheus_text(snapshot: MetricsSnapshot, *, prefix: str = "repro_") -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Counters become ``counter`` samples; sample series become
+    ``summary`` families (quantiles + ``_sum`` + ``_count``) with the
+    min/max as companion gauges.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.counters.items()):
+        metric = _prometheus_name(name, prefix)
+        lines.append(f"# HELP {metric} Counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, fields in sorted(snapshot.series.items()):
+        metric = _prometheus_name(name, prefix)
+        lines.append(f"# HELP {metric} Summary of series {name}")
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, field in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(f'{metric}{{quantile="{quantile}"}} {fields[field]:g}')
+        lines.append(f"{metric}_sum {fields['total']:g}")
+        lines.append(f"{metric}_count {int(fields['count'])}")
+        for bound, field in (("_min", "minimum"), ("_max", "maximum")):
+            lines.append(f"# TYPE {metric}{bound} gauge")
+            lines.append(f"{metric}{bound} {fields[field]:g}")
+    return "\n".join(lines) + "\n"
+
+
+def lint_prometheus_text(text: str) -> list[str]:
+    """Validate Prometheus text exposition format; return problems.
+
+    Checks metric-name syntax, TYPE declarations (valid type, declared
+    before use, no duplicates), and that every sample value parses as a
+    float.  An empty list means the text is clean.
+    """
+    problems: list[str] = []
+    declared: dict[str, str] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {number}: malformed comment {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                name, kind = parts[2], parts[3] if len(parts) > 3 else ""
+                if not _METRIC_NAME.match(name):
+                    problems.append(f"line {number}: invalid metric name {name!r}")
+                if kind not in _VALID_TYPES:
+                    problems.append(f"line {number}: invalid type {kind!r} for {name}")
+                if name in declared:
+                    problems.append(f"line {number}: duplicate TYPE for {name}")
+                declared[name] = kind
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {number}: malformed sample {line!r}")
+            continue
+        name = match.group("name")
+        base = re.sub(r"_(sum|count)$", "", name)
+        if name not in declared and base not in declared:
+            problems.append(f"line {number}: sample {name!r} has no TYPE declaration")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(f"line {number}: unparseable value {value!r} for {name}")
+    return problems

@@ -1,0 +1,115 @@
+"""A tiny HTTP stats endpoint: Prometheus + JSON metrics over HTTP.
+
+:class:`StatsServer` serves a live view of a
+:class:`~repro.sim.metrics.MetricsRegistry` from a daemon thread, so a
+running :class:`~repro.net.node.NodeDaemon` or
+:class:`~repro.net.cluster.LocalCluster` can be inspected (or scraped
+by an actual Prometheus server) without touching the protocol sockets:
+
+* ``GET /metrics`` — Prometheus text exposition format,
+* ``GET /metrics.json`` — the same snapshot as JSON,
+* ``GET /healthz`` — liveness probe (``ok``).
+
+The server snapshots the registry per request; it never blocks protocol
+traffic and holds no locks the protocol stack contends on.
+"""
+
+from __future__ import annotations
+
+import http.server
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.obs.export import prometheus_text, snapshot_registry
+
+if TYPE_CHECKING:
+    from repro.sim.metrics import MetricsRegistry
+
+__all__ = ["StatsServer"]
+
+
+class _StatsHandler(http.server.BaseHTTPRequestHandler):
+    server: "_StatsHttpServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._respond(200, "text/plain; charset=utf-8", "ok\n")
+            return
+        if path in ("/metrics", "/metrics.json"):
+            snapshot = snapshot_registry(self.server.registry_supplier())
+            if path == "/metrics":
+                body = prometheus_text(snapshot)
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                body = snapshot.to_json() + "\n"
+                content_type = "application/json; charset=utf-8"
+            self._respond(200, content_type, body)
+            return
+        self._respond(404, "text/plain; charset=utf-8", "not found\n")
+
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        return  # stats scrapes must not spam the daemon's stdout
+
+
+class _StatsHttpServer(http.server.ThreadingHTTPServer):
+    daemon_threads = True
+    registry_supplier: Callable[[], "MetricsRegistry"]
+
+
+class StatsServer:
+    """Serve one registry's metrics over HTTP from a daemon thread."""
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry | Callable[[], MetricsRegistry]",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        """``registry`` may be the registry itself or a zero-argument
+        supplier (evaluated per request, so a daemon can rebuild its
+        stack without restarting the stats server).  ``port=0`` lets the
+        OS assign one; read it back from :attr:`endpoint`."""
+        supplier = registry if callable(registry) else (lambda: registry)
+        self._server = _StatsHttpServer((host, port), _StatsHandler)
+        self._server.registry_supplier = supplier
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-stats", daemon=True
+        )
+        self._thread.start()
+        self.closed = False
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The (host, port) the stats endpoint listens on."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.endpoint
+        return f"http://{host}:{port}"
+
+    def __enter__(self) -> "StatsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop serving and join the server thread.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        self._server.shutdown()
+        self._thread.join(timeout=10)
+        self._server.server_close()

@@ -1,0 +1,305 @@
+"""Per-query structured tracing.
+
+A superset search pays for messages in four layers — the tree walk
+itself, DHT routing, the resilient channel's retries, and the transport
+actually carrying the frames.  A :class:`QueryTrace` stitches those
+layers into one ordered event stream so a single query's cost can be
+read off directly: which nodes were visited in which order, where DHT
+hops were paid, which attempts were retried, which breakers rejected,
+and what the cache did at the root.
+
+Event vocabulary (``TraceEvent.kind``):
+
+=============  ==============================================================
+``query``      one per trace: the query, threshold, traversal order, origin
+``route``      one DHT lookup (target logical node, owner found, hops paid)
+``visit``      one tree-node visit (logical, physical, depth, returned, status)
+``retry``      one re-send by the resilient channel (attempt #, delay, error)
+``breaker``    a circuit-breaker transition or rejection (state, destination)
+``cache_get``  the root-side cache probe (hit, completeness, size)
+``cache_put``  the root-side cache fill (stored, or skipped and why)
+``message``    one transport-level message (src, dst, kind, reply flag)
+=============  ==============================================================
+
+Recording is opt-in and ambient: :func:`recording` installs a
+:class:`TraceRecorder` as the process-wide active recorder, and every
+emission site in the stack does ``recorder = active_recorder()`` /
+``if recorder is None: ...`` — a single global load and identity check
+when tracing is off, which keeps the paper-faithful experiments
+byte-identical (the recorder touches no clock advance, no RNG, no
+metrics, no network state).  One query is traced at a time per process;
+concurrent traced searches would interleave their events.
+
+Cost discipline (enforced by ``benchmarks/bench_obs.py``): the
+high-volume emitters — one transport message, one tree-node visit —
+append the **already-built domain object** (the transport's
+:class:`~repro.net.transport.Message`, the search's
+:class:`~repro.core.search.NodeVisit`) straight onto
+:attr:`TraceRecorder.raw`.  That is one ``list.append`` per event — no
+clock read, no dict, no method call — and a bare ``append`` is atomic
+under the GIL, which is all the TCP transport's IO threads need.  Only
+the low-volume control events (``query``, ``route``, ``retry``,
+``breaker``, ``cache_*``) go through :meth:`TraceRecorder.emit`, which
+stamps them with the transport clock.  :class:`TraceEvent` objects are
+materialized lazily, on first access to :attr:`QueryTrace.events`;
+object-rows inherit the timestamp of the nearest preceding timed event
+(clock reads are deliberately kept off the hot path).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "EVENT_KINDS",
+    "QueryTrace",
+    "TraceEvent",
+    "TraceRecorder",
+    "active_recorder",
+    "recording",
+]
+
+EVENT_KINDS = (
+    "query",
+    "route",
+    "visit",
+    "retry",
+    "breaker",
+    "cache_get",
+    "cache_put",
+    "message",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event of a query trace.
+
+    ``seq`` is the emission order (dense, starting at 0); ``time`` is
+    the transport clock at emission — virtual time on the simulator,
+    scaled wall-clock over TCP.  High-volume events (``message``,
+    ``visit``) carry the timestamp of the nearest preceding timed event.
+    ``detail`` holds the kind-specific fields listed in the module
+    docstring.
+    """
+
+    seq: int
+    time: float
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "time": self.time, "kind": self.kind, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceEvent":
+        return cls(
+            seq=int(data["seq"]),
+            time=float(data["time"]),
+            kind=str(data["kind"]),
+            detail=dict(data.get("detail", {})),
+        )
+
+
+def _materialize(raw: tuple) -> tuple[TraceEvent, ...]:
+    """Convert recorder rows to events.
+
+    Three row shapes: ``(time, kind, detail)`` tuples from
+    :meth:`TraceRecorder.emit`; transport ``Message`` objects (duck-typed
+    by ``is_reply``); search ``NodeVisit`` objects (duck-typed by
+    ``logical``).  Untimed rows inherit the last timed row's stamp.
+    """
+    events: list[TraceEvent] = []
+    now = 0.0
+    for seq, row in enumerate(raw):
+        if type(row) is tuple:
+            now, kind, detail = row
+            events.append(TraceEvent(seq, now, kind, detail))
+        elif hasattr(row, "is_reply"):
+            events.append(
+                TraceEvent(
+                    seq,
+                    now,
+                    "message",
+                    {"src": row.src, "dst": row.dst, "msg": row.kind, "reply": row.is_reply},
+                )
+            )
+        else:
+            events.append(
+                TraceEvent(
+                    seq,
+                    now,
+                    "visit",
+                    {
+                        "order": row.order,
+                        "logical": row.logical,
+                        "physical": row.physical,
+                        "depth": row.depth,
+                        "returned": row.returned,
+                        "dht_hops": row.dht_hops,
+                        "status": row.status,
+                    },
+                )
+            )
+    return tuple(events)
+
+
+class QueryTrace:
+    """The full event stream of one superset search.
+
+    ``summary`` carries the query-level outcome (keywords, threshold,
+    order, completeness, message/round totals) so a dumped trace is
+    self-describing without its :class:`~repro.core.search.SearchResult`.
+    Events are materialized lazily from the recorder's raw rows on first
+    access, so carrying an unread trace costs almost nothing.
+    """
+
+    __slots__ = ("summary", "_events", "_raw")
+
+    def __init__(
+        self,
+        summary: dict[str, Any],
+        events: tuple[TraceEvent, ...] | None = None,
+        *,
+        raw: tuple = (),
+    ):
+        self.summary = dict(summary)
+        self._events = tuple(events) if events is not None else None
+        self._raw = raw
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        if self._events is None:
+            self._events = _materialize(self._raw)
+        return self._events
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryTrace):
+            return NotImplemented
+        return self.summary == other.summary and self.events == other.events
+
+    def __repr__(self) -> str:
+        return f"QueryTrace(summary={self.summary!r}, events=<{len(self.events)}>)"
+
+    # -- accessors ----------------------------------------------------
+
+    def events_of(self, kind: str) -> tuple[TraceEvent, ...]:
+        return tuple(event for event in self.events if event.kind == kind)
+
+    @property
+    def message_count(self) -> int:
+        """Transport messages the trace witnessed — comparable 1:1 with
+        the ``network.messages`` counter and ``SearchResult.messages``."""
+        return sum(1 for event in self.events if event.kind == "message")
+
+    @property
+    def visit_count(self) -> int:
+        return sum(1 for event in self.events if event.kind == "visit")
+
+    @property
+    def retry_count(self) -> int:
+        return sum(1 for event in self.events if event.kind == "retry")
+
+    def dht_hops(self) -> int:
+        """Total DHT routing hops paid across all ``route`` events."""
+        return sum(int(event.detail.get("hops", 0)) for event in self.events_of("route"))
+
+    # -- serialization ------------------------------------------------
+
+    def to_json_lines(self) -> str:
+        """One JSON object per line: the summary first, then each event."""
+        lines = [json.dumps({"kind": "summary", **self.summary}, sort_keys=True)]
+        lines.extend(json.dumps(event.to_dict(), sort_keys=True) for event in self.events)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_json_lines(cls, text: str) -> "QueryTrace":
+        summary: dict[str, Any] = {}
+        events: list[TraceEvent] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("kind") == "summary" and "seq" not in data:
+                summary = {key: value for key, value in data.items() if key != "kind"}
+            else:
+                events.append(TraceEvent.from_dict(data))
+        return cls(summary=summary, events=tuple(events))
+
+    # -- human rendering ----------------------------------------------
+
+    def render(self) -> str:
+        """An aligned, human-readable account of the query."""
+        lines = []
+        query = self.summary.get("query")
+        if query is not None:
+            lines.append(f"{'query':<14}{{{', '.join(query)}}}")
+        for key in ("threshold", "order", "origin", "root_logical", "complete",
+                    "messages", "rounds", "cache_hit"):
+            if key in self.summary:
+                lines.append(f"{key:<14}{self.summary[key]}")
+        lines.append(
+            f"events  {len(self.events)} "
+            f"({self.visit_count} visits, {self.message_count} messages, "
+            f"{self.retry_count} retries)"
+        )
+        lines.append("")
+        lines.append(f"{'seq':>4}  {'time':>10}  {'kind':<10} detail")
+        for event in self.events:
+            detail = " ".join(f"{key}={value}" for key, value in event.detail.items())
+            lines.append(f"{event.seq:>4}  {event.time:>10.3f}  {event.kind:<10} {detail}")
+        return "\n".join(lines)
+
+
+class TraceRecorder:
+    """Collects trace rows against a clock.
+
+    :attr:`raw` is the append-only row list.  Low-volume control events
+    go through :meth:`emit` (clock-stamped); the per-message and
+    per-visit hot paths append their domain objects directly —
+    ``recorder.raw.append(message)`` — as documented in the module
+    docstring.  Rows become :class:`TraceEvent` objects only when the
+    finished trace's events are first read.
+    """
+
+    __slots__ = ("clock", "raw")
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.raw: list = []
+
+    def emit(self, kind: str, **detail: Any) -> None:
+        """Append one clock-stamped event row."""
+        self.raw.append((self.clock(), kind, detail))
+
+    def finish(self, summary: dict[str, Any] | None = None) -> QueryTrace:
+        """Freeze the collected rows into a :class:`QueryTrace`."""
+        return QueryTrace(summary=dict(summary or {}), raw=tuple(self.raw))
+
+
+# The process-wide active recorder.  ``None`` (the overwhelmingly common
+# case) means tracing is off and every emission site returns after one
+# identity check.
+_current: TraceRecorder | None = None
+
+
+def active_recorder() -> TraceRecorder | None:
+    """The recorder events should land in, or None when tracing is off."""
+    return _current
+
+
+@contextmanager
+def recording(recorder: TraceRecorder) -> Iterator[TraceRecorder]:
+    """Install ``recorder`` as the active recorder for the block."""
+    global _current
+    previous = _current
+    _current = recorder
+    try:
+        yield recorder
+    finally:
+        _current = previous

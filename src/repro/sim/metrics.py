@@ -74,6 +74,18 @@ class MetricsRegistry:
         """Append a sample to series ``name``."""
         self._series[name].append(value)
 
+    def series_names(self) -> list[str]:
+        """Names of every recorded sample series, sorted."""
+        return sorted(self._series)
+
+    def snapshot(self):
+        """A plain-data :class:`~repro.obs.export.MetricsSnapshot` of
+        all counters and series summaries — the unit of export (JSON,
+        Prometheus text) and of windowed deltas."""
+        from repro.obs.export import MetricsSnapshot  # lazy: obs builds on sim
+
+        return MetricsSnapshot.capture(self)
+
     def samples(self, name: str) -> list[float]:
         """The raw samples of series ``name`` (copy)."""
         return list(self._series.get(name, ()))

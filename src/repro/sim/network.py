@@ -34,6 +34,7 @@ from typing import Any, Iterator
 
 from repro.net.errors import PeerUnreachableError, TransportError
 from repro.net.transport import Handler, Message, MessageTrace
+from repro.obs.trace import active_recorder
 from repro.sim.events import EventScheduler
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.metrics import MetricsRegistry
@@ -255,3 +256,6 @@ class SimulatedNetwork:
             self.received_counts[message.dst] += 1
         for window in self._traces:
             window.messages.append(message)
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.raw.append(message)

@@ -49,6 +49,7 @@ from typing import Any
 
 from repro.net.errors import PeerUnreachableError
 from repro.net.transport import Transport
+from repro.obs.trace import active_recorder
 from repro.sim.network import NetworkError, NodeUnreachableError
 from repro.util.rng import make_rng
 
@@ -300,7 +301,10 @@ class ResilientChannel:
 
         Raises :class:`CircuitOpenError` without sending when the
         destination's breaker is open, :class:`DeadlineExceededError`
-        when the policy's deadline expires between attempts, and the
+        when the policy's deadline expires between attempts — or has
+        already expired *before* an attempt, in which case nothing is
+        sent (a zero-budget request would be an accounted,
+        guaranteed-to-fail socket wait on a real transport) — and the
         last :class:`~repro.net.errors.PeerUnreachableError` when
         attempts are exhausted.  When the policy has a deadline, the
         remaining budget also bounds each attempt's reply wait (real
@@ -315,12 +319,18 @@ class ResilientChannel:
 
         last_error: PeerUnreachableError | None = None
         for attempt in range(1, policy.max_attempts + 1):
+            if deadline is not None and network.now() >= deadline:
+                metrics.increment(f"{self.metrics_prefix}.deadline_exceeded")
+                raise DeadlineExceededError(dst, deadline) from last_error
             if breaker is not None and not breaker.allow():
                 metrics.increment("breaker.rejected")
+                recorder = active_recorder()
+                if recorder is not None:
+                    recorder.emit("breaker", dst=dst, state="rejected")
                 raise CircuitOpenError(dst)
             started = network.now()
             metrics.increment(f"{self.metrics_prefix}.attempts")
-            timeout = None if deadline is None else max(deadline - started, 0.0)
+            timeout = None if deadline is None else deadline - started
             try:
                 result = network.rpc(src, dst, kind, payload, timeout=timeout)
             except PeerUnreachableError as error:
@@ -332,6 +342,9 @@ class ResilientChannel:
                         metrics.increment("breaker.open")
                         if was_half_open:
                             metrics.increment("breaker.reopened")
+                        recorder = active_recorder()
+                        if recorder is not None:
+                            recorder.emit("breaker", dst=dst, state="open")
                 last_error = error
                 if attempt >= policy.max_attempts:
                     metrics.increment(f"{self.metrics_prefix}.exhausted")
@@ -342,6 +355,15 @@ class ResilientChannel:
                     raise DeadlineExceededError(dst, deadline) from error
                 network.sleep(delay)
                 metrics.increment(f"{self.metrics_prefix}.retries")
+                recorder = active_recorder()
+                if recorder is not None:
+                    recorder.emit(
+                        "retry",
+                        dst=dst,
+                        attempt=attempt,
+                        delay=delay,
+                        error=type(error).__name__,
+                    )
                 continue
             metrics.record(f"{self.metrics_prefix}.attempt_latency", network.now() - started)
             if breaker is not None:
@@ -349,6 +371,9 @@ class ResilientChannel:
                 breaker.record_success()
                 if was_recovering and breaker.state is BreakerState.CLOSED:
                     metrics.increment("breaker.closed")
+                    recorder = active_recorder()
+                    if recorder is not None:
+                        recorder.emit("breaker", dst=dst, state="closed")
             return result
         raise last_error if last_error is not None else NodeUnreachableError(dst)
 

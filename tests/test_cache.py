@@ -79,6 +79,23 @@ class TestCapacityReferencesUnit:
         assert not cache.put(frozenset({"a"}), results("1", "2", "3"), complete=True)
         assert len(cache) == 0
 
+    def test_oversized_reput_leaves_previous_entry_intact(self):
+        # A rejected oversized entry must not evict what it was meant to
+        # replace: the smaller existing entry keeps serving.
+        cache = FifoQueryCache(2, unit="references")
+        assert cache.put(frozenset({"a"}), results("1", "2"), complete=False)
+        assert not cache.put(frozenset({"a"}), results("1", "2", "3"), complete=True)
+        entry = cache.get(frozenset({"a"}), 2)
+        assert entry is not None and entry.size == 2
+        assert cache.used == 2
+
+    def test_oversized_reput_does_not_evict_other_entries(self):
+        cache = FifoQueryCache(2, unit="references")
+        cache.put(frozenset({"a"}), results("1"), complete=True)
+        cache.put(frozenset({"b"}), results("2"), complete=True)
+        assert not cache.put(frozenset({"b"}), results("2", "3", "4"), complete=True)
+        assert frozenset({"a"}) in cache and frozenset({"b"}) in cache
+
     def test_eviction_frees_reference_units(self):
         cache = FifoQueryCache(3, unit="references")
         cache.put(frozenset({"a"}), results("1", "2"), complete=True)

@@ -1,0 +1,298 @@
+"""Tests for the observability layer: per-query tracing, metrics
+export, the stats endpoint — and the cache-poisoning / completeness
+regressions fixed alongside it."""
+
+import json
+from urllib.request import urlopen
+
+import pytest
+
+from repro.core.config import ServiceConfig
+from repro.core.index import HypercubeIndex
+from repro.core.search import SuperSetSearch, TraversalOrder
+from repro.core.service import KeywordSearchService
+from repro.dht.chord import ChordNetwork
+from repro.hypercube.hypercube import Hypercube
+from repro.obs.export import (
+    MetricsSnapshot,
+    lint_prometheus_text,
+    prometheus_text,
+    snapshot_registry,
+)
+from repro.obs.trace import QueryTrace, TraceRecorder, active_recorder, recording
+
+from tests.conftest import CATALOGUE
+
+
+def oracle(query: set) -> set:
+    return {oid for oid, kw in CATALOGUE.items() if frozenset(query) <= kw}
+
+
+def make_service(**config_kwargs) -> KeywordSearchService:
+    config = ServiceConfig(dimension=6, num_dht_nodes=16, seed=3, **config_kwargs)
+    service = KeywordSearchService.create(config)
+    for object_id, keywords in CATALOGUE.items():
+        service.publish(object_id, keywords)
+    return service
+
+
+class TestTraceRecorder:
+    def test_off_by_default(self):
+        assert active_recorder() is None
+
+    def test_recording_scopes_and_restores(self):
+        recorder = TraceRecorder()
+        with recording(recorder):
+            assert active_recorder() is recorder
+        assert active_recorder() is None
+
+    def test_events_are_ordered_and_stamped(self):
+        from repro.net.transport import Message
+
+        clock = iter([1.0, 3.0])
+        recorder = TraceRecorder(clock=lambda: next(clock))
+        recorder.emit("query", q=1)
+        recorder.raw.append(Message(7, 8, "ping", {}))  # hot path: bare append
+        recorder.emit("route", target=3)
+        trace = recorder.finish({"query": ["a"]})
+        assert [event.seq for event in trace.events] == [0, 1, 2]
+        # The untimed message row inherits the preceding event's stamp.
+        assert [event.time for event in trace.events] == [1.0, 1.0, 3.0]
+        assert trace.message_count == 1
+        message = trace.events_of("message")[0]
+        assert message.detail == {"src": 7, "dst": 8, "msg": "ping", "reply": False}
+
+    def test_json_lines_round_trip(self):
+        from repro.net.transport import Message
+
+        recorder = TraceRecorder()
+        recorder.emit("query", threshold=2)
+        recorder.raw.append(Message(1, 2, "hindex.scan", {}))
+        trace = recorder.finish({"messages": 1, "complete": True})
+        restored = QueryTrace.from_json_lines(trace.to_json_lines())
+        assert restored == trace
+
+
+class TestQueryTracing:
+    """The trace must account for what the metrics counted."""
+
+    def test_trace_attached_only_when_requested(self):
+        service = make_service()
+        assert service.superset_search({"mp3"}).trace is None
+        assert service.superset_search({"mp3"}, trace=True).trace is not None
+
+    def test_trace_accounts_for_every_counted_message(self):
+        # The Figure 8 shape: an exhaustive walk of the query's
+        # subhypercube.  Every message the network.messages counter saw
+        # during the query must appear as a trace event, 1:1.
+        service = make_service()
+        result = service.superset_search({"mp3"}, trace=True)
+        trace = result.trace
+        assert trace.message_count == result.messages
+        assert trace.visit_count == len(result.visits)
+        assert len(trace.events_of("query")) == 1
+
+    def test_visit_events_mirror_the_visit_records(self):
+        service = make_service()
+        result = service.superset_search({"jazz"}, trace=True)
+        events = result.trace.events_of("visit")
+        assert len(events) == len(result.visits)
+        for event, visit in zip(events, result.visits):
+            assert event.detail["logical"] == visit.logical
+            assert event.detail["physical"] == visit.physical
+            assert event.detail["returned"] == visit.returned
+            assert event.detail["status"] == visit.status
+
+    def test_route_events_cover_the_root_lookup(self):
+        service = make_service()
+        result = service.superset_search({"mp3"}, trace=True)
+        routes = result.trace.events_of("route")
+        assert routes, "the root lookup must be traced"
+        assert routes[0].detail["target"] == result.root_logical
+        assert routes[0].detail["owner"] == result.root_physical
+
+    def test_cache_events_traced(self):
+        service = make_service(cache_capacity=16)
+        first = service.superset_search({"mp3"}, trace=True)
+        assert first.trace.events_of("cache_get")[0].detail["hit"] is False
+        assert first.trace.events_of("cache_put")[0].detail["stored"] is True
+        second = service.superset_search({"mp3"}, trace=True)
+        assert second.cache_hit
+        assert second.trace.events_of("cache_get")[0].detail["hit"] is True
+
+    def test_tracing_changes_nothing_observable(self):
+        # Two identical stacks, one traced — byte-identical outcomes.
+        plain = make_service().superset_search({"mp3", "jazz"})
+        traced = make_service().superset_search({"mp3", "jazz"}, trace=True)
+        assert traced == plain  # SearchResult equality excludes `trace`
+        assert traced.messages == plain.messages
+        assert traced.visits == plain.visits
+
+
+class TestCachePoisoningRegression:
+    """A degraded walk must not poison the root's result cache."""
+
+    @staticmethod
+    def make_stack():
+        ring = ChordNetwork.build(bits=16, num_nodes=24, seed=5)
+        index = HypercubeIndex(Hypercube(6), ring, cache_capacity=16)
+        holder = ring.any_address()
+        for object_id, keywords in CATALOGUE.items():
+            index.insert(object_id, keywords, holder)
+        return ring, index, SuperSetSearch(index, skip_unreachable=True)
+
+    def test_degraded_search_is_not_cached(self):
+        ring, index, searcher = self.make_stack()
+        query = {"mp3"}
+        baseline = searcher.run(query, origin=ring.any_address())
+        assert set(baseline.object_ids) == oracle(query)
+        victim = next(
+            visit.physical
+            for visit in baseline.visits
+            if visit.returned > 0 and visit.physical != baseline.root_physical
+        )
+
+        index.dolr.network.fail(victim)
+        degraded = searcher.run(query, origin=baseline.root_physical, use_cache=True)
+        assert degraded.degraded
+        assert set(degraded.object_ids) < oracle(query)
+
+        index.dolr.network.recover(victim)
+        recovered = searcher.run(query, origin=baseline.root_physical, use_cache=True)
+        assert not recovered.cache_hit, "the degraded result must not have been cached"
+        assert set(recovered.object_ids) == oracle(query)
+
+    def test_healthy_search_still_cached(self):
+        ring, index, searcher = self.make_stack()
+        origin = ring.any_address()
+        first = searcher.run({"mp3"}, origin=origin, use_cache=True)
+        assert not first.degraded and not first.cache_hit
+        second = searcher.run({"mp3"}, origin=origin, use_cache=True)
+        assert second.cache_hit
+        assert set(second.object_ids) == oracle({"mp3"})
+
+
+class TestCompletenessRegression:
+    """A root visit that satisfies the threshold with nothing left to
+    explore is complete, not truncated."""
+
+    @staticmethod
+    def index_rooted_at_all_ones(num_objects: int):
+        """An index whose query roots at the all-ones node — the one SBT
+        root with no children.  F_h sets one bit per keyword, so a query
+        covering every dimension roots there."""
+        ring = ChordNetwork.build(bits=16, num_nodes=24, seed=5)
+        index = HypercubeIndex(Hypercube(3), ring)
+        keywords: dict[int, str] = {}
+        for candidate in range(10_000):
+            keyword = f"kw{candidate}"
+            dim = index.mapper.node_for(frozenset({keyword})).bit_length() - 1
+            keywords.setdefault(dim, keyword)
+            if len(keywords) == 3:
+                break
+        query = frozenset(keywords.values())
+        assert index.mapper.node_for(query) == (1 << 3) - 1
+        holder = ring.any_address()
+        for number in range(num_objects):
+            index.insert(f"obj-{number}", query, holder)
+        return index, query
+
+    def test_root_satisfying_threshold_with_no_children_is_complete(self):
+        index, query = self.index_rooted_at_all_ones(num_objects=1)
+        result = SuperSetSearch(index).run(query, threshold=1)
+        assert len(result.objects) == 1
+        assert result.complete, "nothing was left unexplored"
+
+    def test_limit_cut_scan_stays_incomplete(self):
+        index, query = self.index_rooted_at_all_ones(num_objects=2)
+        result = SuperSetSearch(index).run(query, threshold=1)
+        assert len(result.objects) == 1
+        assert not result.complete, "the root held a second match"
+
+
+class TestMetricsExport:
+    def test_snapshot_and_delta(self):
+        service = make_service()
+        before = service.metrics_snapshot()
+        service.superset_search({"mp3"})
+        after = service.metrics_snapshot()
+        window = after.delta(before)
+        assert window.counters["network.messages"] > 0
+        assert window.counters["network.messages"] == (
+            after.counters["network.messages"] - before.counters["network.messages"]
+        )
+
+    def test_delta_drops_unchanged_counters(self):
+        service = make_service()
+        snapshot = service.metrics_snapshot()
+        assert snapshot.delta(snapshot).counters == {}
+
+    def test_json_round_trip(self):
+        service = make_service()
+        service.superset_search({"jazz"})
+        snapshot = service.metrics_snapshot()
+        assert MetricsSnapshot.from_json(snapshot.to_json()) == snapshot
+
+    def test_prometheus_text_lints_clean(self):
+        service = make_service()
+        service.superset_search({"mp3"})
+        text = prometheus_text(service.metrics_snapshot())
+        assert lint_prometheus_text(text) == []
+        assert "repro_network_messages" in text
+
+    def test_linter_catches_garbage(self):
+        assert lint_prometheus_text("bad metric name! 1\n")
+        assert lint_prometheus_text("# TYPE x bogus\nx 1\n")
+        assert lint_prometheus_text("undeclared_sample 1\n") != []
+        assert lint_prometheus_text('# TYPE ok counter\nok not-a-number\n')
+
+
+class TestStatsEndpoint:
+    def test_local_cluster_serves_prometheus_metrics(self):
+        # The acceptance scenario: a 16-node TCP cluster scrapable over
+        # HTTP with lint-clean Prometheus output.
+        from repro.net.cluster import LocalCluster
+
+        config = ServiceConfig(dimension=6, num_dht_nodes=16, seed=3)
+        with LocalCluster(config, stats_port=0) as cluster:
+            cluster.service.publish("paper.pdf", {"dht", "search"})
+            cluster.service.superset_search({"dht"})
+            host, port = cluster.stats_endpoint
+            with urlopen(f"http://{host}:{port}/metrics") as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith("text/plain")
+                body = response.read().decode()
+            assert lint_prometheus_text(body) == []
+            assert "repro_network_messages" in body
+            with urlopen(f"http://{host}:{port}/metrics.json") as response:
+                data = json.loads(response.read().decode())
+            assert data["counters"]["network.messages"] > 0
+            with urlopen(f"http://{host}:{port}/healthz") as response:
+                assert response.read() == b"ok\n"
+
+    def test_unknown_path_is_404(self):
+        from repro.obs.stats import StatsServer
+        from repro.sim.metrics import MetricsRegistry
+
+        with StatsServer(MetricsRegistry()) as server:
+            host, port = server.endpoint
+            with pytest.raises(Exception) as excinfo:
+                urlopen(f"http://{host}:{port}/nope")
+            assert "404" in str(excinfo.value)
+
+
+class TestSearchOptionsTrace:
+    def test_options_object_carries_trace_flag(self):
+        from repro.core.config import SearchOptions
+
+        service = make_service()
+        result = service.search({"mp3"}, SearchOptions(trace=True))
+        assert result.trace is not None
+        assert result.trace.summary["complete"] is True
+
+    def test_traversal_orders_all_traced(self):
+        service = make_service()
+        for order in TraversalOrder:
+            result = service.superset_search({"mp3"}, order=order, trace=True)
+            assert result.trace.visit_count == len(result.visits)
+            assert result.trace.message_count == result.messages

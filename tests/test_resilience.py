@@ -166,6 +166,21 @@ class TestResilientChannel:
         assert network.metrics.counter("rpc.deadline_exceeded") == 1
         assert network.scheduler.now - start <= 75.0
 
+    def test_expired_budget_raises_before_sending(self):
+        # Latency 1 per hop: the first attempt fails at t=1, the backoff
+        # (1) sleeps exactly to the deadline at t=2.  The second attempt
+        # has zero budget left and must NOT be sent — no extra attempt,
+        # no extra message.
+        network = make_network()
+        network.register(2, _FlakyEndpoint(2, failures=99))
+        policy = RetryPolicy(max_attempts=10, base_delay=1.0, jitter=0.0, deadline=2.0)
+        channel = ResilientChannel(network, policy)
+        with pytest.raises(DeadlineExceededError):
+            channel.rpc(0, 2, "ping", {})
+        assert network.metrics.counter("rpc.attempts") == 1
+        assert network.metrics.counter("network.messages") == 1
+        assert network.metrics.counter("rpc.deadline_exceeded") == 1
+
     def test_breaker_fails_fast_and_recovers(self):
         network = make_network()
         network.register(2, lambda message: {"ok": True})

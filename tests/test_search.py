@@ -73,6 +73,24 @@ class TestThreshold:
             searcher.run({"mp3"}, threshold=0)
 
 
+class TestRecallAccessor:
+    def test_zero_recall_needs_no_visits(self, searcher):
+        result = searcher.run({"mp3"})
+        assert result.nodes_contacted_for_recall(0.0, len(result.objects)) == 0
+        assert result.nodes_contacted_for_recall(0.5, 0) == 0
+
+    def test_full_recall_counts_through_last_serving_visit(self, searcher):
+        result = searcher.run({"mp3"})
+        count = result.nodes_contacted_for_recall(1.0, len(result.objects))
+        served = sum(visit.returned for visit in result.visits[:count])
+        assert served == len(result.objects)
+
+    def test_invalid_fraction(self, searcher):
+        result = searcher.run({"mp3"})
+        with pytest.raises(ValueError):
+            result.nodes_contacted_for_recall(1.5, 4)
+
+
 class TestVisitStructure:
     def test_search_space_is_induced_subcube(self, searcher, loaded_index):
         result = searcher.run({"jazz"})
