@@ -28,6 +28,7 @@ from repro.core.mapping import HypercubeMapping
 from repro.dht.dolr import DolrNetwork, DolrNode
 from repro.hypercube.hypercube import Hypercube
 from repro.sim.network import Message
+from repro.store.backend import MemoryStore, StoreBackend
 
 __all__ = ["HypercubeIndex", "IndexEntry", "IndexShard", "PinResult"]
 
@@ -81,8 +82,22 @@ class IndexShard:
 
     prefix = "hindex"
 
-    def __init__(self, cache_factory=None, cache_capacity: int = 0):
-        self.tables: dict[TableKey, dict[frozenset[str], set[str]]] = {}
+    def __init__(
+        self,
+        cache_factory=None,
+        cache_capacity: int = 0,
+        store: StoreBackend | None = None,
+    ):
+        # Durable backend: every table mutation is recorded through it,
+        # and whatever state it recovered becomes the boot tables.  The
+        # default MemoryStore records nothing and recovers nothing.
+        self.store: StoreBackend = store if store is not None else MemoryStore()
+        recovered = self.store.recover()
+        self.tables: dict[TableKey, dict[frozenset[str], set[str]]] = {
+            key: {keywords: set(objects) for keywords, objects in table.items()}
+            for key, table in recovered.tables.items()
+        }
+        self.store.bind(tables=lambda: self.tables)
         # One query cache per *logical* node (the paper installs a cache
         # at each hypercube node); created lazily on first use.
         self.cache_factory = cache_factory if cache_factory is not None else FifoQueryCache
@@ -113,6 +128,8 @@ class IndexShard:
         table = self.tables.setdefault(key, {})
         table.setdefault(keywords, set()).add(object_id)
         self._scan_order.pop(key, None)
+        self.store.record_put(key[0], key[1], keywords, object_id)
+        self.store.maybe_compact()
 
     def remove(self, key: TableKey, keywords: frozenset[str], object_id: str) -> bool:
         table = self.tables.get(key)
@@ -125,6 +142,8 @@ class IndexShard:
             if not table:
                 del self.tables[key]
         self._scan_order.pop(key, None)
+        self.store.record_remove(key[0], key[1], keywords, object_id)
+        self.store.maybe_compact()
         return True
 
     def pin(self, key: TableKey, keywords: frozenset[str]) -> tuple[str, ...]:
@@ -161,6 +180,27 @@ class IndexShard:
                 budget -= len(ordered)
             matches.append((entry_keywords, ordered))
         return matches, truncated
+
+    # -- churn handoff ------------------------------------------------------
+
+    def snapshot_records(self, key: TableKey) -> list[tuple[list[str], list[str]]]:
+        """One table's entries as deterministic ``(keywords, ids)``
+        rows — the stream churn handoff ships and snapshots fold (same
+        order as :func:`repro.store.wal.entry_records`)."""
+        table = self.tables.get(key, {})
+        return [
+            (sorted(keywords), sorted(table[keywords]))
+            for keywords in sorted(table, key=lambda k: (len(k), tuple(sorted(k))))
+        ]
+
+    def drop_table(self, key: TableKey) -> None:
+        """Forget one table (it was handed off); the drop is durable, so
+        a restarted node does not resurrect entries it gave away."""
+        if self.tables.pop(key, None) is None:
+            return
+        self._scan_order.pop(key, None)
+        self.store.record_drop(key[0], key[1])
+        self.store.maybe_compact()
 
     # -- introspection ------------------------------------------------------
 
@@ -242,15 +282,21 @@ class HypercubeIndex:
         namespace: str = "main",
         cache_capacity: int = 0,
         cache_factory=FifoQueryCache,
+        stores: dict[int, StoreBackend] | None = None,
     ):
+        """``stores`` maps physical addresses to durable backends; a
+        node's shard boots from (and records into) its entry.  Absent
+        addresses get the no-op :class:`~repro.store.MemoryStore`."""
         self.cube = cube
         self.dolr = dolr
         self.mapper = mapper if mapper is not None else KeywordSetMapper(cube)
         self.mapping = mapping if mapping is not None else HypercubeMapping(cube, dolr)
         self.namespace = namespace
         self.cache_capacity = cache_capacity
+        stores = stores or {}
         dolr.ensure_application(
-            lambda node: IndexShard(cache_factory, cache_capacity), "hindex"
+            lambda node: IndexShard(cache_factory, cache_capacity, store=stores.get(node.address)),
+            "hindex",
         )
 
     # -- shard access -------------------------------------------------------
@@ -388,18 +434,18 @@ class HypercubeIndex:
             owner = self.mapping.physical_owner(logical)
             if owner == address:
                 continue
-            table = shard.tables.pop(key)
-            shard._scan_order.pop(key, None)
-            payload_table = [
-                (sorted(keywords), sorted(object_ids))
-                for keywords, object_ids in table.items()
-            ]
+            # Stream the table as snapshot records, then drop it — the
+            # receiving shard's puts and this drop both hit the stores,
+            # so the handoff is durable on both ends and a restarted
+            # sender does not resurrect what it gave away.
+            payload_table = shard.snapshot_records(key)
             self.dolr.channel.rpc(
                 address,
                 owner,
                 "hindex.transfer",
                 {"namespace": self.namespace, "logical": logical, "table": payload_table},
             )
+            shard.drop_table(key)
             moved += sum(len(ids) for _, ids in payload_table)
         return moved
 

@@ -44,6 +44,7 @@ class HypercubeMapping:
         self.identity = identity
         self._key_cache: dict[int, int] = {}
         self._placement_cache: dict[int, int] | None = None
+        self._inverse_cache: dict[int, tuple[int, ...]] | None = None
 
     def dht_key(self, logical: int) -> int:
         """``g(u)``: the DHT key standing for logical node ``u``."""
@@ -81,10 +82,48 @@ class HypercubeMapping:
         """Drop memoized ownership after a membership change."""
         if self._placement_cache is not None:
             self._placement_cache = {}
+        self._inverse_cache = None
 
-    def route_to(self, logical: int, origin: int | None = None) -> LookupResult:
-        """Route to the physical node playing ``u``, paying DHT hops."""
+    def disable_placement_cache(self) -> None:
+        """Turn memoization off entirely — for workloads that violate
+        the static-membership assumption (node failures, churn), where
+        even a repopulated cache would answer with stale owners."""
+        self._placement_cache = None
+        self._inverse_cache = None
+
+    def route_to(
+        self, logical: int, origin: int | None = None, *, refresh: bool = False
+    ) -> LookupResult:
+        """Route to the physical node playing ``u``, paying DHT hops.
+
+        Shares the placement cache with :meth:`physical_owner`: while
+        the cache is enabled (static membership) a cached owner answers
+        with zero hops, and a paid lookup populates it.  ``refresh=True``
+        skips the consult and re-resolves — the degraded-search paths
+        use it after a contact failed, when the cached owner is exactly
+        what can no longer be trusted.
+        """
+        cache = self._placement_cache
+        if cache is not None and not refresh:
+            owner = cache.get(logical)
+            if owner is not None:
+                result = LookupResult(
+                    key=self.dht_key(logical), owner=owner, hops=0, path=(owner,)
+                )
+                recorder = active_recorder()
+                if recorder is not None:
+                    recorder.emit(
+                        "route",
+                        target=logical,
+                        owner=owner,
+                        hops=0,
+                        origin=origin,
+                        cached=True,
+                    )
+                return result
         result = self.dolr.lookup(self.dht_key(logical), origin=origin)
+        if cache is not None:
+            cache[logical] = result.owner
         recorder = active_recorder()
         if recorder is not None:
             recorder.emit(
@@ -108,9 +147,23 @@ class HypercubeMapping:
 
     def logical_nodes_of(self, physical: int) -> list[int]:
         """All logical nodes a physical node plays (inverse of ``g``
-        composed with ownership).  O(2**r)."""
-        return [
-            logical
-            for logical in self.cube.nodes()
-            if self.physical_owner(logical) == physical
-        ]
+        composed with ownership).
+
+        O(2**r) on first call; while the placement cache is enabled the
+        full inverse map is memoized alongside it (recovery and churn
+        handoff ask per node), so repeat calls are O(result).
+        """
+        if self._placement_cache is None:
+            return [
+                logical
+                for logical in self.cube.nodes()
+                if self.physical_owner(logical) == physical
+            ]
+        if self._inverse_cache is None:
+            inverse: dict[int, list[int]] = {}
+            for logical in self.cube.nodes():
+                inverse.setdefault(self.physical_owner(logical), []).append(logical)
+            self._inverse_cache = {
+                owner: tuple(nodes) for owner, nodes in inverse.items()
+            }
+        return list(self._inverse_cache.get(physical, ()))

@@ -659,7 +659,9 @@ class SuperSetSearch:
         visit completes, possibly with fewer results.  Returns
         (found, surrogate address or None, extra hops paid)."""
         try:
-            route = self.index.mapping.route_to(logical, origin=sender)
+            # refresh=True: never answer from the placement cache here —
+            # the cached owner is the node that just failed to answer.
+            route = self.index.mapping.route_to(logical, origin=sender, refresh=True)
             found, _ = self._scan_rpc(
                 sender, route.owner, self.index.namespace, logical, query, remaining
             )

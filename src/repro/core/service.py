@@ -31,6 +31,7 @@ from repro.dht.kademlia import KademliaNetwork
 from repro.dht.pastry import PastryNetwork
 from repro.hypercube.hypercube import Hypercube
 from repro.net.transport import Transport
+from repro.store.backend import StoreBackend
 from repro.util.rng import make_rng, spawn_rng
 
 __all__ = ["KeywordSearchService", "PublishedObject"]
@@ -80,6 +81,9 @@ class KeywordSearchService:
         self.index = index
         self.dolr = index.dolr
         self.config = config
+        # address -> durable backend; empty unless built with a
+        # store_factory (see create()).
+        self.stores: dict[int, StoreBackend] = {}
         contact_mode = ContactMode(contact_mode) if isinstance(contact_mode, str) else contact_mode
         self.searcher = SuperSetSearch(index, contact_mode=contact_mode.value)
         self._published: dict[tuple[str, int], PublishedObject] = {}
@@ -92,6 +96,7 @@ class KeywordSearchService:
         config: ServiceConfig | None = None,
         *,
         network: Transport | None = None,
+        store_factory=None,
         **legacy,
     ) -> "KeywordSearchService":
         """Build the full stack: network transport, DHT, hypercube index.
@@ -104,6 +109,13 @@ class KeywordSearchService:
         can coexist on one medium, or an
         :class:`~repro.net.aio.AsyncioTransport` to run the same stack
         over real TCP sockets — and composes with either form.
+
+        ``store_factory(address)`` returns the durable
+        :class:`~repro.store.backend.StoreBackend` for one node (e.g. a
+        :class:`~repro.store.FileStore` under ``--data-dir``); each
+        node's reference table and index shard then boot from recovered
+        state and record every mutation.  None (the default) keeps all
+        state in memory.
         """
         if config is None:
             warnings.warn(
@@ -128,13 +140,27 @@ class KeywordSearchService:
                 breaker=config.breaker,
                 rng=spawn_rng(rng, "resilience"),
             )
+        stores: dict[int, StoreBackend] = {}
+        if store_factory is not None:
+            # One backend per node, shared by the node's reference table
+            # and its index shard (attach first so recovery happens once,
+            # against the same instance the shard factory receives).
+            for address in dolr.addresses():
+                store = store_factory(address)
+                if getattr(store, "metrics", None) is None:
+                    store.metrics = dolr.network.metrics
+                dolr.node(address).attach_store(store)
+                stores[address] = store
         index = HypercubeIndex(
             Hypercube(config.dimension),
             dolr,
             cache_capacity=config.cache_capacity,
             cache_factory=_CACHE_FACTORIES[config.cache_policy],
+            stores=stores,
         )
-        return cls(index, contact_mode=config.contact_mode, config=config)
+        service = cls(index, contact_mode=config.contact_mode, config=config)
+        service.stores = stores
+        return service
 
     # -- publishing -------------------------------------------------------
 
@@ -238,3 +264,15 @@ class KeywordSearchService:
         """A point-in-time :class:`~repro.obs.export.MetricsSnapshot` of
         every counter and sample series (diff two with ``.delta()``)."""
         return self.network.metrics.snapshot()
+
+    # -- durability ----------------------------------------------------------
+
+    def flush_stores(self) -> None:
+        """Fsync every node's WAL (a no-op for in-memory backends)."""
+        for store in self.stores.values():
+            store.flush()
+
+    def close_stores(self) -> None:
+        """Graceful-shutdown flush + close of every durable backend."""
+        for store in self.stores.values():
+            store.close()

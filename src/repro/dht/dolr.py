@@ -80,8 +80,20 @@ class DolrNode:
         self.space = space
         self.network = network
         self.refs: dict[str, set[int]] = {}
+        self.store = None  # durable backend, attached via attach_store()
         self._applications: dict[str, NodeApplication] = {}
         network.register(address, self._on_message)
+
+    def attach_store(self, store) -> None:
+        """Bind a :class:`~repro.store.backend.StoreBackend`: boot the
+        reference table from recovered state and record every change."""
+        self.store = store
+        recovered = store.recover()
+        if recovered.refs:
+            self.refs = {
+                object_id: set(holders) for object_id, holders in recovered.refs.items()
+            }
+        store.bind(refs=lambda: self.refs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(address={self.address})"
@@ -116,14 +128,22 @@ class DolrNode:
         if message.kind == "dolr.insert_ref":
             holders = self.refs.setdefault(payload["object_id"], set())
             existed = bool(holders)
-            holders.add(payload["holder"])
+            if payload["holder"] not in holders:
+                holders.add(payload["holder"])
+                if self.store is not None:
+                    self.store.record_ref_put(payload["object_id"], payload["holder"])
+                    self.store.maybe_compact()
             return {"already_present": existed}
         if message.kind == "dolr.delete_ref":
             holders = self.refs.get(payload["object_id"], set())
+            removed = payload["holder"] in holders
             holders.discard(payload["holder"])
             remaining = bool(holders)
             if not holders:
                 self.refs.pop(payload["object_id"], None)
+            if removed and self.store is not None:
+                self.store.record_ref_del(payload["object_id"], payload["holder"])
+                self.store.maybe_compact()
             return {"copies_remain": remaining}
         if message.kind == "dolr.read_ref":
             return {"holders": sorted(self.refs.get(payload["object_id"], set()))}

@@ -271,6 +271,19 @@ class AsyncioTransport:
     def is_registered(self, address: int) -> bool:
         return address in self._handlers
 
+    def _serves(self, address: int) -> bool:
+        """Whether this transport is the authority for ``address``.
+
+        A daemon-shaped transport registers handlers for every node in
+        the deployment (the routing layer needs the objects), but only
+        the addresses in ``serve_addresses`` are *served* here — for the
+        rest the authoritative state lives in some other process, so
+        even a self-addressed RPC must cross the wire.
+        """
+        if address not in self._handlers:
+            return False
+        return self._serve is None or address in self._serve
+
     def addresses(self) -> frozenset[int]:
         """Local endpoints plus configured peers."""
         return frozenset(self._handlers) | frozenset(self.peers)
@@ -331,7 +344,7 @@ class AsyncioTransport:
         transport's default ``rpc_timeout`` seconds).
         """
         payload = payload or {}
-        if src == dst and dst in self._handlers:
+        if src == dst and self._serves(dst):
             # Local call: free, exactly like the simulator.
             if dst in self._failed:
                 raise PeerUnreachableError(dst, "failed")
@@ -393,7 +406,7 @@ class AsyncioTransport:
         self._account(message)
         if not deliver:
             return
-        if src == dst and dst in self._handlers:
+        if src == dst and self._serves(dst):
             if dst not in self._failed:
                 self._handlers[dst](message)
             return

@@ -24,10 +24,13 @@ equality the integration tests assert.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.config import ServiceConfig
 from repro.core.service import KeywordSearchService
 from repro.net.aio import AsyncioTransport
 from repro.obs.stats import StatsServer
+from repro.store.file import FileStore
 
 __all__ = ["LocalCluster"]
 
@@ -43,16 +46,32 @@ class LocalCluster:
         rpc_timeout: float = 10.0,
         time_scale: float = 0.001,
         stats_port: int | None = None,
+        data_dir: str | Path | None = None,
     ):
         """``stats_port`` (0 for OS-assigned) additionally serves the
-        cluster's metrics over HTTP (see :mod:`repro.obs.stats`)."""
+        cluster's metrics over HTTP (see :mod:`repro.obs.stats`).
+
+        ``data_dir`` makes every node durable: each gets a WAL +
+        snapshot store under ``<data_dir>/node-<address>/`` (see
+        :mod:`repro.store`), replayed on construction — so a cluster
+        rebuilt over the same directory comes back with every shard and
+        reference table intact, no re-publish needed."""
         self.config = config
         self.stats: StatsServer | None = None
         self.transport = AsyncioTransport(
             host=host, rpc_timeout=rpc_timeout, time_scale=time_scale
         )
+        store_factory = None
+        if data_dir is not None:
+            base = Path(data_dir)
+
+            def store_factory(address: int) -> FileStore:
+                return FileStore(base / f"node-{address}", metrics=self.transport.metrics)
+
         try:
-            self.service = KeywordSearchService.create(config, network=self.transport)
+            self.service = KeywordSearchService.create(
+                config, network=self.transport, store_factory=store_factory
+            )
             if stats_port is not None:
                 self.stats = StatsServer(self.transport.metrics, host=host, port=stats_port)
         except BaseException:
@@ -68,10 +87,14 @@ class LocalCluster:
         self.close()
 
     def close(self) -> None:
-        """Stop every server, drop every connection, join the IO thread."""
+        """Stop every server, drop every connection, join the IO thread
+        (flushing and closing every durable store first)."""
         if self.stats is not None:
             self.stats.close()
             self.stats = None
+        service = getattr(self, "service", None)
+        if service is not None:
+            service.close_stores()
         self.transport.close()
 
     # -- introspection ------------------------------------------------

@@ -30,11 +30,16 @@ jobs) use :class:`~repro.net.cluster.LocalCluster` instead.
 from __future__ import annotations
 
 import argparse
+import signal
+import threading
+from pathlib import Path
 
 from repro.core.config import ServiceConfig
 from repro.core.service import KeywordSearchService
 from repro.net.aio import AsyncioTransport
 from repro.obs.stats import StatsServer
+from repro.store.backend import MemoryStore
+from repro.store.file import FileStore
 
 __all__ = ["NodeDaemon", "cluster_addresses", "add_node_commands", "run_node_command"]
 
@@ -62,13 +67,24 @@ class NodeDaemon:
         rpc_timeout: float = 10.0,
         time_scale: float = 0.001,
         stats_port: int | None = None,
+        data_dir: str | Path | None = None,
     ):
         """``stats_port`` (0 for OS-assigned) additionally serves this
         daemon's metrics over HTTP — Prometheus text at ``/metrics``,
-        JSON at ``/metrics.json`` (see :mod:`repro.obs.stats`)."""
+        JSON at ``/metrics.json`` (see :mod:`repro.obs.stats`).
+
+        ``data_dir`` makes the served node durable: its index shard and
+        reference table live in a WAL + snapshot store under
+        ``<data_dir>/node-<address>/`` (see :mod:`repro.store`), replayed
+        on boot — so a ``kill -9``'d daemon restarted from the same
+        directory serves its full shard again.  The *other* addresses of
+        the derived deployment stay in memory (their daemons own their
+        own directories).
+        """
         self.config = config
         self.address = address
         self.stats: StatsServer | None = None
+        self._shutdown = threading.Event()
         self.transport = AsyncioTransport(
             host=host,
             serve_addresses={address},
@@ -77,8 +93,19 @@ class NodeDaemon:
             rpc_timeout=rpc_timeout,
             time_scale=time_scale,
         )
+        store_factory = None
+        if data_dir is not None:
+            base = Path(data_dir)
+
+            def store_factory(addr: int):
+                if addr == address:
+                    return FileStore(base / f"node-{addr}", metrics=self.transport.metrics)
+                return MemoryStore()
+
         try:
-            self.service = KeywordSearchService.create(config, network=self.transport)
+            self.service = KeywordSearchService.create(
+                config, network=self.transport, store_factory=store_factory
+            )
             if address not in self.service.dolr.nodes:
                 known = self.service.dolr.addresses()
                 raise ValueError(
@@ -101,6 +128,32 @@ class NodeDaemon:
         """The (host, port) of the stats endpoint, when one is up."""
         return self.stats.endpoint if self.stats is not None else None
 
+    @property
+    def store(self):
+        """The served address's durable backend (None without data_dir)."""
+        service = getattr(self, "service", None)
+        if service is None:
+            return None
+        return service.stores.get(self.address)
+
+    # -- graceful shutdown --------------------------------------------
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown.is_set()
+
+    def request_shutdown(self, *_signal_args) -> None:
+        """Ask the serve loop to exit; safe to call from a signal handler."""
+        self._shutdown.set()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into :meth:`request_shutdown` so the
+        serve loop winds down through :meth:`close` — flushing the WAL
+        and closing the stats server — instead of dying mid-append.
+        Main thread only (a signal-module constraint)."""
+        signal.signal(signal.SIGTERM, self.request_shutdown)
+        signal.signal(signal.SIGINT, self.request_shutdown)
+
     def __enter__(self) -> "NodeDaemon":
         return self
 
@@ -111,6 +164,9 @@ class NodeDaemon:
         if self.stats is not None:
             self.stats.close()
             self.stats = None
+        service = getattr(self, "service", None)
+        if service is not None:
+            service.close_stores()
         self.transport.close()
 
 
@@ -174,6 +230,12 @@ def add_node_commands(commands) -> None:
         default=None,
         help="also serve Prometheus/JSON metrics over HTTP on this port (0: OS-assigned)",
     )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="persist this node's state under DIR/node-<address>/ (WAL + snapshots), "
+        "replayed on restart",
+    )
 
 
 def run_node_command(arguments: argparse.Namespace) -> int:
@@ -191,17 +253,20 @@ def run_node_command(arguments: argparse.Namespace) -> int:
         port=arguments.port,
         peers=peers,
         stats_port=arguments.stats_port,
+        data_dir=arguments.data_dir,
     )
     host, port = daemon.endpoint
     print(f"serving {arguments.address} on {host}:{port}", flush=True)
     if daemon.stats_endpoint is not None:
         stats_host, stats_port = daemon.stats_endpoint
         print(f"stats on http://{stats_host}:{stats_port}/metrics", flush=True)
+    daemon.install_signal_handlers()
     try:
-        while True:
-            daemon.transport.sleep(1000)  # 1 s per tick; all work happens in the IO thread
-    except KeyboardInterrupt:
+        while not daemon.shutdown_requested:
+            daemon.transport.sleep(250)  # all work happens in the IO thread
+    except KeyboardInterrupt:  # pre-handler-installation race
         pass
     finally:
         daemon.close()
+    print(f"stopped {arguments.address}", flush=True)
     return 0

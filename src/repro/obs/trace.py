@@ -19,6 +19,7 @@ Event vocabulary (``TraceEvent.kind``):
 ``cache_get``  the root-side cache probe (hit, completeness, size)
 ``cache_put``  the root-side cache fill (stored, or skipped and why)
 ``message``    one transport-level message (src, dst, kind, reply flag)
+``store``      one durable-store operation (WAL append, snapshot, recover)
 =============  ==============================================================
 
 Recording is opt-in and ambient: :func:`recording` installs a
@@ -72,6 +73,7 @@ EVENT_KINDS = (
     "cache_get",
     "cache_put",
     "message",
+    "store",
 )
 
 

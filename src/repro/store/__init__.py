@@ -1,0 +1,38 @@
+"""Durable per-node storage: WAL + snapshot persistence.
+
+Every node's index shard and replica-reference table live in process
+memory; this package gives them a disk life.  A
+:class:`~repro.store.backend.StoreBackend` records each mutation as one
+append-only WAL record (CRC-framed, tagged-encoded like the wire
+format), periodically folds the log into a snapshot, and replays
+snapshot + WAL on boot so a ``kill -9``'d node restarts with its state
+intact.
+
+Two backends: :class:`~repro.store.backend.MemoryStore` (the default —
+a no-op recorder that keeps the simulator byte-identical) and
+:class:`~repro.store.file.FileStore` (one directory per node).
+"""
+
+from repro.store.backend import MemoryStore, RecoveredState, StoreBackend
+from repro.store.file import FileStore
+from repro.store.wal import (
+    StoreRecord,
+    WalDecodeResult,
+    apply_record,
+    decode_records,
+    encode_record,
+    replay,
+)
+
+__all__ = [
+    "FileStore",
+    "MemoryStore",
+    "RecoveredState",
+    "StoreBackend",
+    "StoreRecord",
+    "WalDecodeResult",
+    "apply_record",
+    "decode_records",
+    "encode_record",
+    "replay",
+]

@@ -1,0 +1,132 @@
+"""The backend contract and the in-memory default.
+
+A :class:`StoreBackend` sits behind one node's mutable state: the index
+shard reports every table mutation through ``record_*`` calls, the DOLR
+node reports reference changes, and at build time both ask
+:meth:`StoreBackend.recover` for whatever state survived a previous
+life.  :class:`MemoryStore` is the default — it remembers nothing and
+costs one no-op call per mutation, which keeps the simulator (and the
+paper experiments' JSON) byte-identical.  :class:`~repro.store.file.FileStore`
+is the durable implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol, runtime_checkable
+
+from repro.store.wal import Refs, Tables
+
+__all__ = ["MemoryStore", "RecoveredState", "StoreBackend"]
+
+
+@dataclass
+class RecoveredState:
+    """What a backend found on disk: the state to boot from.
+
+    ``tables`` / ``refs`` are in the exact in-memory shapes
+    :class:`~repro.core.index.IndexShard` and
+    :class:`~repro.dht.dolr.DolrNode` keep (callers copy before
+    mutating).  ``truncated`` is True when a torn WAL tail was dropped;
+    ``notes`` carries human-readable recovery details.
+    """
+
+    tables: Tables = field(default_factory=dict)
+    refs: Refs = field(default_factory=dict)
+    snapshot_records: int = 0
+    wal_records: int = 0
+    truncated: bool = False
+    notes: tuple[str, ...] = ()
+
+    @property
+    def records(self) -> int:
+        return self.snapshot_records + self.wal_records
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """Per-node durable state recorder.
+
+    ``recover()`` is idempotent (the shard and the DOLR node share one
+    backend and each call it once).  ``bind`` registers zero-argument
+    suppliers of the *live* state, which compaction snapshots;
+    ``maybe_compact`` is the cheap per-mutation hook that triggers a
+    snapshot once enough WAL records accumulated.  ``durable`` says
+    whether state outlives the process.
+    """
+
+    durable: bool
+
+    def recover(self) -> RecoveredState: ...
+
+    def bind(
+        self,
+        *,
+        tables: Callable[[], Tables] | None = None,
+        refs: Callable[[], Refs] | None = None,
+    ) -> None: ...
+
+    def record_put(
+        self, namespace: str, logical: int, keywords: Iterable[str], object_id: str
+    ) -> None: ...
+
+    def record_remove(
+        self, namespace: str, logical: int, keywords: Iterable[str], object_id: str
+    ) -> None: ...
+
+    def record_drop(self, namespace: str, logical: int) -> None: ...
+
+    def record_ref_put(self, object_id: str, holder: int) -> None: ...
+
+    def record_ref_del(self, object_id: str, holder: int) -> None: ...
+
+    def maybe_compact(self) -> None: ...
+
+    def flush(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class MemoryStore:
+    """The default backend: record nothing, recover nothing.
+
+    Every ``record_*`` bumps one counter and returns — no allocation,
+    no I/O, no clock — so a stack built with MemoryStore behaves (and
+    accounts messages) exactly like one built with no store at all.
+    """
+
+    durable = False
+
+    def __init__(self):
+        self.appends = 0
+        self.metrics = None
+
+    def recover(self) -> RecoveredState:
+        return RecoveredState()
+
+    def bind(self, *, tables=None, refs=None) -> None:
+        pass
+
+    def record_put(self, namespace, logical, keywords, object_id) -> None:
+        self.appends += 1
+
+    def record_remove(self, namespace, logical, keywords, object_id) -> None:
+        self.appends += 1
+
+    def record_drop(self, namespace, logical) -> None:
+        self.appends += 1
+
+    def record_ref_put(self, object_id, holder) -> None:
+        self.appends += 1
+
+    def record_ref_del(self, object_id, holder) -> None:
+        self.appends += 1
+
+    def maybe_compact(self) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,315 @@
+"""WAL record format: CRC-framed, tagged-encoded state mutations.
+
+One record describes one mutation of a node's durable state — an index
+table entry added or removed, a whole table dropped (churn handoff), a
+replica reference registered or withdrawn, or a full entry emitted by a
+snapshot.  On disk every record is one frame::
+
+    +----------------+---------------+------------------------------+
+    | length (4B BE) | crc32 (4B BE) | version byte + JSON payload  |
+    +----------------+---------------+------------------------------+
+
+``length`` covers the body (version byte + payload); ``crc32`` is over
+the same bytes, so a torn or bit-flipped tail is detected before any
+JSON parsing.  The payload is the record's fields lowered through the
+same tagged encoding the wire format uses
+(:func:`repro.net.wire.encode_value`), with keys sorted — identical
+state always produces identical bytes.
+
+Replay is pure: :func:`decode_records` walks a byte string and stops at
+the first frame that is incomplete or fails its CRC (the torn tail a
+crash mid-append leaves behind), reporting how many clean bytes it
+consumed so the caller can truncate; :func:`replay` folds records into
+the ``(tables, refs)`` state the index shard and DOLR node hold in
+memory.  Any prefix of a valid WAL decodes to a prefix of its records —
+the property the recovery tests drive with hypothesis.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from json.encoder import encode_basestring_ascii as _json_string
+from typing import Any
+
+from repro.net.wire import decode_value, encode_value
+
+__all__ = [
+    "WAL_VERSION",
+    "StoreRecord",
+    "WalDecodeResult",
+    "apply_record",
+    "decode_records",
+    "encode_record",
+    "encode_record_generic",
+    "entry_records",
+    "replay",
+]
+
+WAL_VERSION = 1
+_FRAME = struct.Struct("!II")  # (body length, crc32 of body)
+# A single record is one index entry or reference — far below this; the
+# cap exists so a corrupted length field cannot demand an absurd read.
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+# op -> payload fields (beyond "op"); also the legality check on decode.
+_OPS = {
+    "put": ("ns", "lg", "kw", "id"),
+    "remove": ("ns", "lg", "kw", "id"),
+    "drop": ("ns", "lg"),
+    "entry": ("ns", "lg", "kw", "ids"),
+    "ref_put": ("id", "h"),
+    "ref_del": ("id", "h"),
+}
+
+Tables = dict[tuple[str, int], dict[frozenset[str], set[str]]]
+Refs = dict[str, set[int]]
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One durable mutation.
+
+    ``op`` is one of ``put`` / ``remove`` (index entry maintenance),
+    ``drop`` (a whole table handed off during churn), ``entry`` (one
+    full table entry, as snapshots emit), ``ref_put`` / ``ref_del``
+    (replica references).  Unused fields keep their defaults.
+    """
+
+    op: str
+    namespace: str = ""
+    logical: int = 0
+    keywords: tuple[str, ...] = ()
+    object_id: str = ""
+    object_ids: tuple[str, ...] = ()
+    holder: int = 0
+
+
+def _tuple_json(items: tuple[str, ...]) -> str:
+    """A tuple of strings in the wire's tagged encoding, keys sorted."""
+    return '{"!":"tuple","v":[%s]}' % ",".join(map(_json_string, items))
+
+
+def _frame(body_text: str) -> bytes:
+    body = _VERSION_PREFIX + body_text.encode("utf-8")
+    return _FRAME.pack(len(body), zlib.crc32(body)) + body
+
+
+_VERSION_PREFIX = bytes([WAL_VERSION])
+
+
+def encode_entry_op(
+    op: str, namespace: str, logical: int, keywords: tuple[str, ...], object_id: str
+) -> bytes:
+    """Frame a ``put``/``remove`` from bare fields (the hot write path —
+    no :class:`StoreRecord` built)."""
+    return _frame(
+        '{"id":%s,"kw":%s,"lg":%d,"ns":%s,"op":"%s"}'
+        % (_json_string(object_id), _tuple_json(keywords), logical, _json_string(namespace), op)
+    )
+
+
+def encode_ref_op(op: str, object_id: str, holder: int) -> bytes:
+    """Frame a ``ref_put``/``ref_del`` from bare fields."""
+    return _frame('{"h":%d,"id":%s,"op":"%s"}' % (holder, _json_string(object_id), op))
+
+
+def encode_record(record: StoreRecord) -> bytes:
+    """Serialize one record, frame header included.
+
+    Hand-assembles the sorted-keys compact JSON for each known record
+    shape — byte-identical to ``json.dumps(encode_value(payload),
+    sort_keys=True, separators=(",", ":"))`` (the property
+    :func:`encode_record_generic` pins in tests) but ~6x cheaper, which
+    matters because one of these runs per index mutation on the durable
+    write path.
+    """
+    op = record.op
+    if op == "put" or op == "remove":
+        return encode_entry_op(op, record.namespace, record.logical,
+                               record.keywords, record.object_id)
+    if op == "ref_put" or op == "ref_del":
+        return encode_ref_op(op, record.object_id, record.holder)
+    if op == "entry":
+        return _frame(
+            '{"ids":%s,"kw":%s,"lg":%d,"ns":%s,"op":"entry"}'
+            % (
+                _tuple_json(record.object_ids),
+                _tuple_json(record.keywords),
+                record.logical,
+                _json_string(record.namespace),
+            )
+        )
+    if op == "drop":
+        return _frame(
+            '{"lg":%d,"ns":%s,"op":"drop"}'
+            % (record.logical, _json_string(record.namespace))
+        )
+    raise ValueError(f"unknown store record op {op!r}")
+
+
+def encode_record_generic(record: StoreRecord) -> bytes:
+    """The reference encoder: lower the payload through the wire's
+    tagged encoding and dump sorted-keys compact JSON.  Kept as the
+    executable definition of the format; :func:`encode_record` is the
+    equivalent fast path."""
+    payload: dict[str, Any] = {"op": record.op}
+    fields = _OPS.get(record.op)
+    if fields is None:
+        raise ValueError(f"unknown store record op {record.op!r}")
+    if "ns" in fields:
+        payload["ns"] = record.namespace
+        payload["lg"] = record.logical
+    if "kw" in fields:
+        payload["kw"] = tuple(record.keywords)
+    if record.op == "entry":
+        payload["ids"] = tuple(record.object_ids)
+    elif "id" in fields:
+        payload["id"] = record.object_id
+    if "h" in fields:
+        payload["h"] = record.holder
+    body = bytes([WAL_VERSION]) + json.dumps(
+        encode_value(payload), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return _FRAME.pack(len(body), zlib.crc32(body)) + body
+
+
+def _decode_body(body: bytes) -> StoreRecord:
+    if body[0] != WAL_VERSION:
+        raise ValueError(f"unsupported WAL version {body[0]} (speaking {WAL_VERSION})")
+    payload = decode_value(json.loads(body[1:].decode("utf-8")))
+    if not isinstance(payload, dict):
+        raise ValueError("WAL record payload must be an object")
+    op = payload.get("op")
+    fields = _OPS.get(op)
+    if fields is None:
+        raise ValueError(f"unknown store record op {op!r}")
+    return StoreRecord(
+        op=op,
+        namespace=str(payload.get("ns", "")),
+        logical=int(payload.get("lg", 0)),
+        keywords=tuple(payload.get("kw", ())),
+        object_id=str(payload.get("id", "")) if op != "entry" else "",
+        object_ids=tuple(payload.get("ids", ())),
+        holder=int(payload.get("h", 0)),
+    )
+
+
+@dataclass(frozen=True)
+class WalDecodeResult:
+    """Outcome of decoding a WAL byte string.
+
+    ``consumed`` is the length of the clean prefix (truncate the file to
+    it to drop a torn tail); ``truncated`` is True when trailing bytes
+    were dropped, with ``reason`` saying why.
+    """
+
+    records: tuple[StoreRecord, ...]
+    consumed: int
+    truncated: bool = False
+    reason: str | None = None
+
+
+def decode_records(data: bytes) -> WalDecodeResult:
+    """Decode every clean record from the head of ``data``.
+
+    Never raises on bad input: decoding stops at the first incomplete,
+    CRC-failing, or malformed frame, and everything from there on is
+    reported as the torn tail.
+    """
+    records: list[StoreRecord] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _FRAME.size:
+            return WalDecodeResult(tuple(records), offset, True, "partial frame header")
+        length, crc = _FRAME.unpack_from(data, offset)
+        if length == 0 or length > MAX_RECORD_BYTES:
+            return WalDecodeResult(tuple(records), offset, True, f"invalid frame length {length}")
+        start = offset + _FRAME.size
+        if total - start < length:
+            return WalDecodeResult(tuple(records), offset, True, "partial frame body")
+        body = data[start : start + length]
+        if zlib.crc32(body) != crc:
+            return WalDecodeResult(tuple(records), offset, True, "crc mismatch")
+        try:
+            records.append(_decode_body(body))
+        except (ValueError, UnicodeDecodeError, json.JSONDecodeError, IndexError) as error:
+            return WalDecodeResult(tuple(records), offset, True, f"malformed record: {error}")
+        offset = start + length
+    return WalDecodeResult(tuple(records), offset)
+
+
+# -- replay ---------------------------------------------------------------
+
+
+def apply_record(tables: Tables, refs: Refs, record: StoreRecord) -> None:
+    """Fold one record into in-memory state (mirrors the live mutations
+    of :class:`~repro.core.index.IndexShard` and
+    :class:`~repro.dht.dolr.DolrNode`)."""
+    op = record.op
+    if op in ("put", "entry"):
+        key = (record.namespace, record.logical)
+        objects = tables.setdefault(key, {}).setdefault(frozenset(record.keywords), set())
+        if op == "put":
+            objects.add(record.object_id)
+        else:
+            objects.update(record.object_ids)
+    elif op == "remove":
+        key = (record.namespace, record.logical)
+        table = tables.get(key)
+        keywords = frozenset(record.keywords)
+        if table is None or keywords not in table:
+            return
+        objects = table[keywords]
+        objects.discard(record.object_id)
+        if not objects:
+            del table[keywords]
+            if not table:
+                del tables[key]
+    elif op == "drop":
+        tables.pop((record.namespace, record.logical), None)
+    elif op == "ref_put":
+        refs.setdefault(record.object_id, set()).add(record.holder)
+    elif op == "ref_del":
+        holders = refs.get(record.object_id)
+        if holders is not None:
+            holders.discard(record.holder)
+            if not holders:
+                del refs[record.object_id]
+    else:  # unreachable: decode rejects unknown ops
+        raise ValueError(f"unknown store record op {op!r}")
+
+
+def replay(records: tuple[StoreRecord, ...] | list[StoreRecord]) -> tuple[Tables, Refs]:
+    """State after applying ``records`` in order to empty tables/refs."""
+    tables: Tables = {}
+    refs: Refs = {}
+    for record in records:
+        apply_record(tables, refs, record)
+    return tables, refs
+
+
+def entry_records(tables: Tables, refs: Refs) -> list[StoreRecord]:
+    """The canonical snapshot of a state: one ``entry`` record per table
+    entry, one ``ref_put`` per reference, deterministically ordered —
+    the same stream churn handoff sends per table."""
+    records: list[StoreRecord] = []
+    for namespace, logical in sorted(tables):
+        table = tables[(namespace, logical)]
+        for keywords in sorted(table, key=lambda k: (len(k), tuple(sorted(k)))):
+            records.append(
+                StoreRecord(
+                    op="entry",
+                    namespace=namespace,
+                    logical=logical,
+                    keywords=tuple(sorted(keywords)),
+                    object_ids=tuple(sorted(table[keywords])),
+                )
+            )
+    for object_id in sorted(refs):
+        for holder in sorted(refs[object_id]):
+            records.append(StoreRecord(op="ref_put", object_id=object_id, holder=holder))
+    return records

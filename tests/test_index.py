@@ -206,3 +206,66 @@ class TestMapping:
         inverse = mapping.logical_nodes_of(some_physical)
         assert all(placement[logical] == some_physical for logical in inverse)
         assert 0 in inverse
+
+    def test_route_to_shares_placement_cache(self, loaded_index):
+        mapping = loaded_index.mapping
+        messages = loaded_index.dolr.network.metrics
+        mapping.enable_placement_cache()
+        first = mapping.route_to(5)
+        # The paid lookup populated the cache; the repeat is free.
+        before = messages.counter("network.messages")
+        second = mapping.route_to(5)
+        assert second.owner == first.owner == mapping.physical_owner(5)
+        assert second.hops == 0
+        assert messages.counter("network.messages") == before
+        # physical_owner's population serves route_to too.
+        owner7 = mapping.physical_owner(7)
+        assert mapping.route_to(7).hops == 0
+        assert mapping.route_to(7).owner == owner7
+
+    @staticmethod
+    def _remote_logical(index) -> int:
+        """A logical node whose lookup pays at least one routing hop
+        (the origin's first step is local and free), so an uncached
+        route must send messages."""
+        origin = index.dolr.any_address()
+        return next(
+            logical
+            for logical in index.cube.nodes()
+            if index.dolr.lookup(index.mapping.dht_key(logical), origin=origin).hops > 0
+        )
+
+    def test_route_to_refresh_bypasses_cache(self, loaded_index):
+        mapping = loaded_index.mapping
+        logical = self._remote_logical(loaded_index)
+        mapping.enable_placement_cache()
+        mapping.route_to(logical)
+        messages = loaded_index.dolr.network.metrics
+        before = messages.counter("network.messages")
+        refreshed = mapping.route_to(logical, refresh=True)
+        assert refreshed.owner == mapping.physical_owner(logical)
+        assert messages.counter("network.messages") > before
+
+    def test_route_to_invalidation_restores_lookups(self, loaded_index):
+        mapping = loaded_index.mapping
+        logical = self._remote_logical(loaded_index)
+        mapping.enable_placement_cache()
+        mapping.route_to(logical)
+        mapping.invalidate_placement_cache()
+        messages = loaded_index.dolr.network.metrics
+        before = messages.counter("network.messages")
+        mapping.route_to(logical)
+        assert messages.counter("network.messages") > before
+
+    def test_logical_nodes_of_memoized(self, loaded_index):
+        mapping = loaded_index.mapping
+        uncached = {p: mapping.logical_nodes_of(p) for p in set(mapping.placement().values())}
+        mapping.enable_placement_cache()
+        assert all(
+            mapping.logical_nodes_of(p) == nodes for p, nodes in uncached.items()
+        )
+        assert mapping._inverse_cache is not None
+        # Non-owners answer empty, and invalidation drops the memo.
+        mapping.invalidate_placement_cache()
+        assert mapping._inverse_cache is None
+        assert {p: mapping.logical_nodes_of(p) for p in uncached} == uncached

@@ -49,6 +49,22 @@ class TestTransportContract:
         transport.rpc(1, 1, "test.echo", {"x": 1})
         assert transport.metrics.counter("network.messages") == 0
 
+    def test_self_addressed_rpc_to_unserved_address_crosses_the_wire(self):
+        # A daemon-shaped transport registers handlers for every node in
+        # the deployment, but addresses it does not serve live in some
+        # other process: even src == dst must dial the peer, never touch
+        # the local shadow object.
+        with AsyncioTransport(rpc_timeout=5.0, serve_addresses={1}) as authority:
+            authority.register(1, echo_handler)
+            authority.register(2, lambda m: {"who": "authority"})
+            host, port = authority.endpoints[1]
+            with AsyncioTransport(
+                rpc_timeout=5.0, serve_addresses=set(), peers={1: (host, port)}
+            ) as daemon:
+                daemon.register(1, lambda m: {"who": "shadow"})
+                result = daemon.rpc(1, 1, "test.echo", {"x": 1})
+        assert result == {"echo": {"x": 1}, "kind": "test.echo"}
+
     def test_remote_rpc_accounts_request_and_reply(self, transport):
         transport.register(1, echo_handler)
         transport.register(2, echo_handler)
