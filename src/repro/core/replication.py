@@ -162,23 +162,24 @@ class ReplicatedSuperSetSearch(SuperSetSearch):
         super().__init__(replicated.primary, **kwargs)
         self.replicated = replicated
 
-    def _visit(
+    def _resolve_target(
         self,
         query: frozenset[str],
         remaining: int | None,
         origin: int,
         logical: int,
         physical: int | None,
-        *,
-        via: int | None = None,
-        responder_hops: int = 0,
-    ) -> tuple[list[FoundObject], int, str, bool]:
-        """Visit via the primary's true placement owner; when that node
-        is dead, go straight to the replicas.
+        via: int | None,
+    ) -> tuple[int | None, int, tuple[list[FoundObject], str] | None]:
+        """Target the primary's true placement owner; when that node is
+        dead, settle the visit straight from the replicas.
 
         This also covers the root visit, where DHT surrogate routing
         would otherwise deliver the query to an empty stand-in node and
-        the primary's data loss would go unnoticed.
+        the primary's data loss would go unnoticed.  Because this hook
+        is shared by the sequential and the level-batched dispatch
+        paths, the replica failover applies identically to PARALLEL
+        searches.
         """
         owner = self.index.mapping.physical_owner(logical)
         network = self.index.dolr.network
@@ -193,16 +194,8 @@ class ReplicatedSuperSetSearch(SuperSetSearch):
             status = "replica" if fallback is not None else "failed"
             if status == "failed":
                 network.metrics.increment("search.degraded_visits")
-            return found, responder_hops, status, False
-        return super()._visit(
-            query,
-            remaining,
-            origin,
-            logical,
-            owner,
-            via=via,
-            responder_hops=responder_hops,
-        )
+            return None, 0, (found, status)
+        return owner, 0, None
 
     def _visit_fallback(
         self, sender: int, logical: int, query: frozenset[str], remaining: int | None

@@ -20,6 +20,25 @@ Three traversal orders are provided:
 * ``PARALLEL`` — Section 3.5's speed-up: all nodes of a tree level are
   queried in one round, reducing time complexity from
   ``2**(r-|One|)`` to ``r - |One|`` rounds at the same message cost.
+  Since PR 5 the rounds are dispatched *concurrently* through the
+  transport's batch RPC API
+  (:meth:`~repro.net.transport.Transport.rpc_many` via
+  :meth:`~repro.sim.resilience.ResilientChannel.rpc_many`): virtual
+  time advances by one round trip per level on the simulator, and over
+  TCP the whole level's requests are genuinely in flight together — the
+  round bound becomes a wall-clock bound.  Budget rule: every visit in
+  a level shares the result budget *as it stood at level entry* (the
+  level is dispatched before any of its replies can be seen), the
+  collected objects are truncated to the threshold afterwards, and a
+  search that overshot its threshold reports ``complete=False`` exactly
+  when matches were left behind — dropped overshoot, a limit-cut scan,
+  or an undescended subtree.
+
+All three walks share one traversal core: sequential orders dispatch
+through :meth:`SuperSetSearch._visit`, the parallel order through the
+level-batched :meth:`SuperSetSearch._visit_level`, and both paths share
+the same target resolution, failure ladder, result forwarding, and
+visit/threshold bookkeeping.
 
 Contact modes: ``direct`` assumes the root reaches tree nodes by their
 cached physical contacts (Section 3.4 observes each hypercube message
@@ -48,6 +67,7 @@ from collections.abc import Iterable, Iterator
 from repro.core.index import HypercubeIndex
 from repro.core.keywords import normalize_keywords
 from repro.net.errors import PeerUnreachableError
+from repro.net.transport import RpcCall
 from repro.obs.trace import QueryTrace, TraceRecorder, active_recorder, recording
 from repro.sim.resilience import ResilientChannel
 from repro.hypercube.sbt import SpanningBinomialTree
@@ -171,6 +191,51 @@ class SearchResult:
             if collected >= needed:
                 return count
         return len(self.visits)
+
+
+class _TraversalRun:
+    """Shared bookkeeping of one tree walk.
+
+    Collects the found objects and visit records, and tracks the result
+    budget (``remaining``) against the caller's threshold.  The walkers
+    differ in traversal order and dispatch (sequential vs level-batched)
+    but every one of them records visits and consumes budget through
+    this one object — the invariant the §3.5 equivalence tests lean on.
+    """
+
+    __slots__ = ("objects", "visits", "remaining", "truncated")
+
+    def __init__(self, threshold: int | None):
+        self.objects: list[FoundObject] = []
+        self.visits: list[NodeVisit] = []
+        self.remaining = threshold
+        self.truncated = False
+
+    def absorb(
+        self,
+        logical: int,
+        physical: int,
+        depth: int,
+        found: list[FoundObject],
+        hops: int,
+        status: str,
+    ) -> None:
+        """Record one completed visit and keep its objects."""
+        self.objects.extend(found)
+        SuperSetSearch._record_visit(
+            self.visits, logical, physical, depth, len(found), hops, status
+        )
+
+    def consume(self, count: int) -> bool:
+        """Charge ``count`` results against the budget.  True when the
+        threshold is now met (unlimited searches never meet it)."""
+        if self.remaining is None:
+            return False
+        self.remaining -= count
+        return self.remaining <= 0
+
+    def finish(self, rounds: int) -> tuple[list[FoundObject], list[NodeVisit], bool, int]:
+        return self.objects, self.visits, not self.truncated, rounds
 
 
 class SuperSetSearch:
@@ -397,6 +462,13 @@ class SuperSetSearch:
         )
 
     # -- traversals -----------------------------------------------------
+    #
+    # All three walks drive the same machinery: `_TraversalRun` holds the
+    # collected objects / visit records / result budget, `_visit` performs
+    # one sequential visit, and `_visit_level` dispatches a whole SBT
+    # level concurrently through the channel's batch RPC API.  The
+    # walkers differ only in *which* nodes they hand to that machinery,
+    # and in what order.
 
     def _walk_top_down(
         self,
@@ -417,57 +489,47 @@ class SuperSetSearch:
         content either way).
         """
         dimension = self.index.cube.dimension
-        objects: list[FoundObject] = []
-        visits: list[NodeVisit] = []
-
-        remaining = threshold
-        truncated = False
+        run = _TraversalRun(threshold)
 
         # Root examines its own table first (the initial T_QUERY).
         returned, hops, status, scan_truncated = self._visit(
-            query, remaining, origin, root_logical, root_physical, responder_hops=root_hops
+            query, run.remaining, origin, root_logical, root_physical, responder_hops=root_hops
         )
-        objects.extend(returned)
-        self._record_visit(visits, root_logical, root_physical, 0, len(returned), hops, status)
+        run.absorb(root_logical, root_physical, 0, returned, hops, status)
 
         queue: deque[tuple[int, int]] = deque(
             (root_logical | (1 << i), i)
             for i in self._descending_zero_dims(root_logical, dimension)
         )
-        if remaining is not None:
-            remaining -= len(returned)
-            if remaining <= 0:
-                # The root alone satisfied the threshold.  The search is
-                # still *complete* when nothing was left unexplored: no
-                # SBT children to descend into and the root's own scan
-                # was not cut short by the limit.
-                return objects, visits, not queue and not scan_truncated, len(visits)
+        if run.consume(len(returned)):
+            # The root alone satisfied the threshold.  The search is
+            # still *complete* when nothing was left unexplored: no
+            # SBT children to descend into and the root's own scan
+            # was not cut short by the limit.
+            run.truncated = bool(queue) or scan_truncated
+            return run.finish(len(run.visits))
 
         while queue:
             w, d = queue.popleft()
             returned, hops, status, scan_truncated = self._visit(
-                query, remaining, origin, w, None, via=root_physical
+                query, run.remaining, origin, w, None, via=root_physical
             )
-            physical = self._physical_of(w)
-            objects.extend(returned)
-            self._record_visit(
-                visits, w, physical, bitops.popcount(w ^ root_logical), len(returned), hops, status
+            run.absorb(
+                w, self._physical_of(w), bitops.popcount(w ^ root_logical), returned, hops, status
             )
             continuation = [
                 (w | (1 << i), i)
                 for i in self._descending_zero_dims(w, dimension)
                 if i < d
             ]
-            if remaining is not None:
-                remaining -= len(returned)
-                if remaining <= 0:
-                    # w answers T_STOP; root drops U.  Unexplored work —
-                    # queued pairs, w's own children, or a limit-cut
-                    # scan — is what makes the result incomplete.
-                    truncated = bool(queue) or bool(continuation) or scan_truncated
-                    break
+            if run.consume(len(returned)):
+                # w answers T_STOP; root drops U.  Unexplored work —
+                # queued pairs, w's own children, or a limit-cut
+                # scan — is what makes the result incomplete.
+                run.truncated = bool(queue) or bool(continuation) or scan_truncated
+                break
             queue.extend(continuation)
-        return objects, visits, not truncated, len(visits)
+        return run.finish(len(run.visits))
 
     def _walk_bottom_up(
         self,
@@ -480,16 +542,13 @@ class SuperSetSearch:
     ) -> tuple[list[FoundObject], list[NodeVisit], bool, int]:
         """Deepest level first: most specific objects returned first."""
         tree = SpanningBinomialTree.induced(self.index.cube, root_logical)
-        objects: list[FoundObject] = []
-        visits: list[NodeVisit] = []
-        remaining = threshold
-        truncated = False
+        run = _TraversalRun(threshold)
         first = True
         for node, depth in tree.bfs_bottom_up():
             hops_for = root_hops if first else 0
             returned, hops, status, _ = self._visit(
                 query,
-                remaining,
+                run.remaining,
                 origin,
                 node,
                 root_physical if node == root_logical else None,
@@ -497,16 +556,11 @@ class SuperSetSearch:
                 responder_hops=hops_for,
             )
             first = False
-            objects.extend(returned)
-            self._record_visit(
-                visits, node, self._physical_of(node), depth, len(returned), hops, status
-            )
-            if remaining is not None:
-                remaining -= len(returned)
-                if remaining <= 0:
-                    truncated = True
-                    break
-        return objects, visits, not truncated, len(visits)
+            run.absorb(node, self._physical_of(node), depth, returned, hops, status)
+            if run.consume(len(returned)):
+                run.truncated = True
+                break
+        return run.finish(len(run.visits))
 
     def _walk_parallel(
         self,
@@ -517,40 +571,68 @@ class SuperSetSearch:
         root_physical: int,
         root_hops: int,
     ) -> tuple[list[FoundObject], list[NodeVisit], bool, int]:
-        """Level-synchronized top-down: whole tree levels are queried per
-        round, so a round that crosses the threshold still pays for its
-        entire level (the latency/message trade of Section 3.5)."""
-        tree = SpanningBinomialTree.induced(self.index.cube, root_logical)
-        objects: list[FoundObject] = []
-        visits: list[NodeVisit] = []
-        remaining = threshold
-        truncated = False
+        """Level-synchronized top-down: whole tree levels are dispatched
+        concurrently, one batch RPC round per level, so a round that
+        crosses the threshold still pays for its entire level (the
+        latency/message trade of Section 3.5).
+
+        This is the top-down walk with its child dispatch pipelined:
+        each round's frontier is exactly the continuation lists of the
+        previous round's visits (the queue ``U`` drained a whole level
+        at a time), so the node set and per-level membership match the
+        sequential protocol exactly, while the visits of one level are
+        in flight together.
+
+        Budget rule (deterministic under concurrency): every visit of a
+        level carries the result budget *as it stood at level entry* —
+        a level's scans cannot see each other's replies, on any
+        transport.  The collected objects are truncated to the threshold
+        afterwards, so the caller-visible contract (at most ``t``
+        results) is order-independent; dropped overshoot marks the
+        result incomplete, since matches existed that were not returned.
+        """
+        dimension = self.index.cube.dimension
+        run = _TraversalRun(threshold)
+        frontier: list[tuple[int, int]] = [(root_logical, dimension)]
         rounds = 0
-        for depth in range(tree.height + 1):
-            level_nodes = list(tree.level(depth))
-            if not level_nodes:
-                continue
+        depth = 0
+        while frontier:
             rounds += 1
-            for node in level_nodes:
-                returned, hops, status, _ = self._visit(
-                    query,
-                    remaining,
-                    origin,
+            entries = [
+                (
                     node,
                     root_physical if node == root_logical else None,
-                    via=root_physical,
-                    responder_hops=root_hops if depth == 0 else 0,
+                    root_hops if depth == 0 else 0,
                 )
-                objects.extend(returned)
-                self._record_visit(
-                    visits, node, self._physical_of(node), depth, len(returned), hops, status
+                for node, _ in frontier
+            ]
+            level = self._visit_level(query, run.remaining, origin, root_physical, entries)
+            next_frontier: list[tuple[int, int]] = []
+            level_returned = 0
+            scan_cut = False
+            for (node, d), (found, physical, hops, status, scan_truncated) in zip(
+                frontier, level
+            ):
+                run.absorb(node, physical, depth, found, hops, status)
+                level_returned += len(found)
+                scan_cut = scan_cut or scan_truncated
+                next_frontier.extend(
+                    (node | (1 << i), i)
+                    for i in self._descending_zero_dims(node, dimension)
+                    if i < d
                 )
-                if remaining is not None:
-                    remaining -= len(returned)
-            if remaining is not None and remaining <= 0:
-                truncated = True
+            if run.consume(level_returned):
+                # The whole level shared the entry budget, so the level
+                # may have overshot the threshold; trim to the promised
+                # min(t, |O_K|) — in visit order, deterministically.
+                overshoot = threshold is not None and len(run.objects) > threshold
+                if overshoot:
+                    del run.objects[threshold:]
+                run.truncated = bool(next_frontier) or scan_cut or overshoot
                 break
-        return objects, visits, not truncated, rounds
+            frontier = next_frontier
+            depth += 1
+        return run.finish(rounds)
 
     # -- mechanics --------------------------------------------------------
 
@@ -602,53 +684,169 @@ class SuperSetSearch:
         non-degrading searcher propagates the error, the legacy
         behaviour of ``skip_unreachable=False`` over a plain channel.
         """
-        dolr = self.index.dolr
-        metrics = dolr.network.metrics
         hops = responder_hops
         status = "ok"
         scan_truncated = False
         sender = via if via is not None else origin
-        if physical is None:
-            if self.contact_mode == "routed":
-                try:
-                    route = self.index.mapping.route_to(logical, origin=via)
-                except (PeerUnreachableError, RuntimeError):
-                    if not self.degrades:
-                        raise
-                    metrics.increment("search.degraded_visits")
-                    return [], hops, "failed", False
-                physical = route.owner
-                hops += route.hops
-            else:
-                physical = self._physical_of(logical)
+        physical, extra_hops, decided = self._resolve_target(
+            query, remaining, origin, logical, physical, via
+        )
+        hops += extra_hops
+        if decided is not None:
+            found, status = decided
+            return found, hops, status, False
         try:
             found, scan_truncated = self._scan_rpc(
                 sender, physical, self.index.namespace, logical, query, remaining
             )
-        except PeerUnreachableError:
-            fallback = self._visit_fallback(sender, logical, query, remaining)
-            if fallback is not None:
-                found = fallback
-                status = "replica"
-            elif self.degrades:
-                found, surrogate, extra_hops = self._surrogate_visit(
-                    sender, logical, query, remaining
-                )
-                if surrogate is None:
-                    status = "failed"
-                else:
-                    status = "surrogate"
-                    physical = surrogate
-                    hops += extra_hops
-                    metrics.increment("search.surrogate_visits")
-                metrics.increment("search.degraded_visits")
-            else:
-                raise
-        if found and physical != origin:
-            dolr.network.send(
+        except PeerUnreachableError as error:
+            found, status, new_physical, extra_hops = self._failure_ladder(
+                sender, logical, query, remaining, error
+            )
+            if new_physical is not None:
+                physical = new_physical
+            hops += extra_hops
+        self._notify_requester(physical, origin, found)
+        return found, hops, status, scan_truncated
+
+    def _resolve_target(
+        self,
+        query: frozenset[str],
+        remaining: int | None,
+        origin: int,
+        logical: int,
+        physical: int | None,
+        via: int | None,
+    ) -> tuple[int | None, int, tuple[list[FoundObject], str] | None]:
+        """Pick the physical destination for a visit to ``logical``.
+
+        Returns ``(physical, hops_paid, decided)``.  ``decided`` is
+        normally ``None``; when not, the visit is already settled
+        without a scan — ``(found, status)`` — and the resolver has done
+        any result forwarding itself (the routed-mode dead-route path
+        here; the dead-primary replica path in
+        :class:`~repro.core.replication.ReplicatedSuperSetSearch`).
+        Shared by the sequential and the level-batched dispatch paths.
+        """
+        del query, remaining  # used by overrides that scan replicas
+        if physical is not None:
+            return physical, 0, None
+        if self.contact_mode == "routed":
+            try:
+                route = self.index.mapping.route_to(logical, origin=via)
+            except (PeerUnreachableError, RuntimeError):
+                if not self.degrades:
+                    raise
+                self.index.dolr.network.metrics.increment("search.degraded_visits")
+                return None, 0, ([], "failed")
+            return route.owner, route.hops, None
+        return self._physical_of(logical), 0, None
+
+    def _failure_ladder(
+        self,
+        sender: int,
+        logical: int,
+        query: frozenset[str],
+        remaining: int | None,
+        error: PeerUnreachableError,
+    ) -> tuple[list[FoundObject], str, int | None, int]:
+        """The degradation ladder for a scan whose retries are exhausted:
+        replica fallback, then DHT surrogate re-resolution, then a
+        ``failed`` (empty) visit.  Returns ``(found, status,
+        physical_override, extra_hops)``; re-raises ``error`` when this
+        searcher does not degrade."""
+        metrics = self.index.dolr.network.metrics
+        fallback = self._visit_fallback(sender, logical, query, remaining)
+        if fallback is not None:
+            return fallback, "replica", None, 0
+        if not self.degrades:
+            raise error
+        found, surrogate, extra_hops = self._surrogate_visit(sender, logical, query, remaining)
+        if surrogate is None:
+            metrics.increment("search.degraded_visits")
+            return [], "failed", None, 0
+        metrics.increment("search.surrogate_visits")
+        metrics.increment("search.degraded_visits")
+        return found, "surrogate", surrogate, extra_hops
+
+    def _notify_requester(self, physical: int | None, origin: int, found: list[FoundObject]) -> None:
+        """Forward a visit's matches directly to the requester, as the
+        protocol specifies (one extra message when non-empty)."""
+        if found and physical is not None and physical != origin:
+            self.index.dolr.network.send(
                 physical, origin, "hindex.results", {"count": len(found)}, deliver=False
             )
-        return found, hops, status, scan_truncated
+
+    def _visit_level(
+        self,
+        query: frozenset[str],
+        budget: int | None,
+        origin: int,
+        root_physical: int,
+        entries: list[tuple[int, int | None, int]],
+    ) -> list[tuple[list[FoundObject], int, int, str, bool]]:
+        """Deliver one whole SBT level of T_QUERYs concurrently.
+
+        ``entries`` lists ``(logical, physical_or_None, responder_hops)``
+        per visit; every scan is issued in one
+        :meth:`~repro.sim.resilience.ResilientChannel.rpc_many` batch
+        carrying the shared level-entry ``budget`` as its limit.
+        Returns ``(found, physical, hops, status, scan_truncated)`` per
+        entry, in entry order — message accounting, failure ladder, and
+        result forwarding identical to ``len(entries)`` sequential
+        :meth:`_visit` calls, only overlapped in time.
+        """
+        sender = root_physical  # level dispatch always goes through the root
+        prepared: list[tuple[int, int | None, int, tuple[list[FoundObject], str] | None]] = []
+        for logical, physical, responder_hops in entries:
+            target, extra_hops, decided = self._resolve_target(
+                query, budget, origin, logical, physical, root_physical
+            )
+            prepared.append((logical, target, responder_hops + extra_hops, decided))
+        calls: list[RpcCall] = []
+        slots: list[int] = []
+        for slot, (logical, target, _, decided) in enumerate(prepared):
+            if decided is not None:
+                continue
+            calls.append(
+                RpcCall(
+                    sender,
+                    target,
+                    "hindex.scan",
+                    {
+                        "namespace": self.index.namespace,
+                        "logical": logical,
+                        "keywords": query,
+                        "limit": budget,
+                    },
+                )
+            )
+            slots.append(slot)
+        outcomes = dict(zip(slots, self.channel.rpc_many(calls))) if calls else {}
+        level: list[tuple[list[FoundObject], int, int, str, bool]] = []
+        for slot, (logical, target, hops, decided) in enumerate(prepared):
+            physical = target if target is not None else self._physical_of(logical)
+            if decided is not None:
+                found, status = decided
+                level.append((found, physical, hops, status, False))
+                continue
+            outcome = outcomes[slot]
+            scan_truncated = False
+            status = "ok"
+            if outcome.ok:
+                found, scan_truncated = self._decode_scan(outcome.value)
+            elif isinstance(outcome.error, PeerUnreachableError):
+                found, status, new_physical, extra_hops = self._failure_ladder(
+                    sender, logical, query, budget, outcome.error
+                )
+                if new_physical is not None:
+                    physical = new_physical
+                hops += extra_hops
+            else:
+                raise outcome.error
+            self._notify_requester(physical, origin, found)
+            level.append((found, physical, hops, status, scan_truncated))
+        return level
 
     def _surrogate_visit(
         self, sender: int, logical: int, query: frozenset[str], remaining: int | None
@@ -691,6 +889,11 @@ class SuperSetSearch:
                 "limit": remaining,
             },
         )
+        return self._decode_scan(reply)
+
+    @staticmethod
+    def _decode_scan(reply: dict) -> tuple[list[FoundObject], bool]:
+        """Decode one hindex.scan reply to (FoundObjects, truncated)."""
         found = [
             FoundObject(object_id, entry_keywords)
             for entry_keywords, object_ids in reply["matches"]

@@ -62,7 +62,7 @@ from repro.net.errors import (
     RemoteHandlerError,
     RpcTimeoutError,
 )
-from repro.net.transport import Handler, Message, MessageTrace
+from repro.net.transport import Handler, Message, MessageTrace, RpcCall, RpcOutcome
 from repro.obs.trace import active_recorder
 from repro.net.wire import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -366,6 +366,95 @@ class AsyncioTransport:
                 dst, kind, detail.get("error", "Exception"), detail.get("message", "")
             )
         return reply.payload
+
+    def rpc_many(self, calls: list[RpcCall] | tuple[RpcCall, ...]) -> list[RpcOutcome]:
+        """Issue every call's frame concurrently and collect the replies.
+
+        All remote frames are written back to back and their reply
+        futures awaited together on the event loop, so the batch costs
+        one slowest-reply wait instead of ``len(calls)`` sequential
+        round trips — the concurrency the level-parallel tree walk
+        (Section 3.5) needs to realize its ``r - |One|`` round bound in
+        wall-clock time over sockets.
+
+        Accounting parity with :meth:`rpc`, deterministically ordered:
+        every request is accounted at issue time (in call order, before
+        any failure can surface) and every successful call's reply is
+        accounted after the batch completes, again in call order — so
+        trace windows see the same message multiset as a sequential
+        loop, whatever order the replies actually landed in.  Per-call
+        failures (refused connection, timeout, remote handler error)
+        become that call's outcome; batch mates are unaffected.
+        """
+        outcomes: list[RpcOutcome | None] = [None] * len(calls)
+        remote: list[tuple[int, RpcCall, Frame, float]] = []
+        for position, call in enumerate(calls):
+            payload = call.payload or {}
+            if call.src == call.dst and self._serves(call.dst):
+                # Local call: free and immediate, exactly like rpc().
+                if call.dst in self._failed:
+                    outcomes[position] = RpcOutcome.failure(
+                        PeerUnreachableError(call.dst, "failed")
+                    )
+                    continue
+                try:
+                    outcomes[position] = RpcOutcome.success(
+                        self._handlers[call.dst](Message(call.src, call.dst, call.kind, payload))
+                    )
+                except Exception as error:  # noqa: BLE001 - per-call outcome
+                    outcomes[position] = RpcOutcome.failure(error)
+                continue
+            timeout_s = (
+                self.rpc_timeout
+                if call.timeout is None
+                else max(call.timeout * self.time_scale, 0.001)
+            )
+            frame = Frame(
+                FrameType.REQUEST, call.kind, call.src, call.dst, next(self._request_ids), payload
+            )
+            self._account(Message(call.src, call.dst, call.kind, payload))
+            remote.append((position, call, frame, timeout_s))
+        if remote:
+            self.metrics.increment("net.batch_rpcs")
+            self.metrics.increment("net.batch_calls", len(remote))
+            started = time.monotonic()
+            try:
+                replies = self._call(
+                    self._rpc_many_async([(f.dst, f, t) for _, _, f, t in remote])
+                )
+            finally:
+                self.metrics.record(
+                    "net.rpc_latency", (time.monotonic() - started) / self.time_scale
+                )
+            for (position, call, _, _), reply in zip(remote, replies):
+                if isinstance(reply, BaseException):
+                    if not isinstance(reply, (PeerUnreachableError, ProtocolError)):
+                        reply = PeerUnreachableError(call.dst, f"connection lost ({reply})")
+                    outcomes[position] = RpcOutcome.failure(reply)
+                    continue
+                self._account(Message(call.dst, call.src, call.kind, {}, is_reply=True))
+                if reply.type is FrameType.ERROR:
+                    detail = reply.payload if isinstance(reply.payload, dict) else {}
+                    outcomes[position] = RpcOutcome.failure(
+                        RemoteHandlerError(
+                            call.dst,
+                            call.kind,
+                            detail.get("error", "Exception"),
+                            detail.get("message", ""),
+                        )
+                    )
+                else:
+                    outcomes[position] = RpcOutcome.success(reply.payload)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    async def _rpc_many_async(
+        self, entries: list[tuple[int, Frame, float]]
+    ) -> list[Frame | BaseException]:
+        """Gather all reply futures; exceptions stay per-entry."""
+        return await asyncio.gather(
+            *(self._rpc_async(dst, frame, timeout_s) for dst, frame, timeout_s in entries),
+            return_exceptions=True,
+        )
 
     async def _rpc_async(self, dst: int, frame: Frame, timeout_s: float) -> Frame:
         connection = await self._connection_to(dst)

@@ -18,6 +18,16 @@ The contract, in terms of the paper's model:
   the destination cannot be reached or does not answer in time; those
   are the errors :class:`~repro.sim.resilience.ResilientChannel`
   retries.
+* **Batch request/reply** — :meth:`Transport.rpc_many` issues a list of
+  :class:`RpcCall` requests *concurrently* and returns one
+  :class:`RpcOutcome` per call, in call order, each carrying either the
+  handler's return value or the exception the call would have raised.
+  No exception of one call disturbs another: a batch always yields
+  exactly ``len(calls)`` outcomes.  Accounting is identical to issuing
+  the calls one by one (one request + one reply message per successful
+  call, request-only for unreachable destinations); only the elapsed
+  time differs — virtual time advances by the *slowest* call's round
+  trip on the simulator, and real transports overlap the socket waits.
 * **Datagrams** — :meth:`Transport.send` is one-way, best-effort, and
   never raises for a dead destination (the message is silently lost,
   like a UDP datagram).
@@ -50,7 +60,15 @@ if TYPE_CHECKING:
     # in the repro.sim package eagerly here would be circular.
     from repro.sim.metrics import MetricsRegistry
 
-__all__ = ["Handler", "Message", "MessageTrace", "Transport"]
+__all__ = [
+    "Handler",
+    "Message",
+    "MessageTrace",
+    "RpcCall",
+    "RpcOutcome",
+    "Transport",
+    "sequential_rpc_many",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +83,74 @@ class Message:
 
 
 Handler = Callable[[Message], Any]
+
+
+@dataclass(frozen=True)
+class RpcCall:
+    """One request of a :meth:`Transport.rpc_many` batch.
+
+    ``timeout`` bounds this call's reply wait in transport time units
+    (``None``: the transport's default), mirroring the ``timeout``
+    keyword of :meth:`Transport.rpc`.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    timeout: float | None = None
+
+
+@dataclass(frozen=True)
+class RpcOutcome:
+    """Result of one call in a batch: a value or the error it raised.
+
+    Exactly one of ``value`` / ``error`` is meaningful; :attr:`ok`
+    discriminates.  :meth:`unwrap` recovers the sequential-``rpc``
+    behaviour (return the value or raise the error).
+    """
+
+    value: Any = None
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    @classmethod
+    def success(cls, value: Any) -> "RpcOutcome":
+        return cls(value=value)
+
+    @classmethod
+    def failure(cls, error: BaseException) -> "RpcOutcome":
+        return cls(error=error)
+
+
+def sequential_rpc_many(
+    transport: "Transport", calls: "list[RpcCall] | tuple[RpcCall, ...]"
+) -> list[RpcOutcome]:
+    """Reference ``rpc_many`` semantics: the calls issued one at a time.
+
+    This is the behavioural contract batch implementations must match
+    call-for-call (same results, same errors, same message accounting) —
+    and the fallback used for transports that predate the batch API.
+    """
+    outcomes: list[RpcOutcome] = []
+    for call in calls:
+        try:
+            outcomes.append(
+                RpcOutcome.success(
+                    transport.rpc(call.src, call.dst, call.kind, call.payload, timeout=call.timeout)
+                )
+            )
+        except Exception as error:  # noqa: BLE001 - ferried to the caller per call
+            outcomes.append(RpcOutcome.failure(error))
+    return outcomes
 
 
 @dataclass
@@ -142,6 +228,18 @@ class Transport(Protocol):
         default.  Raises :class:`~repro.net.errors.PeerUnreachableError`
         (or a subclass, e.g. :class:`~repro.net.errors.RpcTimeoutError`)
         when the destination cannot be reached or does not reply.
+        """
+        ...
+
+    def rpc_many(self, calls: list[RpcCall] | tuple[RpcCall, ...]) -> list[RpcOutcome]:
+        """Issue every call concurrently; return one outcome per call,
+        in call order.
+
+        Per-call results and errors match :meth:`rpc` exactly (same
+        return values, same exception types, same per-call message
+        accounting); a failed call never disturbs its batch mates.  The
+        win is purely elapsed time: the batch completes in one
+        slowest-call round trip instead of the sum of round trips.
         """
         ...
 

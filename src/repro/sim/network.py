@@ -33,7 +33,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.net.errors import PeerUnreachableError, TransportError
-from repro.net.transport import Handler, Message, MessageTrace
+from repro.net.transport import Handler, Message, MessageTrace, RpcCall, RpcOutcome
 from repro.obs.trace import active_recorder
 from repro.sim.events import EventScheduler
 from repro.sim.latency import ConstantLatency, LatencyModel
@@ -197,6 +197,66 @@ class SimulatedNetwork:
         self._account(reply)
         self.scheduler.advance(self.latency.delay(dst, src))
         return result
+
+    def rpc_many(self, calls: list[RpcCall] | tuple[RpcCall, ...]) -> list[RpcOutcome]:
+        """Concurrent request/reply batch in virtual time.
+
+        Every call is dispatched at the *same* departure instant and the
+        clock then advances by the slowest call's round trip — the
+        virtual-time picture of requests in flight simultaneously —
+        instead of the sum of round trips :meth:`rpc` would pay one by
+        one.  Everything else is identical to the sequential path:
+
+        * **Accounting** — one request and one reply per delivered call
+          (request only when the destination is dead or the loss model
+          drops it; nothing for a local ``src == dst`` call), in call
+          order, into the same counters and trace windows.
+        * **Determinism** — handlers run in call order, and the loss
+          model draws in call order, so a batch is exactly as
+          reproducible as the equivalent sequential loop.
+        * **Failures** — a dead / lossy destination yields a
+          :class:`NodeUnreachableError` *outcome* for that call alone
+          (it would have raised from :meth:`rpc`); a failed call pays no
+          round-trip time, matching the sequential path where the error
+          surfaces immediately after the request is accounted.
+
+        Handler-raised exceptions are ferried into the call's outcome as
+        well, so one poisoned call cannot lose its batch mates' replies.
+        """
+        departure = self.scheduler.now
+        outcomes: list[RpcOutcome] = []
+        slowest = 0.0
+        for call in calls:
+            request = Message(call.src, call.dst, call.kind, call.payload or {})
+            try:
+                if call.src == call.dst:
+                    outcomes.append(RpcOutcome.success(self._dispatch_local(request)))
+                    continue
+                if not self.is_alive(call.dst):
+                    self._account(request)  # the request is sent, then times out
+                    raise NodeUnreachableError(call.dst)
+                if self._loss_rate and self._loss_rng.random() < self._loss_rate:
+                    self._account(request)  # sent, then lost in flight
+                    self.metrics.increment("network.dropped")
+                    raise NodeUnreachableError(call.dst)
+                self._account(request)
+                result = self._handlers[call.dst](request)
+                self._account(Message(call.dst, call.src, call.kind, {}, is_reply=True))
+                round_trip = self.latency.delay(call.src, call.dst) + self.latency.delay(
+                    call.dst, call.src
+                )
+                slowest = max(slowest, round_trip)
+                outcomes.append(RpcOutcome.success(result))
+            except Exception as error:  # noqa: BLE001 - per-call outcome, never lost
+                outcomes.append(RpcOutcome.failure(error))
+        # All calls were in flight together: elapse the slowest round
+        # trip once (handlers that advanced the clock themselves, e.g.
+        # via nested RPCs, already pushed `now` past the departure time
+        # and only the remainder, if any, is added).
+        already_elapsed = self.scheduler.now - departure
+        if slowest > already_elapsed:
+            self.scheduler.advance(slowest - already_elapsed)
+        return outcomes
 
     def send(
         self,

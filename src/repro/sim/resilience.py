@@ -48,7 +48,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.net.errors import PeerUnreachableError
-from repro.net.transport import Transport
+from repro.net.transport import RpcCall, RpcOutcome, Transport, sequential_rpc_many
 from repro.obs.trace import active_recorder
 from repro.sim.network import NetworkError, NodeUnreachableError
 from repro.util.rng import make_rng
@@ -376,6 +376,155 @@ class ResilientChannel:
                         recorder.emit("breaker", dst=dst, state="closed")
             return result
         raise last_error if last_error is not None else NodeUnreachableError(dst)
+
+    def rpc_many(self, calls: list[RpcCall] | tuple[RpcCall, ...]) -> list[RpcOutcome]:
+        """Concurrent batch with *per-call* retry, deadline, and breaker
+        state — the batch-shaped mirror of :meth:`rpc`.
+
+        The batch proceeds in attempt rounds.  In each round every
+        still-unresolved call is checked against its own deadline and
+        its destination's breaker, and the survivors are issued together
+        through the transport's
+        :meth:`~repro.net.transport.Transport.rpc_many` (or, for
+        transports predating the batch API, the sequential reference
+        implementation).  Each call's failures feed its own attempt
+        counter, its destination's breaker, and the same metrics and
+        trace events sequential :meth:`rpc` emits (``rpc.attempts`` /
+        ``rpc.retries`` / ``rpc.failures`` / ``rpc.exhausted``, one
+        ``retry`` trace event per re-send) — so observability stays 1:1
+        with messages under interleaving.
+
+        Backoff is concurrent, like the calls themselves: after a round
+        with failures the channel sleeps once, for the *longest* backoff
+        among the calls still in play (each delay drawn per call from
+        the policy, so per-call jitter and metrics match the sequential
+        path), rather than summing per-call sleeps.  A call whose
+        deadline cannot survive its own backoff is abandoned with
+        :class:`DeadlineExceededError` before anything is re-sent,
+        exactly as in :meth:`rpc`.
+
+        Outcomes arrive in call order.  Errors are *returned*, never
+        raised: an exhausted call yields its final
+        :class:`~repro.net.errors.PeerUnreachableError`, a rejected one
+        :class:`CircuitOpenError`, an expired one
+        :class:`DeadlineExceededError`; non-retryable errors (e.g.
+        :class:`~repro.net.errors.RemoteHandlerError`) pass through
+        untouched on the first attempt.
+        """
+        policy = self.policy
+        network = self.network
+        metrics = network.metrics
+        network_rpc_many = getattr(network, "rpc_many", None)
+        outcomes: list[RpcOutcome | None] = [None] * len(calls)
+        deadlines = [
+            None if policy.deadline is None else network.now() + policy.deadline
+            for _ in calls
+        ]
+        attempts = [0] * len(calls)
+        pending = list(range(len(calls)))
+        while pending:
+            round_calls: list[RpcCall] = []
+            round_members: list[int] = []
+            for index in pending:
+                call = calls[index]
+                deadline = deadlines[index]
+                if deadline is not None and network.now() >= deadline:
+                    metrics.increment(f"{self.metrics_prefix}.deadline_exceeded")
+                    outcomes[index] = RpcOutcome.failure(
+                        DeadlineExceededError(call.dst, deadline)
+                    )
+                    continue
+                breaker = self.breaker_for(call.dst)
+                if breaker is not None and not breaker.allow():
+                    metrics.increment("breaker.rejected")
+                    recorder = active_recorder()
+                    if recorder is not None:
+                        recorder.emit("breaker", dst=call.dst, state="rejected")
+                    outcomes[index] = RpcOutcome.failure(CircuitOpenError(call.dst))
+                    continue
+                timeout = None if deadline is None else deadline - network.now()
+                round_calls.append(
+                    RpcCall(call.src, call.dst, call.kind, call.payload, timeout=timeout)
+                )
+                round_members.append(index)
+            if not round_calls:
+                break
+            started = network.now()
+            for _ in round_members:
+                metrics.increment(f"{self.metrics_prefix}.attempts")
+            if network_rpc_many is not None:
+                results = network_rpc_many(round_calls)
+            else:
+                results = sequential_rpc_many(network, round_calls)
+            elapsed = network.now() - started
+            retrying: list[tuple[int, float, BaseException]] = []
+            for index, result in zip(round_members, results):
+                call = calls[index]
+                attempts[index] += 1
+                metrics.record(f"{self.metrics_prefix}.attempt_latency", elapsed)
+                breaker = self.breaker_for(call.dst)
+                if result.ok:
+                    if breaker is not None:
+                        was_recovering = breaker.state is not BreakerState.CLOSED
+                        breaker.record_success()
+                        if was_recovering and breaker.state is BreakerState.CLOSED:
+                            metrics.increment("breaker.closed")
+                            recorder = active_recorder()
+                            if recorder is not None:
+                                recorder.emit("breaker", dst=call.dst, state="closed")
+                    outcomes[index] = result
+                    continue
+                error = result.error
+                if not isinstance(error, PeerUnreachableError):
+                    # Not a delivery failure (e.g. a remote handler
+                    # raised): not retryable, pass straight through.
+                    outcomes[index] = result
+                    continue
+                metrics.increment(f"{self.metrics_prefix}.failures")
+                if breaker is not None:
+                    was_half_open = breaker.state is BreakerState.HALF_OPEN
+                    if breaker.record_failure():
+                        metrics.increment("breaker.open")
+                        if was_half_open:
+                            metrics.increment("breaker.reopened")
+                        recorder = active_recorder()
+                        if recorder is not None:
+                            recorder.emit("breaker", dst=call.dst, state="open")
+                if attempts[index] >= policy.max_attempts:
+                    metrics.increment(f"{self.metrics_prefix}.exhausted")
+                    outcomes[index] = result
+                    continue
+                delay = policy.backoff_delay(attempts[index], self.rng)
+                deadline = deadlines[index]
+                if deadline is not None and network.now() + delay > deadline:
+                    metrics.increment(f"{self.metrics_prefix}.deadline_exceeded")
+                    outcomes[index] = RpcOutcome.failure(
+                        DeadlineExceededError(call.dst, deadline)
+                    )
+                    continue
+                retrying.append((index, delay, error))
+            if retrying:
+                # The calls back off concurrently: one sleep covers the
+                # whole round, bounded by the slowest backoff in play.
+                network.sleep(max(delay for _, delay, _ in retrying))
+                for index, delay, error in retrying:
+                    metrics.increment(f"{self.metrics_prefix}.retries")
+                    recorder = active_recorder()
+                    if recorder is not None:
+                        recorder.emit(
+                            "retry",
+                            dst=calls[index].dst,
+                            attempt=attempts[index],
+                            delay=delay,
+                            error=type(error).__name__,
+                        )
+            pending = [index for index, _, _ in retrying]
+        return [
+            outcome
+            if outcome is not None
+            else RpcOutcome.failure(NodeUnreachableError(calls[position].dst))
+            for position, outcome in enumerate(outcomes)
+        ]
 
     def send(
         self,

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.net.transport import RpcCall, sequential_rpc_many
 from repro.sim.latency import ConstantLatency, LogNormalLatency, UniformLatency
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.network import NetworkError, NodeUnreachableError, SimulatedNetwork
@@ -228,3 +229,84 @@ class TestMetrics:
         scoped.record("hops", 3.0)
         assert metrics.counter("dht.lookups") == 1
         assert scoped.summary("hops").mean == 3.0
+
+
+class TestBatchRpc:
+    """SimulatedNetwork.rpc_many: concurrent in virtual time, sequential
+    in accounting."""
+
+    def make(self):
+        network = SimulatedNetwork(latency=ConstantLatency(1.0))
+        for address in (1, 2, 3):
+            network.register(address, lambda m, a=address: {"from": a, **m.payload})
+        return network
+
+    def calls(self, *dsts, src=0):
+        return [RpcCall(src, dst, "test.ping", {"n": i}) for i, dst in enumerate(dsts)]
+
+    def test_values_in_call_order(self):
+        network = self.make()
+        outcomes = network.rpc_many(self.calls(3, 1, 2))
+        assert [o.unwrap()["from"] for o in outcomes] == [3, 1, 2]
+        assert [o.unwrap()["n"] for o in outcomes] == [0, 1, 2]
+
+    def test_batch_elapses_one_round_trip(self):
+        network = self.make()
+        network.rpc_many(self.calls(1, 2, 3))
+        # Three calls in flight together: slowest round trip, not 3x.
+        assert network.now() == 2.0
+
+    def test_accounting_matches_sequential_reference(self):
+        batched, reference = self.make(), self.make()
+        with batched.trace() as batch_window:
+            batched.rpc_many(self.calls(1, 2, 3))
+        with reference.trace() as ref_window:
+            sequential_rpc_many(reference, self.calls(1, 2, 3))
+        assert batch_window.message_count == ref_window.message_count == 6
+        assert [
+            (m.src, m.dst, m.kind, m.is_reply) for m in batch_window.messages
+        ] == [(m.src, m.dst, m.kind, m.is_reply) for m in ref_window.messages]
+        # ...but the sequential loop paid three round trips.
+        assert reference.now() == 3 * batched.now()
+
+    def test_dead_destination_is_a_per_call_outcome(self):
+        network = self.make()
+        network.fail(2)
+        outcomes = network.rpc_many(self.calls(1, 2, 3))
+        assert [o.ok for o in outcomes] == [True, False, True]
+        with pytest.raises(NodeUnreachableError):
+            outcomes[1].unwrap()
+        # The lost request was still accounted: 2 + 1 + 2 messages.
+        assert network.metrics.counter("network.messages") == 5
+
+    def test_handler_exception_ferried_not_raised(self):
+        network = self.make()
+
+        def boom(message):
+            raise RuntimeError("poisoned")
+
+        network.register(2, boom)
+        outcomes = network.rpc_many(self.calls(1, 2, 3))
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert isinstance(outcomes[1].error, RuntimeError)
+
+    def test_local_call_is_free_and_instant(self):
+        network = self.make()
+        outcomes = network.rpc_many([RpcCall(1, 1, "test.ping", {})])
+        assert outcomes[0].ok
+        assert network.metrics.counter("network.messages") == 0
+        assert network.now() == 0.0
+
+    def test_loss_model_draws_in_call_order(self):
+        seeded_a, seeded_b = self.make(), self.make()
+        seeded_a.set_loss_rate(0.5, rng=7)
+        seeded_b.set_loss_rate(0.5, rng=7)
+        pattern_a = [o.ok for o in seeded_a.rpc_many(self.calls(1, 2, 3, 1, 2, 3))]
+        pattern_b = [o.ok for o in seeded_b.rpc_many(self.calls(1, 2, 3, 1, 2, 3))]
+        assert pattern_a == pattern_b  # deterministic given the seed
+        assert not all(pattern_a)  # and the model actually bites
+
+    def test_empty_batch_is_a_noop(self):
+        network = self.make()
+        assert network.rpc_many([]) == []
+        assert network.now() == 0.0

@@ -118,3 +118,44 @@ def test_delete_everything_empties_search(library, query):
         index.delete(object_id, keywords, holder)
     assert index.total_indexed() == 0
     assert SuperSetSearch(index).run(query).objects == ()
+
+
+@settings(max_examples=25, deadline=None)
+@given(libraries, queries)
+def test_orders_agree_on_results_and_message_count(library, query):
+    """TOP_DOWN, BOTTOM_UP, and PARALLEL visit the same subcube, so they
+    must return the same objects for the same total message count —
+    PARALLEL only compresses the rounds (Section 3.5)."""
+    index = build(library)
+    searcher = SuperSetSearch(index)
+    results = {order: searcher.run(query, order=order) for order in TraversalOrder}
+    top_down = results[TraversalOrder.TOP_DOWN]
+    bottom_up = results[TraversalOrder.BOTTOM_UP]
+    parallel = results[TraversalOrder.PARALLEL]
+    for result in results.values():
+        assert set(result.object_ids) == set(top_down.object_ids)
+        assert result.complete
+    assert parallel.messages == bottom_up.messages
+    # TOP_DOWN alone pays the initial T_QUERY from the requester as a
+    # network round trip (the variants enter at the root and scan its
+    # table locally) — at most 2 messages, 0 when origin hosts the root.
+    assert top_down.messages - parallel.messages in (0, 2)
+    assert parallel.rounds <= top_down.rounds
+
+
+@settings(max_examples=25, deadline=None)
+@given(libraries, queries, st.integers(min_value=1, max_value=6))
+def test_orders_agree_under_threshold_truncation(library, query, threshold):
+    """Every order honours min(t, |O_K|): same result count, and every
+    returned object is a valid superset match — even though a truncated
+    PARALLEL level may internally overshoot before trimming."""
+    index = build(library)
+    searcher = SuperSetSearch(index)
+    matches = oracle(library, query)
+    expected = min(threshold, len(matches))
+    for order in TraversalOrder:
+        result = searcher.run(query, threshold, order=order)
+        ids = list(result.object_ids)
+        assert len(ids) == expected
+        assert len(set(ids)) == expected
+        assert set(ids) <= matches

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.config import ServiceConfig
 from repro.core.service import KeywordSearchService
+from repro.net.transport import RpcCall
 from repro.sim.events import EventScheduler
 from repro.sim.network import NodeUnreachableError, SimulatedNetwork
 from repro.sim.resilience import (
@@ -305,3 +306,136 @@ class TestSearchUnderFailures:
         # Same failure, resilient channel: degrades, must not raise.
         result = resilient.superset_search({"x"}, origin=origins[resilient])
         assert result.degraded_visits
+
+
+class TestResilientChannelBatch:
+    """ResilientChannel.rpc_many: retries, deadlines, and breakers are
+    tracked per call while the round itself stays concurrent."""
+
+    def batch(self, *dsts, src=0):
+        return [RpcCall(src, dst, "ping", {"n": i}) for i, dst in enumerate(dsts)]
+
+    def test_outcomes_in_call_order(self):
+        network = make_network()
+        network.register(2, lambda m: {"two": True})
+        channel = ResilientChannel(network)
+        outcomes = channel.rpc_many(self.batch(2, 1))
+        assert outcomes[0].unwrap() == {"two": True}
+        assert outcomes[1].unwrap() == {"echo": {"n": 1}}
+
+    def test_each_call_retries_independently(self):
+        network = make_network()
+        flaky = _FlakyEndpoint(2, failures=2)
+        network.register(2, flaky)
+        channel = ResilientChannel(network, RetryPolicy(max_attempts=3, base_delay=1.0))
+        outcomes = channel.rpc_many(self.batch(1, 2))
+        assert all(o.ok for o in outcomes)
+        assert flaky.calls == 3
+        # The healthy call consumed one attempt, the flaky one three.
+        assert network.metrics.counter("rpc.attempts") == 4
+        assert network.metrics.counter("rpc.retries") == 2
+        assert network.metrics.counter("rpc.failures") == 2
+
+    def test_round_sleeps_once_for_the_longest_backoff(self):
+        network = make_network()
+        network.register(2, _FlakyEndpoint(2, failures=1))
+        network.register(3, _FlakyEndpoint(3, failures=1))
+        channel = ResilientChannel(network, RetryPolicy(max_attempts=2, base_delay=4.0))
+        started = network.now()
+        outcomes = channel.rpc_many(self.batch(2, 3))
+        assert all(o.ok for o in outcomes)
+        # One shared 4.0 backoff sleep, not one per retried call: total
+        # elapsed stays under two backoff periods.
+        assert network.now() - started < 8.0
+
+    def test_exhausted_call_returns_final_error(self):
+        network = make_network()
+        network.register(2, _FlakyEndpoint(2, failures=10))
+        channel = ResilientChannel(network, RetryPolicy(max_attempts=2, base_delay=1.0))
+        outcomes = channel.rpc_many(self.batch(1, 2))
+        assert outcomes[0].ok
+        assert isinstance(outcomes[1].error, NodeUnreachableError)
+        assert network.metrics.counter("rpc.exhausted") == 1
+
+    def test_deadline_is_tracked_per_call(self):
+        network = make_network()
+        network.register(2, _FlakyEndpoint(2, failures=10))
+        channel = ResilientChannel(
+            network, RetryPolicy(max_attempts=10, base_delay=50.0, deadline=60.0)
+        )
+        outcomes = channel.rpc_many(self.batch(1, 2))
+        assert outcomes[0].ok
+        # The failing call gives up when its backoff would cross its own
+        # deadline — well before ten 50-unit sleeps.
+        assert isinstance(outcomes[1].error, DeadlineExceededError)
+        assert network.now() <= 60.0 + 50.0
+
+    def test_breaker_rejects_per_destination(self):
+        network = make_network()
+        network.register(2, _FlakyEndpoint(2, failures=100))
+        channel = ResilientChannel(
+            network,
+            RetryPolicy.none(),
+            breaker=BreakerPolicy(failure_threshold=2, reset_timeout=1000.0),
+        )
+        channel.rpc_many(self.batch(2))
+        channel.rpc_many(self.batch(2))  # second failure opens the breaker
+        outcomes = channel.rpc_many(self.batch(1, 2))
+        assert outcomes[0].ok  # destination 1 is unaffected
+        assert isinstance(outcomes[1].error, CircuitOpenError)
+        assert network.metrics.counter("breaker.rejected") == 1
+        # The rejected call never touched the wire.
+        assert network.received_counts[2] == 2
+
+    def test_non_retryable_error_passes_through_unretried(self):
+        network = make_network()
+        calls = {"n": 0}
+
+        def boom(message):
+            calls["n"] += 1
+            raise RuntimeError("handler bug")
+
+        network.register(2, boom)
+        channel = ResilientChannel(network, RetryPolicy(max_attempts=5, base_delay=1.0))
+        outcomes = channel.rpc_many(self.batch(2))
+        assert isinstance(outcomes[0].error, RuntimeError)
+        assert calls["n"] == 1  # a handler bug is not a delivery failure
+
+    def test_falls_back_to_sequential_for_legacy_transports(self):
+        network = make_network()
+
+        class LegacyTransport:
+            """Pre-batch transport: only the scalar rpc method."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.metrics = inner.metrics
+
+            def rpc(self, src, dst, kind, payload=None, *, timeout=None):
+                return self.inner.rpc(src, dst, kind, payload, timeout=timeout)
+
+            def now(self):
+                return self.inner.now()
+
+            def sleep(self, delay):
+                self.inner.sleep(delay)
+
+        channel = ResilientChannel(LegacyTransport(network))
+        outcomes = channel.rpc_many(self.batch(1, 1))
+        assert [o.unwrap() for o in outcomes] == [{"echo": {"n": 0}}, {"echo": {"n": 1}}]
+        assert network.metrics.counter("network.messages") == 4
+
+    def test_accounting_matches_scalar_rpc_loop(self):
+        batched, scalar = make_network(), make_network()
+        ResilientChannel(batched).rpc_many(self.batch(1, 1, 1))
+        channel = ResilientChannel(scalar)
+        for call in self.batch(1, 1, 1):
+            channel.rpc(call.src, call.dst, call.kind, call.payload)
+        assert (
+            batched.metrics.counter("network.messages")
+            == scalar.metrics.counter("network.messages")
+            == 6
+        )
+        assert batched.metrics.counter("rpc.attempts") == scalar.metrics.counter(
+            "rpc.attempts"
+        )

@@ -234,3 +234,71 @@ class TestFailureTolerance:
             chord_ring.network.fail(victim)
         with pytest.raises(NodeUnreachableError):
             searcher.run({"jazz"}, origin=origin)
+
+
+class TestParallelLevelBudget:
+    """Pin the deterministic budget rule of the concurrent walk: every
+    visit of a level carries the budget *as it stood at level entry*,
+    and the collected overshoot is trimmed to the threshold afterwards
+    (PR 5; Section 3.5's latency/message trade)."""
+
+    @pytest.fixture()
+    def split_index(self, chord_ring):
+        """Six matches for {"alpha"}, three on each of two depth-1
+        nodes, none on the root."""
+        index = HypercubeIndex(Hypercube(5), chord_ring)
+        index.bulk_load(
+            [(f"b-{i}", {"alpha", "beta"}) for i in range(3)]
+            + [(f"c-{i}", {"alpha", "gamma"}) for i in range(3)]
+        )
+        return index
+
+    def test_level_shares_entry_budget(self, split_index):
+        result = SuperSetSearch(split_index).run(
+            {"alpha"}, threshold=4, order=TraversalOrder.PARALLEL
+        )
+        # Both holders were scanned with the level-entry budget (4), so
+        # each returned all 3 of its objects — a serialized decrement
+        # would have cut the second scan to 1.
+        assert sorted(v.returned for v in result.visits if v.returned) == [3, 3]
+        # The caller-visible contract is unchanged: min(t, |O_K|)
+        # objects, and the dropped overshoot marks the result partial.
+        assert len(result.objects) == 4
+        assert not result.complete
+        assert result.rounds == 2  # root round + one full level
+
+    def test_sequential_top_down_decrements_instead(self, split_index):
+        result = SuperSetSearch(split_index).run(
+            {"alpha"}, threshold=4, order=TraversalOrder.TOP_DOWN
+        )
+        # Sequential baseline for contrast: the second holder only sees
+        # the 1 slot the first left behind.
+        assert sorted(v.returned for v in result.visits if v.returned) == [1, 3]
+        assert len(result.objects) == 4
+        assert not result.complete
+
+    def test_rule_is_deterministic(self, split_index):
+        searcher = SuperSetSearch(split_index)
+        first = searcher.run({"alpha"}, threshold=4, order=TraversalOrder.PARALLEL)
+        second = searcher.run({"alpha"}, threshold=4, order=TraversalOrder.PARALLEL)
+        assert first.visits == second.visits
+        assert first.object_ids == second.object_ids
+
+    def test_untruncated_parallel_run_is_complete(self, split_index):
+        result = SuperSetSearch(split_index).run(
+            {"alpha"}, order=TraversalOrder.PARALLEL
+        )
+        assert len(result.objects) == 6
+        assert result.complete
+
+    def test_threshold_exactly_met_returns_everything(self, split_index):
+        # All six matches fit in the threshold: nothing is dropped (the
+        # walk still reports partial, since it stopped with an
+        # unexplored frontier it cannot prove empty).
+        result = SuperSetSearch(split_index).run(
+            {"alpha"}, threshold=6, order=TraversalOrder.PARALLEL
+        )
+        assert len(result.objects) == 6
+        assert set(result.object_ids) == {f"b-{i}" for i in range(3)} | {
+            f"c-{i}" for i in range(3)
+        }
