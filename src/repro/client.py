@@ -1,0 +1,212 @@
+"""One client API over every deployment shape.
+
+The repository grew three ways to issue a search — an in-process
+:class:`~repro.core.service.KeywordSearchService` (simulator or TCP), a
+:class:`~repro.net.cluster.LocalCluster`, and a fleet of
+:class:`~repro.net.node.NodeDaemon` processes addressed by a peers book
+— each with its own spelling.  Load generators, experiments, and smoke
+scripts had to know which one they were driving.  :class:`Client` is
+the one spelling: ``search`` / ``insert`` / ``delete``, identical over
+any medium, obtained from whatever you have::
+
+    client = service.client()                  # any KeywordSearchService
+    client = cluster.client()                  # a LocalCluster
+    client = connect(config, peers=endpoints)  # a daemon fleet, by address book
+
+    client.insert("paper.pdf", {"dht", "search"})
+    client.search({"dht"}).results()
+    client.search({"dht"}, SearchOptions(deadline=2000.0, priority=1))
+
+:class:`~repro.core.config.SearchOptions` carries all per-query knobs,
+including the PR-6 ``deadline`` and ``priority`` QoS fields, so a
+driver written against :class:`Client` exercises admission control and
+deadline budgets over TCP and runs unchanged on the simulator.
+
+The old entry-point spellings remain valid on their own objects;
+:class:`Client` additionally carries thin ``publish`` /
+``superset_search`` adapters (deprecation-warned) so code written
+against the service's method names accepts a client without edits.
+
+``connect(config, peers=...)`` builds a :class:`DaemonFleetClient`: a
+serve-nothing :class:`~repro.net.aio.AsyncioTransport` whose every RPC
+— including self-addressed ones — dials out to the daemon that owns the
+address.  That is also how the multi-process load generator
+(:mod:`repro.load`) gives each worker process its own socket pool
+against one shared cluster.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.config import SearchOptions, ServiceConfig
+from repro.core.search import SearchResult
+from repro.core.service import KeywordSearchService, PublishedObject
+from repro.net.aio import AsyncioTransport
+
+if TYPE_CHECKING:
+    from repro.net.cluster import LocalCluster
+
+__all__ = ["Client", "DaemonFleetClient", "ServiceClient", "connect"]
+
+
+@runtime_checkable
+class Client(Protocol):
+    """What every deployment shape looks like to a driver.
+
+    ``search`` runs a superset search; ``insert`` publishes one object
+    replica; ``delete`` withdraws it; ``close`` releases whatever the
+    client owns (sockets for a fleet client, nothing for a borrowed
+    service).  Implementations are context managers.
+    """
+
+    def search(
+        self, keywords: Iterable[str], options: SearchOptions | None = None
+    ) -> SearchResult: ...
+
+    def insert(
+        self, object_id: str, keywords: Iterable[str], *, holder: int | None = None
+    ) -> PublishedObject: ...
+
+    def delete(self, object_id: str, *, holder: int) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class _ServiceBackedClient:
+    """Shared implementation: every shape bottoms out in a service."""
+
+    service: KeywordSearchService
+
+    def search(
+        self, keywords: Iterable[str], options: SearchOptions | None = None
+    ) -> SearchResult:
+        """min(t, |O_K|) objects describable by ``keywords``."""
+        return self.service.search(keywords, options)
+
+    def insert(
+        self, object_id: str, keywords: Iterable[str], *, holder: int | None = None
+    ) -> PublishedObject:
+        """Publish one replica of ``object_id`` under ``keywords``."""
+        return self.service.publish(object_id, keywords, holder=holder)
+
+    def delete(self, object_id: str, *, holder: int) -> None:
+        """Withdraw the replica ``holder`` published."""
+        self.service.unpublish(object_id, holder=holder)
+
+    def close(self) -> None:  # overridden where the client owns resources
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- deprecated service-shaped adapters ---------------------------
+
+    def publish(
+        self, object_id: str, keywords: Iterable[str], *, holder: int | None = None
+    ) -> PublishedObject:
+        """Deprecated alias of :meth:`insert` (the service's spelling)."""
+        warnings.warn(
+            "Client.publish() is deprecated; use Client.insert()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.insert(object_id, keywords, holder=holder)
+
+    def superset_search(
+        self, keywords: Iterable[str], options: SearchOptions | None = None
+    ) -> SearchResult:
+        """Deprecated alias of :meth:`search` (the service's spelling)."""
+        warnings.warn(
+            "Client.superset_search() is deprecated; use Client.search()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.search(keywords, options)
+
+
+class ServiceClient(_ServiceBackedClient):
+    """A :class:`Client` borrowing an existing service (any medium).
+
+    The service is *not* owned: :meth:`close` is a no-op, and the
+    service (or the cluster housing it) outlives the client.  Built by
+    :meth:`KeywordSearchService.client` and :meth:`LocalCluster.client`.
+    """
+
+    def __init__(self, service: KeywordSearchService):
+        self.service = service
+
+
+class DaemonFleetClient(_ServiceBackedClient):
+    """A :class:`Client` dialing a fleet of node daemons over TCP.
+
+    Builds the deterministic stack from the shared ``(seed, config)``
+    spec — the same derivation every daemon performs — on a transport
+    that serves *nothing*: all addresses live in ``peers``, so every
+    RPC, self-addressed ones included, crosses the wire to the daemon
+    that owns the address.  The client owns its transport;
+    :meth:`close` drops the socket pool.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        peers: dict[int, tuple[str, int]],
+        *,
+        rpc_timeout: float = 10.0,
+        time_scale: float = 0.001,
+    ):
+        self.transport = AsyncioTransport(
+            serve_addresses=frozenset(),
+            peers=dict(peers),
+            rpc_timeout=rpc_timeout,
+            time_scale=time_scale,
+        )
+        try:
+            self.service = KeywordSearchService.create(config, network=self.transport)
+        except BaseException:
+            self.transport.close()
+            raise
+
+    def close(self) -> None:
+        self.transport.close()
+
+
+def connect(
+    target: KeywordSearchService | "LocalCluster" | ServiceConfig,
+    *,
+    peers: dict[int, tuple[str, int]] | None = None,
+    rpc_timeout: float = 10.0,
+    time_scale: float = 0.001,
+) -> Client:
+    """The one factory: a :class:`Client` for whatever you have.
+
+    * a :class:`~repro.core.service.KeywordSearchService` (simulated or
+      TCP-backed) -> a borrowing :class:`ServiceClient`;
+    * a :class:`~repro.net.cluster.LocalCluster` -> a
+      :class:`ServiceClient` on its service;
+    * a :class:`~repro.core.config.ServiceConfig` plus ``peers``
+      (address -> (host, port), e.g. a cluster's ``endpoints`` or a
+      hand-built daemon address book) -> an owning
+      :class:`DaemonFleetClient` whose every RPC crosses TCP.
+    """
+    if isinstance(target, KeywordSearchService):
+        return ServiceClient(target)
+    if isinstance(target, ServiceConfig):
+        if peers is None:
+            raise TypeError("connect(config, ...) needs peers= (address -> (host, port))")
+        return DaemonFleetClient(
+            target, peers, rpc_timeout=rpc_timeout, time_scale=time_scale
+        )
+    service = getattr(target, "service", None)
+    if isinstance(service, KeywordSearchService):  # LocalCluster / NodeDaemon shape
+        return ServiceClient(service)
+    raise TypeError(
+        f"cannot build a Client from {type(target).__name__}; pass a "
+        "KeywordSearchService, a LocalCluster, or a ServiceConfig with peers="
+    )

@@ -143,6 +143,17 @@ class SearchOptions:
     default (cache on iff a cache capacity was configured); ``trace``
     attaches a per-query :class:`~repro.obs.trace.QueryTrace` to the
     result (observable behaviour is unchanged either way).
+
+    ``deadline`` bounds the whole query in transport time units: the
+    service resolves it to an absolute instant once and every retry
+    budget along the query (see
+    :class:`~repro.sim.resilience.ResilientChannel`) races that same
+    wall, via the ambient :mod:`repro.net.qos` context rather than
+    per-call plumbing.  ``priority`` (>= 0, default 0) is stamped on
+    every request frame the query sends; nodes under admission control
+    shed low-priority traffic first.  The two fields are appended after
+    the original five, so positional callers predating them are
+    unaffected.
     """
 
     threshold: int | None = None
@@ -150,7 +161,13 @@ class SearchOptions:
     order: TraversalOrder = TraversalOrder.TOP_DOWN
     use_cache: bool | None = None
     trace: bool = False
+    deadline: float | None = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.threshold is not None and self.threshold < 1:
             raise ValueError(f"threshold must be >= 1 or None, got {self.threshold}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive or None, got {self.deadline}")
+        if self.priority < 0:
+            raise ValueError(f"priority must be >= 0, got {self.priority}")

@@ -30,6 +30,7 @@ from repro.dht.dolr import DolrNetwork
 from repro.dht.kademlia import KademliaNetwork
 from repro.dht.pastry import PastryNetwork
 from repro.hypercube.hypercube import Hypercube
+from repro.net.qos import qos_scope
 from repro.net.transport import Transport
 from repro.store.backend import StoreBackend
 from repro.util.rng import make_rng, spawn_rng
@@ -209,25 +210,47 @@ class KeywordSearchService:
 
         Per-query knobs may be given individually or bundled in a
         :class:`~repro.core.config.SearchOptions` (which wins when both
-        are supplied).
+        are supplied).  ``options.deadline`` / ``options.priority``
+        establish the query's ambient QoS scope (see
+        :mod:`repro.net.qos`): the deadline bounds every retry budget
+        along the walk and the priority rides on every request frame.
         """
+        priority = 0
+        deadline: float | None = None
         if options is not None:
             threshold = options.threshold
             origin = options.origin
             order = options.order
             use_cache = options.use_cache
             trace = options.trace
+            priority = options.priority
+            deadline = options.deadline
         if use_cache is None:
             use_cache = self.index.cache_capacity > 0
-        return self.searcher.run(
-            keywords, threshold, origin=origin, order=order, use_cache=use_cache, trace=trace
-        )
+        if priority == 0 and deadline is None:
+            # No QoS requested: skip the scope entirely, so the default
+            # path stays byte-identical to pre-QoS behaviour.
+            return self.searcher.run(
+                keywords, threshold, origin=origin, order=order, use_cache=use_cache, trace=trace
+            )
+        deadline_at = None if deadline is None else self.network.now() + deadline
+        with qos_scope(priority=priority, deadline_at=deadline_at):
+            return self.searcher.run(
+                keywords, threshold, origin=origin, order=order, use_cache=use_cache, trace=trace
+            )
 
     def search(
         self, keywords: Iterable[str], options: SearchOptions | None = None
     ) -> SearchResult:
         """The options-object form of :meth:`superset_search`."""
         return self.superset_search(keywords, options=options or SearchOptions())
+
+    def client(self):
+        """This service behind the unified :class:`~repro.client.Client`
+        API (borrowing: closing the client does not close the service)."""
+        from repro.client import ServiceClient
+
+        return ServiceClient(self)
 
     def cumulative_search(
         self, keywords: Iterable[str], *, origin: int | None = None

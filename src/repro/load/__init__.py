@@ -1,0 +1,41 @@
+"""Sustained-load generation against any :class:`~repro.client.Client`.
+
+The paper's scalability story (Section 4) is argued in messages per
+query; this package supplies the wall-clock half: drive a deployment at
+a controlled offered load and report what happened to latency and
+goodput.  Two disciplines, per the classic distinction:
+
+* **Closed loop** (:class:`~repro.load.generator.ClosedLoopLoad`) —
+  N workers issue back-to-back queries; offered load self-adjusts to
+  capacity.  Measures sustainable throughput.
+* **Open loop** (:class:`~repro.load.generator.OpenLoopLoad`) —
+  queries arrive on an external clock
+  (:mod:`~repro.load.arrival`: constant-rate or Poisson) regardless of
+  completion; latency is measured from the *intended* arrival instant,
+  so queueing delay is charged to the server, not silently absorbed by
+  a stalled generator (no coordinated omission).  Measures behaviour
+  past the saturation knee — the regime admission control exists for.
+
+Query streams come from :mod:`~repro.load.mix` (fixed cycles, or the
+Zipf-skewed mix of :mod:`repro.workload`);
+:mod:`~repro.load.multiproc` fans either loop out across processes so
+one GIL does not cap the offered load.  Everything is deterministic
+given its seeds, except of course the wall-clock measurements.
+"""
+
+from repro.load.arrival import ConstantArrivals, PoissonArrivals
+from repro.load.generator import ClosedLoopLoad, LoadReport, OpenLoopLoad
+from repro.load.mix import FixedQueryMix, ZipfQueryMix
+from repro.load.multiproc import MultiprocessLoad, WorkerSpec
+
+__all__ = [
+    "ClosedLoopLoad",
+    "ConstantArrivals",
+    "FixedQueryMix",
+    "LoadReport",
+    "MultiprocessLoad",
+    "OpenLoopLoad",
+    "PoissonArrivals",
+    "WorkerSpec",
+    "ZipfQueryMix",
+]

@@ -1,0 +1,69 @@
+"""Arrival processes: when each open-loop query is *supposed* to start.
+
+An arrival process is an iterator of monotonically non-decreasing
+offsets in seconds from the start of the run.  The open-loop driver
+dispatches one query per offset whether or not earlier queries have
+finished — that independence is what makes offered load a controlled
+variable.  Both processes are deterministic given their parameters, so
+two runs of the same spec offer the same instants (the responses, of
+course, depend on the server).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Protocol, runtime_checkable
+
+__all__ = ["ArrivalProcess", "ConstantArrivals", "PoissonArrivals"]
+
+
+@runtime_checkable
+class ArrivalProcess(Protocol):
+    """A stream of intended start offsets (seconds, non-decreasing)."""
+
+    rate: float
+
+    def offsets(self) -> Iterator[float]: ...
+
+
+class ConstantArrivals:
+    """Evenly spaced arrivals: query i starts at ``i / rate`` seconds.
+
+    The most legible offered-load dial — "exactly R per second" — and
+    the harshest: no lull ever lets a backlog drain.
+    """
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+
+    def offsets(self) -> Iterator[float]:
+        interval = 1.0 / self.rate
+        index = 0
+        while True:
+            yield index * interval
+            index += 1
+
+
+class PoissonArrivals:
+    """Memoryless arrivals: exponential gaps with mean ``1 / rate``.
+
+    The classic open-system model — bursts and lulls around the same
+    average rate, which is what exposes queueing behaviour a constant
+    stream can hide.  Seeded, so a given (rate, seed) always produces
+    the same instants.
+    """
+
+    def __init__(self, rate: float, *, seed: int | random.Random = 0):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.seed = seed
+
+    def offsets(self) -> Iterator[float]:
+        rng = self.seed if isinstance(self.seed, random.Random) else random.Random(self.seed)
+        now = 0.0
+        while True:
+            now += rng.expovariate(self.rate)
+            yield now

@@ -1,0 +1,323 @@
+"""The load loops: closed (back-to-back) and open (externally clocked).
+
+Both drive any :class:`~repro.client.Client` — a simulated service, a
+:class:`~repro.net.cluster.LocalCluster`, or a daemon fleet — with a
+:class:`~repro.load.mix.QueryMix`, and produce a :class:`LoadReport`.
+
+The open loop is deliberately coordinated-omission-free: each query's
+latency is measured from its *intended* arrival instant (drawn from the
+:class:`~repro.load.arrival.ArrivalProcess`), not from when a worker
+got around to sending it.  When the server falls behind, unclaimed
+arrivals age in place and the delay is charged to their latency — the
+only honest picture of an overloaded system.  ``max_lag_s`` bounds how
+stale an arrival may get before the generator abandons it (reported in
+:attr:`LoadReport.abandoned`), which keeps past-the-knee runs from
+taking unbounded wall time; an abandoned arrival is a query whose user
+gave up, and it is excluded from the latency percentiles but *not*
+from the offered count.
+
+Outcome taxonomy: ``ok`` (a result came back), ``busy`` (the operation
+ultimately failed with :class:`~repro.net.errors.NodeBusyError` — the
+cluster shed it), ``errors`` (anything else).  ``goodput`` is
+``ok / elapsed``; latency percentiles are over successful queries (a
+fast shed must not flatter the tail).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.load.arrival import ArrivalProcess
+from repro.load.mix import QueryMix
+from repro.net.errors import NodeBusyError
+
+if TYPE_CHECKING:
+    from repro.client import Client
+    from repro.core.config import SearchOptions
+
+__all__ = ["ClosedLoopLoad", "LoadReport", "OpenLoopLoad"]
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadReport:
+    """What one load run (or a merge of several) measured."""
+
+    mode: str
+    elapsed_s: float
+    offered: int
+    ok: int
+    busy: int
+    errors: int
+    abandoned: int
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return self.ok + self.busy + self.errors
+
+    @property
+    def offered_rate(self) -> float:
+        """Queries offered per second."""
+        return self.offered / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Successful queries per second."""
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def percentile_ms(self, fraction: float) -> float:
+        return _percentile(sorted(self.latencies_ms), fraction)
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.percentile_ms(0.95)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(0.99)
+
+    @classmethod
+    def merge(cls, reports: Iterable["LoadReport"]) -> "LoadReport":
+        """Combine concurrent runs (e.g. one per worker process): counts
+        add, latencies pool, elapsed is the longest run's."""
+        reports = list(reports)
+        if not reports:
+            raise ValueError("nothing to merge")
+        merged = cls(
+            mode=reports[0].mode,
+            elapsed_s=max(report.elapsed_s for report in reports),
+            offered=sum(report.offered for report in reports),
+            ok=sum(report.ok for report in reports),
+            busy=sum(report.busy for report in reports),
+            errors=sum(report.errors for report in reports),
+            abandoned=sum(report.abandoned for report in reports),
+        )
+        for report in reports:
+            merged.latencies_ms.extend(report.latencies_ms)
+        return merged
+
+    def to_row(self) -> dict:
+        """The benchmark-table shape (see ``benchmarks/bench_load.py``)."""
+        return {
+            "mode": self.mode,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "offered": self.offered,
+            "offered_rate_qps": round(self.offered_rate, 1),
+            "ok": self.ok,
+            "busy": self.busy,
+            "errors": self.errors,
+            "abandoned": self.abandoned,
+            "goodput_qps": round(self.goodput, 1),
+            "p50_ms": round(self.p50_ms, 2),
+            "p95_ms": round(self.p95_ms, 2),
+            "p99_ms": round(self.p99_ms, 2),
+        }
+
+
+class _Tally:
+    """Thread-shared outcome counters for one run."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.ok = 0
+        self.busy = 0
+        self.errors = 0
+        self.abandoned = 0
+        self.latencies_ms: list[float] = []
+
+    def record(self, outcome: str, latency_ms: float | None = None) -> None:
+        with self.lock:
+            setattr(self, outcome, getattr(self, outcome) + 1)
+            if latency_ms is not None:
+                self.latencies_ms.append(latency_ms)
+
+
+def _classify_and_record(tally: _Tally, error: BaseException | None, latency_ms: float) -> None:
+    if error is None:
+        tally.record("ok", latency_ms)
+    elif isinstance(error, NodeBusyError):
+        tally.record("busy")
+    else:
+        tally.record("errors")
+
+
+class ClosedLoopLoad:
+    """N workers issuing back-to-back queries for a fixed duration.
+
+    Offered load self-adjusts to what the deployment sustains with
+    ``workers`` outstanding queries — the measured ``goodput`` *is* the
+    closed-loop capacity at that concurrency, the natural first probe
+    for the saturation knee.
+    """
+
+    def __init__(
+        self,
+        client: "Client",
+        mix: QueryMix,
+        *,
+        workers: int = 4,
+        options: "SearchOptions | None" = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.client = client
+        self.mix = mix
+        self.workers = workers
+        self.options = options
+
+    def run(self, duration_s: float) -> LoadReport:
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        tally = _Tally()
+        mix_lock = threading.Lock()
+        barrier = threading.Barrier(self.workers + 1)
+        stop_at: list[float] = [0.0]
+
+        def worker() -> None:
+            barrier.wait()
+            while True:
+                started = time.perf_counter()
+                if started >= stop_at[0]:
+                    return
+                with mix_lock:
+                    query = self.mix.next_query()
+                error: BaseException | None = None
+                try:
+                    self.client.search(query, self.options)
+                except Exception as caught:  # noqa: BLE001 - tallied per query
+                    error = caught
+                _classify_and_record(
+                    tally, error, (time.perf_counter() - started) * 1000.0
+                )
+
+        threads = [
+            threading.Thread(target=worker, name=f"load-closed-{i}", daemon=True)
+            for i in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        stop_at[0] = time.perf_counter() + duration_s
+        started_at = time.perf_counter()
+        barrier.wait()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started_at
+        return LoadReport(
+            mode="closed",
+            elapsed_s=elapsed,
+            offered=tally.ok + tally.busy + tally.errors,
+            ok=tally.ok,
+            busy=tally.busy,
+            errors=tally.errors,
+            abandoned=0,
+            latencies_ms=tally.latencies_ms,
+        )
+
+
+class OpenLoopLoad:
+    """Queries arrive on the :class:`~repro.load.arrival.ArrivalProcess`'s
+    clock, independent of completions.
+
+    The run's schedule (intended instant + query, for every arrival
+    within ``duration_s``) is drawn up front, so the offered load is
+    exactly the arrival process regardless of server behaviour.
+    Workers claim arrivals oldest-first; latency runs from the intended
+    instant (see the module docstring on coordinated omission).
+    """
+
+    def __init__(
+        self,
+        client: "Client",
+        mix: QueryMix,
+        arrivals: ArrivalProcess,
+        *,
+        workers: int = 8,
+        options: "SearchOptions | None" = None,
+        max_lag_s: float | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_lag_s is not None and max_lag_s <= 0:
+            raise ValueError(f"max_lag_s must be positive, got {max_lag_s}")
+        self.client = client
+        self.mix = mix
+        self.arrivals = arrivals
+        self.workers = workers
+        self.options = options
+        self.max_lag_s = max_lag_s
+
+    def run(self, duration_s: float) -> LoadReport:
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        schedule: list[tuple[float, frozenset[str]]] = []
+        for offset in self.arrivals.offsets():
+            if offset >= duration_s:
+                break
+            schedule.append((offset, self.mix.next_query()))
+        tally = _Tally()
+        cursor = [0]
+        cursor_lock = threading.Lock()
+        barrier = threading.Barrier(self.workers + 1)
+        epoch: list[float] = [0.0]
+
+        def worker() -> None:
+            barrier.wait()
+            while True:
+                with cursor_lock:
+                    position = cursor[0]
+                    if position >= len(schedule):
+                        return
+                    cursor[0] = position + 1
+                offset, query = schedule[position]
+                intended = epoch[0] + offset
+                now = time.perf_counter()
+                if now < intended:
+                    time.sleep(intended - now)
+                elif self.max_lag_s is not None and now - intended > self.max_lag_s:
+                    tally.record("abandoned")
+                    continue
+                error: BaseException | None = None
+                try:
+                    self.client.search(query, self.options)
+                except Exception as caught:  # noqa: BLE001 - tallied per query
+                    error = caught
+                _classify_and_record(
+                    tally, error, (time.perf_counter() - intended) * 1000.0
+                )
+
+        threads = [
+            threading.Thread(target=worker, name=f"load-open-{i}", daemon=True)
+            for i in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        epoch[0] = time.perf_counter()
+        barrier.wait()
+        for thread in threads:
+            thread.join()
+        elapsed = max(time.perf_counter() - epoch[0], duration_s)
+        return LoadReport(
+            mode="open",
+            elapsed_s=elapsed,
+            offered=len(schedule),
+            ok=tally.ok,
+            busy=tally.busy,
+            errors=tally.errors,
+            abandoned=tally.abandoned,
+            latencies_ms=tally.latencies_ms,
+        )

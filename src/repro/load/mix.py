@@ -1,0 +1,79 @@
+"""Query mixes: which keyword set each load-generated query asks for.
+
+A mix is a stateful ``next_query()`` supplier.  :class:`FixedQueryMix`
+cycles a given list — for smoke tests that must know the right answers.
+:class:`ZipfQueryMix` samples the head-heavy stream of
+:class:`~repro.workload.queries.QueryLogGenerator`, so a load run
+exercises the same popularity skew the paper's workload analysis
+models (a few hot queries hammering the same hypercube nodes — the
+hotspot shape admission control and caching are judged against).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.workload.corpus import SyntheticCorpus
+from repro.workload.queries import QueryLogGenerator
+
+__all__ = ["FixedQueryMix", "QueryMix", "ZipfQueryMix"]
+
+
+@runtime_checkable
+class QueryMix(Protocol):
+    """A stream of keyword sets to search for."""
+
+    def next_query(self) -> frozenset[str]: ...
+
+
+class FixedQueryMix:
+    """Cycle a fixed sequence of keyword sets, in order."""
+
+    def __init__(self, queries: Sequence[frozenset[str]]):
+        if not queries:
+            raise ValueError("need at least one query")
+        self.queries = [frozenset(query) for query in queries]
+        self._position = 0
+
+    def next_query(self) -> frozenset[str]:
+        query = self.queries[self._position % len(self.queries)]
+        self._position += 1
+        return query
+
+
+class ZipfQueryMix:
+    """The Zipf-skewed query stream of :mod:`repro.workload`.
+
+    Wraps a :class:`~repro.workload.queries.QueryLogGenerator`; each
+    ``next_query()`` is one Zipf draw from its ranked pool, so the
+    popular head recurs with the calibrated share.  Deterministic given
+    the generator's seed.
+    """
+
+    def __init__(self, generator: QueryLogGenerator):
+        self.generator = generator
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: SyntheticCorpus,
+        *,
+        pool_size: int = 200,
+        top_queries: int = 10,
+        head_share: float = 0.6,
+        seed: int | random.Random = 0,
+    ) -> "ZipfQueryMix":
+        """Build pool and mix in one step (the common load-run shape)."""
+        return cls(
+            QueryLogGenerator(
+                corpus,
+                pool_size=pool_size,
+                top_queries=top_queries,
+                head_share=head_share,
+                seed=seed,
+            )
+        )
+
+    def next_query(self) -> frozenset[str]:
+        return self.generator.sample_query_set()

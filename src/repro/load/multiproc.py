@@ -1,0 +1,141 @@
+"""Fan the load loops out across processes.
+
+A single Python process tops out well below a real deployment's
+capacity — the GIL serializes frame encode/decode, so one generator
+process measures itself, not the cluster.  :class:`MultiprocessLoad`
+runs one :class:`~repro.load.generator.ClosedLoopLoad` or
+:class:`~repro.load.generator.OpenLoopLoad` per **spawned** process
+(spawn, not fork: an :class:`~repro.net.aio.AsyncioTransport`'s loop
+thread and socket pool must never be inherited across ``fork``), each
+with its own :class:`~repro.client.DaemonFleetClient` — its own socket
+pool, dialing the shared cluster through the ``peers`` address book.
+This works against any deployment that serves its addresses over TCP:
+a :class:`~repro.net.cluster.LocalCluster` (pass its ``endpoints``) or
+a real daemon fleet.
+
+Each worker process rebuilds its query mix from the
+:class:`WorkerSpec`'s seeds (specs must be picklable — everything a
+worker needs travels by value), runs its loop for the shared duration,
+and ships its :class:`~repro.load.generator.LoadReport` back; the
+reports merge into one cluster-wide view.  Per-process seeds should
+differ (see :meth:`WorkerSpec.fleet`) so workers do not issue the same
+Zipf stream in lockstep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, replace
+
+from repro.core.config import SearchOptions, ServiceConfig
+from repro.load.arrival import ConstantArrivals, PoissonArrivals
+from repro.load.generator import ClosedLoopLoad, LoadReport, OpenLoopLoad
+from repro.load.mix import FixedQueryMix, QueryMix, ZipfQueryMix
+from repro.workload.corpus import SyntheticCorpus
+
+__all__ = ["MultiprocessLoad", "WorkerSpec"]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one generator process needs, by value.
+
+    ``mode`` is ``"closed"`` or ``"open"`` (open requires ``rate``, the
+    per-process offered rate in queries/second).  ``queries`` pins a
+    fixed cycling mix; when None the worker builds the Zipf mix from a
+    corpus regenerated with ``corpus_seed`` (defaulting to the config
+    seed, i.e. the same corpus a smoke script published into the
+    cluster).  ``seed`` drives the worker's own sampling streams.
+    """
+
+    config: ServiceConfig
+    peers: dict[int, tuple[str, int]]
+    mode: str = "closed"
+    duration_s: float = 10.0
+    threads: int = 4
+    seed: int = 0
+    rate: float | None = None
+    poisson: bool = False
+    options: SearchOptions | None = None
+    max_lag_s: float | None = None
+    queries: tuple[frozenset[str], ...] | None = None
+    corpus_objects: int = 300
+    corpus_seed: int | None = None
+    pool_size: int = 100
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.mode == "open" and (self.rate is None or self.rate <= 0):
+            raise ValueError("open-loop specs need a positive rate")
+
+    def fleet(self, processes: int) -> list["WorkerSpec"]:
+        """``processes`` copies of this spec with distinct seeds (and,
+        for open loops, the rate split evenly so the *total* offered
+        rate is this spec's ``rate``)."""
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        rate = None if self.rate is None else self.rate / processes
+        return [
+            replace(self, seed=self.seed * 10_007 + index + 1, rate=rate)
+            for index in range(processes)
+        ]
+
+
+def _build_mix(spec: WorkerSpec) -> QueryMix:
+    if spec.queries is not None:
+        # Rotate the cycle per worker so the fleet does not hit the
+        # same query at the same instant in lockstep.
+        queries = list(spec.queries)
+        shift = spec.seed % len(queries)
+        return FixedQueryMix(queries[shift:] + queries[:shift])
+    corpus_seed = spec.config.seed if spec.corpus_seed is None else spec.corpus_seed
+    corpus = SyntheticCorpus.generate(num_objects=spec.corpus_objects, seed=corpus_seed)
+    return ZipfQueryMix.from_corpus(corpus, pool_size=spec.pool_size, seed=spec.seed)
+
+
+def _worker_main(spec: WorkerSpec) -> LoadReport:
+    """One generator process: build client + mix, run the loop."""
+    from repro.client import DaemonFleetClient
+
+    mix = _build_mix(spec)
+    with DaemonFleetClient(spec.config, spec.peers) as client:
+        if spec.mode == "closed":
+            loop = ClosedLoopLoad(
+                client, mix, workers=spec.threads, options=spec.options
+            )
+        else:
+            assert spec.rate is not None
+            arrivals = (
+                PoissonArrivals(spec.rate, seed=spec.seed)
+                if spec.poisson
+                else ConstantArrivals(spec.rate)
+            )
+            loop = OpenLoopLoad(
+                client,
+                mix,
+                arrivals,
+                workers=spec.threads,
+                options=spec.options,
+                max_lag_s=spec.max_lag_s,
+            )
+        return loop.run(spec.duration_s)
+
+
+class MultiprocessLoad:
+    """Run one worker process per spec and merge their reports."""
+
+    def __init__(self, specs: list[WorkerSpec]):
+        if not specs:
+            raise ValueError("need at least one worker spec")
+        self.specs = specs
+
+    def run(self) -> LoadReport:
+        if len(self.specs) == 1:
+            # No point paying a process spawn for one worker — and this
+            # path keeps single-process tests debuggable.
+            return _worker_main(self.specs[0])
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=len(self.specs)) as pool:
+            reports = pool.map(_worker_main, self.specs)
+        return LoadReport.merge(reports)

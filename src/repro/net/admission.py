@@ -1,0 +1,126 @@
+"""Per-node admission control: bounded inflight queues and load-shedding.
+
+A node under sustained overload has exactly two choices: queue without
+bound (latency grows until every caller times out — the p99 collapse
+the load benchmarks demonstrate) or *shed*: refuse cheap and early,
+keeping the work it did admit fast.  This module implements the second
+choice for :class:`~repro.net.aio.AsyncioTransport`'s server side.
+
+The mechanism is a per-served-address inflight cap.  Every REQUEST
+frame accepted for dispatch holds one slot until its reply is written;
+a frame arriving when no slot is free is answered with a ``T_BUSY``
+frame (:attr:`~repro.net.wire.FrameType.BUSY`) straight from the IO
+loop — no handler thread, no queueing, microseconds of work — carrying
+the current queue depth and the policy's ``retry_after`` hint.  The
+caller surfaces it as :class:`~repro.net.errors.NodeBusyError`, which
+:class:`~repro.sim.resilience.ResilientChannel` retries with backoff
+and counts separately from failures (a busy node is healthy, just
+saturated — it must not trip circuit breakers).
+
+**Priority.**  Requests carry an integer priority (stamped from the
+ambient :class:`~repro.net.qos.QosContext`).  Priority-0 traffic is
+admitted while fewer than ``max_inflight`` slots are held; requests
+with priority > 0 may additionally use ``priority_headroom`` reserve
+slots.  Under overload the reserve keeps interactive traffic flowing
+while bulk load is shed — strict enough to bound the queue, simple
+enough to decide in O(1) on the accept path.
+
+Local calls (``src == dst`` on a serving transport) bypass admission
+entirely, exactly as they bypass the socket: the paper's "consulting
+your own table costs nothing" applies to queue slots too.
+
+Metrics (all in the transport's registry, exported on ``/metrics``):
+
+=========================  ==============================================
+``net.admitted_requests``  requests granted a slot
+``net.shed_requests``      requests answered T_BUSY
+``net.shed_low_priority``  subset of shed with priority 0
+``net.queue_depth``        histogram: inflight depth sampled at each admit
+=========================  ==============================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.metrics import MetricsRegistry
+
+__all__ = ["AdmissionController", "AdmissionPolicy"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Tuning knobs of one node's admission controller.
+
+    ``max_inflight`` bounds concurrently admitted requests per served
+    address (dispatched plus waiting on a handler thread);
+    ``priority_headroom`` adds reserve slots only priority > 0 requests
+    may occupy; ``retry_after`` is the backoff hint (transport time
+    units) shipped in every T_BUSY reply — 0 leaves the retry cadence
+    entirely to the caller's policy.
+    """
+
+    max_inflight: int = 64
+    priority_headroom: int = 0
+    retry_after: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.priority_headroom < 0:
+            raise ValueError(
+                f"priority_headroom must be >= 0, got {self.priority_headroom}"
+            )
+        if self.retry_after < 0:
+            raise ValueError(f"retry_after must be >= 0, got {self.retry_after}")
+
+    def capacity_for(self, priority: int) -> int:
+        """The slot ceiling a request of ``priority`` may fill up to."""
+        if priority > 0:
+            return self.max_inflight + self.priority_headroom
+        return self.max_inflight
+
+
+class AdmissionController:
+    """Slot bookkeeping for every address one transport serves.
+
+    Confined to the transport's event-loop thread (admission decisions
+    happen at frame-read time, releases when the reply is written), so
+    plain counters suffice — no locks on the accept path.
+    """
+
+    def __init__(self, policy: AdmissionPolicy, metrics: "MetricsRegistry"):
+        self.policy = policy
+        self.metrics = metrics
+        self._inflight: Counter[int] = Counter()
+
+    def depth(self, address: int) -> int:
+        """Currently held slots at ``address``."""
+        return self._inflight[address]
+
+    def try_admit(self, address: int, priority: int = 0) -> bool:
+        """Claim a slot for one request; False means shed it (T_BUSY).
+
+        The caller must pair every True with exactly one
+        :meth:`release` once the request's reply (or error) is written.
+        """
+        depth = self._inflight[address]
+        if depth >= self.policy.capacity_for(priority):
+            self.metrics.increment("net.shed_requests")
+            if priority <= 0:
+                self.metrics.increment("net.shed_low_priority")
+            return False
+        self._inflight[address] = depth + 1
+        self.metrics.increment("net.admitted_requests")
+        self.metrics.record("net.queue_depth", float(depth + 1))
+        return True
+
+    def release(self, address: int) -> None:
+        """Return one slot claimed by :meth:`try_admit`."""
+        depth = self._inflight[address]
+        if depth <= 0:  # pragma: no cover - defensive: unbalanced release
+            raise RuntimeError(f"admission release without admit at address {address}")
+        self._inflight[address] = depth - 1

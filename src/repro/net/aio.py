@@ -30,6 +30,18 @@ cannot tell the media apart:
   simulator's "sent, then lost".  :meth:`fail` / :meth:`recover` give
   fail-stop injection for local endpoints: a failed endpoint reads and
   drops incoming frames (callers time out, as with a real hung host).
+* **Admission control.**  With an
+  :class:`~repro.net.admission.AdmissionPolicy`, each served address
+  bounds its admitted-but-unfinished requests; excess requests are
+  answered with a ``T_BUSY`` frame straight from the IO loop and
+  surface as :class:`~repro.net.errors.NodeBusyError` on the caller.
+  A busy reply is *not* accounted as a message — the shed request
+  contributes exactly one message to ``network.messages``, the same
+  as a lost one, preserving simulator parity.  Outgoing requests are
+  stamped with the ambient :func:`~repro.net.qos.current_qos`
+  priority so shedding can spare prioritized traffic.  Admitted
+  requests are dispatched concurrently per connection (a task each),
+  so one slow handler no longer serializes a connection's pipeline.
 * **Clock.**  :meth:`now` / :meth:`sleep` expose wall-clock time scaled
   by ``time_scale`` (seconds per transport time unit, default 1 ms), so
   a :class:`~repro.sim.resilience.RetryPolicy` written in simulator
@@ -56,12 +68,15 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.net.admission import AdmissionController, AdmissionPolicy
 from repro.net.errors import (
+    NodeBusyError,
     PeerUnreachableError,
     ProtocolError,
     RemoteHandlerError,
     RpcTimeoutError,
 )
+from repro.net.qos import current_qos
 from repro.net.transport import Handler, Message, MessageTrace, RpcCall, RpcOutcome
 from repro.obs.trace import active_recorder
 from repro.net.wire import (
@@ -128,6 +143,7 @@ class AsyncioTransport:
         time_scale: float = 0.001,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         handler_threads: int = 16,
+        admission: AdmissionPolicy | None = None,
     ):
         """``serve_addresses=None`` serves every address that registers
         (the :class:`~repro.net.cluster.LocalCluster` shape); a set
@@ -136,6 +152,8 @@ class AsyncioTransport:
         address (default: OS-assigned).  ``rpc_timeout`` is the default
         reply wait in real seconds; ``time_scale`` converts transport
         time units (clock, retry backoff, deadlines) to seconds.
+        ``admission=None`` (the default) disables admission control:
+        every request is dispatched, as before this knob existed.
         """
         if time_scale <= 0:
             raise ValueError(f"time_scale must be positive, got {time_scale}")
@@ -159,6 +177,10 @@ class AsyncioTransport:
         self._drop_requests: Counter[int] = Counter()
         self._servers: dict[int, asyncio.AbstractServer] = {}
         self._server_writers: set[asyncio.StreamWriter] = set()
+        self.admission = (
+            None if admission is None else AdmissionController(admission, self.metrics)
+        )
+        self._request_tasks: set[asyncio.Task] = set()
         self._connections: dict[int, _Connection] = {}
         self._connect_locks: dict[int, asyncio.Lock] = {}
         self._traces: list[MessageTrace] = []
@@ -199,6 +221,8 @@ class AsyncioTransport:
         self._executor.shutdown(wait=True)
 
     async def _shutdown(self) -> None:
+        for task in list(self._request_tasks):
+            task.cancel()
         for server in self._servers.values():
             server.close()
         for connection in list(self._connections.values()):
@@ -350,7 +374,15 @@ class AsyncioTransport:
                 raise PeerUnreachableError(dst, "failed")
             return self._handlers[dst](Message(src, dst, kind, payload))
         timeout_s = self.rpc_timeout if timeout is None else max(timeout * self.time_scale, 0.001)
-        frame = Frame(FrameType.REQUEST, kind, src, dst, next(self._request_ids), payload)
+        frame = Frame(
+            FrameType.REQUEST,
+            kind,
+            src,
+            dst,
+            next(self._request_ids),
+            payload,
+            current_qos().priority,
+        )
         # Account on send, before any failure can surface — parity with
         # the simulator's "the request is sent, then times out".
         self._account(Message(src, dst, kind, payload))
@@ -359,6 +391,12 @@ class AsyncioTransport:
             reply = self._call(self._rpc_async(dst, frame, timeout_s))
         finally:
             self.metrics.record("net.rpc_latency", (time.monotonic() - started) / self.time_scale)
+        if reply.type is FrameType.BUSY:
+            # A shed request cost one message (the request); the busy
+            # frame is a refusal, not a reply, and is not accounted —
+            # parity with the simulator, where a shed request is a
+            # request that went nowhere.
+            raise self._busy_error(dst, reply)
         self._account(Message(dst, src, kind, {}, is_reply=True))
         if reply.type is FrameType.ERROR:
             detail = reply.payload if isinstance(reply.payload, dict) else {}
@@ -410,7 +448,13 @@ class AsyncioTransport:
                 else max(call.timeout * self.time_scale, 0.001)
             )
             frame = Frame(
-                FrameType.REQUEST, call.kind, call.src, call.dst, next(self._request_ids), payload
+                FrameType.REQUEST,
+                call.kind,
+                call.src,
+                call.dst,
+                next(self._request_ids),
+                payload,
+                current_qos().priority,
             )
             self._account(Message(call.src, call.dst, call.kind, payload))
             remote.append((position, call, frame, timeout_s))
@@ -432,6 +476,11 @@ class AsyncioTransport:
                         reply = PeerUnreachableError(call.dst, f"connection lost ({reply})")
                     outcomes[position] = RpcOutcome.failure(reply)
                     continue
+                if reply.type is FrameType.BUSY:
+                    # Shed: one message accounted (the request), no
+                    # reply accounting — see rpc().
+                    outcomes[position] = RpcOutcome.failure(self._busy_error(call.dst, reply))
+                    continue
                 self._account(Message(call.dst, call.src, call.kind, {}, is_reply=True))
                 if reply.type is FrameType.ERROR:
                     detail = reply.payload if isinstance(reply.payload, dict) else {}
@@ -446,6 +495,18 @@ class AsyncioTransport:
                 else:
                     outcomes[position] = RpcOutcome.success(reply.payload)
         return [outcome for outcome in outcomes if outcome is not None]
+
+    def _busy_error(self, dst: int, reply: Frame) -> NodeBusyError:
+        """Build the caller-facing error for one T_BUSY frame."""
+        self.metrics.increment("net.busy_received")
+        detail = reply.payload if isinstance(reply.payload, dict) else {}
+        queue_depth = detail.get("queue_depth", 0)
+        retry_after = detail.get("retry_after", 0.0)
+        return NodeBusyError(
+            dst,
+            queue_depth if isinstance(queue_depth, int) else 0,
+            float(retry_after) if isinstance(retry_after, (int, float)) else 0.0,
+        )
 
     async def _rpc_many_async(
         self, entries: list[tuple[int, Frame, float]]
@@ -580,6 +641,7 @@ class AsyncioTransport:
         self, address: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._server_writers.add(writer)
+        write_lock = asyncio.Lock()
         try:
             while True:
                 try:
@@ -606,17 +668,70 @@ class AsyncioTransport:
                         except Exception:  # noqa: BLE001 - datagrams have no reply path
                             self.metrics.increment("net.datagram_handler_errors")
                     continue
-                reply = await self._dispatch_request(address, frame)
-                data = encode_frame(reply, max_frame_bytes=self.max_frame_bytes)
-                writer.write(data)
-                self.metrics.increment("net.frames_sent")
-                self.metrics.increment("net.bytes_sent", len(data))
-                await writer.drain()
+                if self.admission is not None and not self.admission.try_admit(
+                    address, frame.priority
+                ):
+                    # Fast reject from the IO loop: no handler thread is
+                    # touched, the caller learns within one round trip.
+                    busy = Frame(
+                        FrameType.BUSY,
+                        frame.kind,
+                        address,
+                        frame.src,
+                        frame.request_id,
+                        {
+                            "queue_depth": self.admission.depth(address),
+                            "retry_after": self.admission.policy.retry_after,
+                        },
+                    )
+                    await self._write_frame(writer, write_lock, busy)
+                    continue
+                # Dispatch concurrently: one task per admitted request,
+                # so a slow handler does not serialize the connection.
+                task = self._loop.create_task(
+                    self._handle_request(address, frame, writer, write_lock)
+                )
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
         except (ConnectionError, OSError):
             pass
         finally:
             self._server_writers.discard(writer)
             writer.close()
+
+    async def _write_frame(
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, frame: Frame
+    ) -> None:
+        """Serialize one reply onto a shared server connection.
+
+        Concurrent request tasks share one writer; the lock keeps each
+        frame's write+drain atomic so flow-control backpressure never
+        interleaves two frames' bytes.
+        """
+        data = encode_frame(frame, max_frame_bytes=self.max_frame_bytes)
+        async with write_lock:
+            writer.write(data)
+            self.metrics.increment("net.frames_sent")
+            self.metrics.increment("net.bytes_sent", len(data))
+            await writer.drain()
+
+    async def _handle_request(
+        self,
+        address: int,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Dispatch one admitted request and write its reply."""
+        try:
+            reply = await self._dispatch_request(address, frame)
+            try:
+                await self._write_frame(writer, write_lock, reply)
+            except (ConnectionError, OSError):
+                pass  # caller hung up; nothing to tell it
+        finally:
+            if self.admission is not None:
+                self.admission.release(address)
 
     async def _dispatch_request(self, address: int, frame: Frame) -> Frame:
         handler = self._handlers.get(address)

@@ -28,6 +28,7 @@ from pathlib import Path
 
 from repro.core.config import ServiceConfig
 from repro.core.service import KeywordSearchService
+from repro.net.admission import AdmissionPolicy
 from repro.net.aio import AsyncioTransport
 from repro.obs.stats import StatsServer
 from repro.store.file import FileStore
@@ -47,6 +48,7 @@ class LocalCluster:
         time_scale: float = 0.001,
         stats_port: int | None = None,
         data_dir: str | Path | None = None,
+        admission: AdmissionPolicy | None = None,
     ):
         """``stats_port`` (0 for OS-assigned) additionally serves the
         cluster's metrics over HTTP (see :mod:`repro.obs.stats`).
@@ -55,11 +57,16 @@ class LocalCluster:
         snapshot store under ``<data_dir>/node-<address>/`` (see
         :mod:`repro.store`), replayed on construction — so a cluster
         rebuilt over the same directory comes back with every shard and
-        reference table intact, no re-publish needed."""
+        reference table intact, no re-publish needed.
+
+        ``admission`` bounds each node's inflight requests: excess
+        requests are shed with T_BUSY instead of queueing (see
+        :mod:`repro.net.admission`).  None (the default) admits
+        everything, as before the knob existed."""
         self.config = config
         self.stats: StatsServer | None = None
         self.transport = AsyncioTransport(
-            host=host, rpc_timeout=rpc_timeout, time_scale=time_scale
+            host=host, rpc_timeout=rpc_timeout, time_scale=time_scale, admission=admission
         )
         store_factory = None
         if data_dir is not None:
@@ -98,6 +105,16 @@ class LocalCluster:
         self.transport.close()
 
     # -- introspection ------------------------------------------------
+
+    def client(self):
+        """This cluster behind the unified :class:`~repro.client.Client`
+        API (borrowing: closing the client does not close the cluster).
+        For a client with its *own* socket pool — e.g. one per load
+        generator process — use ``connect(cluster.config,
+        peers=cluster.endpoints)`` instead."""
+        from repro.client import ServiceClient
+
+        return ServiceClient(self.service)
 
     def addresses(self) -> list[int]:
         """The DHT node addresses hosted by this cluster, ascending."""

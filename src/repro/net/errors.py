@@ -14,6 +14,12 @@ a real TCP connection.  This module is the common root:
 * :class:`RpcTimeoutError` — a request was sent but no reply arrived in
   time.  A timeout is indistinguishable from an unreachable peer, so it
   subclasses :class:`PeerUnreachableError` and is retried the same way.
+* :class:`NodeBusyError` — the peer is alive but *shed* the request
+  before dispatching it (its admission queue was full and it answered
+  T_BUSY).  Retryable — the overload is transient by definition — so it
+  subclasses :class:`PeerUnreachableError`, but the resilience layer
+  counts it separately from failures and does not feed it to circuit
+  breakers: a busy node is healthy, just saturated.
 * :class:`ProtocolError` — a malformed, truncated, oversized or
   wrong-version frame.  Not retryable: the bytes are wrong, not the
   peer.
@@ -32,6 +38,7 @@ working unchanged on the simulator.
 from __future__ import annotations
 
 __all__ = [
+    "NodeBusyError",
     "PeerUnreachableError",
     "ProtocolError",
     "RemoteHandlerError",
@@ -71,6 +78,25 @@ class RpcTimeoutError(PeerUnreachableError):
             self, address, f"silent: no reply within {timeout:g}s"
         )
         self.timeout = timeout
+
+
+class NodeBusyError(PeerUnreachableError):
+    """The destination shed the request: its admission queue was full.
+
+    Carries the ``queue_depth`` the shedding node reported and its
+    ``retry_after`` hint (transport time units; 0 when the node offered
+    none).  Distinct from a timeout in that the peer demonstrably
+    received and *refused* the request — the reply arrived, it just
+    said no — so callers know nothing was executed and a retry cannot
+    duplicate side effects.
+    """
+
+    def __init__(self, address: int, queue_depth: int = 0, retry_after: float = 0.0):
+        PeerUnreachableError.__init__(
+            self, address, f"busy: shed the request at queue depth {queue_depth}"
+        )
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
 
 
 class ProtocolError(TransportError):

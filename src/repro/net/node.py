@@ -36,6 +36,7 @@ from pathlib import Path
 
 from repro.core.config import ServiceConfig
 from repro.core.service import KeywordSearchService
+from repro.net.admission import AdmissionPolicy
 from repro.net.aio import AsyncioTransport
 from repro.obs.stats import StatsServer
 from repro.store.backend import MemoryStore
@@ -68,10 +69,16 @@ class NodeDaemon:
         time_scale: float = 0.001,
         stats_port: int | None = None,
         data_dir: str | Path | None = None,
+        admission: AdmissionPolicy | None = None,
     ):
         """``stats_port`` (0 for OS-assigned) additionally serves this
         daemon's metrics over HTTP — Prometheus text at ``/metrics``,
         JSON at ``/metrics.json`` (see :mod:`repro.obs.stats`).
+
+        ``admission`` bounds the served node's inflight requests:
+        excess requests are answered T_BUSY straight from the IO loop
+        instead of queueing behind the handler pool (see
+        :mod:`repro.net.admission`).  None admits everything.
 
         ``data_dir`` makes the served node durable: its index shard and
         reference table live in a WAL + snapshot store under
@@ -92,6 +99,7 @@ class NodeDaemon:
             peers=peers or {},
             rpc_timeout=rpc_timeout,
             time_scale=time_scale,
+            admission=admission,
         )
         store_factory = None
         if data_dir is not None:
@@ -236,6 +244,27 @@ def add_node_commands(commands) -> None:
         help="persist this node's state under DIR/node-<address>/ (WAL + snapshots), "
         "replayed on restart",
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission control: bound concurrently served requests; excess requests "
+        "are shed with T_BUSY (default: unbounded, no admission control)",
+    )
+    serve.add_argument(
+        "--priority-headroom",
+        type=int,
+        default=0,
+        help="extra admission slots reserved for priority > 0 requests "
+        "(only with --max-inflight)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.0,
+        help="backoff hint (transport time units) shipped in T_BUSY replies "
+        "(only with --max-inflight)",
+    )
 
 
 def run_node_command(arguments: argparse.Namespace) -> int:
@@ -246,6 +275,13 @@ def run_node_command(arguments: argparse.Namespace) -> int:
         return 0
 
     peers = dict(_parse_peer(spec) for spec in arguments.peer)
+    admission = None
+    if arguments.max_inflight is not None:
+        admission = AdmissionPolicy(
+            max_inflight=arguments.max_inflight,
+            priority_headroom=arguments.priority_headroom,
+            retry_after=arguments.retry_after,
+        )
     daemon = NodeDaemon(
         config,
         arguments.address,
@@ -254,6 +290,7 @@ def run_node_command(arguments: argparse.Namespace) -> int:
         peers=peers,
         stats_port=arguments.stats_port,
         data_dir=arguments.data_dir,
+        admission=admission,
     )
     host, port = daemon.endpoint
     print(f"serving {arguments.address} on {host}:{port}", flush=True)

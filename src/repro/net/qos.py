@@ -1,0 +1,95 @@
+"""Ambient per-operation quality-of-service context.
+
+:class:`~repro.core.config.SearchOptions` carries two serving knobs —
+``priority`` and ``deadline`` — that must reach layers far below the
+search walker: priority is stamped on every wire frame the operation
+sends (so a saturated node's admission controller can shed the right
+requests), and the deadline bounds every
+:class:`~repro.sim.resilience.ResilientChannel` retry budget along the
+way.  Threading both through every intermediate call signature would
+touch dozens of functions per knob (the pre-PR-6 deadline plumbing did
+exactly that, once, per call site); instead they travel *ambiently* in
+a :class:`contextvars.ContextVar`, the same mechanism the tracing layer
+uses for its active recorder.
+
+The context is set once at the operation boundary
+(:meth:`~repro.core.service.KeywordSearchService.superset_search`, or
+any :class:`~repro.client.Client` call) and read wherever it matters:
+
+* :class:`~repro.net.aio.AsyncioTransport` stamps
+  :attr:`QosContext.priority` into each outgoing request frame;
+* :class:`~repro.sim.resilience.ResilientChannel` caps each call's
+  retry budget at :attr:`QosContext.deadline_at` (absolute, in
+  transport time units — the caller resolves ``now() + deadline`` once,
+  so nested RPCs all race the same wall).
+
+``contextvars`` gives correct isolation for free: concurrent operations
+on different threads (the load generator's workers) or asyncio tasks
+each see their own context, and the default context — no priority, no
+deadline — is byte-for-byte the pre-QoS behaviour.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["QosContext", "current_qos", "qos_scope"]
+
+
+@dataclass(frozen=True)
+class QosContext:
+    """The QoS envelope of one in-flight operation.
+
+    ``priority`` orders requests under overload: an admission
+    controller sheds priority-0 traffic first and grants higher
+    priorities headroom (see
+    :class:`~repro.net.admission.AdmissionPolicy`).  ``deadline_at`` is
+    an *absolute* time on the issuing transport's clock (``None``: no
+    deadline); absolute so that every RPC of the operation, however
+    deeply nested, races the same instant rather than restarting a
+    relative budget.
+    """
+
+    priority: int = 0
+    deadline_at: float | None = None
+
+
+_DEFAULT = QosContext()
+_current: contextvars.ContextVar[QosContext] = contextvars.ContextVar(
+    "repro_qos", default=_DEFAULT
+)
+
+
+def current_qos() -> QosContext:
+    """The ambient QoS context (the no-priority, no-deadline default
+    when none was established)."""
+    return _current.get()
+
+
+@contextmanager
+def qos_scope(
+    *, priority: int = 0, deadline_at: float | None = None
+) -> Iterator[QosContext]:
+    """Establish a QoS context for the duration of the ``with`` block.
+
+    Scopes nest conservatively: the inner scope keeps the *stricter*
+    of the two deadlines and the outer priority unless one is given
+    explicitly (priority 0 inherits), so a prioritized caller cannot
+    have its deadline silently widened by a library that opens its own
+    scope.
+    """
+    outer = _current.get()
+    if priority == 0:
+        priority = outer.priority
+    if deadline_at is None:
+        deadline_at = outer.deadline_at
+    elif outer.deadline_at is not None:
+        deadline_at = min(deadline_at, outer.deadline_at)
+    token = _current.set(QosContext(priority=priority, deadline_at=deadline_at))
+    try:
+        yield _current.get()
+    finally:
+        _current.reset(token)

@@ -14,8 +14,13 @@ size its buffer before parsing.  The envelope is::
 
 Frame types: ``req`` (request, expects a reply), ``rep`` (reply,
 ``p`` is the handler's return value), ``err`` (reply, the handler
-raised; ``p`` carries the error type and message) and ``msg``
-(one-way datagram, no reply).
+raised; ``p`` carries the error type and message), ``msg`` (one-way
+datagram, no reply) and ``busy`` (the T_BUSY fast-reject: the server's
+admission controller refused the request before dispatching it; ``p``
+carries the queue depth and a retry-after hint — see
+:mod:`repro.net.admission`).  A request may carry an admission
+priority in the optional envelope key ``"pr"``; zero (the default) is
+omitted from the bytes, so pre-priority traffic encodes identically.
 
 **Tagged payload encoding.**  Protocol payloads are not plain JSON:
 the index layer ships keyword sets as ``frozenset`` and scan results
@@ -70,11 +75,19 @@ class FrameType(enum.Enum):
     REPLY = "rep"
     ERROR = "err"
     DATAGRAM = "msg"
+    BUSY = "busy"
 
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded wire frame."""
+    """One decoded wire frame.
+
+    ``priority`` is the admission priority of a request (higher keeps a
+    request admitted longer under overload; see
+    :mod:`repro.net.admission`).  It rides in the envelope key ``"pr"``
+    and is omitted from the bytes when zero, so frames that predate the
+    field round-trip unchanged.
+    """
 
     type: FrameType
     kind: str
@@ -82,6 +95,7 @@ class Frame:
     dst: int
     request_id: int
     payload: Any = None
+    priority: int = 0
 
 
 # -- tagged value encoding ------------------------------------------------
@@ -151,6 +165,8 @@ def encode_frame(frame: Frame, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
         "id": frame.request_id,
         "p": encode_value(frame.payload),
     }
+    if frame.priority:
+        envelope["pr"] = frame.priority
     try:
         body = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as error:
@@ -186,7 +202,12 @@ def _parse_body(data: bytes) -> Frame:
         raise ProtocolError("frame envelope fields have wrong types")
     if not isinstance(request_id, int):
         raise ProtocolError("frame request id must be an integer")
-    return Frame(frame_type, kind, src, dst, request_id, decode_value(envelope.get("p")))
+    priority = envelope.get("pr", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ProtocolError("frame priority must be an integer")
+    return Frame(
+        frame_type, kind, src, dst, request_id, decode_value(envelope.get("p")), priority
+    )
 
 
 def decode_frame(

@@ -32,7 +32,7 @@ from collections import Counter
 from contextlib import contextmanager
 from typing import Any, Iterator
 
-from repro.net.errors import PeerUnreachableError, TransportError
+from repro.net.errors import NodeBusyError, PeerUnreachableError, TransportError
 from repro.net.transport import Handler, Message, MessageTrace, RpcCall, RpcOutcome
 from repro.obs.trace import active_recorder
 from repro.sim.events import EventScheduler
@@ -87,6 +87,7 @@ class SimulatedNetwork:
         self._failed: set[int] = set()
         self._loss_rate: float = 0.0
         self._loss_rng: random.Random = random.Random(0)
+        self._busy_budget: Counter[int] = Counter()
         self._traces: list[MessageTrace] = []
         self.kind_counts: Counter[str] = Counter()
         self.received_counts: Counter[int] = Counter()
@@ -158,6 +159,31 @@ class SimulatedNetwork:
     def loss_rate(self) -> float:
         return self._loss_rate
 
+    def inject_busy(self, address: int, count: int = 1) -> None:
+        """Make the next ``count`` non-local requests to ``address`` be
+        *shed*: accounted as one sent request (the bytes crossed the
+        wire) and answered with
+        :class:`~repro.net.errors.NodeBusyError`, never reaching the
+        handler — the simulator twin of a TCP node's admission
+        controller replying T_BUSY.  The busy refusal is not accounted
+        as a reply, matching
+        :class:`~repro.net.aio.AsyncioTransport`, so a shed request
+        contributes exactly one message either way.
+        """
+        if address not in self._handlers:
+            raise NetworkError(f"cannot mark unknown node {address} busy")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self._busy_budget[address] += count
+
+    def _shed_if_busy(self, request: Message) -> None:
+        """Consume one injected-busy token, raising the shed error."""
+        if self._busy_budget.get(request.dst, 0) > 0:
+            self._busy_budget[request.dst] -= 1
+            self._account(request)  # sent, then refused before dispatch
+            self.metrics.increment("net.shed_requests")
+            raise NodeBusyError(request.dst, queue_depth=1)
+
     # -- communication ------------------------------------------------
 
     def rpc(
@@ -190,6 +216,7 @@ class SimulatedNetwork:
             self._account(request)  # sent, then lost in flight
             self.metrics.increment("network.dropped")
             raise NodeUnreachableError(dst)
+        self._shed_if_busy(request)
         self._account(request)
         self.scheduler.advance(self.latency.delay(src, dst))
         result = self._handlers[dst](request)
@@ -239,6 +266,7 @@ class SimulatedNetwork:
                     self._account(request)  # sent, then lost in flight
                     self.metrics.increment("network.dropped")
                     raise NodeUnreachableError(call.dst)
+                self._shed_if_busy(request)
                 self._account(request)
                 result = self._handlers[call.dst](request)
                 self._account(Message(call.dst, call.src, call.kind, {}, is_reply=True))

@@ -47,7 +47,8 @@ import random
 from dataclasses import dataclass
 from typing import Any
 
-from repro.net.errors import PeerUnreachableError
+from repro.net.errors import NodeBusyError, PeerUnreachableError
+from repro.net.qos import current_qos
 from repro.net.transport import RpcCall, RpcOutcome, Transport, sequential_rpc_many
 from repro.obs.trace import active_recorder
 from repro.sim.network import NetworkError, NodeUnreachableError
@@ -247,6 +248,10 @@ class ResilientChannel:
     ``rpc.attempts``          requests handed to the network (first tries + retries)
     ``rpc.retries``           re-sends after a failed attempt
     ``rpc.failures``          attempts that raised (destination unreachable / dropped)
+    ``rpc.busy``              attempts shed by the destination (T_BUSY) — retried
+                              with backoff like failures, but counted apart and
+                              *never* fed to circuit breakers: a busy node is
+                              healthy, just saturated
     ``rpc.exhausted``         operations that failed after the final attempt
     ``rpc.deadline_exceeded`` operations abandoned because the deadline expired
     ``rpc.attempt_latency``   histogram of per-attempt virtual-time cost
@@ -254,6 +259,15 @@ class ResilientChannel:
     ``breaker.rejected``      calls refused while a breaker was open
     ``breaker.closed``        recoveries (half-open probe succeeded)
     ========================  ====================================================
+
+    Deadlines compose with the ambient QoS context
+    (:func:`~repro.net.qos.current_qos`): the effective deadline of an
+    operation is the stricter of the policy's relative deadline and the
+    context's absolute ``deadline_at``, so a caller-supplied
+    :class:`~repro.core.config.SearchOptions` deadline bounds every
+    retry budget along the operation without per-call plumbing.  A busy
+    destination's ``retry_after`` hint raises that attempt's backoff
+    floor.
     """
 
     def __init__(
@@ -294,6 +308,19 @@ class ResilientChannel:
         """Current state of every instantiated breaker."""
         return {address: breaker.state for address, breaker in self._breakers.items()}
 
+    def _effective_deadline(self) -> float | None:
+        """The stricter of the policy deadline and the ambient QoS
+        deadline, as an absolute time (None: unbounded)."""
+        deadline = (
+            None
+            if self.policy.deadline is None
+            else self.network.now() + self.policy.deadline
+        )
+        qos_deadline = current_qos().deadline_at
+        if qos_deadline is None:
+            return deadline
+        return qos_deadline if deadline is None else min(deadline, qos_deadline)
+
     # -- communication -------------------------------------------------
 
     def rpc(self, src: int, dst: int, kind: str, payload: dict[str, Any] | None = None) -> Any:
@@ -315,7 +342,7 @@ class ResilientChannel:
         network = self.network
         metrics = network.metrics
         breaker = self.breaker_for(dst)
-        deadline = None if policy.deadline is None else network.now() + policy.deadline
+        deadline = self._effective_deadline()
 
         last_error: PeerUnreachableError | None = None
         for attempt in range(1, policy.max_attempts + 1):
@@ -335,8 +362,16 @@ class ResilientChannel:
                 result = network.rpc(src, dst, kind, payload, timeout=timeout)
             except PeerUnreachableError as error:
                 metrics.record(f"{self.metrics_prefix}.attempt_latency", network.now() - started)
-                metrics.increment(f"{self.metrics_prefix}.failures")
-                if breaker is not None:
+                is_busy = isinstance(error, NodeBusyError)
+                if is_busy:
+                    # Shed, not failed: the node is healthy but
+                    # saturated.  Counted apart and kept away from the
+                    # breaker — tripping it would amplify the overload
+                    # into an outage.
+                    metrics.increment(f"{self.metrics_prefix}.busy")
+                else:
+                    metrics.increment(f"{self.metrics_prefix}.failures")
+                if breaker is not None and not is_busy:
                     was_half_open = breaker.state is BreakerState.HALF_OPEN
                     if breaker.record_failure():
                         metrics.increment("breaker.open")
@@ -350,6 +385,8 @@ class ResilientChannel:
                     metrics.increment(f"{self.metrics_prefix}.exhausted")
                     raise
                 delay = policy.backoff_delay(attempt, self.rng)
+                if is_busy and error.retry_after > delay:
+                    delay = error.retry_after
                 if deadline is not None and network.now() + delay > deadline:
                     metrics.increment(f"{self.metrics_prefix}.deadline_exceeded")
                     raise DeadlineExceededError(dst, deadline) from error
@@ -394,11 +431,14 @@ class ResilientChannel:
         ``retry`` trace event per re-send) — so observability stays 1:1
         with messages under interleaving.
 
-        Backoff is concurrent, like the calls themselves: after a round
-        with failures the channel sleeps once, for the *longest* backoff
-        among the calls still in play (each delay drawn per call from
-        the policy, so per-call jitter and metrics match the sequential
-        path), rather than summing per-call sleeps.  A call whose
+        Backoff is concurrent *and per-call*: each failed call draws its
+        own delay (per-call jitter, same metrics as the sequential path)
+        and becomes ready at its own instant; the channel sleeps only
+        until the *earliest* pending call is ready and reissues that
+        cohort, while later cohorts keep waiting.  One slow peer's long
+        backoff therefore never stalls its batch mates' retries — the
+        batch's total backoff wall time is the longest single delay, and
+        fast calls turn around at their own cadence.  A call whose
         deadline cannot survive its own backoff is abandoned with
         :class:`DeadlineExceededError` before anything is re-sent,
         exactly as in :meth:`rpc`.
@@ -416,16 +456,27 @@ class ResilientChannel:
         metrics = network.metrics
         network_rpc_many = getattr(network, "rpc_many", None)
         outcomes: list[RpcOutcome | None] = [None] * len(calls)
-        deadlines = [
-            None if policy.deadline is None else network.now() + policy.deadline
-            for _ in calls
-        ]
+        shared_deadline = self._effective_deadline()
+        deadlines = [shared_deadline for _ in calls]
         attempts = [0] * len(calls)
+        # ready_at[index]: the instant a backing-off call may be
+        # reissued.  Unset means ready now (first attempt).
+        ready_at: dict[int, float] = {}
         pending = list(range(len(calls)))
         while pending:
+            now = network.now()
+            ready = [i for i in pending if ready_at.get(i, now) <= now]
+            if not ready:
+                # Every pending call is still backing off.  Sleep only
+                # until the *earliest* becomes ready — per-call-cohort
+                # backoff, so one slow peer's long delay never holds up
+                # its batch mates' retries.
+                network.sleep(min(ready_at[i] for i in pending) - now)
+                now = network.now()
+                ready = [i for i in pending if ready_at.get(i, now) <= now]
             round_calls: list[RpcCall] = []
             round_members: list[int] = []
-            for index in pending:
+            for index in ready:
                 call = calls[index]
                 deadline = deadlines[index]
                 if deadline is not None and network.now() >= deadline:
@@ -447,78 +498,78 @@ class ResilientChannel:
                     RpcCall(call.src, call.dst, call.kind, call.payload, timeout=timeout)
                 )
                 round_members.append(index)
-            if not round_calls:
-                break
-            started = network.now()
-            for _ in round_members:
-                metrics.increment(f"{self.metrics_prefix}.attempts")
-            if network_rpc_many is not None:
-                results = network_rpc_many(round_calls)
-            else:
-                results = sequential_rpc_many(network, round_calls)
-            elapsed = network.now() - started
-            retrying: list[tuple[int, float, BaseException]] = []
-            for index, result in zip(round_members, results):
-                call = calls[index]
-                attempts[index] += 1
-                metrics.record(f"{self.metrics_prefix}.attempt_latency", elapsed)
-                breaker = self.breaker_for(call.dst)
-                if result.ok:
-                    if breaker is not None:
-                        was_recovering = breaker.state is not BreakerState.CLOSED
-                        breaker.record_success()
-                        if was_recovering and breaker.state is BreakerState.CLOSED:
-                            metrics.increment("breaker.closed")
+            if round_calls:
+                started = network.now()
+                for _ in round_members:
+                    metrics.increment(f"{self.metrics_prefix}.attempts")
+                if network_rpc_many is not None:
+                    results = network_rpc_many(round_calls)
+                else:
+                    results = sequential_rpc_many(network, round_calls)
+                elapsed = network.now() - started
+                for index, result in zip(round_members, results):
+                    call = calls[index]
+                    attempts[index] += 1
+                    metrics.record(f"{self.metrics_prefix}.attempt_latency", elapsed)
+                    breaker = self.breaker_for(call.dst)
+                    if result.ok:
+                        if breaker is not None:
+                            was_recovering = breaker.state is not BreakerState.CLOSED
+                            breaker.record_success()
+                            if was_recovering and breaker.state is BreakerState.CLOSED:
+                                metrics.increment("breaker.closed")
+                                recorder = active_recorder()
+                                if recorder is not None:
+                                    recorder.emit("breaker", dst=call.dst, state="closed")
+                        outcomes[index] = result
+                        continue
+                    error = result.error
+                    if not isinstance(error, PeerUnreachableError):
+                        # Not a delivery failure (e.g. a remote handler
+                        # raised): not retryable, pass straight through.
+                        outcomes[index] = result
+                        continue
+                    is_busy = isinstance(error, NodeBusyError)
+                    if is_busy:
+                        # Shed, not failed — see rpc().
+                        metrics.increment(f"{self.metrics_prefix}.busy")
+                    else:
+                        metrics.increment(f"{self.metrics_prefix}.failures")
+                    if breaker is not None and not is_busy:
+                        was_half_open = breaker.state is BreakerState.HALF_OPEN
+                        if breaker.record_failure():
+                            metrics.increment("breaker.open")
+                            if was_half_open:
+                                metrics.increment("breaker.reopened")
                             recorder = active_recorder()
                             if recorder is not None:
-                                recorder.emit("breaker", dst=call.dst, state="closed")
-                    outcomes[index] = result
-                    continue
-                error = result.error
-                if not isinstance(error, PeerUnreachableError):
-                    # Not a delivery failure (e.g. a remote handler
-                    # raised): not retryable, pass straight through.
-                    outcomes[index] = result
-                    continue
-                metrics.increment(f"{self.metrics_prefix}.failures")
-                if breaker is not None:
-                    was_half_open = breaker.state is BreakerState.HALF_OPEN
-                    if breaker.record_failure():
-                        metrics.increment("breaker.open")
-                        if was_half_open:
-                            metrics.increment("breaker.reopened")
-                        recorder = active_recorder()
-                        if recorder is not None:
-                            recorder.emit("breaker", dst=call.dst, state="open")
-                if attempts[index] >= policy.max_attempts:
-                    metrics.increment(f"{self.metrics_prefix}.exhausted")
-                    outcomes[index] = result
-                    continue
-                delay = policy.backoff_delay(attempts[index], self.rng)
-                deadline = deadlines[index]
-                if deadline is not None and network.now() + delay > deadline:
-                    metrics.increment(f"{self.metrics_prefix}.deadline_exceeded")
-                    outcomes[index] = RpcOutcome.failure(
-                        DeadlineExceededError(call.dst, deadline)
-                    )
-                    continue
-                retrying.append((index, delay, error))
-            if retrying:
-                # The calls back off concurrently: one sleep covers the
-                # whole round, bounded by the slowest backoff in play.
-                network.sleep(max(delay for _, delay, _ in retrying))
-                for index, delay, error in retrying:
+                                recorder.emit("breaker", dst=call.dst, state="open")
+                    if attempts[index] >= policy.max_attempts:
+                        metrics.increment(f"{self.metrics_prefix}.exhausted")
+                        outcomes[index] = result
+                        continue
+                    delay = policy.backoff_delay(attempts[index], self.rng)
+                    if is_busy and error.retry_after > delay:
+                        delay = error.retry_after
+                    deadline = deadlines[index]
+                    if deadline is not None and network.now() + delay > deadline:
+                        metrics.increment(f"{self.metrics_prefix}.deadline_exceeded")
+                        outcomes[index] = RpcOutcome.failure(
+                            DeadlineExceededError(call.dst, deadline)
+                        )
+                        continue
+                    ready_at[index] = network.now() + delay
                     metrics.increment(f"{self.metrics_prefix}.retries")
                     recorder = active_recorder()
                     if recorder is not None:
                         recorder.emit(
                             "retry",
-                            dst=calls[index].dst,
+                            dst=call.dst,
                             attempt=attempts[index],
                             delay=delay,
                             error=type(error).__name__,
                         )
-            pending = [index for index, _, _ in retrying]
+            pending = [index for index in pending if outcomes[index] is None]
         return [
             outcome
             if outcome is not None

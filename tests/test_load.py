@@ -1,0 +1,292 @@
+"""The load-generation package and the per-call-cohort backoff fix."""
+
+import itertools
+
+import pytest
+
+from repro.core.config import ServiceConfig
+from repro.load import (
+    ClosedLoopLoad,
+    ConstantArrivals,
+    FixedQueryMix,
+    LoadReport,
+    MultiprocessLoad,
+    OpenLoopLoad,
+    PoissonArrivals,
+    WorkerSpec,
+    ZipfQueryMix,
+)
+from repro.net.cluster import LocalCluster
+from repro.net.errors import NodeBusyError
+from repro.net.transport import RpcCall
+from repro.sim.network import SimulatedNetwork
+from repro.sim.resilience import ResilientChannel, RetryPolicy
+from repro.workload.corpus import SyntheticCorpus
+
+CONFIG = ServiceConfig(dimension=3, num_dht_nodes=4, seed=3)
+
+
+class TestArrivals:
+    def test_constant_arrivals_are_evenly_spaced(self):
+        offsets = list(itertools.islice(ConstantArrivals(4.0).offsets(), 5))
+        assert offsets == [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def test_poisson_arrivals_are_seeded_and_nondecreasing(self):
+        first = list(itertools.islice(PoissonArrivals(10.0, seed=42).offsets(), 50))
+        again = list(itertools.islice(PoissonArrivals(10.0, seed=42).offsets(), 50))
+        other = list(itertools.islice(PoissonArrivals(10.0, seed=7).offsets(), 50))
+        assert first == again
+        assert first != other
+        assert all(b >= a for a, b in zip(first, first[1:]))
+
+    def test_rates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConstantArrivals(0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1.0)
+
+
+class TestMixes:
+    def test_fixed_mix_cycles_in_order(self):
+        mix = FixedQueryMix([frozenset({"a"}), frozenset({"b"})])
+        drawn = [mix.next_query() for _ in range(5)]
+        assert drawn == [
+            frozenset({"a"}), frozenset({"b"}), frozenset({"a"}),
+            frozenset({"b"}), frozenset({"a"}),
+        ]
+
+    def test_fixed_mix_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FixedQueryMix([])
+
+    def test_zipf_mix_is_deterministic_per_seed(self):
+        corpus = SyntheticCorpus.generate(num_objects=100, seed=1)
+        mix_a = ZipfQueryMix.from_corpus(corpus, pool_size=50, seed=9)
+        mix_b = ZipfQueryMix.from_corpus(corpus, pool_size=50, seed=9)
+        draws_a = [mix_a.next_query() for _ in range(30)]
+        draws_b = [mix_b.next_query() for _ in range(30)]
+        assert draws_a == draws_b
+        assert all(isinstance(query, frozenset) and query for query in draws_a)
+        # The Zipf head recurs: far fewer distinct queries than draws.
+        assert len(set(draws_a)) < len(draws_a)
+
+
+class TestLoadReport:
+    def _report(self, latencies):
+        return LoadReport(
+            mode="open", elapsed_s=10.0, offered=len(latencies) + 2,
+            ok=len(latencies), busy=1, errors=1, abandoned=0,
+            latencies_ms=list(latencies),
+        )
+
+    def test_rates_and_percentiles(self):
+        report = self._report([10.0, 20.0, 30.0, 40.0])
+        assert report.completed == 6
+        assert report.goodput == pytest.approx(0.4)
+        assert report.offered_rate == pytest.approx(0.6)
+        assert report.p50_ms == pytest.approx(30.0)  # nearest-rank
+        assert report.p99_ms == pytest.approx(40.0)
+
+    def test_empty_latencies_do_not_crash(self):
+        report = LoadReport("closed", 1.0, 0, 0, 0, 0, 0)
+        assert report.p99_ms == 0.0
+        assert report.goodput == 0.0
+
+    def test_merge_pools_counts_and_latencies(self):
+        merged = LoadReport.merge([
+            LoadReport("open", 10.0, 100, 90, 5, 5, 0, [1.0, 2.0]),
+            LoadReport("open", 12.0, 50, 50, 0, 0, 3, [3.0]),
+        ])
+        assert merged.offered == 150 and merged.ok == 140
+        assert merged.busy == 5 and merged.errors == 5 and merged.abandoned == 3
+        assert merged.elapsed_s == 12.0  # concurrent runs: the longest
+        assert sorted(merged.latencies_ms) == [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError):
+            LoadReport.merge([])
+
+    def test_to_row_has_the_bench_table_shape(self):
+        row = self._report([10.0]).to_row()
+        for key in ("mode", "offered", "ok", "busy", "errors", "abandoned",
+                    "goodput_qps", "p50_ms", "p95_ms", "p99_ms"):
+            assert key in row
+
+
+class _ScriptedClient:
+    """A Client whose search outcomes follow a fixed script."""
+
+    def __init__(self, outcomes=None, delay_s: float = 0.0):
+        import threading
+        import time
+
+        self._time = time
+        self._lock = threading.Lock()
+        self._outcomes = list(outcomes or [])
+        self._cursor = 0
+        self.delay_s = delay_s
+        self.calls = 0
+
+    def search(self, keywords, options=None):
+        with self._lock:
+            self.calls += 1
+            outcome = (
+                self._outcomes[self._cursor % len(self._outcomes)]
+                if self._outcomes
+                else None
+            )
+            self._cursor += 1
+        if self.delay_s:
+            self._time.sleep(self.delay_s)
+        if outcome is not None:
+            raise outcome
+        return object()
+
+    def insert(self, object_id, keywords, *, holder=None):
+        raise NotImplementedError
+
+    def delete(self, object_id, *, holder):
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+
+class TestLoops:
+    def test_closed_loop_classifies_outcomes(self):
+        client = _ScriptedClient([None, NodeBusyError(1), ValueError("boom")])
+        report = ClosedLoopLoad(client, FixedQueryMix([frozenset({"q"})]), workers=2).run(0.2)
+        assert report.mode == "closed"
+        assert report.offered == report.completed == client.calls
+        assert report.ok and report.busy and report.errors
+        assert len(report.latencies_ms) == report.ok  # shed/failed: no sample
+
+    def test_open_loop_offers_the_schedule_regardless_of_completions(self):
+        client = _ScriptedClient()
+        report = OpenLoopLoad(
+            client, FixedQueryMix([frozenset({"q"})]), ConstantArrivals(100.0), workers=4
+        ).run(0.2)
+        assert report.mode == "open"
+        assert report.offered == 20  # 100 qps for 0.2 s, fixed up front
+        assert report.ok == 20
+        assert report.elapsed_s >= 0.2
+
+    def test_open_loop_abandons_stale_arrivals(self):
+        # One worker at 0.02 s/query cannot keep up with 200 qps; the
+        # backlog ages past max_lag_s and is abandoned, not waited out.
+        client = _ScriptedClient(delay_s=0.02)
+        report = OpenLoopLoad(
+            client,
+            FixedQueryMix([frozenset({"q"})]),
+            ConstantArrivals(200.0),
+            workers=1,
+            max_lag_s=0.05,
+        ).run(0.25)
+        assert report.abandoned > 0
+        assert report.completed + report.abandoned == report.offered
+
+    def test_loops_validate_their_knobs(self):
+        client = _ScriptedClient()
+        mix = FixedQueryMix([frozenset({"q"})])
+        with pytest.raises(ValueError):
+            ClosedLoopLoad(client, mix, workers=0)
+        with pytest.raises(ValueError):
+            OpenLoopLoad(client, mix, ConstantArrivals(1.0), max_lag_s=0.0)
+        with pytest.raises(ValueError):
+            ClosedLoopLoad(client, mix).run(0.0)
+
+    def test_closed_loop_against_a_real_cluster(self):
+        with LocalCluster(CONFIG) as cluster:
+            client = cluster.client()
+            client.insert("a.pdf", {"dht", "p2p"})
+            report = ClosedLoopLoad(
+                client, FixedQueryMix([frozenset({"dht"})]), workers=2
+            ).run(0.3)
+        assert report.ok > 0
+        assert report.errors == 0
+        assert report.p99_ms > 0.0
+
+
+class TestWorkerSpec:
+    def test_validates_mode_and_rate(self):
+        with pytest.raises(ValueError):
+            WorkerSpec(CONFIG, {}, mode="half-open")
+        with pytest.raises(ValueError):
+            WorkerSpec(CONFIG, {}, mode="open")  # open needs a rate
+
+    def test_fleet_splits_rate_and_diversifies_seeds(self):
+        spec = WorkerSpec(CONFIG, {}, mode="open", rate=300.0, seed=2)
+        fleet = spec.fleet(3)
+        assert len(fleet) == 3
+        assert all(worker.rate == pytest.approx(100.0) for worker in fleet)
+        assert len({worker.seed for worker in fleet}) == 3
+        with pytest.raises(ValueError):
+            spec.fleet(0)
+
+    def test_single_spec_runs_inline_against_a_cluster(self):
+        with LocalCluster(CONFIG) as cluster:
+            cluster.client().insert("a.pdf", {"dht", "p2p"})
+            spec = WorkerSpec(
+                cluster.config,
+                dict(cluster.endpoints),
+                mode="closed",
+                duration_s=0.3,
+                threads=2,
+                queries=(frozenset({"dht"}),),
+            )
+            report = MultiprocessLoad([spec]).run()
+        assert report.ok > 0
+        assert report.errors == 0
+
+    def test_multiprocess_load_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            MultiprocessLoad([])
+
+
+class TestCohortBackoff:
+    def test_rpc_many_reissues_a_ready_call_before_slow_cohorts(self):
+        """Regression: backoff is per call cohort, not per round — a call
+        whose retry is due must not wait for a batch mate with a longer
+        backoff."""
+        network = SimulatedNetwork()
+        network.register(2, lambda message: None)
+
+        def always_saturated(message):
+            raise NodeBusyError(5, queue_depth=9, retry_after=100.0)
+
+        retry_times: list[float] = []
+
+        def briefly_saturated(message):
+            retry_times.append(network.now())
+            if len(retry_times) == 1:
+                raise NodeBusyError(6, queue_depth=1, retry_after=2.0)
+            return "six"
+
+        network.register(5, always_saturated)
+        network.register(6, briefly_saturated)
+        channel = ResilientChannel(
+            network, RetryPolicy(max_attempts=2, base_delay=1.0, jitter=0.0)
+        )
+        outcomes = channel.rpc_many([RpcCall(2, 5, "a"), RpcCall(2, 6, "b")])
+        assert isinstance(outcomes[0].error, NodeBusyError)
+        assert outcomes[1].value == "six"
+        # Call 6's retry fired around its own 2-unit backoff; under the
+        # old per-round maximum it would have waited for call 5's 100.
+        assert len(retry_times) == 2
+        assert retry_times[1] - retry_times[0] < 50.0
+
+    def test_rpc_many_total_backoff_is_the_longest_single_delay(self):
+        """Two calls with identical backoff retry concurrently: the
+        elapsed virtual time tracks one backoff, not the sum."""
+        network = SimulatedNetwork()
+        network.register(2, lambda message: None)
+        for address in (5, 6):
+            network.register(address, lambda message: "ok")
+        network.inject_busy(5, count=1)
+        network.inject_busy(6, count=1)
+        channel = ResilientChannel(
+            network, RetryPolicy(max_attempts=2, base_delay=4.0, jitter=0.0)
+        )
+        started = network.now()
+        outcomes = channel.rpc_many([RpcCall(2, 5, "a"), RpcCall(2, 6, "b")])
+        assert [outcome.value for outcome in outcomes] == ["ok", "ok"]
+        elapsed = network.now() - started
+        assert elapsed < 8.0  # one 4-unit backoff plus round trips, not 4+4
