@@ -26,7 +26,7 @@ CHART_SPECS: dict[str, tuple[str | None, str, str]] = {
     "fig8": ("query_size", "recall", "node_fraction"),
     "fig9": ("recall", "alpha", "node_fraction"),
     "fault": ("scheme", "failure_fraction", "mean_recall"),
-    "churn": ("scheme", "epoch", "mean_recall"),
+    "churn": ("probe", "events_per_minute", "min_recall"),
 }
 
 

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""One entrypoint for every end-to-end smoke in ``scripts/``.
+
+Each smoke is a standalone script with its own pass/fail contract; this
+runner subprocesses them (fresh interpreter each — the load smokes use
+multiprocessing ``spawn`` workers and must not inherit a warm parent)
+with a per-smoke wall-clock timeout, then prints a summary and exits
+non-zero if any failed.
+
+    python scripts/run_smokes.py              # all of them
+    python scripts/run_smokes.py churn load   # a subset
+    python scripts/run_smokes.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SCRIPTS_DIR = Path(__file__).resolve().parent
+
+#: name -> (script, timeout seconds).  Timeouts match what CI enforced
+#: when each smoke was its own job, with headroom.
+SMOKES: dict[str, tuple[str, int]] = {
+    "concurrency": ("concurrency_smoke.py", 120),
+    "crash-recovery": ("crash_recovery_smoke.py", 180),
+    "load": ("load_smoke.py", 150),
+    "churn": ("churn_smoke.py", 180),
+}
+
+
+def run_one(name: str) -> tuple[bool, float]:
+    script, timeout = SMOKES[name]
+    print(f"=== {name}: python scripts/{script} (timeout {timeout}s) ===", flush=True)
+    start = time.monotonic()
+    try:
+        process = subprocess.run(
+            [sys.executable, str(SCRIPTS_DIR / script)], timeout=timeout
+        )
+        ok = process.returncode == 0
+    except subprocess.TimeoutExpired:
+        print(f"{name}: TIMEOUT after {timeout}s", flush=True)
+        ok = False
+    return ok, time.monotonic() - start
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "smokes",
+        nargs="*",
+        metavar="smoke",
+        help=f"which smokes to run: {', '.join(SMOKES)}, or all (default: all)",
+    )
+    parser.add_argument("--list", action="store_true", help="list smoke names and exit")
+    arguments = parser.parse_args()
+    if arguments.list:
+        for name, (script, timeout) in SMOKES.items():
+            print(f"{name:16} scripts/{script} (timeout {timeout}s)")
+        return 0
+
+    unknown = [n for n in arguments.smokes if n != "all" and n not in SMOKES]
+    if unknown:
+        parser.error(f"unknown smoke(s): {', '.join(unknown)} (try --list)")
+    if not arguments.smokes or "all" in arguments.smokes:
+        selected = list(SMOKES)
+    else:
+        selected = list(dict.fromkeys(arguments.smokes))
+    outcomes = {name: run_one(name) for name in selected}
+
+    print("=== summary ===")
+    failed = 0
+    for name, (ok, elapsed) in outcomes.items():
+        print(f"{name:16} {'PASS' if ok else 'FAIL'} ({elapsed:.0f}s)")
+        failed += 0 if ok else 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,7 +44,9 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 from repro.core.config import SearchOptions, ServiceConfig
 from repro.core.search import SearchResult
 from repro.core.service import KeywordSearchService, PublishedObject
+from repro.membership import PeerBook, apply_book
 from repro.net.aio import AsyncioTransport
+from repro.net.errors import PeerUnreachableError
 
 if TYPE_CHECKING:
     from repro.net.cluster import LocalCluster
@@ -151,6 +153,16 @@ class DaemonFleetClient(_ServiceBackedClient):
     RPC, self-addressed ones included, crosses the wire to the daemon
     that owns the address.  The client owns its transport;
     :meth:`close` drops the socket pool.
+
+    Under dynamic membership (see :mod:`repro.membership`) the client's
+    derived view can go stale: a target daemon may have left, died, or
+    been replaced by a joiner.  When an operation fails with
+    :class:`~repro.net.errors.PeerUnreachableError`, the client fetches
+    the current peer book from any reachable daemon (``memb.book``),
+    folds it into its view — rewiring its ring and endpoint table — and
+    retries the operation once against the refreshed placement.
+    Deployments without membership are unaffected: the refresh finds no
+    ``memb.*`` handler and the original error propagates.
     """
 
     def __init__(
@@ -175,6 +187,62 @@ class DaemonFleetClient(_ServiceBackedClient):
 
     def close(self) -> None:
         self.transport.close()
+
+    # -- membership-aware retry ---------------------------------------
+
+    def refresh_membership(self) -> bool:
+        """Fetch the current peer book from any reachable daemon and
+        fold it into this client's view.  True when a book was fetched
+        (False: no daemon answered, or none runs membership)."""
+        # Bounded wait per candidate (2s wall) so one dead daemon at the
+        # front of the book does not stall the whole refresh.
+        probe_timeout = 2.0 / self.transport.time_scale
+        for address in sorted(self.transport.peers):
+            try:
+                reply = self.transport.rpc(
+                    address, address, "memb.book", {}, timeout=probe_timeout
+                )
+            except Exception:  # noqa: BLE001 - daemon down or membership off; next
+                continue
+            book = PeerBook.from_payload(reply["book"])
+            apply_book(self.service, self.transport, book, served=set())
+            self.transport.metrics.increment("client.membership_refreshes")
+            return True
+        return False
+
+    def _retrying(self, operation):
+        """Run ``operation``; on an unreachable peer, refresh the view
+        from the live deployment and retry once."""
+        try:
+            return operation()
+        except PeerUnreachableError:
+            if not self.refresh_membership():
+                raise
+            self.transport.metrics.increment("client.membership_retries")
+            return operation()
+
+    def search(
+        self, keywords: Iterable[str], options: SearchOptions | None = None
+    ) -> SearchResult:
+        """min(t, |O_K|) objects describable by ``keywords`` (with the
+        stale-placement retry described on the class)."""
+        return self._retrying(lambda: super(DaemonFleetClient, self).search(keywords, options))
+
+    def insert(
+        self, object_id: str, keywords: Iterable[str], *, holder: int | None = None
+    ) -> PublishedObject:
+        """Publish one replica of ``object_id`` (with the
+        stale-placement retry described on the class)."""
+        return self._retrying(
+            lambda: super(DaemonFleetClient, self).insert(object_id, keywords, holder=holder)
+        )
+
+    def delete(self, object_id: str, *, holder: int) -> None:
+        """Withdraw the replica ``holder`` published (with the
+        stale-placement retry described on the class)."""
+        return self._retrying(
+            lambda: super(DaemonFleetClient, self).delete(object_id, holder=holder)
+        )
 
 
 def connect(

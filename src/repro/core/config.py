@@ -71,6 +71,14 @@ class ServiceConfig:
     messaging channel every protocol RPC goes through — when set, a
     superset search degrades past unreachable nodes (reported in
     ``SearchResult.degraded_visits``) instead of raising.
+
+    ``index_replicas`` builds the index ``k``-way replicated through
+    Section 3.4's secondary hypercubes (see
+    :mod:`repro.core.replication`): writes go to every replica, reads
+    fail over per logical node, and the membership layer re-replicates
+    a dead node's tables from the surviving replicas.  The default 1
+    keeps the single-index stack byte-identical to pre-replication
+    behaviour.
     """
 
     dimension: int
@@ -83,6 +91,7 @@ class ServiceConfig:
     contact_mode: ContactMode = ContactMode.DIRECT
     resilience: RetryPolicy | None = None
     breaker: BreakerPolicy | None = None
+    index_replicas: int = 1
 
     def __post_init__(self) -> None:
         # Tolerate string forms so configs read naturally from literals,
@@ -97,6 +106,8 @@ class ServiceConfig:
             raise ValueError(f"num_dht_nodes must be >= 1, got {self.num_dht_nodes}")
         if self.cache_capacity < 0:
             raise ValueError(f"cache_capacity must be >= 0, got {self.cache_capacity}")
+        if self.index_replicas < 1:
+            raise ValueError(f"index_replicas must be >= 1, got {self.index_replicas}")
 
     @classmethod
     def from_legacy(cls, **kwargs) -> "ServiceConfig":

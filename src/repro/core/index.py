@@ -247,6 +247,12 @@ class IndexShard:
                 for object_id in object_ids:
                     self.put(key, frozenset(keywords), object_id)
             return {"accepted": sum(len(ids) for _, ids in payload["table"])}
+        if message.kind == "hindex.snapshot":
+            # Read-only counterpart of hindex.transfer: ship one table's
+            # deterministic rows *without* dropping it — the pull side of
+            # re-replication after a crash (see repro.membership).
+            key = (payload["namespace"], payload["logical"])
+            return {"table": self.snapshot_records(key)}
         if message.kind == "hindex.results":
             # Receipt of object IDs a queried node forwarded directly to
             # the requester; the requester-side driver already collected

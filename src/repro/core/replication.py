@@ -41,13 +41,25 @@ class ReplicatedHypercubeIndex:
         *,
         replicas: int = 2,
         salt: str = "repl",
+        cache_capacity: int = 0,
+        cache_factory=None,
+        stores=None,
     ):
+        """``cache_capacity`` / ``cache_factory`` / ``stores`` are
+        forwarded to the underlying :class:`HypercubeIndex` instances —
+        all replicas share one :class:`~repro.core.index.IndexShard`
+        per physical node (the first construction installs it), so the
+        durable backends and caches configured here serve every
+        replica's tables."""
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.cube = cube
         self.dolr = dolr
         self.replicas = replicas
         mapper = KeywordSetMapper(cube)
+        extra = {}
+        if cache_factory is not None:
+            extra["cache_factory"] = cache_factory
         self.indexes: list[HypercubeIndex] = [
             HypercubeIndex(
                 cube,
@@ -55,6 +67,9 @@ class ReplicatedHypercubeIndex:
                 mapper=mapper,
                 mapping=HypercubeMapping(cube, dolr, salt=f"{salt}/g{i}"),
                 namespace=f"{salt}/r{i}",
+                cache_capacity=cache_capacity,
+                stores=stores,
+                **extra,
             )
             for i in range(replicas)
         ]
@@ -62,6 +77,12 @@ class ReplicatedHypercubeIndex:
     @property
     def primary(self) -> HypercubeIndex:
         return self.indexes[0]
+
+    def invalidate_placement_caches(self) -> None:
+        """Drop every replica mapping's memoized ownership — call after
+        any membership change, exactly like the single-index case."""
+        for index in self.indexes:
+            index.mapping.invalidate_placement_cache()
 
     @property
     def mapper(self) -> KeywordSetMapper:

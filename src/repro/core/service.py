@@ -24,6 +24,7 @@ from repro.core.config import CachePolicy, ContactMode, DhtKind, SearchOptions, 
 from repro.core.cumulative import CumulativeSearchSession
 from repro.core.index import HypercubeIndex, PinResult
 from repro.core.keywords import normalize_keywords
+from repro.core.replication import ReplicatedHypercubeIndex, ReplicatedSuperSetSearch
 from repro.core.search import SearchResult, SuperSetSearch, TraversalOrder
 from repro.dht.chord import ChordNetwork
 from repro.dht.dolr import DolrNetwork
@@ -78,15 +79,25 @@ class KeywordSearchService:
         *,
         contact_mode: ContactMode | str = ContactMode.DIRECT,
         config: ServiceConfig | None = None,
+        replicated: ReplicatedHypercubeIndex | None = None,
     ):
         self.index = index
         self.dolr = index.dolr
         self.config = config
+        # k-way replication (config.index_replicas > 1): writes fan out
+        # to every replica and the searcher fails over per logical node.
+        # None for the classic single-index stack.
+        self.replicated = replicated
         # address -> durable backend; empty unless built with a
         # store_factory (see create()).
         self.stores: dict[int, StoreBackend] = {}
         contact_mode = ContactMode(contact_mode) if isinstance(contact_mode, str) else contact_mode
-        self.searcher = SuperSetSearch(index, contact_mode=contact_mode.value)
+        if replicated is not None:
+            self.searcher: SuperSetSearch = ReplicatedSuperSetSearch(
+                replicated, contact_mode=contact_mode.value
+            )
+        else:
+            self.searcher = SuperSetSearch(index, contact_mode=contact_mode.value)
         self._published: dict[tuple[str, int], PublishedObject] = {}
 
     # -- construction -----------------------------------------------------
@@ -152,6 +163,23 @@ class KeywordSearchService:
                     store.metrics = dolr.network.metrics
                 dolr.node(address).attach_store(store)
                 stores[address] = store
+        if config.index_replicas > 1:
+            replicated = ReplicatedHypercubeIndex(
+                Hypercube(config.dimension),
+                dolr,
+                replicas=config.index_replicas,
+                cache_capacity=config.cache_capacity,
+                cache_factory=_CACHE_FACTORIES[config.cache_policy],
+                stores=stores,
+            )
+            service = cls(
+                replicated.primary,
+                contact_mode=config.contact_mode,
+                config=config,
+                replicated=replicated,
+            )
+            service.stores = stores
+            return service
         index = HypercubeIndex(
             Hypercube(config.dimension),
             dolr,
@@ -174,7 +202,10 @@ class KeywordSearchService:
         existing = self._published.get((object_id, holder))
         if existing is not None:
             raise ValueError(f"{object_id!r} already published by node {holder}")
-        self.index.insert(object_id, normalized, holder)
+        if self.replicated is not None:
+            self.replicated.insert(object_id, normalized, holder)
+        else:
+            self.index.insert(object_id, normalized, holder)
         record = PublishedObject(object_id, normalized, holder)
         self._published[(object_id, holder)] = record
         return record
@@ -184,7 +215,10 @@ class KeywordSearchService:
         record = self._published.pop((object_id, holder), None)
         if record is None:
             raise KeyError(f"{object_id!r} was not published by node {holder}")
-        self.index.delete(object_id, record.keywords, holder)
+        if self.replicated is not None:
+            self.replicated.delete(object_id, record.keywords, holder)
+        else:
+            self.index.delete(object_id, record.keywords, holder)
 
     def published_count(self) -> int:
         return len(self._published)
@@ -193,6 +227,8 @@ class KeywordSearchService:
 
     def pin_search(self, keywords: Iterable[str], *, origin: int | None = None) -> PinResult:
         """Objects whose keyword set is *exactly* K (Section 2.2)."""
+        if self.replicated is not None:
+            return self.replicated.pin_search(keywords, origin=origin)
         return self.index.pin_search(keywords, origin=origin)
 
     def superset_search(
@@ -267,6 +303,15 @@ class KeywordSearchService:
     @property
     def cube(self) -> Hypercube:
         return self.index.cube
+
+    @property
+    def indexes(self) -> list[HypercubeIndex]:
+        """Every index this service maintains: the replicas when
+        replication is on, else just the one index.  The membership
+        layer iterates this to rebalance/evacuate/repair all of them."""
+        if self.replicated is not None:
+            return list(self.replicated.indexes)
+        return [self.index]
 
     @property
     def network(self) -> Transport:

@@ -296,6 +296,44 @@ class ChordNetwork(DolrNetwork):
         self.network.unregister(address)
         del self.nodes[address]
 
+    def admit(self, address: int) -> ChordNode:
+        """Apply a membership *fact*: ``address`` is now part of the
+        ring.
+
+        Unlike :meth:`join` (the protocol join a new node initiates for
+        itself), ``admit`` is the structural form every participant
+        applies when it *learns* of a join — create the node object,
+        provision its applications, and rewire from global knowledge,
+        without any RPCs.  Because placement is a pure function of the
+        address set, all participants agree on ownership once their
+        peer books agree.  Idempotent.
+        """
+        self.space.check(address)
+        node = self.nodes.get(address)
+        if node is not None:
+            return node
+        node = ChordNode(
+            address, self.space, self.network, successor_list_length=self.successor_list_length
+        )
+        self.nodes[address] = node
+        self.provision_node(node)
+        self.rewire_from_global_knowledge()
+        return node
+
+    def expel(self, address: int) -> None:
+        """Apply a membership fact: ``address`` has left or died.
+
+        The structural counterpart of :meth:`admit` — drop the node and
+        rewire the survivors' tables from global knowledge (the state
+        enough stabilization rounds would reach).  Idempotent.
+        """
+        if address not in self.nodes:
+            return
+        self.network.unregister(address)
+        del self.nodes[address]
+        if self.nodes:
+            self.rewire_from_global_knowledge()
+
     def stabilize_all(self, rounds: int = 1) -> None:
         """Run ``rounds`` of stabilize + successor-list refresh + finger
         repair at every node, in address order (deterministic)."""

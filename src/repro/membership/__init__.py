@@ -1,0 +1,36 @@
+"""Dynamic membership: live join/leave/crash for running deployments.
+
+The static stack derives its address set from ``(seed, config)`` at
+build time; this package makes that set a runtime quantity.  It is
+three layers, one module each:
+
+- :mod:`repro.membership.book` — the convergent, epoch-versioned peer
+  book every process keeps (the *what*);
+- :mod:`repro.membership.transfer` — deterministic appliers that turn
+  a membership fact into ring rewiring and index-table movement (the
+  *how*);
+- :mod:`repro.membership.agent` — the per-process agent running
+  anti-entropy gossip, breaker-fed failure detection, and the
+  ``memb.*`` management RPCs (the *when*).
+
+Wire format: one new frame type, ``gos`` (docs/protocol.md §15),
+carrying ``{"digest": [epoch, hash], "delta": [record-rows]}``.
+Everything is off unless a cluster or daemon is built with
+``membership=True`` — the default stack stays byte-identical.
+"""
+
+from repro.membership.agent import MembershipAgent, MembershipApplication, MembershipPolicy
+from repro.membership.book import PeerBook, PeerRecord
+from repro.membership.transfer import apply_alive, apply_book, apply_gone, repair_lost
+
+__all__ = [
+    "MembershipAgent",
+    "MembershipApplication",
+    "MembershipPolicy",
+    "PeerBook",
+    "PeerRecord",
+    "apply_alive",
+    "apply_book",
+    "apply_gone",
+    "repair_lost",
+]

@@ -1,0 +1,483 @@
+"""The membership agent: gossip, failure detection, and churn driving.
+
+One :class:`MembershipAgent` runs per process — per daemon in a
+multi-process deployment, one for the whole :class:`~repro.net.cluster.
+LocalCluster`.  It owns the process's :class:`~repro.membership.book.
+PeerBook` and three activities:
+
+**Anti-entropy gossip.**  A background thread periodically picks
+``fanout`` random remote members and sends each a one-way ``gos`` frame
+(see :meth:`~repro.net.aio.AsyncioTransport.gossip`) carrying the
+book's digest plus the delta since what that peer is believed to know.
+A receiver merges the delta (LWW, see the book), reconciles any applied
+records into structural/data moves (see :mod:`.transfer`), and pushes
+back its own delta when the digests still disagree — so books converge
+in O(log n) rounds whatever the churn order.
+
+**Failure detection.**  Gossip doubles as the heartbeat: a
+:class:`~repro.net.errors.PeerUnreachableError` from a gossip push is a
+miss, and so is an OPEN circuit breaker on the resilient channel — the
+agent *reads* the breaker state that protocol traffic already maintains
+(:meth:`~repro.sim.resilience.ResilientChannel.breaker_states`) instead
+of running a second prober.  ``suspicion_threshold`` consecutive missed
+ticks declare the peer dead: a ``dead`` record enters the book at a
+fresh epoch, gossip spreads it, and every node's reconcile expels the
+peer and (when the index is replicated) re-replicates its tables from
+the surviving replicas — each new owner repairs its own share, so the
+work partitions without coordination.
+
+**Churn driving.**  :meth:`join` and :meth:`leave` are the graceful
+entry points the cluster/daemon layers call; :meth:`crashed` is the
+operator's "I know it's gone" shortcut past the suspicion window.
+
+Remote management runs through :class:`MembershipApplication`
+(``memb.*`` RPCs installed on every node): ``memb.book`` hands a
+client the current book, ``memb.join`` lets a new daemon announce
+itself to any seed, ``memb.leave`` asks a daemon to evacuate and shut
+down.
+
+Everything the agent observes is surfaced: ``memb.*`` counters on the
+transport metrics registry (exported via ``/metrics``) and one
+``membership`` trace event per applied record when a recorder is
+active.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.membership.book import PeerBook, PeerRecord
+from repro.membership.transfer import apply_alive, apply_gone
+from repro.net.errors import PeerUnreachableError
+from repro.obs.trace import active_recorder
+from repro.sim.resilience import BreakerState
+from repro.util.rng import make_rng
+
+__all__ = ["MembershipAgent", "MembershipApplication", "MembershipPolicy"]
+
+
+@dataclass(frozen=True)
+class MembershipPolicy:
+    """Tuning knobs of the gossip/failure-detection loop.
+
+    ``gossip_interval`` is in wall-clock seconds (the agent thread runs
+    on real time, independent of the transport's ``time_scale``);
+    ``fanout`` is how many random remote members each tick addresses;
+    ``suspicion_threshold`` is how many consecutive missed ticks turn
+    suspicion into a death declaration.
+    """
+
+    gossip_interval: float = 0.25
+    fanout: int = 2
+    suspicion_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.gossip_interval <= 0:
+            raise ValueError(f"gossip_interval must be positive, got {self.gossip_interval}")
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {self.fanout}")
+        if self.suspicion_threshold < 1:
+            raise ValueError(
+                f"suspicion_threshold must be >= 1, got {self.suspicion_threshold}"
+            )
+
+
+class MembershipAgent:
+    """Per-process membership authority (see module docstring).
+
+    ``served`` is the set of addresses whose state lives in this
+    process; it defaults to every address the transport serves.  All
+    book access is serialized through one re-entrant lock — gossip
+    handlers run on the transport's executor threads.
+    """
+
+    def __init__(
+        self,
+        service,
+        transport,
+        *,
+        policy: MembershipPolicy | None = None,
+        served: set[int] | None = None,
+        seed: int = 0,
+        on_change=None,
+        on_leave=None,
+    ):
+        self.service = service
+        self.transport = transport
+        self.policy = policy or MembershipPolicy()
+        if served is None:
+            served = {a for a in service.dolr.addresses() if transport._serves(a)}
+        self.served: set[int] = set(served)
+        self.on_change = on_change
+        self.on_leave = on_leave
+        self._rng = make_rng(seed)
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        # What each remote peer is believed to already hold (book epoch),
+        # so gossip ships deltas, not whole books.
+        self._believed: dict[int, int] = {}
+        # Consecutive missed heartbeats per suspect.
+        self._misses: dict[int, int] = {}
+        # Push-back rate limit: wall-clock instant of the last reactive
+        # gossip per destination.
+        self._pushed_back: dict[int, float] = {}
+
+        self.book = PeerBook()
+        for address in service.dolr.addresses():
+            endpoint = transport.endpoints.get(address) or transport.peers.get(address)
+            self.book.apply(PeerRecord(address, "alive", 0, endpoint))
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "MembershipAgent":
+        """Attach the gossip handler and start the gossip/detector loop."""
+        self.transport.set_gossip_handler(self._on_gossip)
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="membership-agent", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
+            self._thread = None
+        self.transport.set_gossip_handler(None)
+
+    def __enter__(self) -> "MembershipAgent":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the loop ------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.policy.gossip_interval):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 - the loop must survive anything
+                self.transport.metrics.increment("memb.tick_errors")
+
+    def tick(self) -> None:
+        """One gossip/failure-detection round (public for tests)."""
+        with self._lock:
+            if not self.served:
+                return
+            self._feed_breaker_evidence()
+            targets = [a for a in self.book.members() if a not in self.served]
+            if not targets:
+                return
+            sample = self._rng.sample(targets, min(self.policy.fanout, len(targets)))
+            for dst in sample:
+                self._gossip_to(dst)
+
+    def _gossip_to(self, dst: int) -> None:
+        """Push our delta to ``dst``; an unreachable peer is a miss."""
+        payload = {
+            "digest": list(self.book.digest()),
+            "delta": [r.to_payload() for r in self.book.delta_since(self._believed.get(dst, -1))],
+        }
+        try:
+            self.transport.gossip(min(self.served), dst, payload)
+        except PeerUnreachableError:
+            self._miss(dst)
+            return
+        self._believed[dst] = self.book.epoch
+        self._misses.pop(dst, None)
+
+    def _feed_breaker_evidence(self) -> None:
+        """Read the resilient channel's breakers as heartbeat evidence:
+        an OPEN breaker means protocol traffic to that peer is failing
+        right now, which counts exactly like a missed gossip push."""
+        channel = getattr(self.service.dolr, "channel", None)
+        if channel is None:
+            return
+        try:
+            states = channel.breaker_states()
+        except AttributeError:
+            return
+        for address, state in states.items():
+            if state is not BreakerState.OPEN or address in self.served:
+                continue
+            record = self.book.get(address)
+            if record is not None and record.member:
+                self._miss(address)
+
+    def _miss(self, address: int) -> None:
+        record = self.book.get(address)
+        if record is not None and record.endpoint is None and address not in self.served:
+            # Never knew how to reach it — a missing endpoint (e.g. a
+            # deployment still booting) is not evidence of death.
+            return
+        self.transport.metrics.increment("memb.heartbeat_misses")
+        count = self._misses.get(address, 0) + 1
+        self._misses[address] = count
+        if count >= self.policy.suspicion_threshold:
+            self.declare_dead(address)
+
+    # -- gossip receive ------------------------------------------------
+
+    def _on_gossip(self, src: int, payload: dict) -> None:
+        records = [PeerRecord.from_payload(row) for row in payload.get("delta", [])]
+        with self._lock:
+            applied = self.book.merge(records)
+            if applied:
+                self.transport.metrics.increment("memb.records_applied", len(applied))
+                self._reconcile(applied)
+                self._persist()
+            digest = payload.get("digest")
+            their_epoch = int(digest[0]) if digest else 0
+            self._believed[src] = max(self._believed.get(src, -1), their_epoch)
+            if not self.served or digest is None:
+                return
+            if tuple(digest) == self.book.digest() or self.book.epoch <= their_epoch:
+                return
+            # Anti-entropy push-back: we hold records the sender lacks.
+            # Rate-limited per peer so two disagreeing books exchange
+            # one delta per interval, not a storm.
+            now = time.monotonic()
+            if now - self._pushed_back.get(src, -1e18) < self.policy.gossip_interval:
+                return
+            self._pushed_back[src] = now
+            self._gossip_to(src)
+
+    # -- reconciliation ------------------------------------------------
+
+    def _reconcile(self, applied: list[PeerRecord]) -> int:
+        """Turn newly-applied records into structural + data moves.
+        Returns object references moved or restored by this process."""
+        metrics = self.transport.metrics
+        moved = 0
+        for record in applied:
+            present = record.address in self.service.dolr.nodes
+            if record.address in self.served and not record.member:
+                # Someone declared a node gone that lives in *this*
+                # process.  For "dead" we are the living counter-
+                # evidence: outrank the record instead of expelling
+                # ourselves (a graceful leave never takes this path —
+                # it drives apply_gone directly).
+                if record.status == "dead":
+                    metrics.increment("memb.false_deaths_refuted")
+                    self.assert_alive(record.address)
+                continue
+            try:
+                if record.status == "alive":
+                    refs = apply_alive(self.service, self.transport, record, self.served)
+                    if not present:
+                        metrics.increment("memb.joins_applied")
+                        metrics.increment("memb.transferred_refs", refs)
+                        moved += refs
+                elif record.status == "leaving":
+                    pass  # still serving; the "left" record does the work
+                elif record.status == "left":
+                    apply_gone(self.service, self.transport, record, self.served, repair=False)
+                    if present:
+                        metrics.increment("memb.leaves_applied")
+                else:  # dead
+                    refs = apply_gone(
+                        self.service, self.transport, record, self.served, repair=True
+                    )
+                    if present:
+                        metrics.increment("memb.deaths_applied")
+                        metrics.increment("memb.repaired_refs", refs)
+                        moved += refs
+                if record.member:
+                    self._misses.pop(record.address, None)
+                self._emit(record, moved=moved)
+            except Exception:  # noqa: BLE001 - reconcile must not poison the merge
+                metrics.increment("memb.reconcile_errors")
+        return moved
+
+    def _emit(self, record: PeerRecord, *, moved: int) -> None:
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.emit(
+                "membership",
+                address=record.address,
+                status=record.status,
+                epoch=record.epoch,
+                refs=moved,
+            )
+
+    def _persist(self) -> None:
+        if self.on_change is None:
+            return
+        try:
+            self.on_change(self.book)
+        except Exception:  # noqa: BLE001 - persistence is advisory
+            self.transport.metrics.increment("memb.persist_errors")
+
+    def _burst(self) -> None:
+        """Eagerly gossip a local change to every remote member (the
+        periodic loop would spread it anyway; this cuts the latency)."""
+        if not self.served:
+            return
+        for dst in self.book.members():
+            if dst not in self.served:
+                self._gossip_to(dst)
+
+    # -- churn entry points --------------------------------------------
+
+    def join(self, address: int) -> int:
+        """Bring ``address`` into the ring as a locally-served node.
+
+        Admits it structurally (which registers it on the transport —
+        on a serving transport this binds its TCP server), hands over
+        the tables it now owns from every locally-served node, records
+        it in the book, and gossips the news.  Returns the number of
+        object references pushed to it from this process.
+        """
+        with self._lock:
+            self.served.add(address)
+            epoch = self.book.next_epoch()
+            moved = apply_alive(
+                self.service, self.transport, PeerRecord(address, "alive", epoch), self.served
+            )
+            endpoint = self.transport.endpoints.get(address)
+            record = PeerRecord(address, "alive", epoch, endpoint)
+            self.book.apply(record)
+            self.transport.metrics.increment("memb.joins_applied")
+            self.transport.metrics.increment("memb.transferred_refs", moved)
+            self._emit(record, moved=moved)
+            self._persist()
+            self._burst()
+        return moved
+
+    def leave(self, address: int, *, expel_locally: bool = True) -> int:
+        """Gracefully retire a locally-served node.
+
+        Announces ``leaving``, evacuates every index replica's tables to
+        their as-if-gone owners, announces ``left``, and (when
+        ``expel_locally``) expels the node from this process's ring
+        view.  A daemon leaving *itself* passes ``expel_locally=False``:
+        its whole process is about to exit, and expelling would tear
+        down the very server that still owes the caller a reply — the
+        survivors expel it when the ``left`` record reaches them.
+        Returns the number of object references evacuated.
+        """
+        with self._lock:
+            if address not in self.served:
+                raise ValueError(f"node {address} is not served by this process")
+            prior = self.book.get(address)
+            endpoint = prior.endpoint if prior is not None else None
+            leaving = PeerRecord(address, "leaving", self.book.next_epoch(), endpoint)
+            self.book.apply(leaving)
+            self._emit(leaving, moved=0)
+            self._burst()
+            moved = sum(index.evacuate(address) for index in self.service.indexes)
+            left = PeerRecord(address, "left", self.book.next_epoch(), endpoint)
+            self.book.apply(left)
+            self._emit(left, moved=moved)
+            self._burst()
+            if expel_locally:
+                apply_gone(self.service, self.transport, left, self.served, repair=False)
+            self.served.discard(address)
+            self.transport.metrics.increment("memb.leaves_applied")
+            self._persist()
+        return moved
+
+    def declare_dead(self, address: int) -> int:
+        """Record ``address`` as dead, repair, and spread the news.
+        Returns object references this process restored from replicas.
+        Idempotent: re-declaring a non-member is a no-op."""
+        with self._lock:
+            record = self.book.get(address)
+            if record is None or not record.member:
+                self._misses.pop(address, None)
+                return 0
+            dead = PeerRecord(address, "dead", self.book.next_epoch(), record.endpoint)
+            self.book.apply(dead)
+            self.transport.metrics.increment("memb.deaths_declared")
+            restored = self._reconcile([dead])
+            self._misses.pop(address, None)
+            self._persist()
+            self._burst()
+        return restored
+
+    def crashed(self, address: int) -> int:
+        """Operator shortcut: skip the suspicion window for a peer known
+        to be gone (e.g. the cluster just killed it on purpose)."""
+        return self.declare_dead(address)
+
+    def assert_alive(self, address: int) -> PeerRecord:
+        """Stamp a fresh ``alive`` record for a locally-served address.
+
+        A (re)booting daemon calls this so its record outranks any stale
+        ``dead`` a failure detector declared while it was down — the
+        fresh epoch wins the merge everywhere gossip carries it.
+        """
+        with self._lock:
+            record = PeerRecord(
+                address,
+                "alive",
+                self.book.next_epoch(),
+                self.transport.endpoints.get(address),
+            )
+            self.book.apply(record)
+            self._persist()
+            return record
+
+    def announce(self, address: int, seed: int) -> int:
+        """Introduce locally-served ``address`` to the deployment via
+        ``seed``'s ``memb.join`` RPC, and fold the returned book (which
+        carries the endpoints and epochs this agent lacks).  Returns the
+        number of records the reply taught us."""
+        with self._lock:
+            record = self.book.get(address)
+            if record is None or not record.member:
+                raise ValueError(f"node {address} holds no alive record to announce")
+            row = record.to_payload()
+        reply = self.transport.rpc(address, seed, "memb.join", {"record": row})
+        book = PeerBook.from_payload(reply["book"])
+        with self._lock:
+            applied = self.book.merge(book.records.values())
+            if applied:
+                self.transport.metrics.increment("memb.records_applied", len(applied))
+                self._reconcile(applied)
+                self._persist()
+            return len(applied)
+
+
+class MembershipApplication:
+    """The ``memb.*`` RPC surface, installed on every DOLR node.
+
+    All nodes share the one per-process agent, so any address a client
+    can reach answers for the whole process.
+    """
+
+    prefix = "memb"
+
+    def __init__(self, agent: MembershipAgent):
+        self.agent = agent
+
+    def handle(self, node, message):
+        payload = message.payload
+        if message.kind == "memb.book":
+            with self.agent._lock:
+                return {"book": self.agent.book.to_payload()}
+        if message.kind == "memb.join":
+            record = PeerRecord.from_payload(payload["record"])
+            with self.agent._lock:
+                applied = self.agent.book.merge([record])
+                if applied:
+                    self.agent.transport.metrics.increment(
+                        "memb.records_applied", len(applied)
+                    )
+                    self.agent._reconcile(applied)
+                    self.agent._persist()
+                    self.agent._burst()
+                return {"book": self.agent.book.to_payload()}
+        if message.kind == "memb.leave":
+            moved = self.agent.leave(node.address, expel_locally=False)
+            if self.agent.on_leave is not None:
+                self.agent.on_leave(node.address)
+            return {"moved": moved}
+        raise LookupError(f"unknown membership message kind {message.kind!r}")

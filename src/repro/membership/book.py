@@ -1,0 +1,212 @@
+"""The versioned peer book: who is in the deployment, per this node.
+
+Static deployments derive their address list from ``(seed, config)``
+and never revisit it.  Dynamic membership replaces that assumption with
+a *peer book*: a map ``address -> PeerRecord`` where each record is
+stamped with the **epoch** (a per-book Lamport counter) at which it was
+last changed.  Books merge by last-writer-wins on ``(epoch, status
+precedence)``, which makes the merge commutative, associative and
+idempotent — any gossip schedule converges every book to the same
+state, whatever order the deltas arrive in.
+
+Record life cycle (the transfer state machine of docs/protocol.md §15)::
+
+    alive ──(graceful leave starts)──> leaving ──(evacuated)──> left
+      │
+      └─────(failure detector)──> dead
+
+``leaving`` nodes still serve (they are mid-evacuation); ``left`` and
+``dead`` are terminal.  The difference between the two terminals is
+what the *appliers* do: ``left`` means the data was handed off by the
+leaver, ``dead`` means survivors must re-replicate it from the
+secondary hypercube (see :mod:`repro.membership.transfer`).
+
+The book serializes to plain JSON-able rows, both for the gossip wire
+payload and for ``<data-dir>/membership.json`` — the local state a
+restarted daemon rejoins from without being re-passed the full peer
+list.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["PeerBook", "PeerRecord", "STATUSES"]
+
+STATUSES = ("alive", "leaving", "left", "dead")
+
+# Merge tie-break at equal epochs: a more terminal status wins, so a
+# death/leave is never resurrected by a stale "alive" carrying the same
+# epoch.  ``left`` and ``dead`` share a rank — both are terminal, and a
+# record never moves between them (the first to be recorded sticks).
+_PRECEDENCE = {"alive": 0, "leaving": 1, "left": 2, "dead": 2}
+
+
+@dataclass(frozen=True)
+class PeerRecord:
+    """One peer's membership fact: status, stamped with the epoch of
+    its last change, plus the TCP endpoint it serves (when known)."""
+
+    address: int
+    status: str
+    epoch: int
+    endpoint: tuple[str, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(f"status must be one of {STATUSES}, got {self.status!r}")
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {self.epoch}")
+        if self.endpoint is not None:
+            object.__setattr__(self, "endpoint", (str(self.endpoint[0]), int(self.endpoint[1])))
+
+    @property
+    def member(self) -> bool:
+        """Whether this peer currently participates in the ring
+        (``leaving`` nodes still serve until their evacuation lands)."""
+        return self.status in ("alive", "leaving")
+
+    def to_payload(self) -> list:
+        """JSON-able row, shared by the gossip wire format and the
+        on-disk book."""
+        endpoint = None if self.endpoint is None else [self.endpoint[0], self.endpoint[1]]
+        return [self.address, self.status, self.epoch, endpoint]
+
+    @classmethod
+    def from_payload(cls, row) -> "PeerRecord":
+        address, status, epoch, endpoint = row
+        return cls(
+            int(address),
+            str(status),
+            int(epoch),
+            None if endpoint is None else (endpoint[0], endpoint[1]),
+        )
+
+
+def _wins(challenger: PeerRecord, incumbent: PeerRecord) -> bool:
+    """Last-writer-wins order: higher epoch, then more terminal status.
+
+    At a full tie the incumbent stays, except that a challenger carrying
+    an endpoint beats an endpoint-less incumbent — discovery may learn
+    an address before its endpoint, and the endpoint is pure metadata.
+    """
+    if challenger.epoch != incumbent.epoch:
+        return challenger.epoch > incumbent.epoch
+    if _PRECEDENCE[challenger.status] != _PRECEDENCE[incumbent.status]:
+        return _PRECEDENCE[challenger.status] > _PRECEDENCE[incumbent.status]
+    return incumbent.endpoint is None and challenger.endpoint is not None
+
+
+class PeerBook:
+    """A convergent map of peer records (see module docstring)."""
+
+    def __init__(self, records: dict[int, PeerRecord] | None = None):
+        self.records: dict[int, PeerRecord] = dict(records or {})
+
+    # -- versioning ---------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The book's version: the highest record epoch seen."""
+        return max((record.epoch for record in self.records.values()), default=0)
+
+    def next_epoch(self) -> int:
+        """The epoch to stamp on a locally-originated change."""
+        return self.epoch + 1
+
+    def digest(self) -> tuple[int, int]:
+        """``(epoch, content hash)`` — equal digests mean equal books.
+
+        The hash is FNV-1a over the sorted ``(address, status, epoch)``
+        triples, so it is stable across processes and Python runs
+        (unlike ``hash()``).
+        """
+        accumulator = 0xCBF29CE484222325
+        for address in sorted(self.records):
+            record = self.records[address]
+            for part in (record.address, _PRECEDENCE[record.status], record.status, record.epoch):
+                for byte in str(part).encode():
+                    accumulator ^= byte
+                    accumulator = (accumulator * 0x100000001B3) % (1 << 64)
+        return (self.epoch, accumulator)
+
+    # -- queries ------------------------------------------------------
+
+    def get(self, address: int) -> PeerRecord | None:
+        return self.records.get(address)
+
+    def members(self) -> list[int]:
+        """Addresses currently in the ring, ascending."""
+        return sorted(a for a, r in self.records.items() if r.member)
+
+    def endpoints(self) -> dict[int, tuple[str, int]]:
+        """Known endpoints of current members."""
+        return {
+            address: record.endpoint
+            for address, record in self.records.items()
+            if record.member and record.endpoint is not None
+        }
+
+    # -- merge --------------------------------------------------------
+
+    def apply(self, record: PeerRecord) -> bool:
+        """Adopt ``record`` if it wins over what the book holds.
+        Returns True when the book changed."""
+        incumbent = self.records.get(record.address)
+        if incumbent is not None and not _wins(record, incumbent):
+            return False
+        if incumbent is not None and record.endpoint is None and incumbent.endpoint is not None:
+            # Keep known metadata across status changes.
+            record = PeerRecord(record.address, record.status, record.epoch, incumbent.endpoint)
+        self.records[record.address] = record
+        return True
+
+    def merge(self, records) -> list[PeerRecord]:
+        """Apply a delta; returns the records that changed this book,
+        in deterministic ``(epoch, address)`` order."""
+        applied = [record for record in records if self.apply(record)]
+        applied.sort(key=lambda record: (record.epoch, record.address))
+        return applied
+
+    def delta_since(self, epoch: int) -> list[PeerRecord]:
+        """Records changed after ``epoch`` — the gossip payload.  An
+        ``epoch`` below 0 returns the whole book."""
+        return sorted(
+            (record for record in self.records.values() if record.epoch > epoch),
+            key=lambda record: (record.epoch, record.address),
+        )
+
+    # -- (de)serialization --------------------------------------------
+
+    def to_payload(self) -> list[list]:
+        return [self.records[address].to_payload() for address in sorted(self.records)]
+
+    @classmethod
+    def from_payload(cls, rows) -> "PeerBook":
+        book = cls()
+        for row in rows:
+            book.apply(PeerRecord.from_payload(row))
+        return book
+
+    def save(self, path: str | Path, *, extra: dict | None = None) -> None:
+        """Write the book (plus deployment metadata) as JSON — the
+        rejoin state a daemon persists under its ``--data-dir``."""
+        payload = {"version": 1, "records": self.to_payload()}
+        if extra:
+            payload.update(extra)
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        temporary = target.with_suffix(target.suffix + ".tmp")
+        temporary.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        temporary.replace(target)
+
+    @classmethod
+    def load(cls, path: str | Path) -> tuple["PeerBook", dict]:
+        """Read a saved book; returns ``(book, metadata)`` where the
+        metadata dict holds whatever ``extra`` keys were saved."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        book = cls.from_payload(payload.get("records", []))
+        metadata = {k: v for k, v in payload.items() if k not in ("version", "records")}
+        return book, metadata

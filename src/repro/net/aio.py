@@ -181,6 +181,7 @@ class AsyncioTransport:
             None if admission is None else AdmissionController(admission, self.metrics)
         )
         self._request_tasks: set[asyncio.Task] = set()
+        self._gossip_handler = None
         self._connections: dict[int, _Connection] = {}
         self._connect_locks: dict[int, asyncio.Lock] = {}
         self._traces: list[MessageTrace] = []
@@ -279,18 +280,32 @@ class AsyncioTransport:
         self.metrics.increment("net.servers_started")
 
     def unregister(self, address: int) -> None:
-        """Detach the endpoint: its server stops accepting and its
-        address book entry disappears (in-flight requests fail)."""
+        """Detach the endpoint: its server stops accepting, its address
+        book entry disappears, and any pooled connection to it is
+        severed (in-flight requests fail).  Established server-side
+        connections die on their next frame (see
+        :meth:`_serve_connection`), so an unregistered address behaves
+        like a crashed process, not a half-alive one."""
         self._handlers.pop(address, None)
         self._failed.discard(address)
         server = self._servers.pop(address, None)
         self.endpoints.pop(address, None)
+        # Sever the pooled loopback connection only when the server
+        # lived *here* (the serve-all cluster crashing one of its own):
+        # on a daemon expelling a remote peer the pooled connection may
+        # still carry in-flight replies from that peer's last words.
+        connection = self._connections.get(address) if server is not None else None
         if server is not None:
-            self._call(self._stop_server(server), timeout=30)
+            self._call(self._teardown_endpoint(server, connection), timeout=30)
 
-    async def _stop_server(self, server: asyncio.AbstractServer) -> None:
-        server.close()
-        await server.wait_closed()
+    async def _teardown_endpoint(
+        self, server: asyncio.AbstractServer | None, connection: "_Connection | None"
+    ) -> None:
+        if connection is not None:
+            await self._close_connection(connection)
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
     def is_registered(self, address: int) -> bool:
         return address in self._handlers
@@ -566,6 +581,41 @@ class AsyncioTransport:
         except (PeerUnreachableError, ProtocolError):
             self.metrics.increment("net.datagrams_lost")
 
+    # -- membership gossip --------------------------------------------
+
+    def set_gossip_handler(self, handler) -> None:
+        """Install the transport-level sink for incoming GOSSIP frames.
+
+        ``handler(src, payload)`` runs on the handler thread pool for
+        every gossip frame any served endpoint receives.  One handler
+        per transport (the membership agent); None detaches it.
+        """
+        self._gossip_handler = handler
+
+    def gossip(self, src: int, dst: int, payload: dict[str, Any]) -> None:
+        """One-way membership exchange to ``dst``.
+
+        Control-plane traffic: delivered over the same sockets but
+        *not* accounted in ``network.messages`` (experiment parity —
+        the paper's message counts cover protocol traffic only); it is
+        counted under ``memb.gossip_sent`` instead.  Unlike
+        :meth:`send`, an unreachable destination *raises*
+        :class:`~repro.net.errors.PeerUnreachableError` — a failed
+        gossip push doubles as a missed heartbeat, so the failure
+        detector needs to see it.
+        """
+        if self._serves(dst):
+            if dst in self._failed:
+                raise PeerUnreachableError(dst, "failed")
+            handler = self._gossip_handler
+            if handler is not None:
+                handler(src, payload)
+            self.metrics.increment("memb.gossip_sent")
+            return
+        frame = Frame(FrameType.GOSSIP, "memb.gossip", src, dst, next(self._request_ids), payload)
+        self._call(self._send_async(dst, frame))
+        self.metrics.increment("memb.gossip_sent")
+
     async def _send_async(self, dst: int, frame: Frame) -> None:
         try:
             connection = await self._connection_to(dst)
@@ -654,11 +704,24 @@ class AsyncioTransport:
                 if frame is None:
                     break
                 self.metrics.increment("net.frames_received")
+                if address not in self._handlers:
+                    break  # the endpoint was unregistered mid-connection: hang up
                 if address in self._failed:
                     continue  # fail-stop: read and drop, caller times out
                 if self._drop_requests.get(address, 0) > 0:
                     self._drop_requests[address] -= 1
                     break  # injected dropped connection
+                if frame.type is FrameType.GOSSIP:
+                    gossip_handler = self._gossip_handler
+                    self.metrics.increment("memb.gossip_received")
+                    if gossip_handler is not None:
+                        try:
+                            await self._loop.run_in_executor(
+                                self._executor, gossip_handler, frame.src, frame.payload
+                            )
+                        except Exception:  # noqa: BLE001 - gossip has no reply path
+                            self.metrics.increment("memb.gossip_handler_errors")
+                    continue
                 if frame.type is FrameType.DATAGRAM:
                     handler = self._handlers.get(address)
                     if handler is not None:

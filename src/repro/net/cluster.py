@@ -28,6 +28,7 @@ from pathlib import Path
 
 from repro.core.config import ServiceConfig
 from repro.core.service import KeywordSearchService
+from repro.membership import MembershipAgent, MembershipApplication, MembershipPolicy
 from repro.net.admission import AdmissionPolicy
 from repro.net.aio import AsyncioTransport
 from repro.obs.stats import StatsServer
@@ -49,6 +50,7 @@ class LocalCluster:
         stats_port: int | None = None,
         data_dir: str | Path | None = None,
         admission: AdmissionPolicy | None = None,
+        membership: bool | MembershipPolicy = False,
     ):
         """``stats_port`` (0 for OS-assigned) additionally serves the
         cluster's metrics over HTTP (see :mod:`repro.obs.stats`).
@@ -62,9 +64,17 @@ class LocalCluster:
         ``admission`` bounds each node's inflight requests: excess
         requests are shed with T_BUSY instead of queueing (see
         :mod:`repro.net.admission`).  None (the default) admits
-        everything, as before the knob existed."""
+        everything, as before the knob existed.
+
+        ``membership`` (False, True, or a
+        :class:`~repro.membership.MembershipPolicy`) runs a
+        :class:`~repro.membership.MembershipAgent` for the cluster and
+        unlocks :meth:`join_node` / :meth:`leave_node` /
+        :meth:`crash_node`.  Off by default — the static cluster stays
+        byte-identical."""
         self.config = config
         self.stats: StatsServer | None = None
+        self.membership: MembershipAgent | None = None
         self.transport = AsyncioTransport(
             host=host, rpc_timeout=rpc_timeout, time_scale=time_scale, admission=admission
         )
@@ -81,6 +91,15 @@ class LocalCluster:
             )
             if stats_port is not None:
                 self.stats = StatsServer(self.transport.metrics, host=host, port=stats_port)
+            if membership:
+                policy = membership if isinstance(membership, MembershipPolicy) else None
+                agent = MembershipAgent(
+                    self.service, self.transport, policy=policy, seed=config.seed
+                )
+                self.service.dolr.install_everywhere(
+                    lambda node: MembershipApplication(agent)
+                )
+                self.membership = agent.start()
         except BaseException:
             self.close()
             raise
@@ -96,6 +115,9 @@ class LocalCluster:
     def close(self) -> None:
         """Stop every server, drop every connection, join the IO thread
         (flushing and closing every durable store first)."""
+        if self.membership is not None:
+            self.membership.stop()
+            self.membership = None
         if self.stats is not None:
             self.stats.close()
             self.stats = None
@@ -103,6 +125,59 @@ class LocalCluster:
         if service is not None:
             service.close_stores()
         self.transport.close()
+
+    # -- dynamic membership -------------------------------------------
+
+    def _agent(self) -> MembershipAgent:
+        if self.membership is None:
+            raise RuntimeError("cluster was built without membership=True")
+        return self.membership
+
+    def join_node(self, address: int) -> int:
+        """Bring a brand-new node into the running cluster: bind its
+        server, admit it to the ring, and hand over the index tables it
+        now owns.  Returns the object references moved to it.  (The new
+        node's shard is memory-backed even on a durable cluster — the
+        store factories were applied at build time; a rebuild over the
+        same ``data_dir`` re-provisions everything.)"""
+        return self._agent().join(address)
+
+    def leave_node(self, address: int) -> int:
+        """Gracefully retire a node: evacuate its tables to their
+        as-if-gone owners, then drop it from the ring and stop its
+        server.  Returns the object references evacuated."""
+        return self._agent().leave(address)
+
+    def crash_node(self, address: int) -> None:
+        """Fail-stop a node *without* telling the membership layer: its
+        server stops dead, and the failure detector must notice (gossip
+        misses / open breakers), declare it dead, and re-replicate.  Use
+        :meth:`declare_crashed` to skip the suspicion window."""
+        agent = self._agent()
+        with agent._lock:
+            self.transport.unregister(address)
+            agent.served.discard(address)
+
+    def declare_crashed(self, address: int) -> int:
+        """Crash a node and immediately declare it dead (the operator
+        knew).  Returns the object references restored from replicas."""
+        self.crash_node(address)
+        return self._agent().crashed(address)
+
+    def await_membership(self, predicate, *, timeout: float = 10.0) -> bool:
+        """Poll until ``predicate(book)`` holds (wall-clock ``timeout``
+        seconds).  Convenience for tests and smokes."""
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        agent = self._agent()
+        while _time.monotonic() < deadline:
+            with agent._lock:
+                if predicate(agent.book):
+                    return True
+            _time.sleep(0.02)
+        with agent._lock:
+            return bool(predicate(agent.book))
 
     # -- introspection ------------------------------------------------
 

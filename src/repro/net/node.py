@@ -36,6 +36,7 @@ from pathlib import Path
 
 from repro.core.config import ServiceConfig
 from repro.core.service import KeywordSearchService
+from repro.membership import MembershipAgent, MembershipApplication, MembershipPolicy, PeerBook
 from repro.net.admission import AdmissionPolicy
 from repro.net.aio import AsyncioTransport
 from repro.obs.stats import StatsServer
@@ -70,6 +71,8 @@ class NodeDaemon:
         stats_port: int | None = None,
         data_dir: str | Path | None = None,
         admission: AdmissionPolicy | None = None,
+        membership: bool | MembershipPolicy = False,
+        join: bool = False,
     ):
         """``stats_port`` (0 for OS-assigned) additionally serves this
         daemon's metrics over HTTP — Prometheus text at ``/metrics``,
@@ -87,11 +90,55 @@ class NodeDaemon:
         directory serves its full shard again.  The *other* addresses of
         the derived deployment stay in memory (their daemons own their
         own directories).
+
+        ``membership`` (False, True, or a
+        :class:`~repro.membership.MembershipPolicy`) runs the gossip /
+        failure-detection agent for this daemon and serves the
+        ``memb.*`` management RPCs.  With ``data_dir`` it also persists
+        the peer book (plus this daemon's own endpoint) to
+        ``<data_dir>/membership.json``, and — when ``peers`` is empty —
+        rejoins from that file on restart: the saved endpoints become
+        the peer book and the saved port is re-bound, so no peer list
+        needs re-passing.
+
+        ``join=True`` (requires ``membership``) serves an address that
+        is *not* part of the derived deployment: the daemon admits
+        itself into its own ring view and, once :meth:`announce` is
+        called with a seed, the rest of the deployment learns of it and
+        hands over the index tables it now owns.
         """
         self.config = config
         self.address = address
         self.stats: StatsServer | None = None
+        self.membership: MembershipAgent | None = None
         self._shutdown = threading.Event()
+        if join and not membership:
+            raise ValueError("join=True requires membership to be enabled")
+        self._membership_path = (
+            None if data_dir is None else Path(data_dir) / "membership.json"
+        )
+        if (
+            not peers
+            and self._membership_path is not None
+            and self._membership_path.exists()
+        ):
+            # Satellite state from a previous run: rejoin from the local
+            # book instead of requiring the full peer list again.
+            saved_book, saved_meta = PeerBook.load(self._membership_path)
+            self._rejoin_book: PeerBook | None = saved_book
+            peers = {
+                a: endpoint for a, endpoint in saved_book.endpoints().items() if a != address
+            }
+            if port == 0:
+                port = int(saved_meta.get("port", 0))
+            record = saved_book.get(address)
+            if record is not None and record.status == "left":
+                raise ValueError(
+                    f"address {address} already left this deployment per "
+                    f"{self._membership_path}; refusing to rejoin"
+                )
+        else:
+            self._rejoin_book = None
         self.transport = AsyncioTransport(
             host=host,
             serve_addresses={address},
@@ -114,12 +161,68 @@ class NodeDaemon:
             self.service = KeywordSearchService.create(
                 config, network=self.transport, store_factory=store_factory
             )
-            if address not in self.service.dolr.nodes:
+            if address not in self.service.dolr.nodes and not join:
                 known = self.service.dolr.addresses()
                 raise ValueError(
                     f"address {address} is not part of this deployment; "
-                    f"valid addresses: {known}"
+                    f"valid addresses: {known} (pass join=True to join a "
+                    "running deployment at a new address)"
                 )
+            if membership:
+                policy = membership if isinstance(membership, MembershipPolicy) else None
+                agent = MembershipAgent(
+                    self.service,
+                    self.transport,
+                    policy=policy,
+                    served=set() if join else {address},
+                    seed=address,
+                    on_change=self._save_membership,
+                    on_leave=lambda _address: self.request_shutdown(),
+                )
+                self.service.dolr.install_everywhere(
+                    lambda node: MembershipApplication(agent)
+                )
+                self.membership = agent
+                if self._rejoin_book is not None:
+                    # Fold the previous run's book in before anything
+                    # else: dead/left peers get expelled from the derived
+                    # view, known endpoints land in the peer table.
+                    applied = agent.book.merge(self._rejoin_book.records.values())
+                    agent._reconcile(applied)
+                if join:
+                    if store_factory is not None:
+                        # Make the joined address durable too: the shard
+                        # factory reads this dict when admit provisions
+                        # the new node.
+                        self.service.stores[address] = store_factory(address)
+                    agent.join(address)
+                    if store_factory is not None:
+                        self.service.dolr.node(address).attach_store(
+                            self.service.stores[address]
+                        )
+                    for seed in sorted(set(self.transport.peers) - {address}):
+                        try:
+                            agent.announce(address, seed)
+                            break
+                        except Exception:  # noqa: BLE001 - try the next seed
+                            continue
+                else:
+                    # Outrank any stale "dead" record from a downtime.
+                    agent.assert_alive(address)
+                    for seed in sorted(set(self.transport.peers) - {address}):
+                        try:
+                            agent.announce(address, seed)
+                        except Exception:  # noqa: BLE001 - seed down; try next
+                            continue
+                        record = agent.book.get(address)
+                        if record is None or record.status != "alive":
+                            # The deployment had declared us dead at a
+                            # higher epoch; re-assert above it and spread.
+                            agent.assert_alive(address)
+                            agent.announce(address, seed)
+                        break
+                agent.start()
+                self._save_membership(agent.book)
             if stats_port is not None:
                 self.stats = StatsServer(self.transport.metrics, host=host, port=stats_port)
         except BaseException:
@@ -169,6 +272,10 @@ class NodeDaemon:
         self.close()
 
     def close(self) -> None:
+        membership = getattr(self, "membership", None)
+        if membership is not None:
+            membership.stop()
+            self.membership = None
         if self.stats is not None:
             self.stats.close()
             self.stats = None
@@ -176,6 +283,23 @@ class NodeDaemon:
         if service is not None:
             service.close_stores()
         self.transport.close()
+
+    # -- membership persistence ---------------------------------------
+
+    def _save_membership(self, book) -> None:
+        """Write the peer book + this daemon's own endpoint under the
+        data dir, so a restart can rejoin without the full peer list."""
+        if self._membership_path is None:
+            return
+        endpoint = self.transport.endpoints.get(self.address)
+        book.save(
+            self._membership_path,
+            extra={
+                "address": self.address,
+                "host": endpoint[0] if endpoint else None,
+                "port": endpoint[1] if endpoint else 0,
+            },
+        )
 
 
 # -- CLI glue (python -m repro node ...) -----------------------------------
@@ -220,51 +344,116 @@ def add_node_commands(commands) -> None:
     )
     common(addresses)
 
+    def serving_options(subparser, *, joining: bool) -> None:
+        subparser.add_argument(
+            "--address",
+            type=int,
+            required=True,
+            help="a brand-new node id to join at" if joining else "which node to serve",
+        )
+        subparser.add_argument("--host", default="127.0.0.1")
+        subparser.add_argument(
+            "--port", type=int, default=0, help="listen port (0: OS-assigned)"
+        )
+        subparser.add_argument(
+            "--peer",
+            action="append",
+            default=[],
+            metavar="ADDRESS=HOST:PORT",
+            help="endpoint of another node's daemon (repeatable)"
+            + ("; at least one seed is how the deployment is found" if joining else ""),
+        )
+        subparser.add_argument(
+            "--stats-port",
+            type=int,
+            default=None,
+            help="also serve Prometheus/JSON metrics over HTTP on this port "
+            "(0: OS-assigned)",
+        )
+        subparser.add_argument(
+            "--data-dir",
+            default=None,
+            help="persist this node's state under DIR/node-<address>/ (WAL + snapshots) "
+            "plus the peer book in DIR/membership.json, replayed on restart",
+        )
+        subparser.add_argument(
+            "--max-inflight",
+            type=int,
+            default=None,
+            help="admission control: bound concurrently served requests; excess requests "
+            "are shed with T_BUSY (default: unbounded, no admission control)",
+        )
+        subparser.add_argument(
+            "--priority-headroom",
+            type=int,
+            default=0,
+            help="extra admission slots reserved for priority > 0 requests "
+            "(only with --max-inflight)",
+        )
+        subparser.add_argument(
+            "--retry-after",
+            type=float,
+            default=0.0,
+            help="backoff hint (transport time units) shipped in T_BUSY replies "
+            "(only with --max-inflight)",
+        )
+        if not joining:
+            subparser.add_argument(
+                "--membership",
+                action="store_true",
+                help="run the gossip/failure-detection agent and serve the memb.* "
+                "management RPCs (see repro.membership)",
+            )
+
     serve = actions.add_parser("serve", help="host one node's endpoint over TCP")
     common(serve)
-    serve.add_argument("--address", type=int, required=True, help="which node to serve")
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=0, help="listen port (0: OS-assigned)")
-    serve.add_argument(
+    serving_options(serve, joining=False)
+
+    join = actions.add_parser(
+        "join",
+        help="join a *running* deployment at a brand-new address (implies membership)",
+    )
+    common(join)
+    serving_options(join, joining=True)
+
+    leave = actions.add_parser(
+        "leave",
+        help="ask a running daemon to evacuate its tables and shut down gracefully",
+    )
+    common(leave)
+    leave.add_argument("--address", type=int, required=True, help="the node to retire")
+    leave.add_argument(
         "--peer",
         action="append",
         default=[],
         metavar="ADDRESS=HOST:PORT",
-        help="endpoint of another node's daemon (repeatable)",
+        help="endpoint of the target daemon (ADDRESS must match --address)",
     )
-    serve.add_argument(
-        "--stats-port",
-        type=int,
-        default=None,
-        help="also serve Prometheus/JSON metrics over HTTP on this port (0: OS-assigned)",
-    )
-    serve.add_argument(
-        "--data-dir",
-        default=None,
-        help="persist this node's state under DIR/node-<address>/ (WAL + snapshots), "
-        "replayed on restart",
-    )
-    serve.add_argument(
-        "--max-inflight",
-        type=int,
-        default=None,
-        help="admission control: bound concurrently served requests; excess requests "
-        "are shed with T_BUSY (default: unbounded, no admission control)",
-    )
-    serve.add_argument(
-        "--priority-headroom",
-        type=int,
-        default=0,
-        help="extra admission slots reserved for priority > 0 requests "
-        "(only with --max-inflight)",
-    )
-    serve.add_argument(
-        "--retry-after",
+    leave.add_argument(
+        "--timeout",
         type=float,
-        default=0.0,
-        help="backoff hint (transport time units) shipped in T_BUSY replies "
-        "(only with --max-inflight)",
+        default=120.0,
+        help="seconds to wait for the evacuation to finish",
     )
+
+
+def _run_leave_command(config: ServiceConfig, arguments: argparse.Namespace) -> int:
+    """Client side of ``repro node leave``: one RPC to the target."""
+    peers = dict(_parse_peer(spec) for spec in arguments.peer)
+    if arguments.address not in peers:
+        raise SystemExit(
+            f"--peer must include the endpoint of the target daemon "
+            f"({arguments.address}=HOST:PORT)"
+        )
+    transport = AsyncioTransport(
+        serve_addresses=set(), peers=peers, rpc_timeout=arguments.timeout
+    )
+    try:
+        reply = transport.rpc(arguments.address, arguments.address, "memb.leave", {})
+    finally:
+        transport.close()
+    print(f"left {arguments.address}: {reply['moved']} references evacuated", flush=True)
+    return 0
 
 
 def run_node_command(arguments: argparse.Namespace) -> int:
@@ -273,7 +462,10 @@ def run_node_command(arguments: argparse.Namespace) -> int:
         for address in cluster_addresses(config):
             print(address)
         return 0
+    if arguments.node_command == "leave":
+        return _run_leave_command(config, arguments)
 
+    joining = arguments.node_command == "join"
     peers = dict(_parse_peer(spec) for spec in arguments.peer)
     admission = None
     if arguments.max_inflight is not None:
@@ -291,6 +483,8 @@ def run_node_command(arguments: argparse.Namespace) -> int:
         stats_port=arguments.stats_port,
         data_dir=arguments.data_dir,
         admission=admission,
+        membership=joining or getattr(arguments, "membership", False),
+        join=joining,
     )
     host, port = daemon.endpoint
     print(f"serving {arguments.address} on {host}:{port}", flush=True)

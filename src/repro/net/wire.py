@@ -15,10 +15,13 @@ size its buffer before parsing.  The envelope is::
 Frame types: ``req`` (request, expects a reply), ``rep`` (reply,
 ``p`` is the handler's return value), ``err`` (reply, the handler
 raised; ``p`` carries the error type and message), ``msg`` (one-way
-datagram, no reply) and ``busy`` (the T_BUSY fast-reject: the server's
+datagram, no reply), ``busy`` (the T_BUSY fast-reject: the server's
 admission controller refused the request before dispatching it; ``p``
 carries the queue depth and a retry-after hint — see
-:mod:`repro.net.admission`).  A request may carry an admission
+:mod:`repro.net.admission`) and ``gos`` (a one-way anti-entropy
+membership exchange carrying epoch-stamped peer-book deltas; handled
+at the transport level, never dispatched to a node handler, and not
+accounted as a protocol message — see :mod:`repro.membership`).  A request may carry an admission
 priority in the optional envelope key ``"pr"``; zero (the default) is
 omitted from the bytes, so pre-priority traffic encodes identically.
 
@@ -76,6 +79,7 @@ class FrameType(enum.Enum):
     ERROR = "err"
     DATAGRAM = "msg"
     BUSY = "busy"
+    GOSSIP = "gos"
 
 
 @dataclass(frozen=True)

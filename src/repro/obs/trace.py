@@ -20,6 +20,7 @@ Event vocabulary (``TraceEvent.kind``):
 ``cache_put``  the root-side cache fill (stored, or skipped and why)
 ``message``    one transport-level message (src, dst, kind, reply flag)
 ``store``      one durable-store operation (WAL append, snapshot, recover)
+``membership`` one membership event (join/leave/death applied, repair done)
 =============  ==============================================================
 
 Recording is opt-in and ambient: :func:`recording` installs a
@@ -74,6 +75,7 @@ EVENT_KINDS = (
     "cache_put",
     "message",
     "store",
+    "membership",
 )
 
 

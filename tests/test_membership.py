@@ -1,0 +1,644 @@
+"""Dynamic membership: live join/leave/crash (:mod:`repro.membership`).
+
+Three layers, three test groups.  The book is pure data: last-writer-
+wins merges must converge whatever the delta order, and the on-disk
+form must round-trip.  The cluster group drives churn through one
+agent over a serve-all TCP transport: join hands tables to the new
+owner, graceful leave evacuates first, a declared crash re-replicates
+from the surviving index replica, and an *undeclared* crash must be
+noticed by the failure detector from gossip misses alone.  The daemon
+group runs one agent per process-shaped transport: books converge by
+gossip, a killed daemon is declared dead by its peers, ``memb.leave``
+evacuates and shuts the target down, a restarted daemon rejoins from
+its persisted ``membership.json``, and the fleet client refreshes its
+stale placement view instead of silently losing recall.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import ServiceConfig
+from repro.core.service import KeywordSearchService
+from repro.membership import MembershipPolicy, PeerBook, PeerRecord
+from repro.net.cluster import LocalCluster
+from repro.net.errors import PeerUnreachableError
+from repro.net.node import NodeDaemon, cluster_addresses
+
+CORPUS = [
+    ("paper.pdf", {"dht", "search", "p2p"}),
+    ("slides.ppt", {"dht", "search"}),
+    ("notes.txt", {"p2p", "overlay"}),
+    ("code.tar", {"dht", "overlay", "chord"}),
+    ("data.csv", {"search"}),
+    ("thesis.pdf", {"dht", "p2p", "overlay", "search"}),
+]
+
+# Fast knobs so detection fits in test time; thresholds unchanged in kind.
+FAST = MembershipPolicy(gossip_interval=0.05, fanout=2, suspicion_threshold=3)
+
+
+def publish_corpus(service) -> None:
+    for object_id, keywords in CORPUS:
+        service.publish(object_id, keywords)
+
+
+def search_all(service, origin=None) -> dict:
+    """Every corpus keyword set -> result tuple (the recall fingerprint)."""
+    queries = sorted({frozenset(keywords) for _, keywords in CORPUS}, key=sorted)
+    return {
+        tuple(sorted(query)): tuple(sorted(service.superset_search(query, origin=origin).results()))
+        for query in queries
+    }
+
+
+def client_search_all(client) -> dict:
+    """:func:`search_all` through the unified client API — the path that
+    carries the stale-view refresh-and-retry wrapper."""
+    queries = sorted({frozenset(keywords) for _, keywords in CORPUS}, key=sorted)
+    return {
+        tuple(sorted(query)): tuple(sorted(client.search(query).results()))
+        for query in queries
+    }
+
+
+def safe_victims(service) -> list[int]:
+    """Addresses whose loss is fully repairable *and* non-trivial: every
+    non-empty table they host (in any replica) has a surviving copy on a
+    different address, and at least one such table exists.  With k=2
+    replication a logical node whose two copies co-locate on one address
+    is unrecoverable when that address dies — churn tests must not pick
+    such a victim (that is a replication-factor fact, not a membership
+    bug).  Empty tables are harmless to lose and do not disqualify.
+
+    Must run against a service that holds every shard locally (the
+    simulator or a serve-all cluster) — a daemon only fills its own
+    shard.  Placement is seed-deterministic, so a simulator verdict
+    transfers to any deployment of the same config."""
+    victims = []
+    for victim in service.dolr.addresses():
+        safe, loaded = True, False
+        for index in service.indexes:
+            donors = [d for d in service.indexes if d is not index]
+            for logical in index.mapping.logical_nodes_of(victim):
+                rows = index.shard_at(victim).snapshot_records((index.namespace, logical))
+                if not rows:
+                    continue
+                loaded = True
+                if not donors or not any(
+                    d.mapping.physical_owner(logical) != victim for d in donors
+                ):
+                    safe = False
+        if safe and loaded:
+            victims.append(victim)
+    return victims
+
+
+def shard_load(service, address) -> int:
+    return sum(
+        index.shard_at(address).load(namespace=index.namespace) for index in service.indexes
+    )
+
+
+def await_true(predicate, *, timeout: float = 20.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+# -- the book ---------------------------------------------------------------
+
+
+class TestPeerRecord:
+    def test_validates_status_and_epoch(self):
+        with pytest.raises(ValueError, match="status"):
+            PeerRecord(1, "zombie", 0)
+        with pytest.raises(ValueError, match="epoch"):
+            PeerRecord(1, "alive", -1)
+
+    def test_member_statuses(self):
+        assert PeerRecord(1, "alive", 0).member
+        assert PeerRecord(1, "leaving", 0).member  # still serving mid-evacuation
+        assert not PeerRecord(1, "left", 0).member
+        assert not PeerRecord(1, "dead", 0).member
+
+    def test_payload_round_trip(self):
+        record = PeerRecord(7, "alive", 3, ("127.0.0.1", 9001))
+        assert PeerRecord.from_payload(record.to_payload()) == record
+        bare = PeerRecord(7, "dead", 9)
+        assert PeerRecord.from_payload(bare.to_payload()) == bare
+
+
+class TestPeerBook:
+    def test_higher_epoch_wins(self):
+        book = PeerBook()
+        assert book.apply(PeerRecord(1, "dead", 2))
+        assert not book.apply(PeerRecord(1, "alive", 1))  # stale alive loses
+        assert book.get(1).status == "dead"
+        assert book.apply(PeerRecord(1, "alive", 3))  # a fresh restart outranks
+        assert book.get(1).status == "alive"
+
+    def test_terminal_status_wins_ties(self):
+        book = PeerBook()
+        book.apply(PeerRecord(1, "alive", 5))
+        assert book.apply(PeerRecord(1, "dead", 5))
+        # ... and a same-epoch alive cannot resurrect it.
+        assert not book.apply(PeerRecord(1, "alive", 5))
+        assert book.get(1).status == "dead"
+
+    def test_endpoint_is_sticky_metadata(self):
+        book = PeerBook()
+        book.apply(PeerRecord(1, "alive", 0, ("127.0.0.1", 9001)))
+        # A status change without an endpoint keeps the known one.
+        book.apply(PeerRecord(1, "leaving", 1))
+        assert book.get(1).endpoint == ("127.0.0.1", 9001)
+        # An endpoint-carrying record beats an endpoint-less tie.
+        book.apply(PeerRecord(2, "alive", 0))
+        assert book.apply(PeerRecord(2, "alive", 0, ("127.0.0.1", 9002)))
+
+    def test_merge_is_order_independent(self):
+        deltas = [
+            PeerRecord(1, "alive", 1, ("127.0.0.1", 9001)),
+            PeerRecord(2, "alive", 2, ("127.0.0.1", 9002)),
+            PeerRecord(1, "leaving", 3),
+            PeerRecord(1, "left", 4),
+            PeerRecord(3, "alive", 5, ("127.0.0.1", 9003)),
+            PeerRecord(2, "dead", 6),
+        ]
+        forward, backward = PeerBook(), PeerBook()
+        forward.merge(deltas)
+        backward.merge(reversed(deltas))
+        # Status and epoch converge whatever the order (that is what the
+        # digest covers); the endpoint is advisory metadata outside the
+        # convergence contract.
+        assert forward.digest() == backward.digest()
+        assert forward.members() == backward.members() == [3]
+        for address in forward.records:
+            fwd, bwd = forward.get(address), backward.get(address)
+            assert (fwd.status, fwd.epoch) == (bwd.status, bwd.epoch)
+
+    def test_delta_since_ships_only_news(self):
+        book = PeerBook()
+        book.merge([PeerRecord(1, "alive", 1), PeerRecord(2, "alive", 4)])
+        assert [r.address for r in book.delta_since(1)] == [2]
+        assert len(book.delta_since(-1)) == 2  # the whole book
+        assert book.delta_since(book.epoch) == []
+
+    def test_digest_tracks_content(self):
+        a, b = PeerBook(), PeerBook()
+        a.apply(PeerRecord(1, "alive", 1))
+        b.apply(PeerRecord(1, "dead", 1))
+        assert a.digest() != b.digest()
+        b.apply(PeerRecord(1, "alive", 2))
+        a.apply(PeerRecord(1, "alive", 2))
+        assert a.digest() == b.digest()
+
+    def test_save_load_round_trip(self, tmp_path):
+        book = PeerBook()
+        book.merge(
+            [
+                PeerRecord(1, "alive", 1, ("127.0.0.1", 9001)),
+                PeerRecord(2, "left", 2, ("127.0.0.1", 9002)),
+            ]
+        )
+        path = tmp_path / "membership.json"
+        book.save(path, extra={"address": 1, "port": 9001})
+        loaded, metadata = PeerBook.load(path)
+        assert loaded.records == book.records
+        assert metadata == {"address": 1, "port": 9001}
+
+
+class TestMembershipPolicy:
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError, match="gossip_interval"):
+            MembershipPolicy(gossip_interval=0)
+        with pytest.raises(ValueError, match="fanout"):
+            MembershipPolicy(fanout=0)
+        with pytest.raises(ValueError, match="suspicion_threshold"):
+            MembershipPolicy(suspicion_threshold=0)
+
+
+# -- churn on a serve-all cluster -------------------------------------------
+
+CLUSTER_CONFIG = ServiceConfig(dimension=6, num_dht_nodes=8, seed=11)
+REPLICATED_CONFIG = ServiceConfig(dimension=6, num_dht_nodes=8, seed=11, index_replicas=2)
+
+
+class TestClusterChurn:
+    def test_membership_off_by_default(self):
+        with LocalCluster(CLUSTER_CONFIG) as cluster:
+            assert cluster.membership is None
+            with pytest.raises(RuntimeError, match="membership"):
+                cluster.join_node(123)
+
+    def test_join_hands_over_ownership(self):
+        with LocalCluster(CLUSTER_CONFIG, membership=True) as cluster:
+            publish_corpus(cluster.service)
+            before = search_all(cluster.service)
+            addresses = cluster.addresses()
+            # Join just below the most loaded node: chord ownership is
+            # successor-based, so the joiner captures nearly all of that
+            # node's arc — a handover with actual tables in it.
+            target = max(addresses, key=lambda a: shard_load(cluster.service, a))
+            joiner = target - 1
+            assert joiner not in addresses
+            moved = cluster.join_node(joiner)
+            assert joiner in cluster.addresses()
+            assert joiner in cluster.endpoints  # its server is really bound
+            assert moved > 0  # tables crossed to the new owner
+            assert search_all(cluster.service) == before
+            assert cluster.membership.book.get(joiner).status == "alive"
+
+    def test_graceful_leave_evacuates_first(self):
+        with LocalCluster(CLUSTER_CONFIG, membership=True) as cluster:
+            publish_corpus(cluster.service)
+            before = search_all(cluster.service)
+            total = cluster.service.index.total_indexed()
+            victim = max(cluster.addresses(), key=lambda a: shard_load(cluster.service, a))
+            assert shard_load(cluster.service, victim) > 0
+            moved = cluster.leave_node(victim)
+            assert moved > 0
+            assert victim not in cluster.addresses()
+            assert cluster.service.index.total_indexed() == total  # nothing lost
+            assert search_all(cluster.service) == before
+            assert cluster.membership.book.get(victim).status == "left"
+
+    def test_declared_crash_repairs_from_replica(self):
+        with LocalCluster(REPLICATED_CONFIG, membership=True) as cluster:
+            publish_corpus(cluster.service)
+            before = search_all(cluster.service)
+            candidates = safe_victims(cluster.service)
+            assert candidates, "seed must admit a loaded, fully-repairable victim"
+            victim = max(candidates, key=lambda v: shard_load(cluster.service, v))
+            restored = cluster.declare_crashed(victim)
+            assert restored > 0  # re-replicated from the secondary hypercube
+            assert victim not in cluster.addresses()
+            assert search_all(cluster.service) == before  # full recall, no dip
+            metrics = cluster.transport.metrics
+            assert metrics.counter("memb.deaths_declared") == 1
+            assert metrics.counter("memb.repaired_refs") == restored
+
+    def test_undeclared_crash_is_detected(self):
+        with LocalCluster(REPLICATED_CONFIG, membership=FAST) as cluster:
+            publish_corpus(cluster.service)
+            before = search_all(cluster.service)
+            candidates = safe_victims(cluster.service)
+            victim = max(candidates, key=lambda v: shard_load(cluster.service, v))
+            cluster.crash_node(victim)  # server stops dead; nobody is told
+            assert cluster.await_membership(
+                lambda book: (record := book.get(victim)) is not None
+                and record.status == "dead",
+                timeout=20.0,
+            ), "failure detector never declared the crashed node dead"
+            assert victim not in cluster.addresses()
+            assert search_all(cluster.service) == before
+            metrics = cluster.transport.metrics
+            assert metrics.counter("memb.heartbeat_misses") >= FAST.suspicion_threshold
+            assert metrics.counter("memb.deaths_declared") >= 1
+
+    def test_gossiped_death_of_self_is_refuted(self):
+        # A partition-confused peer declares *us* dead: the process that
+        # serves the address is the living counter-evidence and must
+        # outrank the record rather than expel itself.
+        with LocalCluster(CLUSTER_CONFIG, membership=True) as cluster:
+            agent = cluster.membership
+            target = cluster.addresses()[0]
+            dead = PeerRecord(target, "dead", agent.book.next_epoch())
+            agent._on_gossip(
+                cluster.addresses()[-1],
+                {"digest": [dead.epoch, 0], "delta": [dead.to_payload()]},
+            )
+            record = agent.book.get(target)
+            assert record.status == "alive"
+            assert record.epoch > dead.epoch  # the refutation outranks the claim
+            assert target in cluster.addresses()  # never expelled itself
+            assert cluster.transport.metrics.counter("memb.false_deaths_refuted") == 1
+
+
+# -- one agent per process: daemon fleets -----------------------------------
+
+DAEMON_CONFIG = ServiceConfig(dimension=6, num_dht_nodes=4, seed=7)
+DAEMON_REPLICATED = ServiceConfig(dimension=6, num_dht_nodes=4, seed=7, index_replicas=2)
+
+
+def boot_fleet(config, **daemon_kwargs):
+    """Start one daemon per derived address, each seeded only with the
+    first daemon's endpoint — gossip must spread the rest."""
+    addresses = cluster_addresses(config)
+    daemons: dict[int, NodeDaemon] = {}
+    for address in addresses:
+        seeds = (
+            {addresses[0]: daemons[addresses[0]].endpoint} if daemons else {}
+        )
+        daemons[address] = NodeDaemon(
+            config, address, peers=seeds, membership=FAST, **daemon_kwargs
+        )
+    return addresses, daemons
+
+
+def books_converged(daemons) -> bool:
+    live = [d for d in daemons.values() if d.membership is not None]
+    digests = {d.membership.book.digest() for d in live}
+    if len(digests) != 1:
+        return False
+    return all(len(d.membership.book.endpoints()) == len(live) for d in live)
+
+
+def close_all(daemons) -> None:
+    for daemon in daemons.values():
+        daemon.close()
+
+
+class TestDaemonFleet:
+    def test_gossip_converges_books_and_endpoints(self):
+        addresses, daemons = boot_fleet(DAEMON_CONFIG)
+        try:
+            assert await_true(lambda: books_converged(daemons))
+            # Endpoints learned by gossip landed in every peer table, so
+            # cross-daemon protocol traffic works without manual wiring.
+            publisher, searcher = addresses[1], addresses[-1]
+            publish_corpus_at = daemons[publisher].service
+            for object_id, keywords in CORPUS:
+                publish_corpus_at.publish(object_id, keywords, holder=publisher)
+            expected = search_all(
+                daemons[publisher].service, origin=publisher
+            )
+            assert search_all(daemons[searcher].service, origin=searcher) == expected
+        finally:
+            close_all(daemons)
+
+    def test_killed_daemon_is_declared_dead_and_repaired(self):
+        # Placement is seed-deterministic, so a simulator of the same
+        # config tells us which daemon is safe to kill (every shard is
+        # local there; a daemon only fills its own).
+        reference = KeywordSearchService.create(DAEMON_REPLICATED)
+        publish_corpus(reference)
+        candidates = safe_victims(reference)
+        assert candidates, "seed must admit a fully-repairable victim"
+        victim = candidates[0]
+
+        addresses, daemons = boot_fleet(DAEMON_REPLICATED)
+        try:
+            assert await_true(lambda: books_converged(daemons))
+            publisher = next(a for a in addresses if a != victim)
+            for object_id, keywords in CORPUS:
+                daemons[publisher].service.publish(object_id, keywords, holder=publisher)
+            before = search_all(daemons[publisher].service, origin=publisher)
+            daemons[victim].close()  # fail-stop: no leave, no announcement
+            survivors = [a for a in addresses if a != victim]
+            assert await_true(
+                lambda: all(
+                    (record := daemons[a].membership.book.get(victim)) is not None
+                    and record.status == "dead"
+                    and victim not in daemons[a].service.dolr.nodes
+                    for a in survivors
+                )
+            ), "survivors never converged on the death"
+            origin = survivors[0]
+            assert search_all(daemons[origin].service, origin=origin) == before
+        finally:
+            close_all(daemons)
+
+    def test_memb_leave_rpc_evacuates_and_shuts_down(self):
+        addresses, daemons = boot_fleet(DAEMON_CONFIG)
+        try:
+            assert await_true(lambda: books_converged(daemons))
+            publisher = addresses[0]
+            for object_id, keywords in CORPUS:
+                daemons[publisher].service.publish(object_id, keywords, holder=publisher)
+            before = search_all(daemons[publisher].service, origin=publisher)
+            victim = max(
+                addresses[1:],
+                key=lambda a: daemons[publisher]
+                .service.index.shard_at(a)
+                .load(namespace=daemons[publisher].service.index.namespace),
+            )
+            # Any daemon can address the target's memb.leave endpoint —
+            # this is what `repro node leave` sends.
+            caller = next(a for a in addresses if a != victim)
+            reply = daemons[caller].transport.rpc(caller, victim, "memb.leave", {})
+            assert reply["moved"] > 0
+            assert daemons[victim].shutdown_requested  # on_leave hook fired
+            daemons[victim].close()
+            survivors = [a for a in addresses if a != victim]
+            assert await_true(
+                lambda: all(
+                    (record := daemons[a].membership.book.get(victim)) is not None
+                    and record.status == "left"
+                    and victim not in daemons[a].service.dolr.nodes
+                    for a in survivors
+                )
+            ), "survivors never applied the graceful leave"
+            origin = survivors[0]
+            assert search_all(daemons[origin].service, origin=origin) == before
+        finally:
+            close_all(daemons)
+
+    def test_restart_rejoins_from_persisted_book(self, tmp_path):
+        addresses = cluster_addresses(DAEMON_CONFIG)
+        durable = addresses[0]
+        daemons = {
+            durable: NodeDaemon(
+                DAEMON_CONFIG, durable, membership=FAST, data_dir=tmp_path
+            )
+        }
+        for address in addresses[1:]:
+            daemons[address] = NodeDaemon(
+                DAEMON_CONFIG,
+                address,
+                peers={durable: daemons[durable].endpoint},
+                membership=FAST,
+            )
+        try:
+            assert await_true(lambda: books_converged(daemons))
+            publisher = addresses[1]
+            for object_id, keywords in CORPUS:
+                daemons[publisher].service.publish(object_id, keywords, holder=publisher)
+            before = search_all(daemons[publisher].service, origin=publisher)
+            saved_port = daemons[durable].endpoint[1]
+            daemons[durable].close()
+            assert (tmp_path / "membership.json").exists()
+
+            # Restart with NO peer list: the saved book supplies the
+            # endpoints, the saved port is re-bound, the WAL replays the
+            # shard, and announce() re-asserts aliveness over any "dead"
+            # the survivors' detectors may have declared meanwhile.
+            daemons[durable] = NodeDaemon(
+                DAEMON_CONFIG, durable, membership=FAST, data_dir=tmp_path
+            )
+            assert daemons[durable].endpoint[1] == saved_port
+            assert set(daemons[durable].transport.peers) == set(addresses) - {durable}
+            assert await_true(
+                lambda: all(
+                    (record := daemons[a].membership.book.get(durable)) is not None
+                    and record.status == "alive"
+                    and durable in daemons[a].service.dolr.nodes
+                    for a in addresses
+                )
+            ), "fleet never re-converged on the restarted daemon"
+            assert search_all(daemons[durable].service, origin=durable) == before
+        finally:
+            close_all(daemons)
+
+    def test_left_daemon_refuses_to_rejoin(self, tmp_path):
+        addresses = cluster_addresses(DAEMON_CONFIG)
+        book = PeerBook()
+        for address in addresses:
+            book.apply(PeerRecord(address, "alive", 1, ("127.0.0.1", 1 + address % 1000)))
+        book.apply(PeerRecord(addresses[0], "left", 2))
+        book.save(tmp_path / "membership.json", extra={"address": addresses[0], "port": 0})
+        with pytest.raises(ValueError, match="already left"):
+            NodeDaemon(DAEMON_CONFIG, addresses[0], membership=FAST, data_dir=tmp_path)
+
+    def test_join_requires_membership(self):
+        with pytest.raises(ValueError, match="join=True requires membership"):
+            NodeDaemon(DAEMON_CONFIG, 123, join=True)
+
+
+class TestFleetClientRefresh:
+    def test_refresh_after_join_restores_recall(self):
+        from repro.client import connect
+
+        addresses, daemons = boot_fleet(DAEMON_CONFIG)
+        joiner = None
+        client = None
+        try:
+            assert await_true(lambda: books_converged(daemons))
+            endpoints = {a: daemons[a].endpoint for a in addresses}
+            client = connect(DAEMON_CONFIG, peers=endpoints)
+            publish_corpus(client.service)
+            before = search_all(client.service)
+            width, start = max((b - a, a) for a, b in zip(addresses, addresses[1:]))
+            new_address = start + width // 2
+            joiner = NodeDaemon(
+                DAEMON_CONFIG,
+                new_address,
+                peers={addresses[0]: daemons[addresses[0]].endpoint},
+                membership=FAST,
+                join=True,
+            )
+            assert await_true(
+                lambda: all(
+                    new_address in daemons[a].service.dolr.nodes for a in addresses
+                )
+            ), "fleet never admitted the joiner"
+            # The client's derived view predates the join: tables moved to
+            # the new owner are invisible to it (the stale owner answers
+            # scans with empty tables — no error to retry on).  One
+            # explicit refresh re-derives placement from the live book.
+            assert client.refresh_membership()
+            assert new_address in client.service.dolr.nodes
+            assert search_all(client.service) == before
+            assert client.transport.metrics.counter("client.membership_refreshes") >= 1
+        finally:
+            if client is not None:
+                client.close()
+            if joiner is not None:
+                joiner.close()
+            close_all(daemons)
+
+    def test_crash_with_replicas_degrades_seamlessly(self):
+        from repro.client import connect
+
+        reference = KeywordSearchService.create(DAEMON_REPLICATED)
+        publish_corpus(reference)
+        victim = safe_victims(reference)[0]
+
+        addresses, daemons = boot_fleet(DAEMON_REPLICATED)
+        client = None
+        try:
+            assert await_true(lambda: books_converged(daemons))
+            endpoints = {a: daemons[a].endpoint for a in addresses}
+            client = connect(DAEMON_REPLICATED, peers=endpoints)
+            publish_corpus(client.service)
+            before = client_search_all(client)
+            daemons[victim].close()  # fail-stop
+            survivors = [a for a in addresses if a != victim]
+            assert await_true(
+                lambda: all(
+                    (record := daemons[a].membership.book.get(victim)) is not None
+                    and record.status == "dead"
+                    for a in survivors
+                )
+            ), "survivors never converged on the death"
+            # The stale client still maps tables to the dead daemon, but
+            # the replicated searcher falls back to the surviving replica
+            # scan: full recall, no error surfaces, so the retry wrapper
+            # never even fires.
+            assert client_search_all(client) == before
+            assert client.transport.metrics.counter("client.membership_refreshes") == 0
+        finally:
+            if client is not None:
+                client.close()
+            close_all(daemons)
+
+    def test_crash_triggers_automatic_refresh_and_retry(self):
+        from repro.client import connect
+
+        # Unreplicated, so there is no replica to degrade onto: the
+        # stale client hits the dead daemon loudly and must recover by
+        # refreshing its view, not by masking the loss.
+        reference = KeywordSearchService.create(DAEMON_CONFIG)
+        publish_corpus(reference)
+        victim = max(reference.dolr.addresses(), key=lambda a: shard_load(reference, a))
+
+        addresses, daemons = boot_fleet(DAEMON_CONFIG)
+        client = None
+        try:
+            assert await_true(lambda: books_converged(daemons))
+            endpoints = {a: daemons[a].endpoint for a in addresses}
+            client = connect(DAEMON_CONFIG, peers=endpoints)
+            publish_corpus(client.service)
+            daemons[victim].close()  # fail-stop
+            survivors = [a for a in addresses if a != victim]
+            assert await_true(
+                lambda: all(
+                    (record := daemons[a].membership.book.get(victim)) is not None
+                    and record.status == "dead"
+                    and victim not in daemons[a].service.dolr.nodes
+                    for a in survivors
+                )
+            ), "survivors never converged on the death"
+            # The first search routed at the dead daemon raises
+            # PeerUnreachableError inside the wrapper, which refreshes
+            # from a survivor and retries — the caller sees no error and
+            # exactly the survivors' (post-loss) view of the corpus.
+            after = client_search_all(client)
+            metrics = client.transport.metrics
+            assert metrics.counter("client.membership_refreshes") >= 1
+            assert metrics.counter("client.membership_retries") >= 1
+            origin = survivors[0]
+            assert after == search_all(daemons[origin].service, origin=origin)
+        finally:
+            if client is not None:
+                client.close()
+            close_all(daemons)
+
+    def test_unreachable_without_membership_still_raises(self):
+        from repro.client import connect
+
+        # A fleet client pointed at daemons with membership OFF must not
+        # mask the error behind a refresh that cannot succeed.
+        config = DAEMON_CONFIG
+        addresses = cluster_addresses(config)
+        daemons = {a: NodeDaemon(config, a) for a in addresses}
+        client = None
+        try:
+            for address, daemon in daemons.items():
+                for other, peer in daemons.items():
+                    if other != address:
+                        daemon.transport.peers[other] = peer.endpoint
+            endpoints = {a: daemons[a].endpoint for a in addresses}
+            client = connect(config, peers=endpoints, rpc_timeout=3.0)
+            publish_corpus(client.service)
+            daemons[addresses[0]].close()
+            with pytest.raises(PeerUnreachableError):
+                for _ in range(8):  # some query must route via the dead node
+                    search_all(client.service)
+        finally:
+            if client is not None:
+                client.close()
+            close_all(daemons)
