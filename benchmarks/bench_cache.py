@@ -1,0 +1,166 @@
+"""Bench cache — cooperative SBT-path caching vs the root-only FIFO.
+
+The Figure 9 skewed stream (Zipf head, pool of 200 distinct queries)
+is replayed at 10x and 100x the pool size against two arms with the
+same per-node budget: the paper's root-only FIFO, and the cooperative
+tier that additionally fills each walk root's direct SBT children with
+their subtree aggregates (docs/protocol.md §16).  A write stream runs
+concurrently — every ``write_every`` queries an object is inserted
+under (or deleted from) keyword sets the popular queries cover — so
+every cached entry is repeatedly invalidated or patched by the
+coherence protocol while being served.
+
+Every query result is checked against a live posting-list oracle
+maintained in lockstep with the writes: one divergent result is a
+stale read and fails the bench.  The acceptance bar is that the
+cooperative arm contacts strictly fewer nodes than root-only at both
+volumes with zero stale reads — possible at equal budget because
+speculative fills are admission-controlled (they never displace the
+demand entries carrying the root hit rate) and prune re-walks after
+root evictions.
+"""
+
+import pathlib
+
+from repro.core.config import ServiceConfig
+from repro.core.search import TraversalOrder
+from repro.core.service import KeywordSearchService
+from repro.experiments.harness import ExperimentResult, default_corpus
+from repro.workload.queries import QueryLogGenerator
+
+from benchmarks.conftest import run_once
+
+BASELINE_JSON = pathlib.Path(__file__).parent.parent / "BENCH_cache.json"
+
+DIMENSION = 8
+NUM_DHT_NODES = 16
+NUM_OBJECTS = 2048
+POOL_SIZE = 200
+CACHE_CAPACITY = 8  # entries per physical node; alpha = 8*16/2048 = 1/16
+WRITE_EVERY = 10
+SEED = 0
+
+
+def _intersect(postings: dict[str, set], keywords) -> set:
+    sets = sorted((postings.get(k, set()) for k in keywords), key=len)
+    result = set(sets[0]) if sets else set()
+    for other in sets[1:]:
+        result &= other
+    return result
+
+
+def _replay(service, stream, postings, records):
+    """Replay queries with interleaved writes; verify against the oracle.
+
+    Writes alternate insert/delete of churn objects cloning existing
+    records' keyword sets, so each write lands under whatever popular
+    queries that record matches and must invalidate (or patch) their
+    cached results before the very next query reads them.
+    """
+    contacted = hits = stale = writes = 0
+    live_churn: list[tuple[str, frozenset, int]] = []
+    for number, query in enumerate(stream):
+        if number and number % WRITE_EVERY == 0:
+            if writes % 2 == 0 or not live_churn:
+                template = records[writes % len(records)]
+                object_id = f"churn-{writes}"
+                published = service.publish(object_id, template.keywords)
+                live_churn.append((object_id, published.keywords, published.holder))
+                for keyword in published.keywords:
+                    postings.setdefault(keyword, set()).add(object_id)
+            else:
+                object_id, keywords, holder = live_churn.pop(0)
+                service.unpublish(object_id, holder=holder)
+                for keyword in keywords:
+                    postings[keyword].discard(object_id)
+            writes += 1
+        result = service.superset_search(
+            query.keywords, order=TraversalOrder.TOP_DOWN, use_cache=True
+        )
+        contacted += len(result.visits)
+        hits += result.cache_hit
+        if set(result.object_ids) != _intersect(postings, query.keywords):
+            stale += 1
+    return contacted, hits, stale, writes
+
+
+def run(
+    num_objects: int = NUM_OBJECTS,
+    pool_size: int = POOL_SIZE,
+    cache_capacity: int = CACHE_CAPACITY,
+    volumes: tuple = (10, 100),
+    seed: int = SEED,
+):
+    """Nodes contacted per query, cooperative vs root-only, under writes."""
+    corpus = default_corpus(num_objects, seed)
+    generator = QueryLogGenerator(corpus, pool_size=pool_size, seed=seed + 1)
+    total_nodes = 2**DIMENSION
+    rows = []
+    for volume in volumes:
+        stream = generator.generate(volume * pool_size)
+        stats = {}
+        for cooperative in (False, True):
+            config = ServiceConfig(
+                dimension=DIMENSION,
+                num_dht_nodes=NUM_DHT_NODES,
+                seed=seed,
+                cache_capacity=cache_capacity,
+                cooperative_cache=cooperative,
+            )
+            service = KeywordSearchService.create(config)
+            for record in corpus.records:
+                service.publish(record.object_id, record.keywords)
+            postings = {k: set(v) for k, v in corpus.inverted_index().items()}
+            stats[cooperative] = _replay(service, stream, postings, corpus.records)
+        for cooperative in (False, True):
+            contacted, hits, stale, writes = stats[cooperative]
+            rows.append(
+                {
+                    "volume": volume,
+                    "queries": len(stream),
+                    "arm": "cooperative" if cooperative else "root-only",
+                    "nodes_contacted": contacted,
+                    "node_fraction": round(contacted / (len(stream) * total_nodes), 4),
+                    "root_hit_rate": round(hits / len(stream), 4),
+                    "writes": writes,
+                    "stale_reads": stale,
+                }
+            )
+    return ExperimentResult(
+        experiment="cache",
+        description="cooperative SBT-path cache vs root-only FIFO under concurrent writes",
+        parameters={
+            "dimension": DIMENSION,
+            "num_dht_nodes": NUM_DHT_NODES,
+            "num_objects": NUM_OBJECTS,
+            "pool_size": POOL_SIZE,
+            "cache_capacity": CACHE_CAPACITY,
+            "write_every": WRITE_EVERY,
+            "seed": SEED,
+        },
+        rows=rows,
+        notes=[
+            "both arms share the per-node budget; cooperative adds speculative",
+            "depth-1 subtree fills that never displace demand entries;",
+            "stale_reads compares every result to a live posting-list oracle.",
+        ],
+    )
+
+
+def test_cache(benchmark, record_result):
+    result = run_once(benchmark, run)
+    record_result(result)
+    BASELINE_JSON.write_text(result.to_json() + "\n", encoding="utf-8")
+    by_volume = {}
+    for row in result.rows:
+        by_volume.setdefault(row["volume"], {})[row["arm"]] = row
+    for volume, arms in by_volume.items():
+        # Coherence: no query may ever observe a pre-write cached result.
+        assert arms["root-only"]["stale_reads"] == 0
+        assert arms["cooperative"]["stale_reads"] == 0
+        # The speculative tier must never cost demand hits...
+        assert arms["cooperative"]["root_hit_rate"] >= arms["root-only"]["root_hit_rate"]
+        # ...and must prune enough re-walks to win on nodes contacted.
+        assert (
+            arms["cooperative"]["nodes_contacted"] < arms["root-only"]["nodes_contacted"]
+        )

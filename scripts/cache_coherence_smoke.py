@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Cache-coherence smoke: no stale reads under a concurrent write load.
+
+The scenario CI runs end-to-end:
+
+1. build a 16-node loopback-TCP cluster with the cooperative SBT-path
+   cache enabled (docs/protocol.md §16) and publish a synthetic corpus;
+2. replay a Zipf-skewed query stream (the Figure 9 shape: a small pool
+   dominated by its head) while interleaving inserts and deletes that
+   land under the popular queries — every write must invalidate or
+   patch cached results before the next query reads them;
+3. assert **zero stale reads**: each result is compared against a
+   posting-list oracle maintained in lockstep with the writes;
+4. assert the caches actually worked for their keep — the stream saw
+   root-cache hits, the coherence protocol sent invalidations, and a
+   final pass over every distinct query matches a fresh uncached walk
+   exactly (recall parity).
+
+Exits non-zero on any violation.  Runs in well under two minutes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import ServiceConfig  # noqa: E402
+from repro.experiments.harness import default_corpus  # noqa: E402
+from repro.net.cluster import LocalCluster  # noqa: E402
+from repro.workload.queries import QueryLogGenerator  # noqa: E402
+
+CONFIG = ServiceConfig(
+    dimension=6,
+    num_dht_nodes=16,
+    seed=23,
+    cache_capacity=8,
+    cooperative_cache=True,
+)
+NUM_OBJECTS = 512
+POOL_SIZE = 50
+STREAM_LENGTH = 600
+WRITE_EVERY = 5
+
+
+def intersect(postings: dict, keywords) -> set:
+    sets = sorted((postings.get(k, set()) for k in keywords), key=len)
+    result = set(sets[0]) if sets else set()
+    for other in sets[1:]:
+        result &= other
+    return result
+
+
+def main() -> int:
+    failures = 0
+    corpus = default_corpus(NUM_OBJECTS, CONFIG.seed)
+    stream = QueryLogGenerator(
+        corpus, pool_size=POOL_SIZE, seed=CONFIG.seed + 1
+    ).generate(STREAM_LENGTH)
+
+    with LocalCluster(CONFIG) as cluster:
+        service = cluster.service
+        for record in corpus.records:
+            service.publish(record.object_id, record.keywords)
+        postings = {k: set(v) for k, v in corpus.inverted_index().items()}
+
+        stale = writes = hits = 0
+        live_churn: list[tuple[str, frozenset, int]] = []
+        for number, query in enumerate(stream):
+            if number and number % WRITE_EVERY == 0:
+                if writes % 2 == 0 or not live_churn:
+                    template = corpus.records[writes % len(corpus.records)]
+                    object_id = f"churn-{writes}"
+                    published = service.publish(object_id, template.keywords)
+                    live_churn.append(
+                        (object_id, published.keywords, published.holder)
+                    )
+                    for keyword in published.keywords:
+                        postings.setdefault(keyword, set()).add(object_id)
+                else:
+                    object_id, keywords, holder = live_churn.pop(0)
+                    service.unpublish(object_id, holder=holder)
+                    for keyword in keywords:
+                        postings[keyword].discard(object_id)
+                writes += 1
+            result = service.superset_search(query.keywords, use_cache=True)
+            hits += result.cache_hit
+            expected = intersect(postings, query.keywords)
+            if set(result.object_ids) != expected:
+                stale += 1
+                if stale <= 3:
+                    print(
+                        f"FAIL: stale read for {sorted(query.keywords)}: "
+                        f"got {len(result.object_ids)}, expected {len(expected)}"
+                    )
+
+        metrics = cluster.transport.metrics
+        invalidations = metrics.counter("cache.invalidations")
+        invalidate_rpcs = metrics.counter("cache.invalidate_rpcs")
+        print(
+            f"stream: {len(stream)} queries, {writes} writes, {hits} root hits, "
+            f"{invalidations} entries invalidated over {invalidate_rpcs} RPCs, "
+            f"{stale} stale reads"
+        )
+        if stale:
+            failures += 1
+        if hits == 0:
+            print("FAIL: the query stream never hit a cache")
+            failures += 1
+        if invalidate_rpcs == 0:
+            print("FAIL: the write stream never sent a coherence invalidation")
+            failures += 1
+
+        # Recall parity: after all that churn, cached answers for every
+        # distinct query must equal a fresh uncached walk, exactly.
+        mismatches = 0
+        for keywords in sorted({q.keywords for q in stream}, key=sorted):
+            cached = service.superset_search(keywords, use_cache=True)
+            fresh = service.superset_search(keywords, use_cache=False)
+            if set(cached.object_ids) != set(fresh.object_ids):
+                mismatches += 1
+                if mismatches <= 3:
+                    print(f"FAIL: cached vs fresh mismatch for {sorted(keywords)}")
+        if mismatches:
+            failures += 1
+        else:
+            print(f"recall parity: {len({q.keywords for q in stream})} queries exact")
+
+    if failures:
+        print(f"{failures} check(s) failed")
+        return 1
+    print("cache coherence smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,7 @@ SMOKES: dict[str, tuple[str, int]] = {
     "crash-recovery": ("crash_recovery_smoke.py", 180),
     "load": ("load_smoke.py", 150),
     "churn": ("churn_smoke.py", 180),
+    "cache-coherence": ("cache_coherence_smoke.py", 120),
 }
 
 

@@ -14,25 +14,64 @@ requested threshold; a threshold-limited search caches a partial set,
 usable only when it already covers the new request.  Capacity is
 accounted in object references, the same unit as index-table size, so α
 is directly comparable to the paper's.
+
+Coherence primitives (:meth:`QueryCache.drop`,
+:meth:`QueryCache.replace`, :meth:`QueryCache.matching_keys`) let the
+index shard invalidate or patch entries when a write lands below a
+cached query — see ``docs/protocol.md`` §16 for the protocol that
+drives them.  :func:`optimum_capacities` apportions one cluster-wide
+cache budget across physical nodes per the optimum-cache-size analysis
+of Sarshar & Roychowdhury (PAPERS.md): allocation proportional to the
+square root of a node's demand equalizes the marginal miss reduction
+per cache slot across the cluster, which beats a uniform split whenever
+load is skewed.
 """
 
 from __future__ import annotations
 
 import abc
+import dataclasses
+import enum
+import math
 from collections import OrderedDict
-from collections.abc import Hashable
+from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 
-__all__ = ["CachedResult", "FifoQueryCache", "LruQueryCache", "QueryCache"]
+__all__ = [
+    "CacheSizing",
+    "CachedResult",
+    "FifoQueryCache",
+    "LruQueryCache",
+    "QueryCache",
+    "optimum_capacities",
+]
+
+
+class CacheSizing(enum.Enum):
+    """How one cluster-wide cache budget is split across physical nodes
+    (see :func:`optimum_capacities`)."""
+
+    UNIFORM = "uniform"
+    SQRT_LOAD = "sqrt_load"
 
 
 @dataclass(frozen=True)
 class CachedResult:
     """Results of one earlier query: (object_id, keyword_set) in the
-    order the search returned them, plus completeness."""
+    order the search returned them, plus completeness.
+
+    ``speculative`` marks cooperative path-cache fills pushed by a
+    walker rather than demanded locally.  Speculative entries are
+    admission-controlled: they may claim free capacity or displace one
+    another but never evict a demand entry, and they are the first
+    victims when a demand insert needs room — so enabling the
+    cooperative tier can only add coverage on top of the baseline
+    root-cache behaviour, never degrade it (docs/protocol.md §16).
+    """
 
     results: tuple[tuple[str, frozenset[str]], ...]
     complete: bool
+    speculative: bool = False
 
     @property
     def size(self) -> int:
@@ -72,9 +111,19 @@ class QueryCache(abc.ABC):
         self._used = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        # Optional MetricsRegistry sink: when set (the index shard wires
+        # its node's registry in), hit/miss/eviction/invalidation counts
+        # and the occupancy gauge are mirrored as ``cache.*`` counters.
+        self.metrics = None
 
     def _size_of(self, entry: CachedResult) -> int:
         return 1 if self.unit == "entries" else entry.size
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.increment(name, amount)
 
     # -- policy hook ------------------------------------------------------
 
@@ -89,10 +138,18 @@ class QueryCache(abc.ABC):
         entry = self._entries.get(query)
         if entry is None or not entry.satisfies(threshold):
             self.misses += 1
+            self._count("cache.misses")
             return None
         self.hits += 1
+        self._count("cache.hits")
         self._touch(query)
         return entry
+
+    def peek(self, query: Hashable) -> CachedResult | None:
+        """The entry for ``query`` without hit/miss accounting or recency
+        touch — the probe coherence sweeps and cooperative consults use
+        to decide before committing to a counted :meth:`get`."""
+        return self._entries.get(query)
 
     def put(
         self,
@@ -100,31 +157,107 @@ class QueryCache(abc.ABC):
         results: tuple[tuple[str, frozenset[str]], ...],
         *,
         complete: bool,
+        speculative: bool = False,
     ) -> bool:
         """Insert (or refresh) an entry, evicting in policy order until it
         fits.  Returns False when the entry alone exceeds capacity — it
         is then not cached at all, and any *existing* entry for the same
         query (smaller, possibly complete) is left intact rather than
-        evicted in favour of nothing."""
-        entry = CachedResult(results, complete)
+        evicted in favour of nothing.
+
+        ``speculative`` entries (cooperative path fills) are admission
+        controlled: the insert succeeds only if free capacity plus other
+        speculative entries can make room — a fill never displaces a
+        demand entry (see :class:`CachedResult`)."""
+        entry = CachedResult(results, complete, speculative)
         size = self._size_of(entry)
         if size > self.capacity:
             return False
+        if speculative:
+            reclaimable = self.capacity - self._used + sum(
+                self._size_of(held)
+                for key, held in self._entries.items()
+                if held.speculative or key == query
+            )
+            if size > reclaimable:
+                return False
         self._evict_key(query)
         while self._used + size > self.capacity and self._entries:
-            self._evict_oldest()
+            self._evict_oldest(speculative_only=speculative)
         self._entries[query] = entry
         self._used += size
+        self._count("cache.used", size)
         return True
+
+    def promote(self, query: Hashable) -> None:
+        """Flip a speculative entry to the demand tier — called when a
+        cooperative consult actually answers from it, i.e. the fill has
+        proven its worth.  Keeps the entry's eviction position; no-op
+        for absent or already-demand entries."""
+        entry = self._entries.get(query)
+        if entry is not None and entry.speculative:
+            self._entries[query] = dataclasses.replace(entry, speculative=False)
+
+    def drop(self, query: Hashable) -> bool:
+        """Coherence removal: delete one entry because a write made it
+        stale.  Counted as an invalidation, not an eviction."""
+        entry = self._entries.pop(query, None)
+        if entry is None:
+            return False
+        size = self._size_of(entry)
+        self._used -= size
+        self.invalidations += 1
+        self._count("cache.invalidations")
+        self._count("cache.used", -size)
+        return True
+
+    def replace(self, query: Hashable, entry: CachedResult) -> None:
+        """Coherence patch: swap an entry's value in place, preserving
+        its position in the eviction order (a patched entry is not a new
+        arrival).  Counted as an invalidation."""
+        previous = self._entries.get(query)
+        if previous is None:
+            raise KeyError(query)
+        if entry.speculative != previous.speculative:
+            # A coherence patch rewrites the value, not the tier.
+            entry = dataclasses.replace(entry, speculative=previous.speculative)
+        delta = self._size_of(entry) - self._size_of(previous)
+        self._entries[query] = entry  # same key: OrderedDict keeps position
+        self._used += delta
+        self.invalidations += 1
+        self._count("cache.invalidations")
+        self._count("cache.used", delta)
+
+    def matching_keys(self, predicate) -> list[Hashable]:
+        """Keys whose entry a coherence sweep must touch — materialized
+        so the caller can drop/replace while iterating."""
+        return [key for key in self._entries if predicate(key)]
 
     def _evict_key(self, query: Hashable) -> None:
         previous = self._entries.pop(query, None)
         if previous is not None:
-            self._used -= self._size_of(previous)
+            size = self._size_of(previous)
+            self._used -= size
+            self._count("cache.used", -size)
 
-    def _evict_oldest(self) -> None:
-        _, evicted = self._entries.popitem(last=False)
-        self._used -= self._size_of(evicted)
+    def _evict_oldest(self, *, speculative_only: bool = False) -> None:
+        # Speculative entries are always the preferred victims; demand
+        # inserts fall back to the oldest demand entry, speculative
+        # inserts never do (admission control in :meth:`put` guarantees
+        # a speculative victim exists when this is reached).
+        victim = next(
+            (key for key, held in self._entries.items() if held.speculative), None
+        )
+        if victim is None:
+            if speculative_only:
+                raise RuntimeError("no speculative entry to evict")
+            victim = next(iter(self._entries))
+        evicted = self._entries.pop(victim)
+        size = self._size_of(evicted)
+        self._used -= size
+        self.evictions += 1
+        self._count("cache.evictions")
+        self._count("cache.used", -size)
 
     # -- introspection ----------------------------------------------------
 
@@ -157,3 +290,47 @@ class LruQueryCache(QueryCache):
 
     def _touch(self, key: Hashable) -> None:
         self._entries.move_to_end(key)
+
+
+def optimum_capacities(
+    total_budget: int,
+    weights: Sequence[float],
+    *,
+    sizing: CacheSizing = CacheSizing.SQRT_LOAD,
+) -> list[int]:
+    """Split ``total_budget`` cache units across nodes with the given
+    demand ``weights``.
+
+    ``SQRT_LOAD`` implements the optimum-cache-size rule of Sarshar &
+    Roychowdhury (PAPERS.md): with miss cost proportional to demand and
+    diminishing returns per slot, the budget split that minimizes total
+    miss cost allocates each node a share proportional to the *square
+    root* of its demand (equal marginal benefit).  Weights are smoothed
+    by +1 so a currently-empty node (which may still root queries) keeps
+    a nonzero allocation.  ``UNIFORM`` is the equal split ablation.
+
+    Shares are rounded by largest remainder so the result sums exactly
+    to ``total_budget`` (when positive and any node exists).
+    """
+    if total_budget < 0:
+        raise ValueError(f"total_budget must be non-negative, got {total_budget}")
+    if any(weight < 0 for weight in weights):
+        raise ValueError("weights must be non-negative")
+    count = len(weights)
+    if count == 0:
+        return []
+    sizing = sizing if isinstance(sizing, CacheSizing) else CacheSizing(sizing)
+    if sizing is CacheSizing.UNIFORM:
+        scaled = [1.0] * count
+    else:
+        scaled = [math.sqrt(weight + 1.0) for weight in weights]
+    scale = sum(scaled)
+    shares = [total_budget * value / scale for value in scaled]
+    floors = [int(share) for share in shares]
+    shortfall = total_budget - sum(floors)
+    # Largest fractional remainders get the leftover units; ties broken
+    # by node position for determinism.
+    order = sorted(range(count), key=lambda i: (floors[i] - shares[i], i))
+    for i in order[:shortfall]:
+        floors[i] += 1
+    return floors

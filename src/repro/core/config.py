@@ -19,11 +19,13 @@ import enum
 import random
 from dataclasses import dataclass, replace
 
+from repro.core.cache import CacheSizing
 from repro.core.search import TraversalOrder
 from repro.sim.resilience import BreakerPolicy, RetryPolicy
 
 __all__ = [
     "CachePolicy",
+    "CacheSizing",
     "ContactMode",
     "DhtKind",
     "SearchOptions",
@@ -66,8 +68,9 @@ class ServiceConfig:
 
     ``dimension`` is the hypercube dimension r (Section 3's central
     tuning knob); ``num_dht_nodes`` the physical overlay size;
-    ``cache_capacity`` the per-logical-node query cache in entry units
-    (0 disables caching).  ``resilience`` / ``breaker`` configure the
+    ``cache_capacity`` the per-physical-node query cache in entry units,
+    shared across the logical tables the node hosts (0 disables
+    caching).  ``resilience`` / ``breaker`` configure the
     messaging channel every protocol RPC goes through — when set, a
     superset search degrades past unreachable nodes (reported in
     ``SearchResult.degraded_visits``) instead of raising.
@@ -79,6 +82,16 @@ class ServiceConfig:
     a dead node's tables from the surviving replicas.  The default 1
     keeps the single-index stack byte-identical to pre-replication
     behaviour.
+
+    ``cooperative_cache`` turns on the SBT-path caching tier
+    (docs/protocol.md §16): interior tree nodes cache their subtree's
+    complete results and walkers consult them before descending.  Only
+    meaningful with ``cache_capacity > 0``; the default off keeps the
+    root-only Figure 9 behaviour.  ``cache_sizing`` picks how
+    :meth:`~repro.core.index.HypercubeIndex.apportion_cache_capacity`
+    splits one cluster-wide budget across nodes — ``UNIFORM`` (the
+    equal split, default) or ``SQRT_LOAD`` (the Sarshar & Roychowdhury
+    optimum, allocation proportional to √demand).
     """
 
     dimension: int
@@ -92,6 +105,8 @@ class ServiceConfig:
     resilience: RetryPolicy | None = None
     breaker: BreakerPolicy | None = None
     index_replicas: int = 1
+    cooperative_cache: bool = False
+    cache_sizing: CacheSizing = CacheSizing.UNIFORM
 
     def __post_init__(self) -> None:
         # Tolerate string forms so configs read naturally from literals,
@@ -100,6 +115,7 @@ class ServiceConfig:
         object.__setattr__(self, "dht", _coerce(self.dht, DhtKind))
         object.__setattr__(self, "cache_policy", _coerce(self.cache_policy, CachePolicy))
         object.__setattr__(self, "contact_mode", _coerce(self.contact_mode, ContactMode))
+        object.__setattr__(self, "cache_sizing", _coerce(self.cache_sizing, CacheSizing))
         if self.dimension < 1:
             raise ValueError(f"dimension must be >= 1, got {self.dimension}")
         if self.num_dht_nodes < 1:

@@ -22,11 +22,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Iterable
 
-from repro.core.cache import FifoQueryCache, QueryCache
+from repro.core.cache import (
+    CachedResult,
+    CacheSizing,
+    FifoQueryCache,
+    QueryCache,
+    optimum_capacities,
+)
 from repro.core.keywords import KeywordSetMapper, normalize_keywords
 from repro.core.mapping import HypercubeMapping
 from repro.dht.dolr import DolrNetwork, DolrNode
 from repro.hypercube.hypercube import Hypercube
+from repro.net.transport import RpcCall
+from repro.obs.trace import active_recorder
 from repro.sim.network import Message
 from repro.store.backend import MemoryStore, StoreBackend
 
@@ -77,7 +85,17 @@ class IndexShard:
     * ``hindex.results`` — receipt of directly-forwarded result IDs,
     * ``hindex.transfer`` — bulk table hand-off for churn maintenance,
     * ``hindex.cache_get`` / ``hindex.cache_put`` — root-side result
-      cache for repeated queries.
+      cache for repeated queries,
+    * ``hindex.cache_invalidate`` — coherence sweep after a write (or a
+      table handoff) below cached queries; see ``docs/protocol.md`` §16.
+
+    The shard holds **one** query cache with the full per-physical-node
+    budget, keyed ``(namespace, logical, query)`` — so a node playing
+    many logical hypercube nodes shares one α-budget across them instead
+    of multiplying it per hosted table.  Per-namespace *coherence
+    epochs* guard cache fills: every write sweep (local or received)
+    bumps the namespace's epoch, and a ``cache_put`` carrying an older
+    epoch is rejected — it was computed from scans that predate a write.
     """
 
     prefix = "hindex"
@@ -98,29 +116,140 @@ class IndexShard:
             for key, table in recovered.tables.items()
         }
         self.store.bind(tables=lambda: self.tables)
-        # One query cache per *logical* node (the paper installs a cache
-        # at each hypercube node); created lazily on first use.
+        # One query cache per *physical* node, shared by every logical
+        # node (and namespace) this shard plays: keys are
+        # (namespace, logical, query).  The capacity is the node's whole
+        # budget — hosting many logical nodes does not multiply it.
         self.cache_factory = cache_factory if cache_factory is not None else FifoQueryCache
         self.cache_capacity = cache_capacity
-        self.caches: dict[TableKey, QueryCache] = {}
+        self.cache: QueryCache = self.cache_factory(cache_capacity)
+        # Per-namespace coherence epoch: bumped by every invalidation
+        # sweep; stale cache fills (computed before the bump) carry the
+        # old epoch and are rejected.
+        self.cache_epochs: dict[str, int] = {}
         # Scans iterate entries in sorted order; the order is cached per
         # table and invalidated on mutation (scans vastly outnumber
         # mutations in the query experiments).
         self._scan_order: dict[TableKey, list[frozenset[str]]] = {}
 
-    def cache_for(self, key: TableKey) -> QueryCache:
-        """The query cache of one logical node (lazily created)."""
-        cache = self.caches.get(key)
-        if cache is None:
-            cache = self.cache_factory(self.cache_capacity)
-            self.caches[key] = cache
-        return cache
+    # -- query cache -------------------------------------------------------
+
+    def cache_epoch(self, namespace: str) -> int:
+        return self.cache_epochs.get(namespace, 0)
+
+    def reset_cache(self, cache_capacity: int | None = None, cache_factory=None) -> None:
+        """Replace the cache (dropping every entry), optionally with a
+        new capacity or policy.  Epochs are kept — a reset is not a
+        coherence event, but fills in flight must still be judged
+        against the same epoch line."""
+        if cache_capacity is not None:
+            self.cache_capacity = cache_capacity
+        if cache_factory is not None:
+            self.cache_factory = cache_factory
+        metrics = self.cache.metrics
+        if metrics is not None:
+            metrics.increment("cache.used", -self.cache.used)
+        self.cache = self.cache_factory(self.cache_capacity)
+        self.cache.metrics = metrics
+
+    def cache_get(
+        self, namespace: str, logical: int, query: frozenset[str], threshold: int | None
+    ) -> CachedResult | None:
+        return self.cache.get((namespace, logical, query), threshold)
+
+    def cache_put(
+        self,
+        namespace: str,
+        logical: int,
+        query: frozenset[str],
+        results: tuple,
+        *,
+        complete: bool,
+        epoch: int | None = None,
+        speculative: bool = False,
+    ) -> bool:
+        """Install one entry; a fill whose ``epoch`` predates the current
+        coherence epoch is rejected (its scans may have read pre-write
+        tables, and the invalidation that bumped the epoch cannot reach
+        an entry that does not exist yet).  ``speculative`` marks
+        cooperative path fills, which are admission-controlled so they
+        never displace demand entries (see
+        :meth:`repro.core.cache.QueryCache.put`)."""
+        if epoch is not None and epoch != self.cache_epoch(namespace):
+            return False
+        return self.cache.put(
+            (namespace, logical, query),
+            results,
+            complete=complete,
+            speculative=speculative,
+        )
+
+    def invalidate_queries(
+        self,
+        namespace: str,
+        *,
+        keywords: frozenset[str] | None = None,
+        object_id: str | None = None,
+        op: str = "insert",
+        logical: int | None = None,
+    ) -> int:
+        """The receiver side of ``hindex.cache_invalidate``.
+
+        Fine-grained form (``keywords`` given): a write touched table
+        ⟨keywords⟩, so every cached query K ⊆ keywords may cover it.  On
+        ``remove``, complete entries are *patched* — the object filtered
+        out in place, which preserves fresh-walk result order — and
+        partial entries dropped (their prefix may shift); on ``insert``
+        every affected entry is dropped (the new object's position in a
+        fresh walk is unknowable here).
+
+        Coarse form (``logical`` given): a whole table moved hosts
+        (churn handoff / repair), so every cached query rooted at a
+        bit-subset of ``logical`` is dropped — mid-handoff walks may
+        have scanned an empty table.
+
+        Either form bumps the namespace's coherence epoch, even when no
+        entry matched: in-flight fills may carry pre-write scans for
+        entries not installed yet.  Returns entries invalidated.
+        """
+        if keywords is not None:
+            def affected(key) -> bool:
+                key_namespace, _, key_query = key
+                return key_namespace == namespace and key_query <= keywords
+        else:
+            if logical is None:
+                raise ValueError("invalidate_queries needs keywords or logical")
+            def affected(key) -> bool:
+                key_namespace, key_logical, _ = key
+                return key_namespace == namespace and (key_logical & logical) == key_logical
+        count = 0
+        for key in self.cache.matching_keys(affected):
+            entry = self.cache.peek(key)
+            if (
+                op == "remove"
+                and entry is not None
+                and entry.complete
+                and object_id is not None
+            ):
+                patched = tuple(
+                    (cached_id, cached_keywords)
+                    for cached_id, cached_keywords in entry.results
+                    if cached_id != object_id
+                )
+                if len(patched) < len(entry.results):
+                    self.cache.replace(key, CachedResult(patched, True))
+                    count += 1
+                # A complete entry not holding the object needs nothing:
+                # the removed object never matched this query.
+                continue
+            if self.cache.drop(key):
+                count += 1
+        self.cache_epochs[namespace] = self.cache_epoch(namespace) + 1
+        return count
 
     def cache_stats(self) -> tuple[int, int]:
-        """(hits, misses) summed over this shard's logical nodes."""
-        hits = sum(cache.hits for cache in self.caches.values())
-        misses = sum(cache.misses for cache in self.caches.values())
-        return hits, misses
+        """(hits, misses) of this shard's cache."""
+        return self.cache.hits, self.cache.misses
 
     # -- local operations (also the handler bodies) -----------------------
 
@@ -227,6 +356,11 @@ class IndexShard:
 
     def handle(self, node: DolrNode, message: Message):
         payload = message.payload
+        if self.cache.metrics is None:
+            # First message wires the node's registry in: cache counters
+            # (hits/misses/evictions/invalidations/used) then surface in
+            # this node's MetricsSnapshot and /metrics endpoint.
+            self.cache.metrics = node.network.metrics
         if message.kind in ("hindex.put", "hindex.remove", "hindex.pin", "hindex.scan"):
             key = (payload["namespace"], payload["logical"])
             keywords = frozenset(payload["keywords"])
@@ -237,10 +371,31 @@ class IndexShard:
                 return {"removed": self.remove(key, keywords, payload["object_id"])}
             if message.kind == "hindex.pin":
                 return {"object_ids": self.pin(key, keywords)}
+            epoch = self.cache_epoch(key[0])
+            if payload.get("consult"):
+                # Cooperative path cache (docs/protocol.md §16): when a
+                # complete subtree result for this exact query is cached
+                # here and fits the scan limit, answer from it and let
+                # the walker skip the whole subtree.
+                entry = self.cache.peek((key[0], key[1], keywords))
+                limit = payload.get("limit")
+                if (
+                    entry is not None
+                    and entry.complete
+                    and (limit is None or len(entry.results) <= limit)
+                ):
+                    self.cache.get((key[0], key[1], keywords), None)  # count the hit
+                    # A fill that actually pruned a walk has earned
+                    # demand-tier protection from later fills.
+                    self.cache.promote((key[0], key[1], keywords))
+                    return {"cache_hit": True, "results": entry.results, "epoch": epoch}
+                self.cache.misses += 1
+                self.cache._count("cache.misses")
             matches, truncated = self.scan(key, keywords, payload.get("limit"))
             # Payloads stay in-process: entries cross as (frozenset,
-            # tuple) pairs without serialization round-trips.
-            return {"matches": matches, "truncated": truncated}
+            # tuple) pairs without serialization round-trips.  The epoch
+            # rides along so the walker can guard its later cache fills.
+            return {"matches": matches, "truncated": truncated, "epoch": epoch}
         if message.kind == "hindex.transfer":
             key = (payload["namespace"], payload["logical"])
             for keywords, object_ids in payload["table"]:
@@ -259,19 +414,45 @@ class IndexShard:
             # them, so this is accounting-only.
             return {}
         if message.kind == "hindex.cache_get":
-            cache = self.cache_for((payload["namespace"], payload["logical"]))
-            entry = cache.get(frozenset(payload["keywords"]), payload.get("threshold"))
+            namespace = payload["namespace"]
+            entry = self.cache_get(
+                namespace,
+                payload["logical"],
+                frozenset(payload["keywords"]),
+                payload.get("threshold"),
+            )
+            epoch = self.cache_epoch(namespace)
             if entry is None:
-                return {"hit": False}
-            return {"hit": True, "complete": entry.complete, "results": entry.results}
+                return {"hit": False, "epoch": epoch}
+            return {
+                "hit": True,
+                "complete": entry.complete,
+                "results": entry.results,
+                "epoch": epoch,
+            }
         if message.kind == "hindex.cache_put":
-            cache = self.cache_for((payload["namespace"], payload["logical"]))
-            stored = cache.put(
+            stored = self.cache_put(
+                payload["namespace"],
+                payload["logical"],
                 frozenset(payload["keywords"]),
                 tuple(payload["results"]),
                 complete=payload["complete"],
+                epoch=payload.get("epoch"),
+                speculative=payload.get("speculative", False),
             )
+            if not stored and payload.get("epoch") is not None:
+                self.cache._count("cache.stale_fills_rejected")
             return {"stored": stored}
+        if message.kind == "hindex.cache_invalidate":
+            keywords = payload.get("keywords")
+            count = self.invalidate_queries(
+                payload["namespace"],
+                keywords=frozenset(keywords) if keywords is not None else None,
+                object_id=payload.get("object_id"),
+                op=payload.get("op", "insert"),
+                logical=payload.get("logical"),
+            )
+            return {"invalidated": count, "epoch": self.cache_epoch(payload["namespace"])}
         raise LookupError(f"unknown hindex message kind {message.kind!r}")
 
 
@@ -346,6 +527,7 @@ class HypercubeIndex:
             },
             origin=reference_owner,
         )
+        self.invalidate_caches(normalized, object_id, "insert", origin=reference_owner)
         return True
 
     def delete(
@@ -370,7 +552,90 @@ class HypercubeIndex:
             },
             origin=reference_owner,
         )
+        self.invalidate_caches(normalized, object_id, "remove", origin=reference_owner)
         return True
+
+    # -- cache coherence ---------------------------------------------------
+
+    def coherence_targets(self, logical: int) -> list[int]:
+        """Physical hosts that may cache a query covering table
+        ``logical``.
+
+        A cached entry for query K at logical node w can cover ⟨K_σ⟩ at
+        ``u = F_h(K_σ)`` only when ``w ⊆ u`` bitwise (the root of K's
+        walk, or an interior node of it, is always a bit-subset of every
+        table the walk reads).  The candidates are therefore the
+        ``2**popcount(u) - 1`` nonzero bit-subsets of ``u`` — small,
+        since ``popcount(u) <= |K_σ|`` — deduplicated to physical
+        owners; when the subset lattice outnumbers the live cluster, one
+        message per live host is cheaper and equally exact.
+        """
+        bits = [i for i in range(self.cube.dimension) if (logical >> i) & 1]
+        live = self.dolr.live_addresses()
+        if (1 << len(bits)) - 1 >= len(live):
+            return sorted(live)
+        owners: set[int] = set()
+        for mask in range(1, 1 << len(bits)):
+            subset = 0
+            for j, bit in enumerate(bits):
+                if (mask >> j) & 1:
+                    subset |= 1 << bit
+            owners.add(self.mapping.physical_owner(subset))
+        return sorted(owners)
+
+    def _send_invalidations(self, payload: dict, logical: int, origin: int) -> int:
+        """Fan one ``hindex.cache_invalidate`` to every coherence target
+        of ``logical`` in a single batch; unreachable targets are
+        skipped (a crashed node's cache dies with it).  Returns entries
+        invalidated cluster-wide."""
+        targets = self.coherence_targets(logical)
+        calls = [
+            RpcCall(origin, target, "hindex.cache_invalidate", payload) for target in targets
+        ]
+        outcomes = self.dolr.channel.rpc_many(calls)
+        invalidated = sum(
+            outcome.value["invalidated"] for outcome in outcomes if outcome.ok
+        )
+        self.dolr.network.metrics.increment("cache.invalidate_rpcs", len(calls))
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.emit(
+                "cache_invalidate",
+                namespace=payload["namespace"],
+                op=payload["op"],
+                logical=logical,
+                targets=len(targets),
+                invalidated=invalidated,
+            )
+        return invalidated
+
+    def invalidate_caches(
+        self, keywords: frozenset[str], object_id: str, op: str, *, origin: int
+    ) -> int:
+        """Write-path coherence: after a put/remove of ⟨keywords⟩, sweep
+        every cache that could hold a query covering that table.  A
+        no-op while caching is off (``cache_capacity == 0``) so the
+        cacheless experiments keep their exact message counts."""
+        if self.cache_capacity <= 0:
+            return 0
+        logical = self.mapper.node_for(keywords)
+        payload = {
+            "namespace": self.namespace,
+            "op": op,
+            "keywords": sorted(keywords),
+            "object_id": object_id,
+        }
+        return self._send_invalidations(payload, logical, origin)
+
+    def invalidate_coverage(self, logical: int, *, origin: int) -> int:
+        """Churn-path coherence: a whole table changed hosts (handoff or
+        replica repair), so drop every cached query rooted at a
+        bit-subset of ``logical`` — a walk that raced the move may have
+        scanned an empty table and cached the miss as authoritative."""
+        if self.cache_capacity <= 0:
+            return 0
+        payload = {"namespace": self.namespace, "op": "table", "logical": logical}
+        return self._send_invalidations(payload, logical, origin)
 
     def pin_search(self, keywords: Iterable[str], *, origin: int | None = None) -> PinResult:
         """Exact-keyword-set search: one routed message to F_h(K)."""
@@ -452,24 +717,46 @@ class HypercubeIndex:
                 {"namespace": self.namespace, "logical": logical, "table": payload_table},
             )
             shard.drop_table(key)
+            # The table just changed hosts: queries that raced the move
+            # may have cached scans of the receiver's then-empty table.
+            self.invalidate_coverage(logical, origin=address)
             moved += sum(len(ids) for _, ids in payload_table)
         return moved
 
     # -- bulk/introspection helpers for experiments ---------------------------
 
     def reset_caches(self, cache_capacity: int | None = None, cache_factory=None) -> None:
-        """Drop every node's query caches (optionally re-configuring
-        capacity/policy) — lets experiments sweep cache parameters
-        without rebuilding the index."""
+        """Drop every node's query cache (optionally re-configuring the
+        per-physical-node capacity/policy) — lets experiments sweep
+        cache parameters without rebuilding the index."""
         if cache_capacity is not None:
             self.cache_capacity = cache_capacity
         for address in self.dolr.addresses():
-            shard = self.shard_at(address)
-            shard.caches.clear()
-            if cache_capacity is not None:
-                shard.cache_capacity = cache_capacity
-            if cache_factory is not None:
-                shard.cache_factory = cache_factory
+            self.shard_at(address).reset_cache(cache_capacity, cache_factory)
+
+    def apportion_cache_capacity(
+        self,
+        total_budget: int,
+        *,
+        sizing: CacheSizing = CacheSizing.SQRT_LOAD,
+        cache_factory=None,
+    ) -> dict[int, int]:
+        """Split one cluster-wide cache budget across physical nodes per
+        the Sarshar & Roychowdhury optimum-size rule (see
+        :func:`repro.core.cache.optimum_capacities`), weighting each
+        node by the object references it currently indexes.  Resets
+        every shard's cache to its allocation and returns the
+        ``address -> capacity`` map."""
+        loads = self.load_by_physical_node()
+        addresses = sorted(loads)
+        capacities = optimum_capacities(
+            total_budget, [loads[address] for address in addresses], sizing=sizing
+        )
+        allocation = dict(zip(addresses, capacities))
+        for address, capacity in allocation.items():
+            self.shard_at(address).reset_cache(capacity, cache_factory)
+        self.cache_capacity = max(capacities, default=0)
+        return allocation
 
     def cache_stats(self) -> tuple[int, int]:
         """(hits, misses) aggregated over all shards."""

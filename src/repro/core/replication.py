@@ -111,6 +111,7 @@ class ReplicatedHypercubeIndex:
                 },
                 origin=holder,
             )
+            index.invalidate_caches(normalized, object_id, "insert", origin=holder)
             written += 1
         return written
 
@@ -135,6 +136,7 @@ class ReplicatedHypercubeIndex:
                 },
                 origin=holder,
             )
+            index.invalidate_caches(normalized, object_id, "remove", origin=holder)
             removed += 1
         return removed
 
@@ -225,7 +227,7 @@ class ReplicatedSuperSetSearch(SuperSetSearch):
         for index in self.replicated.indexes[1:]:
             physical = index.mapping.physical_owner(logical)
             try:
-                found, _ = self._scan_rpc(
+                found, _, _ = self._scan_rpc(
                     sender, physical, index.namespace, logical, query, remaining
                 )
                 return found

@@ -130,7 +130,7 @@ class SampledSearch:
                 route.owner if node == root else index.mapping.physical_owner(node)
             )
             sender = origin if node == root else route.owner
-            found, _ = self._searcher._scan_rpc(
+            found, _, _ = self._searcher._scan_rpc(
                 sender, physical, index.namespace, node, query, None
             )
             visits += 1

@@ -203,13 +203,33 @@ class _TraversalRun:
     this one object — the invariant the §3.5 equivalence tests lean on.
     """
 
-    __slots__ = ("objects", "visits", "remaining", "truncated")
+    __slots__ = (
+        "objects",
+        "visits",
+        "remaining",
+        "truncated",
+        "epochs",
+        "track",
+        "by_logical",
+        "bounds",
+        "coop_hits",
+    )
 
-    def __init__(self, threshold: int | None):
+    def __init__(self, threshold: int | None, *, track: bool = False):
         self.objects: list[FoundObject] = []
         self.visits: list[NodeVisit] = []
         self.remaining = threshold
         self.truncated = False
+        # Coherence-epoch bookkeeping: the epoch each physical host
+        # reported with its scan, consulted when filling caches later.
+        self.epochs: dict[int, int] = {}
+        # Cooperative-cache bookkeeping (``track=True``): per-logical
+        # results, each visit's SBT dimension bound (which pins its
+        # subtree), and which visits were answered from a path cache.
+        self.track = track
+        self.by_logical: dict[int, list[FoundObject]] = {}
+        self.bounds: dict[int, int] = {}
+        self.coop_hits: set[int] = set()
 
     def absorb(
         self,
@@ -222,6 +242,8 @@ class _TraversalRun:
     ) -> None:
         """Record one completed visit and keep its objects."""
         self.objects.extend(found)
+        if self.track:
+            self.by_logical[logical] = found
         SuperSetSearch._record_visit(
             self.visits, logical, physical, depth, len(found), hops, status
         )
@@ -248,12 +270,18 @@ class SuperSetSearch:
         contact_mode: str = "direct",
         skip_unreachable: bool = False,
         channel: ResilientChannel | None = None,
+        cooperative: bool = False,
     ):
         if contact_mode not in ("direct", "routed"):
             raise ValueError(f"contact_mode must be 'direct' or 'routed', got {contact_mode!r}")
         self.index = index
         self.contact_mode = contact_mode
         self.skip_unreachable = skip_unreachable
+        # Cooperative SBT-path caching (docs/protocol.md §16): interior
+        # tree nodes cache their subtree's complete results and walkers
+        # consult them before descending.  Applies to the subtree-shaped
+        # walks (TOP_DOWN, PARALLEL) when the query runs with use_cache.
+        self.cooperative = cooperative
         # None means "follow the DOLR network's channel" (resolved per
         # call, so a later configure_resilience() is picked up).
         self._channel = channel
@@ -337,8 +365,13 @@ class SuperSetSearch:
                     objects = tuple(
                         FoundObject(obj, keywords) for obj, keywords in cached["results"]
                     )
-                    if threshold is not None:
+                    complete = bool(cached["complete"])
+                    if threshold is not None and len(objects) > threshold:
+                        # Trimming dropped matches, so the hit answers
+                        # like the equivalent fresh walk: threshold met
+                        # with matches left behind -> not complete.
                         objects = objects[:threshold]
+                        complete = False
                     visit = NodeVisit(0, root_logical, root_physical, 0, len(objects), route.hops)
                     return self._finish(
                         recorder,
@@ -350,7 +383,7 @@ class SuperSetSearch:
                         root_physical=root_physical,
                         objects=objects,
                         visits=(visit,),
-                        complete=bool(cached["complete"]),
+                        complete=complete,
                         messages=window.message_count,
                         rounds=1,
                         cache_hit=True,
@@ -361,9 +394,15 @@ class SuperSetSearch:
                 TraversalOrder.BOTTOM_UP: self._walk_bottom_up,
                 TraversalOrder.PARALLEL: self._walk_parallel,
             }[order]
-            objects, visits, complete, rounds = walker(
-                query, threshold, origin, root_logical, root_physical, route.hops
+            coop = (
+                self.cooperative
+                and use_cache
+                and order in (TraversalOrder.TOP_DOWN, TraversalOrder.PARALLEL)
             )
+            run, rounds = walker(
+                query, threshold, origin, root_logical, root_physical, route.hops, coop
+            )
+            objects, visits, complete, rounds = run.finish(rounds)
 
             if use_cache:
                 # A walk with degraded visits (surrogate/failed) may be
@@ -382,8 +421,15 @@ class SuperSetSearch:
                             "keywords": query,
                             "results": [(f.object_id, f.keywords) for f in objects],
                             "complete": complete,
+                            # Epoch from the root's own scan: a write that
+                            # raced this walk bumped it, and the fill is
+                            # then rejected instead of caching stale data.
+                            "epoch": run.epochs.get(root_physical),
                         },
                     )
+                fills = 0
+                if coop and complete and not degraded:
+                    fills = self._cooperative_fill(run, query, root_logical, root_physical)
                 if recorder is not None:
                     recorder.emit(
                         "cache_put",
@@ -392,6 +438,7 @@ class SuperSetSearch:
                         complete=complete,
                         stored=bool(stored["stored"]) if not degraded else False,
                         skipped_degraded=degraded,
+                        cooperative_fills=fills,
                     )
             messages = window.message_count
 
@@ -478,7 +525,8 @@ class SuperSetSearch:
         root_logical: int,
         root_physical: int,
         root_hops: int,
-    ) -> tuple[list[FoundObject], list[NodeVisit], bool, int]:
+        coop: bool = False,
+    ) -> tuple[_TraversalRun, int]:
         """The paper's T_QUERY protocol.
 
         The queue ``U`` holds ``(node, d)`` pairs; popping FIFO yields a
@@ -487,13 +535,25 @@ class SuperSetSearch:
         ``{(neighbour_i(w), i) | i < d, i ∈ Zero(w)}`` — computed here
         from w's identifier, which root knows (the bits are the message
         content either way).
+
+        With ``coop`` the walk consults each interior node's path cache
+        before descending: a node holding a complete cached aggregate
+        for its whole subtree answers from it, and its subtree is pruned
+        from the queue (docs/protocol.md §16).
         """
         dimension = self.index.cube.dimension
-        run = _TraversalRun(threshold)
+        run = _TraversalRun(threshold, track=coop)
+        run.bounds[root_logical] = dimension
 
         # Root examines its own table first (the initial T_QUERY).
-        returned, hops, status, scan_truncated = self._visit(
-            query, run.remaining, origin, root_logical, root_physical, responder_hops=root_hops
+        returned, hops, status, scan_truncated, _ = self._visit(
+            query,
+            run.remaining,
+            origin,
+            root_logical,
+            root_physical,
+            responder_hops=root_hops,
+            run=run,
         )
         run.absorb(root_logical, root_physical, 0, returned, hops, status)
 
@@ -507,21 +567,28 @@ class SuperSetSearch:
             # SBT children to descend into and the root's own scan
             # was not cut short by the limit.
             run.truncated = bool(queue) or scan_truncated
-            return run.finish(len(run.visits))
+            return run, len(run.visits)
 
         while queue:
             w, d = queue.popleft()
-            returned, hops, status, scan_truncated = self._visit(
-                query, run.remaining, origin, w, None, via=root_physical
+            run.bounds[w] = d
+            returned, hops, status, scan_truncated, coop_hit = self._visit(
+                query, run.remaining, origin, w, None, via=root_physical, run=run, consult=coop
             )
             run.absorb(
                 w, self._physical_of(w), bitops.popcount(w ^ root_logical), returned, hops, status
             )
-            continuation = [
-                (w | (1 << i), i)
-                for i in self._descending_zero_dims(w, dimension)
-                if i < d
-            ]
+            if coop_hit:
+                # The node answered for its entire subtree from its path
+                # cache: nothing below it is left to explore.
+                run.coop_hits.add(w)
+                continuation = []
+            else:
+                continuation = [
+                    (w | (1 << i), i)
+                    for i in self._descending_zero_dims(w, dimension)
+                    if i < d
+                ]
             if run.consume(len(returned)):
                 # w answers T_STOP; root drops U.  Unexplored work —
                 # queued pairs, w's own children, or a limit-cut
@@ -529,7 +596,7 @@ class SuperSetSearch:
                 run.truncated = bool(queue) or bool(continuation) or scan_truncated
                 break
             queue.extend(continuation)
-        return run.finish(len(run.visits))
+        return run, len(run.visits)
 
     def _walk_bottom_up(
         self,
@@ -539,14 +606,22 @@ class SuperSetSearch:
         root_logical: int,
         root_physical: int,
         root_hops: int,
-    ) -> tuple[list[FoundObject], list[NodeVisit], bool, int]:
-        """Deepest level first: most specific objects returned first."""
+        coop: bool = False,
+    ) -> tuple[_TraversalRun, int]:
+        """Deepest level first: most specific objects returned first.
+
+        ``coop`` is accepted for walker-signature uniformity but never
+        consults path caches: a bottom-up walk visits leaves before their
+        ancestors, so a subtree aggregate would double-count the leaves
+        already scanned.  ``run()`` never enables it for this order.
+        """
+        del coop
         tree = SpanningBinomialTree.induced(self.index.cube, root_logical)
         run = _TraversalRun(threshold)
         first = True
         for node, depth in tree.bfs_bottom_up():
             hops_for = root_hops if first else 0
-            returned, hops, status, _ = self._visit(
+            returned, hops, status, _, _ = self._visit(
                 query,
                 run.remaining,
                 origin,
@@ -554,13 +629,14 @@ class SuperSetSearch:
                 root_physical if node == root_logical else None,
                 via=root_physical,
                 responder_hops=hops_for,
+                run=run,
             )
             first = False
             run.absorb(node, self._physical_of(node), depth, returned, hops, status)
             if run.consume(len(returned)):
                 run.truncated = True
                 break
-        return run.finish(len(run.visits))
+        return run, len(run.visits)
 
     def _walk_parallel(
         self,
@@ -570,7 +646,8 @@ class SuperSetSearch:
         root_logical: int,
         root_physical: int,
         root_hops: int,
-    ) -> tuple[list[FoundObject], list[NodeVisit], bool, int]:
+        coop: bool = False,
+    ) -> tuple[_TraversalRun, int]:
         """Level-synchronized top-down: whole tree levels are dispatched
         concurrently, one batch RPC round per level, so a round that
         crosses the threshold still pays for its entire level (the
@@ -592,7 +669,7 @@ class SuperSetSearch:
         result incomplete, since matches existed that were not returned.
         """
         dimension = self.index.cube.dimension
-        run = _TraversalRun(threshold)
+        run = _TraversalRun(threshold, track=coop)
         frontier: list[tuple[int, int]] = [(root_logical, dimension)]
         rounds = 0
         depth = 0
@@ -606,16 +683,30 @@ class SuperSetSearch:
                 )
                 for node, _ in frontier
             ]
-            level = self._visit_level(query, run.remaining, origin, root_physical, entries)
+            level = self._visit_level(
+                query,
+                run.remaining,
+                origin,
+                root_physical,
+                entries,
+                run=run,
+                consult=coop and depth > 0,
+            )
             next_frontier: list[tuple[int, int]] = []
             level_returned = 0
             scan_cut = False
-            for (node, d), (found, physical, hops, status, scan_truncated) in zip(
+            for (node, d), (found, physical, hops, status, scan_truncated, coop_hit) in zip(
                 frontier, level
             ):
+                run.bounds[node] = d
                 run.absorb(node, physical, depth, found, hops, status)
                 level_returned += len(found)
                 scan_cut = scan_cut or scan_truncated
+                if coop_hit:
+                    # Path-cache answer covers the node's entire subtree:
+                    # prune it from the next frontier.
+                    run.coop_hits.add(node)
+                    continue
                 next_frontier.extend(
                     (node | (1 << i), i)
                     for i in self._descending_zero_dims(node, dimension)
@@ -632,7 +723,7 @@ class SuperSetSearch:
                 break
             frontier = next_frontier
             depth += 1
-        return run.finish(rounds)
+        return run, rounds
 
     # -- mechanics --------------------------------------------------------
 
@@ -668,12 +759,15 @@ class SuperSetSearch:
         *,
         via: int | None = None,
         responder_hops: int = 0,
-    ) -> tuple[list[FoundObject], int, str, bool]:
+        run: _TraversalRun | None = None,
+        consult: bool = False,
+    ) -> tuple[list[FoundObject], int, str, bool, bool]:
         """Deliver one T_QUERY to ``logical`` and collect its matches.
 
         Returns (found objects, DHT hops paid, visit status, whether the
         scan was cut short by the result limit — i.e. the node holds
-        more matches than it returned).  Matches are also forwarded
+        more matches than it returned, and whether the node answered
+        from its cooperative path cache).  Matches are also forwarded
         directly to the requester, as the protocol specifies (one extra
         message when non-empty).
 
@@ -687,6 +781,7 @@ class SuperSetSearch:
         hops = responder_hops
         status = "ok"
         scan_truncated = False
+        coop_hit = False
         sender = via if via is not None else origin
         physical, extra_hops, decided = self._resolve_target(
             query, remaining, origin, logical, physical, via
@@ -694,10 +789,17 @@ class SuperSetSearch:
         hops += extra_hops
         if decided is not None:
             found, status = decided
-            return found, hops, status, False
+            return found, hops, status, False, False
         try:
-            found, scan_truncated = self._scan_rpc(
-                sender, physical, self.index.namespace, logical, query, remaining
+            found, scan_truncated, coop_hit = self._scan_rpc(
+                sender,
+                physical,
+                self.index.namespace,
+                logical,
+                query,
+                remaining,
+                run=run,
+                consult=consult,
             )
         except PeerUnreachableError as error:
             found, status, new_physical, extra_hops = self._failure_ladder(
@@ -707,7 +809,7 @@ class SuperSetSearch:
                 physical = new_physical
             hops += extra_hops
         self._notify_requester(physical, origin, found)
-        return found, hops, status, scan_truncated
+        return found, hops, status, scan_truncated, coop_hit
 
     def _resolve_target(
         self,
@@ -784,17 +886,23 @@ class SuperSetSearch:
         origin: int,
         root_physical: int,
         entries: list[tuple[int, int | None, int]],
-    ) -> list[tuple[list[FoundObject], int, int, str, bool]]:
+        *,
+        run: _TraversalRun | None = None,
+        consult: bool = False,
+    ) -> list[tuple[list[FoundObject], int, int, str, bool, bool]]:
         """Deliver one whole SBT level of T_QUERYs concurrently.
 
         ``entries`` lists ``(logical, physical_or_None, responder_hops)``
         per visit; every scan is issued in one
         :meth:`~repro.sim.resilience.ResilientChannel.rpc_many` batch
         carrying the shared level-entry ``budget`` as its limit.
-        Returns ``(found, physical, hops, status, scan_truncated)`` per
-        entry, in entry order — message accounting, failure ladder, and
-        result forwarding identical to ``len(entries)`` sequential
-        :meth:`_visit` calls, only overlapped in time.
+        Returns ``(found, physical, hops, status, scan_truncated,
+        coop_hit)`` per entry, in entry order — message accounting,
+        failure ladder, and result forwarding identical to
+        ``len(entries)`` sequential :meth:`_visit` calls, only
+        overlapped in time.  ``consult`` marks every scan of the level
+        as a cooperative path-cache consult (never set for the root
+        level).
         """
         sender = root_physical  # level dispatch always goes through the root
         prepared: list[tuple[int, int | None, int, tuple[list[FoundObject], str] | None]] = []
@@ -808,33 +916,40 @@ class SuperSetSearch:
         for slot, (logical, target, _, decided) in enumerate(prepared):
             if decided is not None:
                 continue
-            calls.append(
-                RpcCall(
-                    sender,
-                    target,
-                    "hindex.scan",
-                    {
-                        "namespace": self.index.namespace,
-                        "logical": logical,
-                        "keywords": query,
-                        "limit": budget,
-                    },
-                )
-            )
+            payload = {
+                "namespace": self.index.namespace,
+                "logical": logical,
+                "keywords": query,
+                "limit": budget,
+            }
+            if consult:
+                payload["consult"] = True
+            calls.append(RpcCall(sender, target, "hindex.scan", payload))
             slots.append(slot)
         outcomes = dict(zip(slots, self.channel.rpc_many(calls))) if calls else {}
-        level: list[tuple[list[FoundObject], int, int, str, bool]] = []
+        level: list[tuple[list[FoundObject], int, int, str, bool, bool]] = []
         for slot, (logical, target, hops, decided) in enumerate(prepared):
             physical = target if target is not None else self._physical_of(logical)
             if decided is not None:
                 found, status = decided
-                level.append((found, physical, hops, status, False))
+                level.append((found, physical, hops, status, False, False))
                 continue
             outcome = outcomes[slot]
             scan_truncated = False
+            coop_hit = False
             status = "ok"
             if outcome.ok:
-                found, scan_truncated = self._decode_scan(outcome.value)
+                reply = outcome.value
+                if run is not None and "epoch" in reply:
+                    run.epochs[physical] = reply["epoch"]
+                if reply.get("cache_hit"):
+                    found = [
+                        FoundObject(object_id, entry_keywords)
+                        for object_id, entry_keywords in reply["results"]
+                    ]
+                    coop_hit = True
+                else:
+                    found, scan_truncated = self._decode_scan(reply)
             elif isinstance(outcome.error, PeerUnreachableError):
                 found, status, new_physical, extra_hops = self._failure_ladder(
                     sender, logical, query, budget, outcome.error
@@ -845,8 +960,90 @@ class SuperSetSearch:
             else:
                 raise outcome.error
             self._notify_requester(physical, origin, found)
-            level.append((found, physical, hops, status, scan_truncated))
+            level.append((found, physical, hops, status, scan_truncated, coop_hit))
         return level
+
+    def _cooperative_fill(
+        self, run: _TraversalRun, query: frozenset[str], root_logical: int, root_physical: int
+    ) -> int:
+        """Offer each interior node of a completed walk the aggregate
+        results of its own subtree, in one batched ``hindex.cache_put``
+        round (docs/protocol.md §16).
+
+        Only sound after a *complete, non-degraded* walk: completeness
+        means no scan was limit-cut and no subtree was left undescended,
+        so the per-node aggregates really are each subtree's full answer.
+        Only the root's *direct children* are filled: their subtrees
+        partition the walk below the root, so a later walk whose root
+        entry was evicted re-covers the whole answer in 1 + (number of
+        children) visits — while adding only O(r) entries per query to
+        the cluster's caches.  Filling every interior node was measured
+        to thrash the shared per-physical caches (each walk would add
+        O(2^z) entries, evicting the root entries that carry the hit
+        rate).  Also skipped per target: nodes that answered from their
+        own path cache (they already hold the aggregate), degraded /
+        replica visits (the fill would land on a host that did not
+        serve the scan), single-node subtrees (caching a node's own
+        scan saves nothing the root cache does not), and hosts that
+        reported no coherence epoch.  Each fill carries the epoch its
+        host reported with its scan, so a write racing the walk
+        invalidates first and the stale fill is rejected (see
+        :meth:`~repro.core.index.IndexShard.cache_put`).  Best-effort:
+        failed RPCs are ignored.  Returns the number of fills
+        dispatched.
+        """
+        calls: list[RpcCall] = []
+        for visit in run.visits:
+            w = visit.logical
+            if (
+                w == root_logical
+                or visit.depth != 1
+                or w in run.coop_hits
+                or visit.status != "ok"
+            ):
+                continue
+            d = run.bounds.get(w)
+            if d is None:
+                continue
+            if not any(True for i in self._descending_zero_dims(w, d)):
+                continue  # leaf subtree: just w itself
+            epoch = run.epochs.get(visit.physical)
+            if epoch is None:
+                continue
+            # Subtree of w under bound d: supersets of w whose extra
+            # bits all lie below d — exactly the nodes the walk reached
+            # (or pruned via a path-cache hit) beneath w.
+            subtree = [
+                inner
+                for inner in run.visits
+                if inner.logical & w == w and (inner.logical & ~w) >> d == 0
+            ]
+            aggregated = [
+                found
+                for inner in subtree
+                for found in run.by_logical.get(inner.logical, ())
+            ]
+            calls.append(
+                RpcCall(
+                    root_physical,
+                    visit.physical,
+                    "hindex.cache_put",
+                    {
+                        "namespace": self.index.namespace,
+                        "logical": w,
+                        "keywords": query,
+                        "results": [(f.object_id, f.keywords) for f in aggregated],
+                        "complete": True,
+                        "epoch": epoch,
+                        # Admission-controlled: never displaces a demand
+                        # entry at the receiving node.
+                        "speculative": True,
+                    },
+                )
+            )
+        if calls:
+            self.channel.rpc_many(calls)  # best-effort; outcomes unchecked
+        return len(calls)
 
     def _surrogate_visit(
         self, sender: int, logical: int, query: frozenset[str], remaining: int | None
@@ -860,7 +1057,7 @@ class SuperSetSearch:
             # refresh=True: never answer from the placement cache here —
             # the cached owner is the node that just failed to answer.
             route = self.index.mapping.route_to(logical, origin=sender, refresh=True)
-            found, _ = self._scan_rpc(
+            found, _, _ = self._scan_rpc(
                 sender, route.owner, self.index.namespace, logical, query, remaining
             )
         except (PeerUnreachableError, RuntimeError):
@@ -875,21 +1072,38 @@ class SuperSetSearch:
         logical: int,
         query: frozenset[str],
         remaining: int | None,
-    ) -> tuple[list[FoundObject], bool]:
+        *,
+        run: _TraversalRun | None = None,
+        consult: bool = False,
+    ) -> tuple[list[FoundObject], bool, bool]:
         """One hindex.scan request/reply (retried per the channel's
-        policy), decoded to (FoundObjects, limit-truncated flag)."""
-        reply = self.channel.rpc(
-            sender,
-            physical,
-            "hindex.scan",
-            {
-                "namespace": namespace,
-                "logical": logical,
-                "keywords": query,
-                "limit": remaining,
-            },
-        )
-        return self._decode_scan(reply)
+        policy), decoded to (FoundObjects, limit-truncated flag,
+        answered-from-path-cache flag).
+
+        ``consult`` asks the scanned node to answer from its cooperative
+        path cache when it holds a complete subtree aggregate that fits
+        the limit.  ``run`` records the coherence epoch the host reports,
+        for the epoch-guarded cache fills issued after the walk.
+        """
+        payload = {
+            "namespace": namespace,
+            "logical": logical,
+            "keywords": query,
+            "limit": remaining,
+        }
+        if consult:
+            payload["consult"] = True
+        reply = self.channel.rpc(sender, physical, "hindex.scan", payload)
+        if run is not None and "epoch" in reply:
+            run.epochs[physical] = reply["epoch"]
+        if reply.get("cache_hit"):
+            found = [
+                FoundObject(object_id, entry_keywords)
+                for object_id, entry_keywords in reply["results"]
+            ]
+            return found, False, True
+        found, truncated = self._decode_scan(reply)
+        return found, truncated, False
 
     @staticmethod
     def _decode_scan(reply: dict) -> tuple[list[FoundObject], bool]:

@@ -92,12 +92,15 @@ class KeywordSearchService:
         # store_factory (see create()).
         self.stores: dict[int, StoreBackend] = {}
         contact_mode = ContactMode(contact_mode) if isinstance(contact_mode, str) else contact_mode
+        cooperative = config.cooperative_cache if config is not None else False
         if replicated is not None:
             self.searcher: SuperSetSearch = ReplicatedSuperSetSearch(
-                replicated, contact_mode=contact_mode.value
+                replicated, contact_mode=contact_mode.value, cooperative=cooperative
             )
         else:
-            self.searcher = SuperSetSearch(index, contact_mode=contact_mode.value)
+            self.searcher = SuperSetSearch(
+                index, contact_mode=contact_mode.value, cooperative=cooperative
+            )
         self._published: dict[tuple[str, int], PublishedObject] = {}
 
     # -- construction -----------------------------------------------------
@@ -332,6 +335,19 @@ class KeywordSearchService:
         """A point-in-time :class:`~repro.obs.export.MetricsSnapshot` of
         every counter and sample series (diff two with ``.delta()``)."""
         return self.network.metrics.snapshot()
+
+    def apportion_cache_capacity(self, total_budget: int) -> dict[int, int]:
+        """Re-split one cluster-wide cache budget across physical nodes
+        per the config's ``cache_sizing`` rule (see
+        :meth:`~repro.core.index.HypercubeIndex.apportion_cache_capacity`).
+        Call after loading content so the ``SQRT_LOAD`` rule sees real
+        per-node demand.  Returns the per-address capacities applied."""
+        sizing = self.config.cache_sizing if self.config is not None else None
+        capacities: dict[int, int] = {}
+        for index in self.indexes:
+            kwargs = {} if sizing is None else {"sizing": sizing}
+            capacities = index.apportion_cache_capacity(total_budget, **kwargs)
+        return capacities
 
     # -- durability ----------------------------------------------------------
 

@@ -1,8 +1,10 @@
 """Figure 9: superset-search cost with per-node caches.
 
-Each logical hypercube node gets a FIFO cache of capacity
-``α × |O| / 2**r`` index-entry units (α on the x-axis, relative to the
-mean index size per node).  A Zipf-skewed query stream — top ten
+Each physical node gets a FIFO cache of capacity
+``α × |O| / num_dht_nodes`` index-entry units (α on the x-axis,
+relative to the mean index size per node; the cache is shared across
+the logical tables the node hosts, so the aggregate budget is α·|O|
+exactly as in the paper).  A Zipf-skewed query stream — top ten
 queries ≥ 60% of volume, matching the paper's logs — is replayed at a
 fixed recall rate, and the mean fraction of hypercube nodes contacted
 per query is reported per α.
@@ -82,7 +84,11 @@ def run(
             if not 0 < recall <= 1:
                 raise ValueError(f"recall rates must be in (0, 1], got {recall}")
             for alpha in alphas:
-                capacity = int(round(alpha * num_objects / (1 << r)))
+                # α relative to the mean index size per *physical* node:
+                # the cache is per physical host now (one shared across
+                # its hosted tables), so the aggregate budget stays
+                # α·|O| regardless of how 2^r logicals fold onto hosts.
+                capacity = int(round(alpha * num_objects / num_dht_nodes))
                 index.reset_caches(cache_capacity=capacity)
                 replay = stream if capacity > 0 else stream[:baseline_sample]
                 contacted = 0

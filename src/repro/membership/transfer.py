@@ -156,6 +156,9 @@ def repair_lost(service, lost: dict, served: set[int]) -> int:
                 for object_id in object_ids:
                     shard.put((index.namespace, logical), frozenset(keywords), object_id)
                     restored += 1
+            # Re-publication is a write like any other: caches covering
+            # this table (here and at superset roots) are now stale.
+            index.invalidate_coverage(logical, origin=owner)
     return restored
 
 

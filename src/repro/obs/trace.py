@@ -18,6 +18,7 @@ Event vocabulary (``TraceEvent.kind``):
 ``breaker``    a circuit-breaker transition or rejection (state, destination)
 ``cache_get``  the root-side cache probe (hit, completeness, size)
 ``cache_put``  the root-side cache fill (stored, or skipped and why)
+``cache_invalidate``  one write-path coherence sweep (logical, op, targets, invalidated)
 ``message``    one transport-level message (src, dst, kind, reply flag)
 ``store``      one durable-store operation (WAL append, snapshot, recover)
 ``membership`` one membership event (join/leave/death applied, repair done)
@@ -73,6 +74,7 @@ EVENT_KINDS = (
     "breaker",
     "cache_get",
     "cache_put",
+    "cache_invalidate",
     "message",
     "store",
     "membership",

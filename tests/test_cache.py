@@ -133,3 +133,181 @@ class TestGetSemantics:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             FifoQueryCache(-1)
+
+class TestCoherencePrimitives:
+    def test_drop_removes_and_counts_invalidation(self):
+        cache = FifoQueryCache(4)
+        cache.put(frozenset({"a"}), results("1"), complete=True)
+        assert cache.drop(frozenset({"a"}))
+        assert frozenset({"a"}) not in cache
+        assert cache.invalidations == 1
+        assert cache.evictions == 0
+        assert cache.used == 0
+
+    def test_drop_absent_is_noop(self):
+        cache = FifoQueryCache(4)
+        assert not cache.drop(frozenset({"a"}))
+        assert cache.invalidations == 0
+
+    def test_replace_patches_in_place(self):
+        cache = FifoQueryCache(4, unit="references")
+        cache.put(frozenset({"a"}), results("1", "2"), complete=True)
+        cache.replace(frozenset({"a"}), CachedResult(results("1"), True))
+        entry = cache.get(frozenset({"a"}), None)
+        assert entry is not None and entry.size == 1
+        assert cache.used == 1
+        assert cache.invalidations == 1
+
+    def test_replace_preserves_eviction_position(self):
+        # A patched entry is not a new arrival: it keeps its FIFO slot
+        # and is still evicted first.
+        cache = FifoQueryCache(2)
+        cache.put(frozenset({"a"}), results("1", "2"), complete=True)
+        cache.put(frozenset({"b"}), results("3"), complete=True)
+        cache.replace(frozenset({"a"}), CachedResult(results("1"), True))
+        cache.put(frozenset({"c"}), results("4"), complete=True)
+        assert frozenset({"a"}) not in cache
+        assert frozenset({"b"}) in cache
+
+    def test_replace_absent_raises(self):
+        cache = FifoQueryCache(4)
+        with pytest.raises(KeyError):
+            cache.replace(frozenset({"a"}), CachedResult(results("1"), True))
+
+    def test_matching_keys_is_materialized(self):
+        cache = FifoQueryCache(4)
+        cache.put(frozenset({"a"}), results("1"), complete=True)
+        cache.put(frozenset({"a", "b"}), results("2"), complete=True)
+        keys = cache.matching_keys(lambda key: "a" in key)
+        assert sorted(len(k) for k in keys) == [1, 2]
+        for key in keys:  # safe to mutate while consuming
+            cache.drop(key)
+        assert len(cache) == 0
+
+    def test_peek_has_no_accounting(self):
+        cache = FifoQueryCache(4)
+        cache.put(frozenset({"a"}), results("1"), complete=True)
+        assert cache.peek(frozenset({"a"})) is not None
+        assert cache.peek(frozenset({"zzz"})) is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_eviction_counter(self):
+        cache = FifoQueryCache(1)
+        cache.put(frozenset({"a"}), results("1"), complete=True)
+        cache.put(frozenset({"b"}), results("2"), complete=True)
+        assert cache.evictions == 1
+        assert cache.invalidations == 0
+
+
+class TestOptimumCapacities:
+    def test_sums_to_budget(self):
+        from repro.core.cache import optimum_capacities
+
+        caps = optimum_capacities(100, [0.0, 10.0, 90.0, 3.0])
+        assert sum(caps) == 100
+        assert all(c >= 0 for c in caps)
+
+    def test_sqrt_scaling_favours_loaded_nodes_sublinearly(self):
+        from repro.core.cache import optimum_capacities
+
+        caps = optimum_capacities(1000, [0.0, 99.0])
+        # sqrt(1):sqrt(100) = 1:10 split, far from the 0:1000 a linear
+        # rule would give.
+        assert caps == [91, 909]
+
+    def test_uniform_sizing(self):
+        from repro.core.cache import CacheSizing, optimum_capacities
+
+        caps = optimum_capacities(10, [1.0, 100.0, 10000.0], sizing=CacheSizing.UNIFORM)
+        assert sum(caps) == 10
+        assert max(caps) - min(caps) <= 1
+
+    def test_empty_weights(self):
+        from repro.core.cache import optimum_capacities
+
+        assert optimum_capacities(10, []) == []
+
+    def test_negative_inputs_rejected(self):
+        from repro.core.cache import optimum_capacities
+
+        with pytest.raises(ValueError):
+            optimum_capacities(-1, [1.0])
+        with pytest.raises(ValueError):
+            optimum_capacities(1, [-1.0])
+
+    def test_deterministic(self):
+        from repro.core.cache import optimum_capacities
+
+        weights = [5.0, 5.0, 5.0, 2.0]
+        assert optimum_capacities(7, weights) == optimum_capacities(7, weights)
+
+
+class TestSpeculativeAdmission:
+    """Cooperative path fills (docs/protocol.md §16) must never make
+    the demand tier worse: they claim free space or displace each
+    other, lose to any demand insert, and earn protection only by
+    serving a hit (promotion)."""
+
+    def test_fill_lands_in_free_space(self):
+        cache = FifoQueryCache(2)
+        assert cache.put(frozenset({"a"}), results("1"), complete=True, speculative=True)
+        assert frozenset({"a"}) in cache
+
+    def test_fill_never_displaces_demand(self):
+        cache = FifoQueryCache(2)
+        cache.put(frozenset({"a"}), results("1"), complete=True)
+        cache.put(frozenset({"b"}), results("2"), complete=True)
+        assert not cache.put(
+            frozenset({"c"}), results("3"), complete=True, speculative=True
+        )
+        assert frozenset({"a"}) in cache and frozenset({"b"}) in cache
+        assert cache.evictions == 0
+
+    def test_fill_displaces_older_fill(self):
+        cache = FifoQueryCache(2)
+        cache.put(frozenset({"a"}), results("1"), complete=True)
+        cache.put(frozenset({"b"}), results("2"), complete=True, speculative=True)
+        assert cache.put(
+            frozenset({"c"}), results("3"), complete=True, speculative=True
+        )
+        assert frozenset({"a"}) in cache
+        assert frozenset({"b"}) not in cache
+        assert frozenset({"c"}) in cache
+
+    def test_demand_insert_evicts_speculative_first(self):
+        cache = FifoQueryCache(2)
+        cache.put(frozenset({"spec"}), results("1"), complete=True, speculative=True)
+        cache.put(frozenset({"old"}), results("2"), complete=True)
+        cache.put(frozenset({"new"}), results("3"), complete=True)
+        # FIFO alone would evict "spec" anyway; make the preference
+        # observable by aging the demand entry *before* the fill.
+        cache = FifoQueryCache(2)
+        cache.put(frozenset({"old"}), results("2"), complete=True)
+        cache.put(frozenset({"spec"}), results("1"), complete=True, speculative=True)
+        cache.put(frozenset({"new"}), results("3"), complete=True)
+        assert frozenset({"old"}) in cache  # older, but demand-tier
+        assert frozenset({"spec"}) not in cache
+
+    def test_promotion_protects_a_proven_fill(self):
+        cache = FifoQueryCache(2)
+        cache.put(frozenset({"old"}), results("2"), complete=True)
+        cache.put(frozenset({"spec"}), results("1"), complete=True, speculative=True)
+        cache.promote(frozenset({"spec"}))
+        cache.put(frozenset({"new"}), results("3"), complete=True)
+        # With no speculative victim left, plain FIFO applies: the
+        # oldest demand entry goes, the promoted fill survives.
+        assert frozenset({"spec"}) in cache
+        assert frozenset({"old"}) not in cache
+
+    def test_promote_absent_key_is_noop(self):
+        cache = FifoQueryCache(2)
+        cache.promote(frozenset({"nothing"}))  # must not raise
+
+    def test_coherence_patch_preserves_tier(self):
+        cache = FifoQueryCache(2)
+        cache.put(frozenset({"spec"}), results("1", "2"), complete=True, speculative=True)
+        cache.replace(frozenset({"spec"}), CachedResult(results("1"), complete=True))
+        # Still speculative: a demand insert under pressure removes it.
+        cache.put(frozenset({"a"}), results("3"), complete=True)
+        cache.put(frozenset({"b"}), results("4"), complete=True)
+        assert frozenset({"spec"}) not in cache

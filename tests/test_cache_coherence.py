@@ -1,0 +1,230 @@
+"""Stale-read regression tests for the cache-coherence protocol.
+
+docs/protocol.md §16: any ``hindex.put``/``hindex.remove`` must
+invalidate (or patch) every cached query result it could have changed —
+on the written node and at the superset query roots reached by the
+``hindex.cache_invalidate`` fan-up — so a cached answer is never
+observably different from a fresh walk.  These tests pin exactly that:
+insert-after-cached-query surfaces the new object, delete-after-cached-
+query returns no dangling reference, across every traversal order, on
+the simulator and over loopback TCP, with and without the cooperative
+SBT-path tier.
+"""
+
+import pytest
+
+from repro.core.config import SearchOptions, ServiceConfig
+from repro.core.search import TraversalOrder
+from repro.core.service import KeywordSearchService
+from repro.net.cluster import LocalCluster
+
+ORDERS = [TraversalOrder.TOP_DOWN, TraversalOrder.BOTTOM_UP, TraversalOrder.PARALLEL]
+
+CORPUS = [
+    ("paper.pdf", {"dht", "search", "p2p"}),
+    ("slides.ppt", {"dht", "search"}),
+    ("notes.txt", {"p2p", "overlay"}),
+    ("code.tar", {"dht", "overlay", "chord"}),
+    ("data.csv", {"search"}),
+    ("thesis.pdf", {"dht", "p2p", "overlay", "search"}),
+]
+
+
+def build_config(**overrides) -> ServiceConfig:
+    base = dict(dimension=6, num_dht_nodes=16, seed=11, cache_capacity=8)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def load(service: KeywordSearchService) -> None:
+    for object_id, keywords in CORPUS:
+        service.publish(object_id, keywords)
+
+
+def query(service, keywords, order):
+    return service.superset_search(keywords, order=order, use_cache=True)
+
+
+class TestSimulatorCoherence:
+    @pytest.fixture(params=[False, True], ids=["root-only", "cooperative"])
+    def service(self, request):
+        service = KeywordSearchService.create(
+            build_config(cooperative_cache=request.param)
+        )
+        load(service)
+        return service
+
+    @pytest.mark.parametrize("order", ORDERS, ids=lambda o: o.value)
+    def test_insert_after_cached_query_surfaces_new_object(self, service, order):
+        before = query(service, {"dht"}, order)
+        assert "fresh.mp4" not in before.object_ids
+        service.publish("fresh.mp4", {"dht", "video"})
+        after = query(service, {"dht"}, order)
+        assert "fresh.mp4" in after.object_ids
+
+    @pytest.mark.parametrize("order", ORDERS, ids=lambda o: o.value)
+    def test_delete_after_cached_query_drops_reference(self, service, order):
+        before = query(service, {"dht"}, order)
+        assert "paper.pdf" in before.object_ids
+        service.unpublish("paper.pdf", holder=CORPUS_HOLDER(service))
+        after = query(service, {"dht"}, order)
+        assert "paper.pdf" not in after.object_ids
+        # And the cached answer matches a fresh uncached walk exactly.
+        fresh = service.superset_search({"dht"}, order=order, use_cache=False)
+        assert set(after.object_ids) == set(fresh.object_ids)
+
+    @pytest.mark.parametrize("order", ORDERS, ids=lambda o: o.value)
+    def test_write_between_repeats_never_stale(self, service, order):
+        # Interleave queries and writes; every read must equal a fresh
+        # uncached walk at that instant.
+        for round_no in range(4):
+            object_id = f"gen-{round_no}"
+            service.publish(object_id, {"dht", f"tag{round_no}"})
+            cached = query(service, {"dht"}, order)
+            fresh = service.superset_search({"dht"}, order=order, use_cache=False)
+            assert set(cached.object_ids) == set(fresh.object_ids)
+            assert object_id in cached.object_ids
+
+
+def CORPUS_HOLDER(service) -> int:
+    """Every CORPUS publish used the service's default holder."""
+    record = next(iter(service._published.values()))
+    return record.holder
+
+
+class TestReplicatedCoherence:
+    @pytest.mark.parametrize("order", ORDERS, ids=lambda o: o.value)
+    def test_replicated_writes_invalidate_every_replica(self, order):
+        service = KeywordSearchService.create(build_config(index_replicas=2))
+        load(service)
+        before = query(service, {"dht"}, order)
+        assert "fresh.mp4" not in before.object_ids
+        service.publish("fresh.mp4", {"dht", "video"})
+        after = query(service, {"dht"}, order)
+        assert "fresh.mp4" in after.object_ids
+        service.unpublish("fresh.mp4", holder=CORPUS_HOLDER(service))
+        gone = query(service, {"dht"}, order)
+        assert "fresh.mp4" not in gone.object_ids
+
+
+class TestTcpCoherence:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        with LocalCluster(build_config(cooperative_cache=True)) as cluster:
+            load(cluster.service)
+            yield cluster
+
+    @pytest.mark.parametrize("order", ORDERS, ids=lambda o: o.value)
+    def test_insert_and_delete_visible_over_tcp(self, cluster, order):
+        service = cluster.service
+        object_id = f"wire-{order.value}"
+        before = query(service, {"dht"}, order)
+        assert object_id not in before.object_ids
+        service.publish(object_id, {"dht", "wire"})
+        after = query(service, {"dht"}, order)
+        assert object_id in after.object_ids
+        service.unpublish(object_id, holder=CORPUS_HOLDER(service))
+        gone = query(service, {"dht"}, order)
+        assert object_id not in gone.object_ids
+
+
+class TestCooperativeTier:
+    @pytest.fixture()
+    def service(self):
+        service = KeywordSearchService.create(
+            build_config(cache_capacity=16, cooperative_cache=True)
+        )
+        load(service)
+        return service
+
+    @pytest.mark.parametrize(
+        "order",
+        [TraversalOrder.TOP_DOWN, TraversalOrder.PARALLEL],
+        ids=lambda o: o.value,
+    )
+    def test_path_cache_prunes_revisit_after_root_eviction(self, service, order):
+        # Fill the path caches with one full walk, then evict the root
+        # entry (reset only that node's cache) and re-walk: interior
+        # path-cache hits must prune subtrees, contacting fewer nodes
+        # than the cold walk while returning the same results.
+        cold = query(service, {"dht"}, order)
+        assert not cold.cache_hit
+        root_shard = service.index.shard_at(cold.root_physical)
+        root_shard.reset_cache()
+        warm = query(service, {"dht"}, order)
+        assert not warm.cache_hit  # root entry is gone...
+        assert set(warm.object_ids) == set(cold.object_ids)
+        assert len(warm.visits) < len(cold.visits)  # ...but the path pruned
+
+    def test_bottom_up_never_consults_path_caches(self, service):
+        cold = query(service, {"dht"}, TraversalOrder.BOTTOM_UP)
+        again = query(service, {"dht"}, TraversalOrder.BOTTOM_UP)
+        # Second query hits the root cache outright; after evicting it,
+        # a bottom-up walk revisits every node (no subtree pruning).
+        assert again.cache_hit
+        service.index.shard_at(cold.root_physical).reset_cache()
+        rewalk = query(service, {"dht"}, TraversalOrder.BOTTOM_UP)
+        assert len(rewalk.visits) == len(cold.visits)
+        assert set(rewalk.object_ids) == set(cold.object_ids)
+
+    def test_cooperative_results_match_root_only(self):
+        plain = KeywordSearchService.create(build_config(cache_capacity=16))
+        coop = KeywordSearchService.create(
+            build_config(cache_capacity=16, cooperative_cache=True)
+        )
+        load(plain)
+        load(coop)
+        for keywords in ({"dht"}, {"search"}, {"p2p", "overlay"}, {"nosuch"}):
+            for order in (TraversalOrder.TOP_DOWN, TraversalOrder.PARALLEL):
+                expected = query(plain, keywords, order)
+                for _ in range(2):  # cold then path-assisted
+                    got = query(coop, keywords, order)
+                    assert set(got.object_ids) == set(expected.object_ids)
+                    assert got.complete == expected.complete
+
+
+class TestHitVsWalkParity:
+    """Satellite: a trimmed cache hit must answer exactly like the
+    equivalent fresh walk — same objects, same ``complete`` flag — for
+    every threshold (the bug was ``complete=True`` on a trimmed hit)."""
+
+    @pytest.fixture()
+    def service(self):
+        service = KeywordSearchService.create(build_config(cache_capacity=16))
+        load(service)
+        return service
+
+    @pytest.mark.parametrize("threshold", [1, 2, 3, 4, 5, None])
+    def test_hit_matches_fresh_walk(self, service, threshold):
+        options = SearchOptions(threshold=threshold, use_cache=True)
+        primed = service.search({"dht"}, SearchOptions(use_cache=True))  # complete set
+        hit = service.search({"dht"}, options)
+        assert hit.cache_hit
+        fresh = service.search(
+            {"dht"}, SearchOptions(threshold=threshold, use_cache=False)
+        )
+        assert set(hit.object_ids) == set(fresh.object_ids)
+        if threshold == len(primed.objects):
+            # At threshold == |O_K| a fresh walk may pessimistically
+            # report incomplete (it stopped with subtrees still queued);
+            # the cache knows the trimmed-nothing set was complete.  The
+            # hit may only be *more* accurate, never less.
+            assert hit.complete or not fresh.complete
+        else:
+            assert hit.complete == fresh.complete
+
+    def test_trimmed_hit_reports_incomplete(self, service):
+        full = service.search({"dht"}, SearchOptions(use_cache=True))
+        assert full.complete and len(full.objects) > 1
+        trimmed = service.search({"dht"}, SearchOptions(threshold=1, use_cache=True))
+        assert trimmed.cache_hit
+        assert len(trimmed.objects) == 1
+        assert not trimmed.complete  # matches were left behind
+
+    def test_exact_threshold_hit_keeps_complete(self, service):
+        full = service.search({"dht"}, SearchOptions(use_cache=True))
+        exact = service.search(
+            {"dht"}, SearchOptions(threshold=len(full.objects), use_cache=True)
+        )
+        assert exact.cache_hit
+        assert exact.complete  # nothing was dropped by the trim

@@ -163,7 +163,7 @@ class TestNetworkedIndex:
         loaded_index.reset_caches(cache_capacity=7)
         shard = loaded_index.shard_at(loaded_index.dolr.any_address())
         assert shard.cache_capacity == 7
-        assert shard.cache_for(("main", 0)).capacity == 7
+        assert shard.cache.capacity == 7
 
 
 class TestMapping:

@@ -281,6 +281,36 @@ class TestClusterChurn:
             assert metrics.counter("memb.deaths_declared") == 1
             assert metrics.counter("memb.repaired_refs") == restored
 
+    def test_repair_republication_invalidates_surviving_caches(self):
+        # Churn coherence (docs/protocol.md §16): folding a dead node's
+        # tables into their new owner is a write like any other — the
+        # repair must fan invalidations up to the surviving superset
+        # roots, and every post-repair query (cached or not) must match
+        # the pre-crash answers, including after a post-repair write.
+        cached = ServiceConfig(
+            dimension=6, num_dht_nodes=8, seed=11, index_replicas=2, cache_capacity=8
+        )
+        with LocalCluster(cached, membership=True) as cluster:
+            publish_corpus(cluster.service)
+            before = search_all(cluster.service)  # primes the query caches
+            candidates = safe_victims(cluster.service)
+            assert candidates, "seed must admit a loaded, fully-repairable victim"
+            victim = max(candidates, key=lambda v: shard_load(cluster.service, v))
+            restored = cluster.declare_crashed(victim)
+            assert restored > 0
+            metrics = cluster.transport.metrics
+            # The repair's re-publication reached superset roots.
+            assert metrics.counter("cache.invalidate_rpcs") > 0
+            assert search_all(cluster.service) == before  # no stale entry served
+            # And coherence still holds through the repaired tables.
+            holder = cluster.service.dolr.any_address()
+            cluster.service.publish("post-repair.bin", {"dht", "search"}, holder=holder)
+            found = cluster.service.superset_search({"dht", "search"}).results()
+            assert "post-repair.bin" in found
+            cluster.service.unpublish("post-repair.bin", holder=holder)
+            gone = cluster.service.superset_search({"dht", "search"}).results()
+            assert "post-repair.bin" not in gone
+
     def test_undeclared_crash_is_detected(self):
         with LocalCluster(REPLICATED_CONFIG, membership=FAST) as cluster:
             publish_corpus(cluster.service)

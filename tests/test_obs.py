@@ -296,3 +296,80 @@ class TestSearchOptionsTrace:
             result = service.superset_search({"mp3"}, order=order, trace=True)
             assert result.trace.visit_count == len(result.visits)
             assert result.trace.message_count == result.messages
+
+
+class TestCacheMetricsExport:
+    """Satellite: cache.hits/misses/evictions/invalidations/used are
+    exported through MetricsSnapshot and the live /metrics endpoint."""
+
+    def test_snapshot_carries_cache_counters(self):
+        service = make_service(cache_capacity=16)
+        service.superset_search({"mp3"})  # miss + fill
+        service.superset_search({"mp3"})  # hit
+        counters = service.metrics_snapshot().counters
+        assert counters["cache.misses"] >= 1
+        assert counters["cache.hits"] >= 1
+        assert counters["cache.used"] >= 1  # occupancy gauge, counter-mirrored
+
+    def test_invalidations_counted_on_write(self):
+        service = make_service(cache_capacity=16)
+        service.superset_search({"mp3"})
+        before = service.metrics_snapshot()
+        service.publish("brand-new", {"mp3", "new"})
+        window = service.metrics_snapshot().delta(before)
+        assert window.counters.get("cache.invalidate_rpcs", 0) >= 1
+        assert window.counters.get("cache.invalidations", 0) >= 1
+
+    def test_used_gauge_falls_on_invalidation(self):
+        service = make_service(cache_capacity=16)
+        service.superset_search({"mp3"})
+        used_before = service.metrics_snapshot().counters["cache.used"]
+        service.publish("brand-new", {"mp3", "new"})
+        used_after = service.metrics_snapshot().counters.get("cache.used", 0)
+        assert used_after < used_before
+
+    def test_live_endpoint_serves_cache_counters(self):
+        from repro.net.cluster import LocalCluster
+
+        config = ServiceConfig(dimension=6, num_dht_nodes=16, seed=3, cache_capacity=8)
+        with LocalCluster(config, stats_port=0) as cluster:
+            cluster.service.publish("paper.pdf", {"dht", "search"})
+            cluster.service.superset_search({"dht"})
+            cluster.service.superset_search({"dht"})  # cache hit
+            cluster.service.publish("other.pdf", {"dht", "extra"})  # invalidation
+            host, port = cluster.stats_endpoint
+            with urlopen(f"http://{host}:{port}/metrics") as response:
+                body = response.read().decode()
+            assert lint_prometheus_text(body) == []
+            assert "repro_cache_hits" in body
+            assert "repro_cache_misses" in body
+            assert "repro_cache_invalidations" in body
+            with urlopen(f"http://{host}:{port}/metrics.json") as response:
+                data = json.loads(response.read().decode())
+            assert data["counters"]["cache.hits"] >= 1
+            assert data["counters"]["cache.invalidate_rpcs"] >= 1
+
+
+class TestCacheInvalidateTracing:
+    def test_write_inside_trace_scope_emits_invalidate_event(self):
+        service = make_service(cache_capacity=16)
+        service.superset_search({"mp3"})  # fill a cache to invalidate
+        recorder = TraceRecorder()
+        with recording(recorder):
+            service.publish("brand-new", {"mp3", "new"})
+        trace = recorder.finish({})
+        events = trace.events_of("cache_invalidate")
+        assert events, "the write must trace its coherence sweep"
+        detail = events[0].detail
+        assert detail["op"] == "insert"
+        assert detail["targets"] >= 1
+        assert detail["invalidated"] >= 1
+
+    def test_cacheless_write_emits_nothing(self):
+        service = make_service()  # cache_capacity=0: coherence is a no-op
+        recorder = TraceRecorder()
+        with recording(recorder):
+            service.publish("brand-new", {"mp3", "new"})
+        trace = recorder.finish({})
+        assert not trace.events_of("cache_invalidate")
+        assert service.metrics_snapshot().counters.get("cache.invalidate_rpcs", 0) == 0

@@ -79,19 +79,36 @@ class TestShardIntrospection:
 
     def test_cache_stats_aggregate(self):
         shard = IndexShard(cache_capacity=2)
-        cache_a = shard.cache_for(("main", 1))
-        cache_b = shard.cache_for(("main", 2))
-        cache_a.get(frozenset({"x"}), None)  # miss
-        cache_b.put(frozenset({"y"}), (("o", frozenset({"y"})),), complete=True)
-        cache_b.get(frozenset({"y"}), None)  # hit
+        shard.cache_get("main", 1, frozenset({"x"}), None)  # miss
+        shard.cache_put("main", 2, frozenset({"y"}), (("o", frozenset({"y"})),), complete=True)
+        shard.cache_get("main", 2, frozenset({"y"}), None)  # hit
         hits, misses = shard.cache_stats()
         assert hits == 1
         assert misses == 1
 
-    def test_cache_for_is_stable(self):
-        shard = IndexShard(cache_capacity=1)
-        assert shard.cache_for(("main", 5)) is shard.cache_for(("main", 5))
-        assert shard.cache_for(("main", 5)) is not shard.cache_for(("other", 5))
+    def test_cache_budget_shared_across_hosted_tables(self):
+        # One physical node hosting many (namespace, logical) tables gets
+        # ONE cache budget, not one per table: entries for any number of
+        # hosted tables never occupy more than cache_capacity units.
+        shard = IndexShard(cache_capacity=3)
+        for logical in range(10):
+            shard.cache_put(
+                "main",
+                logical,
+                frozenset({f"k{logical}"}),
+                ((f"o{logical}", frozenset({f"k{logical}"})),),
+                complete=True,
+            )
+        assert shard.cache.used <= 3
+        assert len(shard.cache) == 3
+
+    def test_cache_keys_namespaced_per_table(self):
+        shard = IndexShard(cache_capacity=8)
+        query = frozenset({"q"})
+        shard.cache_put("main", 5, query, (("a", query),), complete=True)
+        shard.cache_put("other", 5, query, (("b", query),), complete=True)
+        assert shard.cache_get("main", 5, query, None).results[0][0] == "a"
+        assert shard.cache_get("other", 5, query, None).results[0][0] == "b"
 
 
 class TestTraceCounters:

@@ -194,18 +194,28 @@ class TestCacheIntegration:
         assert again.cache_hit
         assert len(again.objects) == 2
 
-    def test_cache_updates_after_delete_are_stale(self, cached_index, chord_ring):
-        # Documented behaviour: caches are not invalidated by deletes
-        # (the paper's FIFO cache has no coherence protocol); entries
-        # age out instead.
+    def test_cache_patched_after_delete(self, cached_index, chord_ring):
+        # Coherence protocol (docs/protocol.md §16): a delete patches
+        # complete cached entries in place, so the next cached answer
+        # no longer references the withdrawn object.
         searcher = SuperSetSearch(cached_index)
         searcher.run({"mp3"}, use_cache=True)
         cached_index.delete("kind-of-blue", CATALOGUE["kind-of-blue"], chord_ring.any_address())
-        stale = searcher.run({"mp3"}, use_cache=True)
-        assert stale.cache_hit
-        assert "kind-of-blue" in stale.object_ids  # stale by design
+        patched = searcher.run({"mp3"}, use_cache=True)
+        assert patched.cache_hit  # complete entries are patched, not dropped
+        assert "kind-of-blue" not in patched.object_ids
         fresh = searcher.run({"mp3"}, use_cache=False)
-        assert "kind-of-blue" not in fresh.object_ids
+        assert set(patched.object_ids) == set(fresh.object_ids)
+
+    def test_cache_invalidated_after_insert(self, cached_index, chord_ring):
+        # An insert below a cached query drops the entry: the next query
+        # walks fresh and surfaces the new object.
+        searcher = SuperSetSearch(cached_index)
+        searcher.run({"mp3"}, use_cache=True)
+        cached_index.insert("new-release", {"mp3", "fresh"}, chord_ring.any_address())
+        after = searcher.run({"mp3"}, use_cache=True)
+        assert not after.cache_hit
+        assert "new-release" in after.object_ids
 
 
 class TestFailureTolerance:
