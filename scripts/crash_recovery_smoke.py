@@ -15,7 +15,12 @@ The scenario CI runs end-to-end, across real process boundaries:
 5. publish the other half, then run superset queries from a survivor
    and compare every result set against a same-seed simulator that
    never crashed — byte-for-byte parity, 100% recall;
-6. stop the victim with SIGTERM (the graceful path) and exit.
+6. resolve a set of keyword prefixes through the distributed keyword
+   directory (docs/protocol.md §17) and compare matched keywords and
+   result sets against the uninterrupted simulator — the victim's trie
+   rows must come back from its WAL, and the second half's trie edge
+   splits must have landed on the *recovered* structure;
+7. stop the victim with SIGTERM (the graceful path) and exit.
 
 Exits non-zero on any mismatch.  Runs in well under a minute.
 """
@@ -86,6 +91,7 @@ def launch_victim(
         "--port", str(port),
         "--stats-port", str(stats_port),
         "--data-dir", str(data_dir),
+        "--prefix-directory",
     ]
     for address, (host, peer_port) in peers.items():
         command += ["--peer", f"{address}={host}:{peer_port}"]
@@ -111,6 +117,7 @@ def main() -> int:
         dimension=arguments.dimension,
         num_dht_nodes=arguments.nodes,
         seed=arguments.seed,
+        prefix_directory=True,
     )
     corpus = SyntheticCorpus.generate(num_objects=arguments.objects, seed=arguments.seed)
     items = [(record.object_id, record.keywords) for record in corpus.records]
@@ -121,12 +128,24 @@ def main() -> int:
     baseline = KeywordSearchService.create(config)
     holder = baseline.dolr.addresses()[0]
     for object_id, keywords in items:
-        baseline.index.insert(object_id, keywords, holder)
+        baseline.publish(object_id, keywords, holder=holder)
     queries = sorted({frozenset(list(kw)[:1]) for _, kw in items[: arguments.queries]},
                      key=sorted)
     expected = {
         tuple(sorted(query)): sorted(baseline.superset_search(query).results())
         for query in queries
+    }
+    # Prefixes of the hottest keywords: what the directory must answer
+    # identically once the victim's trie rows are back from the WAL.
+    frequencies = corpus.keyword_frequencies()
+    hot = sorted(frequencies, key=lambda word: (-frequencies[word], word))[:8]
+    prefixes = sorted({word[:2] for word in hot})
+    expected_prefix = {
+        prefix: (
+            sorted(baseline.directory.resolve(prefix).keywords),
+            sorted(baseline.prefix_search(prefix).results()),
+        )
+        for prefix in prefixes
     }
 
     # The victim: the node carrying the most index entries, so recovery
@@ -155,7 +174,7 @@ def main() -> int:
             print(f"victim serving on :{victim_port}, stats on :{stats_port}")
 
             for object_id, keywords in items[:half]:
-                service.index.insert(object_id, keywords, holder)
+                service.publish(object_id, keywords, holder=holder)
             print(f"published {half} objects; killing victim with SIGKILL")
 
             process.send_signal(signal.SIGKILL)
@@ -170,7 +189,7 @@ def main() -> int:
             print(f"victim restarted; recovered {recovered} records from its WAL")
 
             for object_id, keywords in items[half:]:
-                service.index.insert(object_id, keywords, holder)
+                service.publish(object_id, keywords, holder=holder)
 
             origin = next(address for address in addresses if address != victim)
             mismatches = 0
@@ -184,6 +203,25 @@ def main() -> int:
                 print(f"FAIL: {mismatches}/{len(queries)} queries diverged after crash")
                 return 1
             print(f"all {len(queries)} superset queries match the uninterrupted run")
+
+            for prefix in prefixes:
+                want_keywords, want_objects = expected_prefix[prefix]
+                resolution = service.directory.resolve(prefix, origin=origin)
+                result = service.prefix_search(prefix, origin=origin)
+                if (
+                    sorted(resolution.keywords) != want_keywords
+                    or sorted(result.results()) != want_objects
+                ):
+                    mismatches += 1
+                    print(
+                        f"MISMATCH prefix {prefix!r}: "
+                        f"{sorted(resolution.keywords)} != {want_keywords} or "
+                        f"{sorted(result.results())} != {want_objects}"
+                    )
+            if mismatches:
+                print(f"FAIL: {mismatches}/{len(prefixes)} prefix queries diverged")
+                return 1
+            print(f"all {len(prefixes)} prefix queries resolve identically after recovery")
 
             process.send_signal(signal.SIGTERM)  # the graceful path
             try:

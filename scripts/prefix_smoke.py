@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Prefix-search smoke: harvest workload on a 16-node loopback cluster.
+
+The scenario CI runs end-to-end (docs/protocol.md §17):
+
+1. build a 16-node loopback-TCP cluster with dynamic membership, a
+   2-way replicated index, and the distributed keyword directory, then
+   publish a synthetic corpus;
+2. replay a harvest-style Zipf prefix stream (the discovered vocabulary
+   grows mid-stream, as a crawler's would) through the unified client in
+   prefix mode, checking every answer against the brute-force
+   posting-list oracle — recall must be **exact**, not approximate;
+3. crash one node (operator-declared, so repair runs immediately) and
+   replay the same probes: the directory's replica failover + row
+   repair must keep every prefix answer byte-identical to the oracle.
+
+Exits non-zero on any violation.  Runs in well under two minutes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import SearchOptions, ServiceConfig  # noqa: E402
+from repro.core.service import KeywordSearchService  # noqa: E402
+from repro.load.mix import HarvestPrefixMix  # noqa: E402
+from repro.membership import MembershipPolicy  # noqa: E402
+from repro.net.cluster import LocalCluster  # noqa: E402
+from repro.prefix.trie import prefix_of  # noqa: E402
+from repro.sim.resilience import RetryPolicy  # noqa: E402
+from repro.workload.corpus import SyntheticCorpus  # noqa: E402
+
+CONFIG = ServiceConfig(
+    dimension=6,
+    num_dht_nodes=16,
+    seed=17,
+    index_replicas=2,
+    prefix_directory=True,
+    resilience=RetryPolicy(max_attempts=2, base_delay=8.0, jitter=0.0),
+)
+POLICY = MembershipPolicy(gossip_interval=0.1, fanout=3, suspicion_threshold=3)
+NUM_OBJECTS = 96
+PROBES = 40
+MAX_EXPANSIONS = 64  # >= vocabulary size: no probe can be truncated
+OPTIONS = SearchOptions(prefix=True, max_expansions=MAX_EXPANSIONS)
+
+
+def build_corpus() -> SyntheticCorpus:
+    return SyntheticCorpus.generate(num_objects=NUM_OBJECTS, vocabulary_size=64, seed=17)
+
+
+def probe_stream(corpus: SyntheticCorpus) -> list[str]:
+    """Harvest shape: start with the 8 hottest keywords discovered,
+    widen to the full vocabulary halfway through the stream."""
+    mix = HarvestPrefixMix.from_corpus(corpus, discovered=8, min_length=2, seed=23)
+    probes = [mix.next_prefix() for _ in range(PROBES // 2)]
+    mix.discover(len(mix.vocabulary))
+    probes += [mix.next_prefix() for _ in range(PROBES - len(probes))]
+    return probes
+
+
+def oracle_for(postings: dict, prefix: str) -> set:
+    return {
+        object_id
+        for keyword, ids in postings.items()
+        if keyword.startswith(prefix)
+        for object_id in ids
+    }
+
+
+def check_stream(client, postings: dict, probes: list[str], stage: str) -> int:
+    failures = 0
+    for prefix in probes:
+        expected = oracle_for(postings, prefix)
+        returned = set(client.search(prefix, OPTIONS).results())
+        if returned != expected:
+            failures += 1
+            missing, extra = expected - returned, returned - expected
+            print(
+                f"FAIL [{stage}] prefix {prefix!r}: "
+                f"missing={sorted(missing)} extra={sorted(extra)}"
+            )
+    print(f"{stage}: {len(probes) - failures}/{len(probes)} probes exact")
+    return failures
+
+
+def index_safe_victims(service) -> list[int]:
+    """Addresses whose loss the replicated *index* can fully repair."""
+    victims = []
+    for victim in service.dolr.addresses():
+        safe, loaded = True, False
+        for index in service.indexes:
+            donors = [d for d in service.indexes if d is not index]
+            for logical in index.mapping.logical_nodes_of(victim):
+                rows = index.shard_at(victim).snapshot_records((index.namespace, logical))
+                if not rows:
+                    continue
+                loaded = True
+                if not donors or not any(
+                    d.mapping.physical_owner(logical) != victim for d in donors
+                ):
+                    safe = False
+        if safe and loaded:
+            victims.append(victim)
+    return victims
+
+
+def directory_safe(service, victim: int) -> bool:
+    """Every trie row hosted on ``victim`` has a replica row owned by a
+    *different* address (so directory repair can re-seed all of them)."""
+    directory = service.directory
+    shard = service.dolr.node(victim).application("hindex")
+    for key in list(shard.tables):
+        if key[0] not in directory.namespaces:
+            continue
+        for row in shard.tables[key]:
+            prefix = prefix_of(row)
+            if not any(
+                directory.owner_of(namespace, prefix) != victim
+                for namespace in directory.namespaces
+                if namespace != key[0]
+            ):
+                return False
+    return True
+
+
+def main() -> int:
+    corpus = build_corpus()
+    postings = {k: set(v) for k, v in corpus.inverted_index().items()}
+    probes = probe_stream(corpus)
+
+    # Stage 0: the same workload on the pure simulator must be exact.
+    simulator = KeywordSearchService.create(CONFIG)
+    for record in corpus.records:
+        simulator.publish(record.object_id, record.keywords)
+    failures = check_stream(simulator.client(), postings, probes, "simulator")
+
+    with LocalCluster(CONFIG, membership=POLICY) as cluster:
+        for record in corpus.records:
+            cluster.service.publish(record.object_id, record.keywords)
+        client = cluster.client()
+
+        failures += check_stream(client, postings, probes, "tcp-16-nodes")
+
+        victims = [
+            v
+            for v in index_safe_victims(cluster.service)
+            if directory_safe(cluster.service, v)
+        ]
+        if not victims:
+            print("FAIL: no fully-repairable victim to crash")
+            return 1
+        victim = victims[0]
+        restored = cluster.declare_crashed(victim)
+        print(f"crashed node {victim}; repair restored {restored} references")
+
+        failures += check_stream(client, postings, probes, "post-crash")
+
+    if failures:
+        print(f"FAIL: {failures} probe(s) diverged from the oracle")
+        return 1
+    print("PASS: prefix recall exact on simulator, TCP cluster, and after a crash")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

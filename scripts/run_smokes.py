@@ -30,6 +30,7 @@ SMOKES: dict[str, tuple[str, int]] = {
     "load": ("load_smoke.py", 150),
     "churn": ("churn_smoke.py", 180),
     "cache-coherence": ("cache_coherence_smoke.py", 120),
+    "prefix": ("prefix_smoke.py", 180),
 }
 
 

@@ -42,6 +42,7 @@ EXPERIMENTS = (
     "dhtcmp",
     "bandwidth",
     "churn",
+    "prefix",
 )
 
 

@@ -51,7 +51,38 @@ from repro.net.errors import PeerUnreachableError
 if TYPE_CHECKING:
     from repro.net.cluster import LocalCluster
 
-__all__ = ["Client", "DaemonFleetClient", "ServiceClient", "connect"]
+__all__ = ["Client", "DaemonFleetClient", "InvalidQueryError", "ServiceClient", "connect"]
+
+
+class InvalidQueryError(ValueError):
+    """A query rejected at the client boundary before any message is
+    sent: an empty keyword set, a non-string keyword, an empty prefix,
+    or a prefix query that is not exactly one string.  Subclasses
+    ``ValueError`` so pre-existing ``except ValueError`` call sites
+    keep working."""
+
+
+def _validated_query(keywords, options: SearchOptions | None):
+    """Normalize a query up front, re-framing malformed input as
+    :class:`InvalidQueryError` instead of a bare ``ValueError`` from
+    deep inside :mod:`repro.core.keywords`.  Normalization is
+    idempotent, so passing the canonical form through changes no
+    behaviour."""
+    from repro.core.keywords import normalize_keywords, normalize_prefix
+
+    try:
+        if options is not None and options.prefix:
+            if isinstance(keywords, str):
+                return normalize_prefix(keywords)
+            items = list(keywords)
+            if len(items) != 1 or not isinstance(items[0], str):
+                raise ValueError(
+                    f"a prefix query takes exactly one prefix string, got {items!r}"
+                )
+            return normalize_prefix(items[0])
+        return normalize_keywords(keywords)
+    except (TypeError, ValueError) as error:
+        raise InvalidQueryError(str(error)) from None
 
 
 @runtime_checkable
@@ -85,14 +116,20 @@ class _ServiceBackedClient:
     def search(
         self, keywords: Iterable[str], options: SearchOptions | None = None
     ) -> SearchResult:
-        """min(t, |O_K|) objects describable by ``keywords``."""
-        return self.service.search(keywords, options)
+        """min(t, |O_K|) objects describable by ``keywords`` — or, with
+        ``options.prefix``, the objects carrying any keyword extending
+        the given prefix.  Malformed queries raise
+        :class:`InvalidQueryError` before any message is sent."""
+        return self.service.search(_validated_query(keywords, options), options)
 
     def insert(
         self, object_id: str, keywords: Iterable[str], *, holder: int | None = None
     ) -> PublishedObject:
-        """Publish one replica of ``object_id`` under ``keywords``."""
-        return self.service.publish(object_id, keywords, holder=holder)
+        """Publish one replica of ``object_id`` under ``keywords``.
+        Malformed keyword sets raise :class:`InvalidQueryError`."""
+        return self.service.publish(
+            object_id, _validated_query(keywords, None), holder=holder
+        )
 
     def delete(self, object_id: str, *, holder: int) -> None:
         """Withdraw the replica ``holder`` published."""

@@ -83,6 +83,13 @@ class ServiceConfig:
     keeps the single-index stack byte-identical to pre-replication
     behaviour.
 
+    ``prefix_directory`` builds the distributed keyword directory
+    (:mod:`repro.prefix`, docs/protocol.md §17) alongside the index:
+    every publish/unpublish also maintains a DHT-sharded trie of the
+    indexed keywords, and :meth:`KeywordSearchService.prefix_search`
+    (or ``SearchOptions(prefix=True)``) becomes available.  The default
+    off adds zero messages and keeps every experiment byte-identical.
+
     ``cooperative_cache`` turns on the SBT-path caching tier
     (docs/protocol.md §16): interior tree nodes cache their subtree's
     complete results and walkers consult them before descending.  Only
@@ -107,6 +114,7 @@ class ServiceConfig:
     index_replicas: int = 1
     cooperative_cache: bool = False
     cache_sizing: CacheSizing = CacheSizing.UNIFORM
+    prefix_directory: bool = False
 
     def __post_init__(self) -> None:
         # Tolerate string forms so configs read naturally from literals,
@@ -181,6 +189,14 @@ class SearchOptions:
     shed low-priority traffic first.  The two fields are appended after
     the original five, so positional callers predating them are
     unaffected.
+
+    ``prefix`` switches the query to prefix mode (docs/protocol.md
+    §17): the query string is a keyword *prefix*, resolved through the
+    service's keyword directory and expanded keyword-by-keyword under
+    the shared ``threshold``/``deadline`` budget.  ``max_expansions``
+    bounds how many matched keywords the directory enumerates per query
+    (None: unbounded).  Both fields are appended after the existing
+    seven, keeping positional callers unaffected.
     """
 
     threshold: int | None = None
@@ -190,6 +206,8 @@ class SearchOptions:
     trace: bool = False
     deadline: float | None = None
     priority: int = 0
+    prefix: bool = False
+    max_expansions: int | None = None
 
     def __post_init__(self) -> None:
         if self.threshold is not None and self.threshold < 1:
@@ -198,3 +216,7 @@ class SearchOptions:
             raise ValueError(f"deadline must be positive or None, got {self.deadline}")
         if self.priority < 0:
             raise ValueError(f"priority must be >= 0, got {self.priority}")
+        if self.max_expansions is not None and self.max_expansions < 1:
+            raise ValueError(
+                f"max_expansions must be >= 1 or None, got {self.max_expansions}"
+            )

@@ -18,12 +18,31 @@ from collections.abc import Iterable
 from repro.hypercube.hypercube import Hypercube
 from repro.util.hashing import stable_hash
 
-__all__ = ["KeywordHasher", "KeywordSetMapper", "normalize_keyword", "normalize_keywords"]
+__all__ = [
+    "KeywordHasher",
+    "KeywordSetMapper",
+    "normalize_keyword",
+    "normalize_keywords",
+    "normalize_prefix",
+]
+
+
+def _canonical_form(text: str) -> str:
+    """The shared canonicalization pipeline: NFKC, casefold, drop
+    format characters (category Cf — zero-width space/joiners, BOM —
+    which NFKC leaves in place), strip.  Keywords and prefixes must run
+    the exact same pipeline or prefix matching and exact matching
+    disagree on canonical forms."""
+    folded = unicodedata.normalize("NFKC", text).casefold()
+    if not folded.isascii():
+        folded = "".join(ch for ch in folded if unicodedata.category(ch) != "Cf")
+    return folded.strip()
 
 
 @functools.lru_cache(maxsize=1 << 20)
 def normalize_keyword(keyword: str) -> str:
-    """Canonicalize one keyword: NFKC normalization, casefold, strip.
+    """Canonicalize one keyword: NFKC normalization, casefold, format-
+    character removal, strip.
 
     Cached — experiments normalize the same vocabulary millions of
     times.
@@ -33,9 +52,25 @@ def normalize_keyword(keyword: str) -> str:
     """
     if not isinstance(keyword, str):
         raise TypeError(f"keyword must be a string, got {type(keyword).__name__}")
-    canonical = unicodedata.normalize("NFKC", keyword).casefold().strip()
+    canonical = _canonical_form(keyword)
     if not canonical:
         raise ValueError(f"keyword {keyword!r} is empty after normalization")
+    return canonical
+
+
+def normalize_prefix(prefix: str) -> str:
+    """Canonicalize a keyword prefix with the same pipeline as
+    :func:`normalize_keyword`, so a directory lookup for ``"Ja"``
+    matches every keyword whose canonical form starts with ``"ja"``.
+
+    >>> normalize_prefix(" Ja")
+    'ja'
+    """
+    if not isinstance(prefix, str):
+        raise TypeError(f"prefix must be a string, got {type(prefix).__name__}")
+    canonical = _canonical_form(prefix)
+    if not canonical:
+        raise ValueError(f"prefix {prefix!r} is empty after normalization")
     return canonical
 
 

@@ -65,7 +65,7 @@ from dataclasses import dataclass, field
 from collections.abc import Iterable, Iterator
 
 from repro.core.index import HypercubeIndex
-from repro.core.keywords import normalize_keywords
+from repro.core.keywords import normalize_keywords, normalize_prefix
 from repro.net.errors import PeerUnreachableError
 from repro.net.transport import RpcCall
 from repro.obs.trace import QueryTrace, TraceRecorder, active_recorder, recording
@@ -73,7 +73,15 @@ from repro.sim.resilience import ResilientChannel
 from repro.hypercube.sbt import SpanningBinomialTree
 from repro.util import bitops
 
-__all__ = ["FoundObject", "NodeVisit", "SearchResult", "SuperSetSearch", "TraversalOrder"]
+__all__ = [
+    "FoundObject",
+    "NodeVisit",
+    "PrefixSearch",
+    "PrefixSearchResult",
+    "SearchResult",
+    "SuperSetSearch",
+    "TraversalOrder",
+]
 
 
 class TraversalOrder(enum.Enum):
@@ -1131,3 +1139,184 @@ class SuperSetSearch:
         for i in range(dimension - 1, -1, -1):
             if not (node >> i) & 1:
                 yield i
+
+
+@dataclass(frozen=True)
+class PrefixSearchResult:
+    """Outcome of one prefix query (docs/protocol.md §17).
+
+    A prefix query is a directory resolution followed by one superset
+    expansion per matched keyword.  ``matched_keywords`` are the full
+    keywords the directory enumerated for the prefix;
+    ``expanded_keywords`` the subset actually expanded before the
+    result budget ran out.  ``objects`` are deduplicated across
+    expansions and ranked general-first by extra-keyword count — the
+    same Lemma 3.2 ordering single-keyword search uses.
+
+    ``directory_messages`` counts only the ``pfx.node`` fetches of the
+    resolution (the quantity that must scale with matches, not
+    vocabulary); ``messages`` counts every transport message the whole
+    query sent.  ``complete`` is True iff the resolution enumerated
+    every match and every expansion finished unclipped.
+    """
+
+    prefix: str
+    threshold: int | None
+    matched_keywords: tuple[str, ...]
+    expanded_keywords: tuple[str, ...]
+    objects: tuple[FoundObject, ...]
+    complete: bool
+    directory_messages: int
+    messages: int
+    rounds: int
+    cache_hits: int
+    trace: QueryTrace | None = field(default=None, compare=False, repr=False)
+
+    @property
+    def object_ids(self) -> tuple[str, ...]:
+        return tuple(found.object_id for found in self.objects)
+
+    def results(self) -> tuple[str, ...]:
+        """The matching object IDs (shared search-result accessor)."""
+        return self.object_ids
+
+
+class PrefixSearch:
+    """Expansion-bounded prefix query planner.
+
+    Resolves a prefix against a :class:`~repro.prefix.directory.KeywordDirectory`,
+    then expands each matched keyword through the ordinary superset
+    machinery (so replication, caching, admission control, and
+    degradation all apply per expansion).  The caller's ``threshold``
+    is one shared budget: each expansion asks only for what earlier
+    expansions have not already produced, and expansion stops once the
+    budget is spent.  ``max_expansions`` bounds how many keywords the
+    directory enumerates in the first place — the guard against a
+    one-letter prefix fanning out over the whole vocabulary.
+    """
+
+    def __init__(self, directory, searcher: SuperSetSearch):
+        self.directory = directory
+        self.searcher = searcher
+
+    def run(
+        self,
+        prefix: str,
+        threshold: int | None = None,
+        *,
+        origin: int | None = None,
+        order: TraversalOrder = TraversalOrder.TOP_DOWN,
+        use_cache: bool = False,
+        trace: bool = False,
+        max_expansions: int | None = None,
+    ) -> PrefixSearchResult:
+        if threshold is not None and threshold < 1:
+            raise ValueError(f"threshold must be >= 1 or None, got {threshold}")
+        if max_expansions is not None and max_expansions < 1:
+            raise ValueError(
+                f"max_expansions must be >= 1 or None, got {max_expansions}"
+            )
+        canonical = normalize_prefix(prefix)
+        dolr = self.searcher.index.dolr
+        origin = dolr.any_address() if origin is None else origin
+
+        recorder = TraceRecorder(clock=dolr.network.now) if trace else None
+        scope = recording(recorder) if recorder is not None else nullcontext()
+        with scope, dolr.network.trace() as window:
+            resolution = self.directory.resolve(
+                canonical, origin=origin, limit=max_expansions
+            )
+            if recorder is not None:
+                recorder.emit(
+                    "prefix_resolve",
+                    prefix=canonical,
+                    matched=sorted(resolution.keywords),
+                    directory_messages=resolution.messages,
+                    nodes_visited=resolution.nodes_visited,
+                    truncated=resolution.truncated,
+                    degraded=resolution.degraded,
+                )
+            matched = tuple(sorted(resolution.keywords))
+            complete = resolution.complete
+            # objects found so far: object_id -> (specificity, arrival, found)
+            merged: dict[str, tuple[int, int, FoundObject]] = {}
+            expanded: list[str] = []
+            remaining = threshold
+            rounds = 1
+            cache_hits = 0
+            for keyword in matched:
+                if remaining is not None and remaining <= 0:
+                    # Budget spent with matches left unexpanded.
+                    complete = False
+                    break
+                sub = self.searcher.run(
+                    [keyword],
+                    remaining,
+                    origin=origin,
+                    order=order,
+                    use_cache=use_cache,
+                    trace=False,
+                )
+                expanded.append(keyword)
+                rounds += sub.rounds
+                cache_hits += 1 if sub.cache_hit else 0
+                complete = complete and sub.complete
+                if recorder is not None:
+                    recorder.emit(
+                        "prefix_expand",
+                        keyword=keyword,
+                        returned=len(sub.objects),
+                        complete=sub.complete,
+                        cache_hit=sub.cache_hit,
+                        messages=sub.messages,
+                    )
+                query = frozenset({keyword})
+                new = 0
+                for found in sub.objects:
+                    specificity = found.specificity(query)
+                    previous = merged.get(found.object_id)
+                    if previous is None:
+                        merged[found.object_id] = (specificity, len(merged), found)
+                        new += 1
+                    elif specificity < previous[0]:
+                        # The object also matches a keyword it is less
+                        # specific against — rank by its best match.
+                        merged[found.object_id] = (specificity, previous[1], found)
+                if remaining is not None:
+                    remaining -= new
+            ranked = sorted(merged.values(), key=lambda entry: (entry[0], entry[1]))
+            objects = tuple(entry[2] for entry in ranked)
+            if threshold is not None and len(objects) > threshold:
+                objects = objects[:threshold]
+                complete = False
+            messages = window.message_count
+
+        query_trace: QueryTrace | None = None
+        if recorder is not None:
+            query_trace = recorder.finish(
+                {
+                    "prefix": canonical,
+                    "threshold": threshold,
+                    "order": order.value,
+                    "origin": origin,
+                    "matched_keywords": list(matched),
+                    "results": len(objects),
+                    "complete": complete,
+                    "directory_messages": resolution.messages,
+                    "messages": messages,
+                    "rounds": rounds,
+                }
+            )
+        return PrefixSearchResult(
+            prefix=canonical,
+            threshold=threshold,
+            matched_keywords=matched,
+            expanded_keywords=tuple(expanded),
+            objects=objects,
+            complete=complete,
+            directory_messages=resolution.messages,
+            messages=messages,
+            rounds=rounds,
+            cache_hits=cache_hits,
+            trace=query_trace,
+        )

@@ -25,7 +25,13 @@ from repro.core.cumulative import CumulativeSearchSession
 from repro.core.index import HypercubeIndex, PinResult
 from repro.core.keywords import normalize_keywords
 from repro.core.replication import ReplicatedHypercubeIndex, ReplicatedSuperSetSearch
-from repro.core.search import SearchResult, SuperSetSearch, TraversalOrder
+from repro.core.search import (
+    PrefixSearch,
+    PrefixSearchResult,
+    SearchResult,
+    SuperSetSearch,
+    TraversalOrder,
+)
 from repro.dht.chord import ChordNetwork
 from repro.dht.dolr import DolrNetwork
 from repro.dht.kademlia import KademliaNetwork
@@ -33,6 +39,7 @@ from repro.dht.pastry import PastryNetwork
 from repro.hypercube.hypercube import Hypercube
 from repro.net.qos import qos_scope
 from repro.net.transport import Transport
+from repro.prefix.directory import KeywordDirectory
 from repro.store.backend import StoreBackend
 from repro.util.rng import make_rng, spawn_rng
 
@@ -48,6 +55,19 @@ _CACHE_FACTORIES = {
     CachePolicy.FIFO: FifoQueryCache,
     CachePolicy.LRU: LruQueryCache,
 }
+
+
+def _as_prefix(query) -> str:
+    """Accept a prefix query as a bare string or a one-element iterable
+    (the shape ``Client.search`` naturally passes through)."""
+    if isinstance(query, str):
+        return query
+    items = list(query)
+    if len(items) != 1 or not isinstance(items[0], str):
+        raise ValueError(
+            f"a prefix query takes exactly one prefix string, got {items!r}"
+        )
+    return items[0]
 
 
 @dataclass(frozen=True)
@@ -102,6 +122,18 @@ class KeywordSearchService:
                 index, contact_mode=contact_mode.value, cooperative=cooperative
             )
         self._published: dict[tuple[str, int], PublishedObject] = {}
+        # The distributed keyword directory (repro.prefix), when the
+        # config asked for one; attach_directory() wires it and the
+        # prefix planner in.
+        self.directory = None
+        self.prefix_searcher: PrefixSearch | None = None
+
+    def attach_directory(self, directory) -> None:
+        """Wire a :class:`~repro.prefix.directory.KeywordDirectory` in:
+        publishes/unpublishes maintain it and prefix queries run over
+        it."""
+        self.directory = directory
+        self.prefix_searcher = PrefixSearch(directory, self.searcher)
 
     # -- construction -----------------------------------------------------
 
@@ -182,7 +214,7 @@ class KeywordSearchService:
                 replicated=replicated,
             )
             service.stores = stores
-            return service
+            return cls._finish_create(service)
         index = HypercubeIndex(
             Hypercube(config.dimension),
             dolr,
@@ -192,6 +224,15 @@ class KeywordSearchService:
         )
         service = cls(index, contact_mode=config.contact_mode, config=config)
         service.stores = stores
+        return cls._finish_create(service)
+
+    @classmethod
+    def _finish_create(cls, service: "KeywordSearchService") -> "KeywordSearchService":
+        config = service.config
+        if config is not None and config.prefix_directory:
+            service.attach_directory(
+                KeywordDirectory(service.dolr, replicas=config.index_replicas)
+            )
         return service
 
     # -- publishing -------------------------------------------------------
@@ -206,9 +247,15 @@ class KeywordSearchService:
         if existing is not None:
             raise ValueError(f"{object_id!r} already published by node {holder}")
         if self.replicated is not None:
-            self.replicated.insert(object_id, normalized, holder)
+            first_copy = self.replicated.insert(object_id, normalized, holder) > 0
         else:
-            self.index.insert(object_id, normalized, holder)
+            first_copy = self.index.insert(object_id, normalized, holder)
+        if first_copy and self.directory is not None:
+            # Directory coherence rides the write path: the *first* copy
+            # of an object registers its keywords (per-object records,
+            # so later copies and repair re-pushes are idempotent).
+            for keyword in sorted(normalized):
+                self.directory.add_keyword(keyword, object_id, origin=holder)
         record = PublishedObject(object_id, normalized, holder)
         self._published[(object_id, holder)] = record
         return record
@@ -219,9 +266,12 @@ class KeywordSearchService:
         if record is None:
             raise KeyError(f"{object_id!r} was not published by node {holder}")
         if self.replicated is not None:
-            self.replicated.delete(object_id, record.keywords, holder)
+            last_copy = self.replicated.delete(object_id, record.keywords, holder) > 0
         else:
-            self.index.delete(object_id, record.keywords, holder)
+            last_copy = self.index.delete(object_id, record.keywords, holder)
+        if last_copy and self.directory is not None:
+            for keyword in sorted(record.keywords):
+                self.directory.remove_keyword(keyword, object_id, origin=holder)
 
     def published_count(self) -> int:
         return len(self._published)
@@ -278,11 +328,76 @@ class KeywordSearchService:
                 keywords, threshold, origin=origin, order=order, use_cache=use_cache, trace=trace
             )
 
+    def prefix_search(
+        self,
+        prefix: str,
+        threshold: int | None = None,
+        *,
+        origin: int | None = None,
+        order: TraversalOrder = TraversalOrder.TOP_DOWN,
+        use_cache: bool | None = None,
+        trace: bool = False,
+        max_expansions: int | None = None,
+        options: SearchOptions | None = None,
+    ) -> PrefixSearchResult:
+        """Objects carrying any keyword that extends ``prefix``
+        (docs/protocol.md §17).
+
+        Needs ``ServiceConfig(prefix_directory=True)``.  Knobs mirror
+        :meth:`superset_search`; ``options`` wins when supplied, and its
+        ``deadline``/``priority`` establish one QoS scope shared by the
+        directory resolution and every keyword expansion.
+        """
+        if self.prefix_searcher is None:
+            raise RuntimeError(
+                "prefix search requires a keyword directory — build the service "
+                "with ServiceConfig(prefix_directory=True)"
+            )
+        priority = 0
+        deadline: float | None = None
+        if options is not None:
+            threshold = options.threshold
+            origin = options.origin
+            order = options.order
+            use_cache = options.use_cache
+            trace = options.trace
+            priority = options.priority
+            deadline = options.deadline
+            max_expansions = options.max_expansions
+        if use_cache is None:
+            use_cache = self.index.cache_capacity > 0
+        if priority == 0 and deadline is None:
+            return self.prefix_searcher.run(
+                prefix,
+                threshold,
+                origin=origin,
+                order=order,
+                use_cache=use_cache,
+                trace=trace,
+                max_expansions=max_expansions,
+            )
+        deadline_at = None if deadline is None else self.network.now() + deadline
+        with qos_scope(priority=priority, deadline_at=deadline_at):
+            return self.prefix_searcher.run(
+                prefix,
+                threshold,
+                origin=origin,
+                order=order,
+                use_cache=use_cache,
+                trace=trace,
+                max_expansions=max_expansions,
+            )
+
     def search(
         self, keywords: Iterable[str], options: SearchOptions | None = None
-    ) -> SearchResult:
-        """The options-object form of :meth:`superset_search`."""
-        return self.superset_search(keywords, options=options or SearchOptions())
+    ) -> SearchResult | PrefixSearchResult:
+        """The options-object form of :meth:`superset_search` — or, with
+        ``options.prefix`` set, of :meth:`prefix_search` (``keywords``
+        is then a prefix string, or an iterable holding exactly one)."""
+        options = options or SearchOptions()
+        if options.prefix:
+            return self.prefix_search(_as_prefix(keywords), options=options)
+        return self.superset_search(keywords, options=options)
 
     def client(self):
         """This service behind the unified :class:`~repro.client.Client`

@@ -1,0 +1,104 @@
+"""Prefix search over the distributed keyword directory (§17).
+
+Publishes a synthetic corpus into a service built with
+``prefix_directory=True``, replays a harvest-style stream of Zipf-
+skewed prefixes, and reports — per prefix length — recall against the
+brute-force posting-list oracle, matched-keyword counts, and directory
+messages.  The headline relation: directory resolution messages track
+the number of *matched keywords*, not the vocabulary size.
+
+    python -m repro run prefix
+    python -m repro run prefix --num-objects 1500 --queries 120
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.config import ServiceConfig
+from repro.core.service import KeywordSearchService
+from repro.experiments.harness import ExperimentResult, default_corpus
+from repro.load.mix import HarvestPrefixMix
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    dimension: int = 6,
+    num_dht_nodes: int = 24,
+    num_objects: int = 600,
+    queries: int = 100,
+    max_expansions: int = 64,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Replay a harvest prefix stream and measure recall + message cost."""
+    if queries < 1:
+        raise ValueError(f"queries must be >= 1, got {queries}")
+    corpus = default_corpus(num_objects, seed)
+    config = ServiceConfig(
+        dimension=dimension,
+        num_dht_nodes=num_dht_nodes,
+        seed=seed,
+        prefix_directory=True,
+    )
+    service = KeywordSearchService.create(config)
+    for record in corpus.records:
+        service.publish(record.object_id, record.keywords)
+
+    postings = corpus.inverted_index()
+    mix = HarvestPrefixMix.from_corpus(corpus, seed=seed)
+    by_length: dict[int, dict[str, float]] = defaultdict(
+        lambda: {"queries": 0, "matched": 0, "messages": 0, "recall_hits": 0, "expected": 0}
+    )
+    exact = 0
+    for _ in range(queries):
+        prefix = mix.next_prefix()
+        result = service.prefix_search(prefix, max_expansions=max_expansions)
+        oracle = {
+            object_id
+            for keyword, ids in postings.items()
+            if keyword.startswith(prefix)
+            for object_id in ids
+        }
+        returned = set(result.results())
+        bucket = by_length[len(prefix)]
+        bucket["queries"] += 1
+        bucket["matched"] += len(result.matched_keywords)
+        bucket["messages"] += result.directory_messages
+        bucket["recall_hits"] += len(returned & oracle)
+        bucket["expected"] += len(oracle)
+        if returned == oracle:
+            exact += 1
+    rows = []
+    for length in sorted(by_length):
+        bucket = by_length[length]
+        rows.append(
+            {
+                "prefix_length": length,
+                "queries": int(bucket["queries"]),
+                "mean_matched_keywords": bucket["matched"] / bucket["queries"],
+                "mean_directory_messages": bucket["messages"] / bucket["queries"],
+                "recall": (
+                    bucket["recall_hits"] / bucket["expected"] if bucket["expected"] else 1.0
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment="prefix",
+        description="Prefix-search recall and directory message cost (harvest workload)",
+        parameters={
+            "dimension": dimension,
+            "num_dht_nodes": num_dht_nodes,
+            "num_objects": num_objects,
+            "queries": queries,
+            "max_expansions": max_expansions,
+            "seed": seed,
+        },
+        rows=rows,
+        notes=[
+            f"{exact}/{queries} queries returned exactly the oracle set "
+            f"(expansion budget {max_expansions}); directory messages grow "
+            "with matched keywords, not vocabulary size.",
+        ],
+    )

@@ -17,7 +17,7 @@ from typing import Protocol, Sequence, runtime_checkable
 from repro.workload.corpus import SyntheticCorpus
 from repro.workload.queries import QueryLogGenerator
 
-__all__ = ["FixedQueryMix", "QueryMix", "ZipfQueryMix"]
+__all__ = ["FixedQueryMix", "HarvestPrefixMix", "QueryMix", "ZipfQueryMix"]
 
 
 @runtime_checkable
@@ -77,3 +77,86 @@ class ZipfQueryMix:
 
     def next_query(self) -> frozenset[str]:
         return self.generator.sample_query_set()
+
+
+class HarvestPrefixMix:
+    """Harvest-style prefix stream over a skewed, *growing* vocabulary.
+
+    Models the BitTorrent-DHT indexing workload: a crawler discovers
+    keywords incrementally (the visible vocabulary grows as objects are
+    published) and issues prefix probes against what it has seen — hot
+    words get probed often (Zipf rank-skew) and with longer, more
+    specific prefixes, while tail words surface through short exploratory
+    prefixes.  ``next_prefix()`` draws a vocabulary word by Zipf rank
+    from the *currently discovered* portion and truncates it to a
+    sampled length between ``min_length`` and the word's full length.
+
+    ``next_query()`` wraps each prefix in a one-element frozenset, so the
+    mix plugs into the load generator's ``QueryMix`` slot unchanged —
+    drivers running in prefix mode (``SearchOptions(prefix=True)``)
+    unwrap the single element.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Sequence[str],
+        *,
+        discovered: int | None = None,
+        min_length: int = 1,
+        zipf_exponent: float = 1.0,
+        seed: int | random.Random = 0,
+    ):
+        if not vocabulary:
+            raise ValueError("need a non-empty vocabulary")
+        if min_length < 1:
+            raise ValueError(f"min_length must be >= 1, got {min_length}")
+        self.vocabulary = list(vocabulary)
+        self.min_length = min_length
+        self.rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+        self._discovered = len(self.vocabulary) if discovered is None else discovered
+        self._discovered = max(1, min(self._discovered, len(self.vocabulary)))
+        # Zipf rank weights over the full vocabulary, computed once;
+        # draws renormalize over the discovered head.
+        self._weights = [1.0 / (rank**zipf_exponent) for rank in range(1, len(self.vocabulary) + 1)]
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: SyntheticCorpus,
+        *,
+        discovered: int | None = None,
+        min_length: int = 1,
+        seed: int | random.Random = 0,
+    ) -> "HarvestPrefixMix":
+        """Probe the corpus's used vocabulary, hottest keyword first —
+        the order a harvester actually discovers words in (ties broken
+        lexicographically for determinism)."""
+        frequencies = corpus.keyword_frequencies()
+        ranked = sorted(frequencies, key=lambda word: (-frequencies[word], word))
+        return cls(ranked, discovered=discovered, min_length=min_length, seed=seed)
+
+    @property
+    def discovered(self) -> int:
+        """How much of the vocabulary the harvester has seen so far."""
+        return self._discovered
+
+    def discover(self, count: int = 1) -> int:
+        """Grow the visible vocabulary by ``count`` words (harvest
+        progress); returns the new discovered size."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._discovered = min(self._discovered + count, len(self.vocabulary))
+        return self._discovered
+
+    def next_prefix(self) -> str:
+        word = self.rng.choices(
+            self.vocabulary[: self._discovered],
+            weights=self._weights[: self._discovered],
+        )[0]
+        if len(word) <= self.min_length:
+            return word
+        length = self.rng.randint(self.min_length, len(word))
+        return word[:length]
+
+    def next_query(self) -> frozenset[str]:
+        return frozenset({self.next_prefix()})

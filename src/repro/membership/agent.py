@@ -373,6 +373,9 @@ class MembershipAgent:
             self._emit(leaving, moved=0)
             self._burst()
             moved = sum(index.evacuate(address) for index in self.service.indexes)
+            directory = getattr(self.service, "directory", None)
+            if directory is not None:
+                moved += directory.evacuate(address)
             left = PeerRecord(address, "left", self.book.next_epoch(), endpoint)
             self.book.apply(left)
             self._emit(left, moved=moved)

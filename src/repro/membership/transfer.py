@@ -72,6 +72,12 @@ def apply_alive(service, transport, record: PeerRecord, served: set[int]) -> int
     for index in service.indexes:
         for local in sorted(served):
             moved += index._push_misplaced_tables(local)
+    directory = getattr(service, "directory", None)
+    if directory is not None:
+        # The keyword directory shards on the same ring: trie rows the
+        # joiner now owns move over the same hindex.transfer stream.
+        for local in sorted(served):
+            moved += directory.push_misplaced(local)
     return moved
 
 
@@ -98,6 +104,13 @@ def apply_gone(
         # Computed against the pre-expulsion ring: ownership *after*
         # expel can no longer tell us what lived there.
         lost = {index: index.mapping.logical_nodes_of(address) for index in service.indexes}
+    directory = getattr(service, "directory", None)
+    directory_plans: list = []
+    if repair and directory is not None:
+        # Same pre-expulsion constraint for the keyword directory: find
+        # the trie rows the dead node owned that our served replicas can
+        # re-seed (a trie row is byte-identical across replicas).
+        directory_plans = directory.plan_repair(address, served)
     expel = getattr(dolr, "expel", None)
     if expel is None:
         raise NotImplementedError(
@@ -107,9 +120,12 @@ def apply_gone(
     expel(address)
     transport.peers.pop(address, None)
     _invalidate_mappings(service)
-    if not lost:
-        return 0
-    return repair_lost(service, lost, served)
+    restored = 0
+    if directory_plans:
+        restored += directory.apply_repair(directory_plans)
+    if lost:
+        restored += repair_lost(service, lost, served)
+    return restored
 
 
 def repair_lost(service, lost: dict, served: set[int]) -> int:

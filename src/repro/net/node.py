@@ -324,6 +324,7 @@ def _config_from(arguments: argparse.Namespace) -> ServiceConfig:
         dht=arguments.dht,
         dht_bits=arguments.bits,
         seed=arguments.seed,
+        prefix_directory=getattr(arguments, "prefix_directory", False),
     )
 
 
@@ -338,6 +339,12 @@ def add_node_commands(commands) -> None:
         subparser.add_argument("--dht", default="chord", choices=["chord", "kademlia", "pastry"])
         subparser.add_argument("--bits", type=int, default=32, help="identifier-space bits")
         subparser.add_argument("--seed", type=int, default=0, help="deployment seed")
+        subparser.add_argument(
+            "--prefix-directory",
+            action="store_true",
+            help="maintain the distributed keyword directory (prefix search, "
+            "docs/protocol.md §17); every daemon of a deployment must agree",
+        )
 
     addresses = actions.add_parser(
         "addresses", help="print the node addresses this deployment consists of"

@@ -1,0 +1,12 @@
+"""Distributed keyword directory: a Patricia trie over normalized
+keywords, sharded onto the DHT (docs/protocol.md §17).
+
+The directory answers *prefix* queries — "which indexed keywords start
+with ``ja``?" — with messages proportional to the number of matching
+keywords, so the planner in :mod:`repro.core.search` can expand each
+match through the existing superset-search machinery.
+"""
+
+from repro.prefix.directory import KeywordDirectory, PrefixDirectoryShard, PrefixResolution
+
+__all__ = ["KeywordDirectory", "PrefixDirectoryShard", "PrefixResolution"]

@@ -1,0 +1,91 @@
+"""Record encoding and pure math for the directory trie.
+
+A trie node for prefix ``p`` is one inner row of an
+:class:`~repro.core.index.IndexShard` table: the row key is
+``frozenset({"p:<p>"})`` (disambiguating hash collisions on the table
+key) and the row's record set holds two kinds of strings:
+
+- ``"e:<run>"`` — a child edge: a node for ``p + run`` exists.  Runs
+  are Patricia-compressed: a node splits only where keywords diverge,
+  so the trie has fewer internal nodes than leaves and enumeration
+  costs O(matches) fetches, not O(|prefix tree|).
+- ``"w:<object_id>"`` — keyword ``p`` is carried by ``object_id``.  A
+  node is *terminal* (a full keyword) while it has at least one word
+  record; per-object records make re-pushes during repair idempotent.
+
+Everything here is pure string/set math — no I/O — so the write and
+read paths in :mod:`repro.prefix.directory` stay small.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = [
+    "common_prefix_len",
+    "decode_records",
+    "edge_record",
+    "prefix_of",
+    "record_key",
+    "word_record",
+]
+
+_PREFIX_TAG = "p:"
+_EDGE_TAG = "e:"
+_WORD_TAG = "w:"
+
+
+def record_key(prefix: str) -> frozenset[str]:
+    """The inner table key of the trie node for ``prefix``."""
+    return frozenset({_PREFIX_TAG + prefix})
+
+
+def prefix_of(key: frozenset[str]) -> str:
+    """Invert :func:`record_key` (used by repair scans)."""
+    (tagged,) = key
+    if not tagged.startswith(_PREFIX_TAG):
+        raise ValueError(f"not a trie row key: {tagged!r}")
+    return tagged[len(_PREFIX_TAG) :]
+
+
+def edge_record(run: str) -> str:
+    return _EDGE_TAG + run
+
+
+def word_record(object_id: str) -> str:
+    return _WORD_TAG + object_id
+
+
+def decode_records(
+    records: Iterable[str],
+) -> tuple[dict[str, tuple[str, ...]], tuple[str, ...]]:
+    """Split a node's record set into ``(edges, object_ids)``.
+
+    ``edges`` groups child runs by first character.  A well-formed node
+    has at most one run per first character, but a write that splits an
+    edge is two messages (add the shortened run, retire the old one) —
+    readers may observe both, so every run is kept and the reader
+    follows all of them, deduplicating keywords at the end.
+    """
+    edges: dict[str, list[str]] = {}
+    objects: list[str] = []
+    for record in records:
+        if record.startswith(_EDGE_TAG):
+            run = record[len(_EDGE_TAG) :]
+            if run:
+                edges.setdefault(run[0], []).append(run)
+        elif record.startswith(_WORD_TAG):
+            objects.append(record[len(_WORD_TAG) :])
+    return (
+        {first: tuple(sorted(runs)) for first, runs in sorted(edges.items())},
+        tuple(sorted(objects)),
+    )
+
+
+def common_prefix_len(a: str, b: str) -> int:
+    """Length of the longest common prefix of ``a`` and ``b``."""
+    bound = min(len(a), len(b))
+    i = 0
+    while i < bound and a[i] == b[i]:
+        i += 1
+    return i

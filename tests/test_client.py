@@ -110,3 +110,76 @@ class TestClusterAndFleetParity:
             fleet.close()
             # The cluster is untouched by the client's close.
             assert cluster.client().search({"probe"}).results() == ("probe.pdf",)
+
+
+class TestQueryValidation:
+    """Malformed queries die at the client boundary, before any RPC."""
+
+    def _client(self):
+        return KeywordSearchService.create(CONFIG).client()
+
+    def test_empty_query_is_rejected(self):
+        from repro.client import InvalidQueryError
+
+        client = self._client()
+        with pytest.raises(InvalidQueryError):
+            client.search([])
+        with pytest.raises(InvalidQueryError):
+            client.search(set())
+
+    def test_empty_or_nonstring_keywords_are_rejected(self):
+        from repro.client import InvalidQueryError
+
+        client = self._client()
+        with pytest.raises(InvalidQueryError):
+            client.search([""])
+        with pytest.raises(InvalidQueryError):
+            client.search(["   "])
+        with pytest.raises(InvalidQueryError):
+            client.search([3])
+        with pytest.raises(InvalidQueryError):
+            client.search(["ok", None])
+
+    def test_invalid_query_error_is_a_value_error(self):
+        from repro.client import InvalidQueryError
+
+        assert issubclass(InvalidQueryError, ValueError)
+
+    def test_malformed_prefix_queries_are_rejected(self):
+        from repro.client import InvalidQueryError
+
+        config = ServiceConfig(dimension=4, num_dht_nodes=8, seed=5, prefix_directory=True)
+        client = KeywordSearchService.create(config).client()
+        prefix = SearchOptions(prefix=True)
+        with pytest.raises(InvalidQueryError):
+            client.search([], prefix)
+        with pytest.raises(InvalidQueryError):
+            client.search("", prefix)
+        with pytest.raises(InvalidQueryError):
+            client.search(["two", "words"], prefix)
+        with pytest.raises(InvalidQueryError):
+            client.search([42], prefix)
+
+    def test_insert_validates_keywords_too(self):
+        from repro.client import InvalidQueryError
+
+        client = self._client()
+        with pytest.raises(InvalidQueryError):
+            client.insert("bad.pdf", [])
+        with pytest.raises(InvalidQueryError):
+            client.insert("bad.pdf", ["", "x"])
+
+    def test_valid_queries_still_reach_results(self):
+        client = self._client()
+        _publish_all(client)
+        assert set(client.search({"dht", "p2p"}).results()) == {"chord.pdf", "pastry.pdf"}
+
+    def test_fleet_client_validates_before_any_rpc(self):
+        from repro.client import InvalidQueryError
+
+        with LocalCluster(CONFIG) as cluster:
+            with connect(CONFIG, peers=cluster.endpoints) as fleet:
+                with pytest.raises(InvalidQueryError):
+                    fleet.search([])
+                with pytest.raises(InvalidQueryError):
+                    fleet.insert("bad.pdf", [""])

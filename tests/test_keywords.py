@@ -7,6 +7,7 @@ from repro.core.keywords import (
     KeywordSetMapper,
     normalize_keyword,
     normalize_keywords,
+    normalize_prefix,
 )
 from repro.hypercube.hypercube import Hypercube
 
@@ -33,6 +34,60 @@ class TestNormalization:
     def test_empty_set_rejected(self):
         with pytest.raises(ValueError):
             normalize_keywords([])
+
+
+class TestUnicodeEdgeCases:
+    """Confusable forms must collapse to one canonical spelling, or two
+    peers publishing 'the same' keyword will land on different trie rows
+    and different hypercube nodes."""
+
+    def test_nfkc_ligature_confusables(self):
+        # U+FB01 LATIN SMALL LIGATURE FI decomposes under NFKC.
+        assert normalize_keyword("ﬁle") == "file"
+        assert normalize_keyword("oﬃce") == "office"  # U+FB03 ffi
+
+    def test_fullwidth_forms_collapse(self):
+        assert normalize_keyword("ｊａｚｚ") == "jazz"
+        assert normalize_keyword("№５") == "no5"  # U+2116 NUMERO SIGN
+
+    def test_eszett_casefolds_to_ss(self):
+        assert normalize_keyword("ß") == "ss"
+        assert normalize_keyword("Straße") == "strasse"
+        # Capital sharp S (U+1E9E) folds the same way.
+        assert normalize_keyword("STRAẞE") == "strasse"
+
+    def test_zero_width_space_is_stripped(self):
+        assert normalize_keyword("ja​zz") == "jazz"  # U+200B ZERO WIDTH SPACE
+
+    def test_word_joiner_and_bom_are_stripped(self):
+        assert normalize_keyword("ja⁠zz") == "jazz"  # WORD JOINER
+        assert normalize_keyword("﻿jazz") == "jazz"  # BOM / ZWNBSP
+        assert normalize_keyword("ja‍zz") == "jazz"  # ZERO WIDTH JOINER
+        assert normalize_keyword("ja‌zz") == "jazz"  # ZERO WIDTH NON-JOINER
+
+    def test_only_format_characters_is_empty(self):
+        with pytest.raises(ValueError):
+            normalize_keyword("​‍﻿")
+
+    def test_ascii_fast_path_unchanged(self):
+        # Plain ASCII must come out exactly as casefold+strip — the path
+        # the published figures were generated through.
+        for word in ("jazz", "MP3", "  mixed Case  "):
+            assert normalize_keyword(word) == word.casefold().strip()
+
+    def test_prefix_pipeline_agrees_with_keyword_pipeline(self):
+        # Invariant the prefix directory depends on: normalizing a raw
+        # prefix of a word yields a prefix of the normalized word.
+        for word, cut in (("Straße", 5), ("ﬁle", 2), ("ｊａｚｚ", 2), ("ja​zz", 3)):
+            normalized = normalize_keyword(word)
+            prefix = normalize_prefix(word[:cut])
+            assert normalized.startswith(prefix), (word, cut, normalized, prefix)
+
+    def test_prefix_rejects_empty_and_non_string(self):
+        with pytest.raises(ValueError):
+            normalize_prefix("   ")
+        with pytest.raises(TypeError):
+            normalize_prefix(7)
 
 
 class TestKeywordHasher:
