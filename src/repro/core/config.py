@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 
 from repro.core.cache import CacheSizing
 from repro.core.search import TraversalOrder
+from repro.net.codec import codec_by_name
 from repro.sim.resilience import BreakerPolicy, RetryPolicy
 
 __all__ = [
@@ -99,6 +100,14 @@ class ServiceConfig:
     splits one cluster-wide budget across nodes — ``UNIFORM`` (the
     equal split, default) or ``SQRT_LOAD`` (the Sarshar & Roychowdhury
     optimum, allocation proportional to √demand).
+
+    ``codec`` picks the serialization stack (docs/protocol.md §18) for
+    TCP deployments: ``"binary"`` (default) speaks the v2 binary wire
+    envelope and writes v2 WAL records; ``"json"`` pins the v1 JSON
+    formats everywhere.  Mixed clusters interoperate — binary nodes
+    negotiate per connection and fall back to JSON with v1 peers, and
+    store recovery reads either record format — so the knob exists for
+    rolling upgrades and A/B measurement, not correctness.
     """
 
     dimension: int
@@ -115,6 +124,7 @@ class ServiceConfig:
     cooperative_cache: bool = False
     cache_sizing: CacheSizing = CacheSizing.UNIFORM
     prefix_directory: bool = False
+    codec: str = "binary"
 
     def __post_init__(self) -> None:
         # Tolerate string forms so configs read naturally from literals,
@@ -124,6 +134,10 @@ class ServiceConfig:
         object.__setattr__(self, "cache_policy", _coerce(self.cache_policy, CachePolicy))
         object.__setattr__(self, "contact_mode", _coerce(self.contact_mode, ContactMode))
         object.__setattr__(self, "cache_sizing", _coerce(self.cache_sizing, CacheSizing))
+        # Normalize via the codec registry so typos fail here, not at
+        # the first frame; a constructed config always holds the
+        # canonical codec name ("binary" / "json").
+        object.__setattr__(self, "codec", codec_by_name(self.codec).name)
         if self.dimension < 1:
             raise ValueError(f"dimension must be >= 1, got {self.dimension}")
         if self.num_dht_nodes < 1:

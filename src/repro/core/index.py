@@ -33,6 +33,7 @@ from repro.core.keywords import KeywordSetMapper, normalize_keywords
 from repro.core.mapping import HypercubeMapping
 from repro.dht.dolr import DolrNetwork, DolrNode
 from repro.hypercube.hypercube import Hypercube
+from repro.net.codec import PostingList
 from repro.net.transport import RpcCall
 from repro.obs.trace import active_recorder
 from repro.sim.network import Message
@@ -281,18 +282,25 @@ class IndexShard:
 
     def scan(
         self, key: TableKey, keywords: frozenset[str], limit: int | None
-    ) -> tuple[list[tuple[frozenset[str], tuple[str, ...]]], bool]:
+    ) -> tuple[PostingList, bool]:
         """Entries at ``key`` whose keyword set contains ``keywords``,
         smallest/lexicographically-first keyword sets first, truncated to
-        ``limit`` object ids.  Returns (matches, truncated)."""
+        ``limit`` object ids.  Returns (matches, truncated).
+
+        The matches come back as a
+        :class:`~repro.net.codec.PostingList` — a plain list to every
+        in-process consumer, but the wire layer recognizes the type and
+        ships a scan reply in the binary codec's flat posting-set form
+        (one pass over the strings, no per-element type bytes).
+        """
         table = self.tables.get(key)
         if table is None:
-            return [], False
+            return PostingList(), False
         order = self._scan_order.get(key)
         if order is None:
             order = sorted(table, key=lambda k: (len(k), tuple(sorted(k))))
             self._scan_order[key] = order
-        matches: list[tuple[frozenset[str], tuple[str, ...]]] = []
+        matches: PostingList = PostingList()
         budget = limit
         truncated = False
         for entry_keywords in order:

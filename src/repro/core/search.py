@@ -1115,7 +1115,16 @@ class SuperSetSearch:
 
     @staticmethod
     def _decode_scan(reply: dict) -> tuple[list[FoundObject], bool]:
-        """Decode one hindex.scan reply to (FoundObjects, truncated)."""
+        """Decode one hindex.scan reply to (FoundObjects, truncated).
+
+        ``matches`` arrives as a
+        :class:`~repro.net.codec.PostingList` of ``(frozenset[str],
+        tuple[str, ...])`` rows whatever the medium: in-process it is
+        the shard's own list, over sockets the binary codec ships it in
+        its flat posting-set form and reconstitutes the same rows — so
+        this decode (and the level-batched ``rpc_many`` walk that
+        funnels through it) is medium-agnostic.
+        """
         found = [
             FoundObject(object_id, entry_keywords)
             for entry_keywords, object_ids in reply["matches"]

@@ -23,6 +23,16 @@ the light contract modules from here, and eagerly pulling in the stack
 on top of it would be circular.
 """
 
+from repro.net.codec import (
+    BINARY_CODEC,
+    CODEC_BINARY,
+    CODEC_JSON,
+    JSON_CODEC,
+    Codec,
+    PostingList,
+    codec_by_id,
+    codec_by_name,
+)
 from repro.net.errors import (
     PeerUnreachableError,
     ProtocolError,
@@ -33,6 +43,7 @@ from repro.net.errors import (
 from repro.net.transport import Handler, Message, MessageTrace, Transport
 from repro.net.wire import (
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_BINARY,
     Frame,
     FrameDecoder,
     FrameType,
@@ -42,22 +53,31 @@ from repro.net.wire import (
 
 __all__ = [
     "AsyncioTransport",
+    "BINARY_CODEC",
+    "CODEC_BINARY",
+    "CODEC_JSON",
+    "Codec",
     "Frame",
     "FrameDecoder",
     "FrameType",
     "Handler",
+    "JSON_CODEC",
     "LocalCluster",
     "Message",
     "MessageTrace",
     "NodeDaemon",
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_BINARY",
     "PeerUnreachableError",
+    "PostingList",
     "ProtocolError",
     "RemoteHandlerError",
     "RpcTimeoutError",
     "Transport",
     "TransportError",
     "cluster_addresses",
+    "codec_by_id",
+    "codec_by_name",
     "decode_frame",
     "encode_frame",
 ]

@@ -60,6 +60,7 @@ in ``peers``).
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import itertools
 import threading
 import time
@@ -69,6 +70,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.net.admission import AdmissionController, AdmissionPolicy
+from repro.net.codec import CODEC_BINARY, CODEC_JSON, codec_by_name
 from repro.net.errors import (
     NodeBusyError,
     PeerUnreachableError,
@@ -85,8 +87,8 @@ from repro.net.wire import (
     FrameType,
     _HEADER,
     _declared_length,
-    _parse_body,
     encode_frame,
+    parse_frame_info,
 )
 from repro.sim.metrics import MetricsRegistry
 
@@ -94,11 +96,18 @@ __all__ = ["AsyncioTransport"]
 
 DEFAULT_RPC_TIMEOUT_S = 10.0
 
+_ADVERT = (CODEC_JSON, CODEC_BINARY)
+
 
 async def _read_frame(
     reader: asyncio.StreamReader, max_frame_bytes: int
-) -> Frame | None:
-    """Read one frame; None on clean EOF; ProtocolError on bad bytes."""
+) -> tuple[Frame, int, tuple[int, ...]] | None:
+    """Read one frame; None on clean EOF; ProtocolError on bad bytes.
+
+    Returns ``(frame, codec id it arrived in, advertised codec ids)``
+    so both ends can negotiate the connection's codec from its first
+    frames (see docs/protocol.md §18).
+    """
     header = await reader.read(_HEADER.size)
     if not header:
         return None
@@ -113,19 +122,27 @@ async def _read_frame(
         body = await reader.readexactly(declared)
     except asyncio.IncompleteReadError as error:
         raise ProtocolError("stream ended mid-frame") from error
-    return _parse_body(body)
+    return parse_frame_info(body)
 
 
 class _Connection:
     """One pooled client connection to a peer endpoint."""
 
+    __slots__ = ("dst", "reader", "writer", "pending", "reader_task", "closed",
+                 "tx_codec", "greeted")
+
     def __init__(self, dst: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         self.dst = dst
         self.reader = reader
         self.writer = writer
-        self.pending: dict[int, asyncio.Future[Frame]] = {}
+        # request id -> (waiter, timeout timer handle)
+        self.pending: dict[int, tuple[Any, asyncio.TimerHandle | None]] = {}
         self.reader_task: asyncio.Task | None = None
         self.closed = False
+        # Negotiated outgoing codec: None until the peer's first frame
+        # arrives (requests stay v1 JSON, the safe opener), then pinned.
+        self.tx_codec: int | None = None
+        self.greeted = False  # whether the capability advert went out
 
 
 class AsyncioTransport:
@@ -144,6 +161,7 @@ class AsyncioTransport:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         handler_threads: int = 16,
         admission: AdmissionPolicy | None = None,
+        codec: str = "binary",
     ):
         """``serve_addresses=None`` serves every address that registers
         (the :class:`~repro.net.cluster.LocalCluster` shape); a set
@@ -154,12 +172,19 @@ class AsyncioTransport:
         time units (clock, retry backoff, deadlines) to seconds.
         ``admission=None`` (the default) disables admission control:
         every request is dispatched, as before this knob existed.
+        ``codec`` is the *preferred* wire codec (``"binary"`` by
+        default): connections open in v1 JSON and upgrade to binary
+        only once the peer demonstrates it speaks v2, so a transport
+        pinned to ``"json"`` — or a pre-codec build — interoperates
+        unmodified (docs/protocol.md §18).
         """
         if time_scale <= 0:
             raise ValueError(f"time_scale must be positive, got {time_scale}")
         if rpc_timeout <= 0:
             raise ValueError(f"rpc_timeout must be positive, got {rpc_timeout}")
         self.host = host
+        self.codec = codec_by_name(codec).name
+        self._codec_id = codec_by_name(codec).id
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.rpc_timeout = rpc_timeout
         self.time_scale = time_scale
@@ -240,9 +265,11 @@ class AsyncioTransport:
         self._connections.pop(connection.dst, None)
         if connection.reader_task is not None:
             connection.reader_task.cancel()
-        for future in connection.pending.values():
-            if not future.done():
-                future.set_exception(ConnectionResetError("transport closed"))
+        for waiter, timer in connection.pending.values():
+            if timer is not None:
+                timer.cancel()
+            if not waiter.done():
+                waiter.set_exception(ConnectionResetError("transport closed"))
         connection.pending.clear()
         connection.writer.close()
 
@@ -401,9 +428,23 @@ class AsyncioTransport:
         # Account on send, before any failure can surface — parity with
         # the simulator's "the request is sent, then times out".
         self._account(Message(src, dst, kind, payload))
+        if self.closed:
+            raise RuntimeError("transport is closed")
+        # Fast path: one loop callback per RPC (encode + write happen in
+        # the callback, no coroutine or wait_for task), the caller parks
+        # on a concurrent future, and the timeout is a loop timer.  The
+        # backstop on result() only matters if the loop dies mid-call.
+        waiter: concurrent.futures.Future = concurrent.futures.Future()
         started = time.monotonic()
+        self._loop.call_soon_threadsafe(self._begin_rpc, dst, frame, timeout_s, waiter)
         try:
-            reply = self._call(self._rpc_async(dst, frame, timeout_s))
+            reply = waiter.result(timeout_s + 30.0)
+        except concurrent.futures.TimeoutError:
+            raise RpcTimeoutError(dst, timeout_s) from None
+        except (ConnectionError, OSError) as error:
+            if isinstance(error, PeerUnreachableError):
+                raise
+            raise PeerUnreachableError(dst, f"connection lost ({error})") from error
         finally:
             self.metrics.record("net.rpc_latency", (time.monotonic() - started) / self.time_scale)
         if reply.type is FrameType.BUSY:
@@ -534,26 +575,102 @@ class AsyncioTransport:
 
     async def _rpc_async(self, dst: int, frame: Frame, timeout_s: float) -> Frame:
         connection = await self._connection_to(dst)
-        future: asyncio.Future[Frame] = self._loop.create_future()
-        connection.pending[frame.request_id] = future
+        waiter: asyncio.Future[Frame] = self._loop.create_future()
+        self._write_request(connection, frame, timeout_s, waiter)
         try:
-            data = encode_frame(frame, max_frame_bytes=self.max_frame_bytes)
-            connection.writer.write(data)
-            self.metrics.increment("net.frames_sent")
-            self.metrics.increment("net.bytes_sent", len(data))
-            await connection.writer.drain()
-            try:
-                return await asyncio.wait_for(future, timeout_s)
-            except asyncio.TimeoutError:
-                raise RpcTimeoutError(dst, timeout_s) from None
-            except (ConnectionError, OSError) as error:
-                raise PeerUnreachableError(dst, f"connection lost ({error})") from error
+            return await waiter
         except (ConnectionError, OSError) as error:
             if isinstance(error, PeerUnreachableError):
                 raise
             raise PeerUnreachableError(dst, f"connection lost ({error})") from error
         finally:
+            entry = connection.pending.pop(frame.request_id, None)
+            if entry is not None and entry[1] is not None:
+                entry[1].cancel()
+
+    # -- RPC fast path (loop-side plumbing) ---------------------------
+
+    def _begin_rpc(self, dst: int, frame: Frame, timeout_s: float, waiter) -> None:
+        """Loop callback: write the request on the pooled connection.
+
+        The common case (connection already open) runs entirely inside
+        this callback; only a cold connection pays for a task.
+        """
+        connection = self._connections.get(dst)
+        if connection is not None and not connection.closed:
+            self._write_request(connection, frame, timeout_s, waiter)
+            return
+        task = self._loop.create_task(self._begin_rpc_connect(dst, frame, timeout_s, waiter))
+        self._request_tasks.add(task)
+        task.add_done_callback(self._request_tasks.discard)
+
+    async def _begin_rpc_connect(self, dst: int, frame: Frame, timeout_s: float, waiter) -> None:
+        try:
+            connection = await self._connection_to(dst)
+        except asyncio.CancelledError:
+            if not waiter.done():
+                waiter.set_exception(ConnectionResetError("transport closed"))
+            raise
+        except BaseException as error:  # noqa: BLE001 - ferried to the caller
+            if not waiter.done():
+                waiter.set_exception(error)
+            return
+        self._write_request(connection, frame, timeout_s, waiter)
+
+    def _write_request(self, connection: _Connection, frame: Frame, timeout_s: float, waiter) -> None:
+        """Encode in the negotiated codec, register the waiter, write.
+
+        No ``drain()``: in-flight RPCs are bounded by blocked caller
+        threads, so the write buffer cannot grow without bound, and a
+        peer that stops reading surfaces as reply timeouts.
+        """
+        try:
+            data = self._encode_for(connection, frame)
+        except Exception as error:  # noqa: BLE001 - ferried to the caller
+            if not waiter.done():
+                waiter.set_exception(error)
+            return
+        timer = self._loop.call_later(
+            timeout_s, self._expire_request, connection, frame.request_id, frame.dst, timeout_s
+        )
+        connection.pending[frame.request_id] = (waiter, timer)
+        try:
+            connection.writer.write(data)
+        except Exception as error:  # noqa: BLE001 - ferried to the caller
+            timer.cancel()
             connection.pending.pop(frame.request_id, None)
+            if not waiter.done():
+                waiter.set_exception(
+                    PeerUnreachableError(frame.dst, f"connection lost ({error})")
+                )
+            return
+        self.metrics.increment("net.frames_sent")
+        self.metrics.increment("net.bytes_sent", len(data))
+
+    def _expire_request(
+        self, connection: _Connection, request_id: int, dst: int, timeout_s: float
+    ) -> None:
+        entry = connection.pending.pop(request_id, None)
+        if entry is None:
+            return
+        waiter, _ = entry
+        if not waiter.done():
+            waiter.set_exception(RpcTimeoutError(dst, timeout_s))
+
+    def _encode_for(self, connection: _Connection, frame: Frame) -> bytes:
+        """Serialize for this connection's negotiated codec.
+
+        Until the peer's first frame proves it speaks v2, requests go
+        out as v1 JSON; a binary-preferring transport attaches the
+        capability advert to the connection's opening frame.
+        """
+        if self._codec_id == CODEC_BINARY and connection.tx_codec == CODEC_BINARY:
+            return encode_frame(frame, max_frame_bytes=self.max_frame_bytes, codec=CODEC_BINARY)
+        advertise = None
+        if self._codec_id == CODEC_BINARY and not connection.greeted:
+            advertise = _ADVERT
+        connection.greeted = True
+        return encode_frame(frame, max_frame_bytes=self.max_frame_bytes, advertise=advertise)
 
     def send(
         self,
@@ -619,7 +736,7 @@ class AsyncioTransport:
     async def _send_async(self, dst: int, frame: Frame) -> None:
         try:
             connection = await self._connection_to(dst)
-            data = encode_frame(frame, max_frame_bytes=self.max_frame_bytes)
+            data = self._encode_for(connection, frame)
             connection.writer.write(data)
             self.metrics.increment("net.frames_sent")
             self.metrics.increment("net.bytes_sent", len(data))
@@ -662,13 +779,28 @@ class AsyncioTransport:
         error: BaseException = ConnectionResetError("connection closed by peer")
         try:
             while True:
-                frame = await _read_frame(connection.reader, self.max_frame_bytes)
-                if frame is None:
+                received = await _read_frame(connection.reader, self.max_frame_bytes)
+                if received is None:
                     break
+                frame, codec_id, advertised = received
                 self.metrics.increment("net.frames_received")
-                future = connection.pending.pop(frame.request_id, None)
-                if future is not None and not future.done():
-                    future.set_result(frame)
+                # Negotiation: the peer's first frame pins this
+                # connection's outgoing codec (binary only when both
+                # sides speak it; upgrades once, never downgrades).
+                if connection.tx_codec != CODEC_BINARY:
+                    if self._codec_id == CODEC_BINARY and (
+                        codec_id == CODEC_BINARY or CODEC_BINARY in advertised
+                    ):
+                        connection.tx_codec = CODEC_BINARY
+                    elif connection.tx_codec is None:
+                        connection.tx_codec = CODEC_JSON
+                entry = connection.pending.pop(frame.request_id, None)
+                if entry is not None:
+                    waiter, timer = entry
+                    if timer is not None:
+                        timer.cancel()
+                    if not waiter.done():
+                        waiter.set_result(frame)
         except ProtocolError as protocol_error:
             self.metrics.increment("net.protocol_errors")
             error = protocol_error
@@ -679,9 +811,11 @@ class AsyncioTransport:
         finally:
             connection.closed = True
             self._connections.pop(connection.dst, None)
-            for future in connection.pending.values():
-                if not future.done():
-                    future.set_exception(error)
+            for waiter, timer in connection.pending.values():
+                if timer is not None:
+                    timer.cancel()
+                if not waiter.done():
+                    waiter.set_exception(error)
             connection.pending.clear()
             connection.writer.close()
 
@@ -692,17 +826,30 @@ class AsyncioTransport:
     ) -> None:
         self._server_writers.add(writer)
         write_lock = asyncio.Lock()
+        # Outgoing codec for this connection's replies, negotiated from
+        # the frames the client sends: replies stay v1 JSON until the
+        # client proves it speaks v2 (a v2 frame or a "cd" advert), so
+        # the upgrade never outruns the peer.  One-element list: the
+        # concurrent request tasks writing replies share the cell.
+        tx_codec = [CODEC_JSON]
         try:
             while True:
                 try:
-                    frame = await _read_frame(reader, self.max_frame_bytes)
+                    received = await _read_frame(reader, self.max_frame_bytes)
                 except ProtocolError:
                     # Malformed bytes poison the connection: count and
                     # hang up, never hang.
                     self.metrics.increment("net.protocol_errors")
                     break
-                if frame is None:
+                if received is None:
                     break
+                frame, codec_id, advertised = received
+                if (
+                    tx_codec[0] != CODEC_BINARY
+                    and self._codec_id == CODEC_BINARY
+                    and (codec_id == CODEC_BINARY or CODEC_BINARY in advertised)
+                ):
+                    tx_codec[0] = CODEC_BINARY
                 self.metrics.increment("net.frames_received")
                 if address not in self._handlers:
                     break  # the endpoint was unregistered mid-connection: hang up
@@ -747,12 +894,12 @@ class AsyncioTransport:
                             "retry_after": self.admission.policy.retry_after,
                         },
                     )
-                    await self._write_frame(writer, write_lock, busy)
+                    await self._write_frame(writer, write_lock, busy, tx_codec)
                     continue
                 # Dispatch concurrently: one task per admitted request,
                 # so a slow handler does not serialize the connection.
                 task = self._loop.create_task(
-                    self._handle_request(address, frame, writer, write_lock)
+                    self._handle_request(address, frame, writer, write_lock, tx_codec)
                 )
                 self._request_tasks.add(task)
                 task.add_done_callback(self._request_tasks.discard)
@@ -763,7 +910,11 @@ class AsyncioTransport:
             writer.close()
 
     async def _write_frame(
-        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, frame: Frame
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        frame: Frame,
+        tx_codec: list[int],
     ) -> None:
         """Serialize one reply onto a shared server connection.
 
@@ -771,7 +922,7 @@ class AsyncioTransport:
         frame's write+drain atomic so flow-control backpressure never
         interleaves two frames' bytes.
         """
-        data = encode_frame(frame, max_frame_bytes=self.max_frame_bytes)
+        data = encode_frame(frame, max_frame_bytes=self.max_frame_bytes, codec=tx_codec[0])
         async with write_lock:
             writer.write(data)
             self.metrics.increment("net.frames_sent")
@@ -784,12 +935,13 @@ class AsyncioTransport:
         frame: Frame,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
+        tx_codec: list[int],
     ) -> None:
         """Dispatch one admitted request and write its reply."""
         try:
             reply = await self._dispatch_request(address, frame)
             try:
-                await self._write_frame(writer, write_lock, reply)
+                await self._write_frame(writer, write_lock, reply, tx_codec)
             except (ConnectionError, OSError):
                 pass  # caller hung up; nothing to tell it
         finally:

@@ -76,14 +76,19 @@ class LocalCluster:
         self.stats: StatsServer | None = None
         self.membership: MembershipAgent | None = None
         self.transport = AsyncioTransport(
-            host=host, rpc_timeout=rpc_timeout, time_scale=time_scale, admission=admission
+            host=host, rpc_timeout=rpc_timeout, time_scale=time_scale,
+            admission=admission, codec=config.codec,
         )
         store_factory = None
         if data_dir is not None:
             base = Path(data_dir)
 
             def store_factory(address: int) -> FileStore:
-                return FileStore(base / f"node-{address}", metrics=self.transport.metrics)
+                return FileStore(
+                    base / f"node-{address}",
+                    metrics=self.transport.metrics,
+                    codec=config.codec,
+                )
 
         try:
             self.service = KeywordSearchService.create(

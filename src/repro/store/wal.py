@@ -1,4 +1,4 @@
-"""WAL record format: CRC-framed, tagged-encoded state mutations.
+"""WAL record format: CRC-framed, codec-encoded state mutations.
 
 One record describes one mutation of a node's durable state — an index
 table entry added or removed, a whole table dropped (churn handoff), a
@@ -6,15 +6,24 @@ replica reference registered or withdrawn, or a full entry emitted by a
 snapshot.  On disk every record is one frame::
 
     +----------------+---------------+------------------------------+
-    | length (4B BE) | crc32 (4B BE) | version byte + JSON payload  |
+    | length (4B BE) | crc32 (4B BE) | version byte + payload       |
     +----------------+---------------+------------------------------+
 
 ``length`` covers the body (version byte + payload); ``crc32`` is over
 the same bytes, so a torn or bit-flipped tail is detected before any
-JSON parsing.  The payload is the record's fields lowered through the
-same tagged encoding the wire format uses
-(:func:`repro.net.wire.encode_value`), with keys sorted — identical
-state always produces identical bytes.
+payload parsing.  The version byte selects the payload codec — the
+same codec core the wire format uses (:mod:`repro.net.codec`):
+
+* ``1`` — the record's fields lowered through the tagged-JSON
+  encoding, keys sorted (the original format; still written when the
+  store is pinned to the JSON codec, always still readable).
+* ``2`` — the same field dict in the binary value encoding, keys in
+  sorted order (varint ints, length-prefixed raw-UTF-8 strings).
+
+Identical state always produces identical bytes under either codec.
+Recovery auto-detects per record, so a WAL whose head predates the
+binary codec and whose tail postdates it — the rolling-upgrade restart
+— replays seamlessly; there is no file-level codec marker to migrate.
 
 Replay is pure: :func:`decode_records` walks a byte string and stops at
 the first frame that is incomplete or fails its CRC (the torn tail a
@@ -31,13 +40,24 @@ import json
 import struct
 import zlib
 from dataclasses import dataclass
-from json.encoder import encode_basestring_ascii as _json_string
 from typing import Any
 
-from repro.net.wire import decode_value, encode_value
+from repro.net.codec import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    codec_by_name,
+    decode_value_binary,
+    decode_value_json,
+    encode_value_binary,
+    encode_value_json,
+    new_buffer,
+    write_uvarint,
+)
+from repro.net.errors import ProtocolError
 
 __all__ = [
     "WAL_VERSION",
+    "WAL_VERSION_BINARY",
     "StoreRecord",
     "WalDecodeResult",
     "apply_record",
@@ -48,11 +68,12 @@ __all__ = [
     "replay",
 ]
 
-WAL_VERSION = 1
-_FRAME = struct.Struct("!II")  # (body length, crc32 of body)
+WAL_VERSION = 1  # JSON-payload records
+WAL_VERSION_BINARY = 2  # binary-payload records
 # A single record is one index entry or reference — far below this; the
 # cap exists so a corrupted length field cannot demand an absurd read.
 MAX_RECORD_BYTES = 16 * 1024 * 1024
+_FRAME = struct.Struct("!II")  # (body length, crc32 of body)
 
 # op -> payload fields (beyond "op"); also the legality check on decode.
 _OPS = {
@@ -87,99 +108,178 @@ class StoreRecord:
     holder: int = 0
 
 
-def _tuple_json(items: tuple[str, ...]) -> str:
-    """A tuple of strings in the wire's tagged encoding, keys sorted."""
-    return '{"!":"tuple","v":[%s]}' % ",".join(map(_json_string, items))
+_HEADER_HOLE = b"\x00" * _FRAME.size
+# Pre-encoded binary dict keys (varint length + raw UTF-8), in the
+# sorted order every record payload uses.
+_K_H, _K_ID = b"\x01h", b"\x02id"
+_K_KW, _K_LG, _K_NS, _K_OP = b"\x02kw", b"\x02lg", b"\x02ns", b"\x02op"
+# Binary tags mirrored from repro.net.codec for the inlined hot paths
+# below (dict header with its count baked in, plus the three value
+# tags these records use); the store tests pin byte-identity with
+# encode_record, so drift between the copies cannot hide.
+_B_DICT5, _B_DICT3 = b"\x0a\x05", b"\x0a\x03"
+_B_STR, _B_INT, _B_TUPLE = 0x05, 0x03, 0x07
 
 
-def _frame(body_text: str) -> bytes:
-    body = _VERSION_PREFIX + body_text.encode("utf-8")
-    return _FRAME.pack(len(body), zlib.crc32(body)) + body
+def _seal(buffer: bytearray) -> bytes:
+    """Patch the CRC frame header over a body built after the hole."""
+    body = memoryview(buffer)[_FRAME.size :]
+    length, crc = len(body), zlib.crc32(body)
+    body.release()  # the buffer is reused; no exports may outlive this call
+    _FRAME.pack_into(buffer, 0, length, crc)
+    return bytes(buffer)
 
 
-_VERSION_PREFIX = bytes([WAL_VERSION])
+def _frame_payload(payload: dict[str, Any], codec_id: int) -> bytes:
+    """Frame one record body: version byte + codec-encoded payload.
+
+    ``payload`` must be built in sorted-key order — both codecs then
+    emit deterministic bytes (JSON additionally sorts on its own).
+    """
+    buffer = new_buffer()
+    buffer += _HEADER_HOLE
+    if codec_id == CODEC_JSON:
+        buffer.append(WAL_VERSION)
+        buffer += json.dumps(
+            encode_value_json(payload), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    else:
+        buffer.append(WAL_VERSION_BINARY)
+        encode_value_binary(buffer, payload)
+    return _seal(buffer)
 
 
 def encode_entry_op(
-    op: str, namespace: str, logical: int, keywords: tuple[str, ...], object_id: str
+    op: str,
+    namespace: str,
+    logical: int,
+    keywords: tuple[str, ...],
+    object_id: str,
+    codec: str = "binary",
 ) -> bytes:
     """Frame a ``put``/``remove`` from bare fields (the hot write path —
-    no :class:`StoreRecord` built)."""
-    return _frame(
-        '{"id":%s,"kw":%s,"lg":%d,"ns":%s,"op":"%s"}'
-        % (_json_string(object_id), _tuple_json(keywords), logical, _json_string(namespace), op)
-    )
+    no :class:`StoreRecord` built, no generic dispatch; byte-identical
+    to :func:`encode_record` on the equivalent record, a property the
+    store tests pin)."""
+    if codec != "binary" and codec_by_name(codec).id != CODEC_BINARY:
+        return _frame_payload(
+            {"id": object_id, "kw": keywords, "lg": logical, "ns": namespace, "op": op},
+            CODEC_JSON,
+        )
+    buffer = new_buffer()
+    append = buffer.append
+    buffer += _HEADER_HOLE
+    append(WAL_VERSION_BINARY)
+    buffer += _B_DICT5
+    buffer += _K_ID
+    append(_B_STR)
+    raw = object_id.encode("utf-8")
+    size = len(raw)
+    append(size) if size < 0x80 else write_uvarint(buffer, size)
+    buffer += raw
+    buffer += _K_KW
+    append(_B_TUPLE)
+    size = len(keywords)
+    append(size) if size < 0x80 else write_uvarint(buffer, size)
+    for keyword in keywords:
+        append(_B_STR)
+        raw = keyword.encode("utf-8")
+        size = len(raw)
+        append(size) if size < 0x80 else write_uvarint(buffer, size)
+        buffer += raw
+    buffer += _K_LG
+    append(_B_INT)
+    zigzag = (logical << 1) if logical >= 0 else ((-logical << 1) - 1)
+    append(zigzag) if zigzag < 0x80 else write_uvarint(buffer, zigzag)
+    buffer += _K_NS
+    append(_B_STR)
+    raw = namespace.encode("utf-8")
+    size = len(raw)
+    append(size) if size < 0x80 else write_uvarint(buffer, size)
+    buffer += raw
+    buffer += _K_OP
+    append(_B_STR)
+    raw = op.encode("utf-8")
+    size = len(raw)
+    append(size) if size < 0x80 else write_uvarint(buffer, size)
+    buffer += raw
+    return _seal(buffer)
 
 
-def encode_ref_op(op: str, object_id: str, holder: int) -> bytes:
+def encode_ref_op(op: str, object_id: str, holder: int, codec: str = "binary") -> bytes:
     """Frame a ``ref_put``/``ref_del`` from bare fields."""
-    return _frame('{"h":%d,"id":%s,"op":"%s"}' % (holder, _json_string(object_id), op))
+    if codec != "binary" and codec_by_name(codec).id != CODEC_BINARY:
+        return _frame_payload({"h": holder, "id": object_id, "op": op}, CODEC_JSON)
+    buffer = new_buffer()
+    append = buffer.append
+    buffer += _HEADER_HOLE
+    append(WAL_VERSION_BINARY)
+    buffer += _B_DICT3
+    buffer += _K_H
+    append(_B_INT)
+    zigzag = (holder << 1) if holder >= 0 else ((-holder << 1) - 1)
+    append(zigzag) if zigzag < 0x80 else write_uvarint(buffer, zigzag)
+    buffer += _K_ID
+    append(_B_STR)
+    raw = object_id.encode("utf-8")
+    size = len(raw)
+    append(size) if size < 0x80 else write_uvarint(buffer, size)
+    buffer += raw
+    buffer += _K_OP
+    append(_B_STR)
+    raw = op.encode("utf-8")
+    size = len(raw)
+    append(size) if size < 0x80 else write_uvarint(buffer, size)
+    buffer += raw
+    return _seal(buffer)
 
 
-def encode_record(record: StoreRecord) -> bytes:
-    """Serialize one record, frame header included.
-
-    Hand-assembles the sorted-keys compact JSON for each known record
-    shape — byte-identical to ``json.dumps(encode_value(payload),
-    sort_keys=True, separators=(",", ":"))`` (the property
-    :func:`encode_record_generic` pins in tests) but ~6x cheaper, which
-    matters because one of these runs per index mutation on the durable
-    write path.
-    """
-    op = record.op
-    if op == "put" or op == "remove":
-        return encode_entry_op(op, record.namespace, record.logical,
-                               record.keywords, record.object_id)
-    if op == "ref_put" or op == "ref_del":
-        return encode_ref_op(op, record.object_id, record.holder)
-    if op == "entry":
-        return _frame(
-            '{"ids":%s,"kw":%s,"lg":%d,"ns":%s,"op":"entry"}'
-            % (
-                _tuple_json(record.object_ids),
-                _tuple_json(record.keywords),
-                record.logical,
-                _json_string(record.namespace),
-            )
-        )
-    if op == "drop":
-        return _frame(
-            '{"lg":%d,"ns":%s,"op":"drop"}'
-            % (record.logical, _json_string(record.namespace))
-        )
-    raise ValueError(f"unknown store record op {op!r}")
-
-
-def encode_record_generic(record: StoreRecord) -> bytes:
-    """The reference encoder: lower the payload through the wire's
-    tagged encoding and dump sorted-keys compact JSON.  Kept as the
-    executable definition of the format; :func:`encode_record` is the
-    equivalent fast path."""
-    payload: dict[str, Any] = {"op": record.op}
+def _record_payload(record: StoreRecord) -> dict[str, Any]:
+    """One record's field dict, keys in sorted order."""
     fields = _OPS.get(record.op)
     if fields is None:
         raise ValueError(f"unknown store record op {record.op!r}")
-    if "ns" in fields:
-        payload["ns"] = record.namespace
-        payload["lg"] = record.logical
-    if "kw" in fields:
-        payload["kw"] = tuple(record.keywords)
+    payload: dict[str, Any] = {}
+    if "h" in fields:
+        payload["h"] = record.holder
     if record.op == "entry":
         payload["ids"] = tuple(record.object_ids)
     elif "id" in fields:
         payload["id"] = record.object_id
-    if "h" in fields:
-        payload["h"] = record.holder
-    body = bytes([WAL_VERSION]) + json.dumps(
-        encode_value(payload), sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-    return _FRAME.pack(len(body), zlib.crc32(body)) + body
+    if "kw" in fields:
+        payload["kw"] = tuple(record.keywords)
+    if "ns" in fields:
+        payload["lg"] = record.logical
+        payload["ns"] = record.namespace
+    payload["op"] = record.op
+    return payload
+
+
+def encode_record(record: StoreRecord, codec: str = "binary") -> bytes:
+    """Serialize one record, frame header included."""
+    return _frame_payload(_record_payload(record), codec_by_name(codec).id)
+
+
+# The hand-assembled per-op JSON encoder this module used to carry is
+# gone: both codecs now run through the shared core, and the old
+# "generic reference encoder" *is* the encoder.
+encode_record_generic = encode_record
 
 
 def _decode_body(body: bytes) -> StoreRecord:
-    if body[0] != WAL_VERSION:
-        raise ValueError(f"unsupported WAL version {body[0]} (speaking {WAL_VERSION})")
-    payload = decode_value(json.loads(body[1:].decode("utf-8")))
+    version = body[0]
+    if version == WAL_VERSION:
+        payload = decode_value_json(json.loads(body[1:].decode("utf-8")))
+    elif version == WAL_VERSION_BINARY:
+        view = memoryview(body)
+        payload, position = decode_value_binary(view, 1)
+        if position != len(view):
+            raise ValueError(f"trailing bytes after record ({len(view) - position} left)")
+    else:
+        raise ValueError(
+            f"unsupported WAL version {version} "
+            f"(speaking {WAL_VERSION}/{WAL_VERSION_BINARY})"
+        )
     if not isinstance(payload, dict):
         raise ValueError("WAL record payload must be an object")
     op = payload.get("op")
@@ -217,7 +317,8 @@ def decode_records(data: bytes) -> WalDecodeResult:
 
     Never raises on bad input: decoding stops at the first incomplete,
     CRC-failing, or malformed frame, and everything from there on is
-    reported as the torn tail.
+    reported as the torn tail.  Each record's codec is detected from
+    its own version byte, so mixed JSON/binary files replay.
     """
     records: list[StoreRecord] = []
     offset = 0
@@ -236,7 +337,8 @@ def decode_records(data: bytes) -> WalDecodeResult:
             return WalDecodeResult(tuple(records), offset, True, "crc mismatch")
         try:
             records.append(_decode_body(body))
-        except (ValueError, UnicodeDecodeError, json.JSONDecodeError, IndexError) as error:
+        except (ValueError, TypeError, UnicodeDecodeError, json.JSONDecodeError,
+                IndexError, ProtocolError) as error:
             return WalDecodeResult(tuple(records), offset, True, f"malformed record: {error}")
         offset = start + length
     return WalDecodeResult(tuple(records), offset)

@@ -1,14 +1,17 @@
 """Tests for the wire codec (repro.net.wire)."""
 
 import json
+import math
 import struct
 
 import pytest
 
+from repro.net.codec import CODEC_BINARY, CODEC_JSON, PostingList
 from repro.net.errors import ProtocolError
 from repro.net.wire import (
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_BINARY,
     Frame,
     FrameDecoder,
     FrameType,
@@ -16,6 +19,7 @@ from repro.net.wire import (
     decode_value,
     encode_frame,
     encode_value,
+    parse_frame_info,
 )
 
 # One realistic request per message kind the protocol stack sends —
@@ -191,7 +195,7 @@ class TestMalformedFrames:
 
     def test_wrong_version_rejected(self):
         data = bytearray(self.good_bytes())
-        data[4] = PROTOCOL_VERSION + 1
+        data[4] = 99  # neither v1 (JSON) nor v2 (codec-id framed)
         with pytest.raises(ProtocolError, match="version"):
             decode_frame(bytes(data))
 
@@ -215,6 +219,130 @@ class TestMalformedFrames:
         body = bytes([PROTOCOL_VERSION]) + json.dumps(envelope).encode()
         with pytest.raises(ProtocolError):
             decode_frame(struct.pack("!I", len(body)) + body)
+
+
+def roundtrip_binary(frame: Frame) -> Frame:
+    data = encode_frame(frame, codec=CODEC_BINARY)
+    decoded, consumed = decode_frame(data)
+    assert consumed == len(data)
+    return decoded
+
+
+class TestBinaryFrames:
+    @pytest.mark.parametrize("kind", sorted(PROTOCOL_REQUESTS))
+    def test_every_protocol_request_kind(self, kind):
+        frame = Frame(FrameType.REQUEST, kind, 12, 34, 7, PROTOCOL_REQUESTS[kind])
+        assert roundtrip_binary(frame) == frame
+
+    @pytest.mark.parametrize("kind", sorted(PROTOCOL_REPLIES))
+    def test_reply_payloads(self, kind):
+        frame = Frame(FrameType.REPLY, kind, 34, 12, 7, PROTOCOL_REPLIES[kind])
+        assert roundtrip_binary(frame) == frame
+
+    def test_version_and_codec_bytes_on_the_wire(self):
+        data = encode_frame(Frame(FrameType.REQUEST, "kad.ping", 1, 2, 3, {}),
+                            codec=CODEC_BINARY)
+        assert data[4] == PROTOCOL_VERSION_BINARY
+        assert data[5] == CODEC_BINARY
+
+    def test_priority_and_negative_addresses(self):
+        frame = Frame(FrameType.REQUEST, "hindex.scan", -1, 2**40, 3, {}, priority=9)
+        assert roundtrip_binary(frame) == frame
+
+    def test_smaller_than_json_on_posting_heavy_reply(self):
+        matches = PostingList(
+            (frozenset({f"kw{i}", "dht"}), (f"obj-{i}.pdf",)) for i in range(20)
+        )
+        frame = Frame(FrameType.REPLY, "hindex.scan", 1, 2, 3,
+                      {"matches": matches, "truncated": False})
+        binary = encode_frame(frame, codec=CODEC_BINARY)
+        json_form = encode_frame(frame)
+        assert len(binary) < 0.7 * len(json_form)
+
+    def test_unknown_codec_id_rejected(self):
+        data = bytearray(encode_frame(Frame(FrameType.REQUEST, "kad.ping", 1, 2, 3, {}),
+                                      codec=CODEC_BINARY))
+        data[5] = 77
+        with pytest.raises(ProtocolError, match="codec"):
+            decode_frame(bytes(data))
+
+    def test_unknown_frame_type_byte_rejected(self):
+        data = bytearray(encode_frame(Frame(FrameType.REQUEST, "kad.ping", 1, 2, 3, {}),
+                                      codec=CODEC_BINARY))
+        data[6] = 250
+        with pytest.raises(ProtocolError, match="type"):
+            decode_frame(bytes(data))
+
+    def test_truncated_binary_body_rejected(self):
+        data = encode_frame(
+            Frame(FrameType.REQUEST, "hindex.scan", 1, 2, 3, PROTOCOL_REQUESTS["hindex.scan"]),
+            codec=CODEC_BINARY,
+        )
+        # Re-frame a cut body so the length header is consistent.
+        cut = data[struct.calcsize("!I"):-4]
+        with pytest.raises(ProtocolError):
+            decode_frame(struct.pack("!I", len(cut)) + cut)
+
+
+class TestNonFinitePayloads:
+    """Regression: NaN/Infinity used to sail through ``json.dumps`` as
+    the nonstandard ``NaN``/``Infinity`` literals that strict peers
+    cannot parse.  Both codecs must refuse at encode time."""
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    @pytest.mark.parametrize("codec", [CODEC_JSON, CODEC_BINARY])
+    def test_rejected_at_encode_time(self, codec, bad):
+        frame = Frame(FrameType.REPLY, "stats.latency", 1, 2, 3, {"p99": bad})
+        with pytest.raises(ProtocolError, match="unencodable|non-finite"):
+            encode_frame(frame, codec=codec)
+
+    def test_nested_nan_rejected(self):
+        frame = Frame(FrameType.REPLY, "stats.latency", 1, 2, 3,
+                      {"series": [1.0, (2.0, math.nan)]})
+        with pytest.raises(ProtocolError):
+            encode_frame(frame)
+
+
+class TestNegotiationParsing:
+    def good_frame(self):
+        return Frame(FrameType.REQUEST, "kad.ping", 1, 2, 3, {})
+
+    def test_v1_without_advert(self):
+        frame, codec_id, advertised = parse_frame_info(encode_frame(self.good_frame())[4:])
+        assert codec_id == CODEC_JSON
+        assert advertised == ()
+        assert frame == self.good_frame()
+
+    def test_v1_with_advert(self):
+        data = encode_frame(self.good_frame(), advertise=(CODEC_JSON, CODEC_BINARY))
+        frame, codec_id, advertised = parse_frame_info(data[4:])
+        assert codec_id == CODEC_JSON
+        assert advertised == (CODEC_JSON, CODEC_BINARY)
+        assert frame == self.good_frame()
+
+    def test_v2_implies_binary_capability(self):
+        data = encode_frame(self.good_frame(), codec=CODEC_BINARY)
+        frame, codec_id, advertised = parse_frame_info(data[4:])
+        assert codec_id == CODEC_BINARY
+        assert CODEC_BINARY in advertised
+        assert frame == self.good_frame()
+
+    def test_advert_ignored_by_plain_decode(self):
+        # decode_frame (the v1 entry point) must keep accepting frames
+        # that carry the negotiation key — legacy peers see it as an
+        # unknown envelope key and move on.
+        data = encode_frame(self.good_frame(), advertise=(CODEC_JSON, CODEC_BINARY))
+        decoded, consumed = decode_frame(data)
+        assert decoded == self.good_frame()
+        assert consumed == len(data)
+
+    def test_malformed_advert_is_ignored(self):
+        envelope = {"t": "req", "kind": "kad.ping", "src": 1, "dst": 2, "id": 3,
+                    "p": {}, "cd": "not-a-list"}
+        body = bytes([PROTOCOL_VERSION]) + json.dumps(envelope).encode()
+        frame, codec_id, advertised = parse_frame_info(body)
+        assert codec_id == CODEC_JSON
+        assert advertised == ()
 
 
 class TestFrameDecoder:
